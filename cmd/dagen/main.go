@@ -1,0 +1,118 @@
+// Command dagen generates workload instances: random layered DAGs with the
+// paper's parameters, or structured graphs (Gaussian elimination, FFT,
+// fork-join, stencil), written as JSON workloads and optionally as
+// Graphviz DOT.
+//
+// Examples:
+//
+//	dagen -n 100 -m 8 -ul 4 -out w.json
+//	dagen -kind gauss -k 6 -m 4 -out gauss.json -dot gauss.dot
+//	dagen -kind fft -stages 4 -m 8 -out fft.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"robsched/internal/dag"
+	"robsched/internal/gen"
+	"robsched/internal/platform"
+	"robsched/internal/rng"
+	"robsched/internal/wio"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "dagen:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		kind   = flag.String("kind", "random", "graph kind: random, gauss, fft, forkjoin, stencil, outtree, intree, seriesparallel, paper-example")
+		n      = flag.Int("n", 100, "tasks (random kind)")
+		m      = flag.Int("m", 8, "processors")
+		k      = flag.Int("k", 6, "matrix size (gauss kind)")
+		stages = flag.Int("stages", 3, "stages (fft / forkjoin kinds)")
+		width  = flag.Int("width", 4, "width (forkjoin / stencil kinds)")
+		depth  = flag.Int("depth", 4, "depth (stencil kind)")
+		seed   = flag.Uint64("seed", 1, "random seed")
+		meanUL = flag.Float64("ul", 2.0, "mean uncertainty level")
+		cc     = flag.Float64("cc", 20, "average computation cost")
+		ccr    = flag.Float64("ccr", 0.1, "communication-to-computation ratio")
+		shape  = flag.Float64("shape", 1.0, "graph shape α (random kind)")
+		vtask  = flag.Float64("vtask", 0.5, "task heterogeneity COV")
+		vmach  = flag.Float64("vmach", 0.5, "machine heterogeneity COV")
+		outP   = flag.String("out", "", "output workload JSON path (stdout when empty)")
+		dotP   = flag.String("dot", "", "also write the graph as Graphviz DOT to this path")
+	)
+	flag.Parse()
+
+	r := rng.New(*seed)
+	var (
+		g   *dag.Graph
+		err error
+	)
+	p := gen.PaperParams()
+	p.N, p.M = *n, *m
+	p.MeanUL, p.CC, p.CCR, p.Shape = *meanUL, *cc, *ccr, *shape
+	p.VTask, p.VMach = *vtask, *vmach
+	commData := *cc * *ccr // uniform edge data for structured graphs
+	switch *kind {
+	case "random":
+		g, err = gen.RandomGraph(p, r)
+	case "gauss":
+		g, err = gen.GaussianElimination(*k, commData)
+	case "fft":
+		g, err = gen.FFT(*stages, commData)
+	case "forkjoin":
+		g, err = gen.ForkJoin(*width, *stages, commData)
+	case "stencil":
+		g, err = gen.Stencil(*width, *depth, commData)
+	case "outtree":
+		g, err = gen.OutTree(*n, *width, commData, r)
+	case "intree":
+		g, err = gen.InTree(*n, *width, commData, r)
+	case "seriesparallel":
+		g, err = gen.SeriesParallel(*n, commData, r)
+	case "paper-example":
+		g = gen.PaperExampleGraph(commData)
+	default:
+		return fmt.Errorf("unknown -kind %q", *kind)
+	}
+	if err != nil {
+		return err
+	}
+
+	bcet := gen.ExecMatrix(g.N(), *m, *cc, *vtask, *vmach, r)
+	ul := gen.ULMatrix(g.N(), *m, *meanUL, p.V1, p.V2, r)
+	w, err := platform.NewWorkload(g, platform.UniformSystem(*m, p.Rate), bcet, ul)
+	if err != nil {
+		return err
+	}
+
+	out := os.Stdout
+	if *outP != "" {
+		f, err := os.Create(*outP)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	if err := wio.WriteWorkload(out, w); err != nil {
+		return err
+	}
+	if *outP != "" {
+		fmt.Fprintf(os.Stderr, "dagen: %s workload with %d tasks, %d edges, %d processors -> %s\n",
+			*kind, g.N(), g.EdgeCount(), *m, *outP)
+	}
+	if *dotP != "" {
+		if err := os.WriteFile(*dotP, []byte(g.Dot(*kind)), 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}

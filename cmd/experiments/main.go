@@ -1,0 +1,286 @@
+// Command experiments regenerates the figures of the paper's evaluation
+// (Section 5) as text tables and optional CSV files.
+//
+//	Fig. 2  GA minimizing the makespan: evolution of makespan/slack/R1
+//	Fig. 3  GA maximizing the slack: the same trajectories
+//	Fig. 4  improvement over HEFT at ε = 1.0 versus uncertainty level
+//	Fig. 5  R1 improvement over ε = 1.0 across the ε grid
+//	Fig. 6  R2 improvement over ε = 1.0 across the ε grid
+//	Fig. 7  best ε for overall performance (R1) versus the weight r
+//	Fig. 8  best ε for overall performance (R2) versus the weight r
+//
+// Examples:
+//
+//	experiments -fig all                 # quick scale, every figure
+//	experiments -fig 4 -graphs 30        # more repetitions for Fig. 4
+//	experiments -fig all -scale paper    # the published scale (hours!)
+//	experiments -fig 5 -csv out/         # also write out/fig5.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"robsched/internal/experiments"
+	"robsched/internal/robust"
+	"robsched/internal/viz"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		fig          = flag.String("fig", "all", "figure to regenerate: 1..8 or all (empty with -ablation set)")
+		ablation     = flag.String("ablation", "", "ablation to run instead/in addition: seed, slackmetric, risk, policies, or all")
+		sensitivity  = flag.String("sensitivity", "", "sensitivity sweep to run: ccr, shape, procs")
+		scale        = flag.String("scale", "quick", "experiment scale: quick or paper")
+		seed         = flag.Uint64("seed", 1, "root random seed")
+		graphs       = flag.Int("graphs", 0, "override: graphs per data point")
+		realizations = flag.Int("realizations", 0, "override: Monte-Carlo realizations")
+		gens         = flag.Int("generations", 0, "override: GA generations")
+		nTasks       = flag.Int("n", 0, "override: tasks per graph")
+		mProcs       = flag.Int("m", 0, "override: processors")
+		workers      = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+		csvDir       = flag.String("csv", "", "also write figN.csv files into this directory")
+		svgDir       = flag.String("svg", "", "also write figN.svg line charts into this directory")
+	)
+	flag.Parse()
+
+	var cfg experiments.Config
+	switch *scale {
+	case "quick":
+		cfg = experiments.Default()
+	case "paper":
+		cfg = experiments.PaperScale()
+	default:
+		return fmt.Errorf("unknown -scale %q", *scale)
+	}
+	cfg.Seed = *seed
+	cfg.Workers = *workers
+	if *graphs > 0 {
+		cfg.Graphs = *graphs
+	}
+	if *realizations > 0 {
+		cfg.Realizations = *realizations
+	}
+	if *gens > 0 {
+		cfg.GA.MaxGenerations = *gens
+	}
+	if *nTasks > 0 {
+		cfg.Gen.N = *nTasks
+	}
+	if *mProcs > 0 {
+		cfg.Gen.M = *mProcs
+	}
+
+	want := map[string]bool{}
+	switch {
+	case *fig == "all" && (*ablation != "" || *sensitivity != ""):
+		// -ablation alone runs only the ablations unless figures are also
+		// requested explicitly.
+	case *fig == "all":
+		for _, f := range []string{"1", "2", "3", "4", "5", "6", "7", "8"} {
+			want[f] = true
+		}
+	default:
+		for _, f := range strings.Split(*fig, ",") {
+			want[strings.TrimSpace(f)] = true
+		}
+	}
+	wantAbl := map[string]bool{}
+	if *ablation != "" {
+		if *ablation == "all" {
+			for _, a := range []string{"seed", "slackmetric", "risk", "policies", "gaparams"} {
+				wantAbl[a] = true
+			}
+		} else {
+			for _, a := range strings.Split(*ablation, ",") {
+				wantAbl[strings.TrimSpace(a)] = true
+			}
+		}
+	}
+
+	emit := func(figName, title, xlabel string, series []experiments.Series) error {
+		fmt.Print(experiments.FormatSeries(title, xlabel, series))
+		fmt.Println()
+		if *csvDir != "" {
+			if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+				return err
+			}
+			f, err := os.Create(filepath.Join(*csvDir, "fig"+figName+".csv"))
+			if err != nil {
+				return err
+			}
+			if err := experiments.WriteCSV(f, xlabel, series); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+		}
+		if *svgDir != "" {
+			if err := os.MkdirAll(*svgDir, 0o755); err != nil {
+				return err
+			}
+			vs := make([]viz.Series, len(series))
+			for i, s := range series {
+				vs[i] = viz.Series{Name: s.Name, X: s.X, Y: s.Y}
+			}
+			svg := viz.LineChartSVG(vs, viz.ChartOptions{Title: title, XLabel: xlabel})
+			if err := os.WriteFile(filepath.Join(*svgDir, "fig"+figName+".svg"), []byte(svg), 0o644); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	start := time.Now()
+	if want["1"] {
+		out, err := experiments.Fig1(*seed)
+		if err != nil {
+			return err
+		}
+		fmt.Print(out)
+		fmt.Println()
+	}
+	if want["2"] || want["3"] {
+		modes := []struct {
+			fig   string
+			mode  robust.Mode
+			title string
+		}{
+			{"2", robust.MinMakespan, "Fig. 2 — GA minimizing the makespan: ln ratio vs generation 0"},
+			{"3", robust.MaxSlack, "Fig. 3 — GA maximizing the slack: ln ratio vs generation 0"},
+		}
+		for _, m := range modes {
+			if !want[m.fig] {
+				continue
+			}
+			tr, err := cfg.EvolutionTrace(m.mode)
+			if err != nil {
+				return err
+			}
+			if err := emit(m.fig, m.title, "step", tr.Series()); err != nil {
+				return err
+			}
+		}
+	}
+	if want["4"] || want["5"] || want["6"] || want["7"] || want["8"] {
+		fmt.Fprintf(os.Stderr, "experiments: running UL×ε sweep (%d ULs × %d ε × %d graphs)...\n",
+			len(cfg.ULs), len(cfg.Eps), cfg.Graphs)
+		sw, err := cfg.RunSweep()
+		if err != nil {
+			return err
+		}
+		if want["4"] {
+			s, err := sw.Fig4()
+			if err != nil {
+				return err
+			}
+			if err := emit("4", "Fig. 4 — improvement over HEFT at ε = 1.0 (ln ratio)", "UL", s); err != nil {
+				return err
+			}
+		}
+		if want["5"] {
+			s, err := sw.FigEpsImprovement(experiments.R1)
+			if err != nil {
+				return err
+			}
+			if err := emit("5", "Fig. 5 — R1 improvement over ε = 1.0 (relative)", "eps", s); err != nil {
+				return err
+			}
+		}
+		if want["6"] {
+			s, err := sw.FigEpsImprovement(experiments.R2)
+			if err != nil {
+				return err
+			}
+			if err := emit("6", "Fig. 6 — R2 improvement over ε = 1.0 (relative)", "eps", s); err != nil {
+				return err
+			}
+		}
+		if want["7"] {
+			s, err := sw.FigBestEps(experiments.R1)
+			if err != nil {
+				return err
+			}
+			if err := emit("7", "Fig. 7 — best ε for overall performance (R1)", "r", s); err != nil {
+				return err
+			}
+		}
+		if want["8"] {
+			s, err := sw.FigBestEps(experiments.R2)
+			if err != nil {
+				return err
+			}
+			if err := emit("8", "Fig. 8 — best ε for overall performance (R2)", "r", s); err != nil {
+				return err
+			}
+		}
+	}
+	if len(wantAbl) > 0 {
+		type abl struct {
+			key, title, xlabel string
+			run                func() ([]experiments.Series, error)
+		}
+		abls := []abl{
+			{"seed", "Ablation — HEFT seed in the initial population", "UL", cfg.AblationSeed},
+			{"slackmetric", "Ablation — average vs minimum slack surrogate", "UL", cfg.AblationSlackMetric},
+			{"risk", "Ablation — risk-adjusted HEFT (E[c]+k·σ): relative change vs plain HEFT", "k",
+				func() ([]experiments.Series, error) { return cfg.AblationRiskFactor(nil) }},
+			{"policies", "Comparison — static / repair / dynamic / robust-GA realized mean (÷ static HEFT)", "UL",
+				func() ([]experiments.Series, error) { return cfg.PolicyComparison(1.4, 0.05) }},
+			{"gaparams", "Ablation — GA crossover/mutation rate grid (final slack ÷ pc=0.9,pm=0.1)", "pm",
+				func() ([]experiments.Series, error) { return cfg.AblationGAParams(nil, nil) }},
+		}
+		for _, a := range abls {
+			if !wantAbl[a.key] {
+				continue
+			}
+			s, err := a.run()
+			if err != nil {
+				return err
+			}
+			if err := emit("abl_"+a.key, a.title, a.xlabel, s); err != nil {
+				return err
+			}
+		}
+	}
+	if *sensitivity != "" {
+		var (
+			param experiments.SensitivityParam
+			grid  []float64
+		)
+		switch *sensitivity {
+		case "ccr":
+			param, grid = experiments.SweepCCR, []float64{0.1, 0.25, 0.5, 1, 2}
+		case "shape":
+			param, grid = experiments.SweepShape, []float64{0.5, 1, 2, 4}
+		case "procs":
+			param, grid = experiments.SweepProcs, []float64{2, 4, 8, 16}
+		default:
+			return fmt.Errorf("unknown -sensitivity %q", *sensitivity)
+		}
+		s, err := cfg.Sensitivity(param, grid, 1.4)
+		if err != nil {
+			return err
+		}
+		title := fmt.Sprintf("Sensitivity — GA (ε=1.4) vs HEFT as %s varies (UL=%g)", param, cfg.ULs[0])
+		if err := emit("sens_"+*sensitivity, title, param.String(), s); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(os.Stderr, "experiments: done in %v (seed %d, %d graphs, %d realizations, %d tasks, %d processors)\n",
+		time.Since(start).Round(time.Millisecond), cfg.Seed, cfg.Graphs, cfg.Realizations, cfg.Gen.N, cfg.Gen.M)
+	return nil
+}

@@ -1,0 +1,259 @@
+// Command robsched schedules a DAG workload onto a heterogeneous platform
+// and reports makespan, slack and Monte-Carlo robustness next to the HEFT
+// baseline.
+//
+// Usage:
+//
+//	robsched [flags]
+//
+// The workload either comes from a JSON file (-workload, see internal/wio
+// for the format) or is generated randomly with the paper's generator
+// (-n, -m, -ul, -cc, -ccr, -shape, -seed).
+//
+// Examples:
+//
+//	robsched -n 100 -m 8 -ul 4 -scheduler ga -eps 1.4
+//	robsched -workload w.json -scheduler heft -gantt
+//	robsched -n 50 -scheduler ga -mode maxslack -out schedule.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"robsched/internal/clark"
+	"robsched/internal/gen"
+	"robsched/internal/heft"
+	"robsched/internal/platform"
+	"robsched/internal/repair"
+	"robsched/internal/rng"
+	"robsched/internal/robust"
+	"robsched/internal/schedule"
+	"robsched/internal/sim"
+	"robsched/internal/stoch"
+	"robsched/internal/viz"
+	"robsched/internal/wio"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "robsched:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		workloadPath = flag.String("workload", "", "JSON workload file (generated randomly when empty)")
+		n            = flag.Int("n", 100, "tasks in the generated workload")
+		m            = flag.Int("m", 8, "processors in the generated workload")
+		seed         = flag.Uint64("seed", 1, "random seed for generation and search")
+		meanUL       = flag.Float64("ul", 2.0, "mean uncertainty level of the generated workload")
+		cc           = flag.Float64("cc", 20, "average computation cost")
+		ccr          = flag.Float64("ccr", 0.1, "communication-to-computation ratio")
+		shape        = flag.Float64("shape", 1.0, "graph shape parameter α")
+		scheduler    = flag.String("scheduler", "ga", "scheduler: heft, heft-noins, risk-heft, cpop, peft, minmin, maxmin, random, ga, weighted, anneal")
+		risk         = flag.Float64("risk", 1.0, "risk factor k of risk-heft (durations E[c]+k·σ)")
+		weight       = flag.Float64("weight", 0.5, "makespan weight of the weighted-sum scheduler")
+		deadline     = flag.Float64("deadline", 0, "also report the miss rate against this deadline (0 disables)")
+		mode         = flag.String("mode", "eps", "GA objective: eps, minmakespan, maxslack")
+		eps          = flag.Float64("eps", 1.2, "ε of the constraint M0 ≤ ε·M_HEFT")
+		pop          = flag.Int("pop", 20, "GA population size")
+		gens         = flag.Int("generations", 1000, "GA generation cap")
+		stagnation   = flag.Int("stagnation", 100, "GA stagnation window (0 disables)")
+		realizations = flag.Int("realizations", 1000, "Monte-Carlo realizations")
+		outPath      = flag.String("out", "", "write the resulting schedule as JSON to this file")
+		gantt        = flag.Bool("gantt", false, "print a text Gantt chart")
+		quiet        = flag.Bool("q", false, "print only the summary line")
+		paretoFront  = flag.Bool("pareto", false, "print the NSGA-II makespan–slack front instead of a single schedule")
+		repairTheta  = flag.Float64("repair", 0, "also evaluate runtime repair of the schedule at this threshold (0 disables)")
+		clarkEst     = flag.Bool("clark", false, "also print Clark's analytic makespan estimate")
+		svgPath      = flag.String("svg", "", "write an SVG Gantt chart (with slack windows) to this file")
+	)
+	flag.Parse()
+
+	w, err := loadOrGenerate(*workloadPath, *n, *m, *seed, *meanUL, *cc, *ccr, *shape)
+	if err != nil {
+		return err
+	}
+
+	r := rng.New(*seed ^ 0xfeed)
+	baseline, err := heft.HEFT(w, heft.Options{})
+	if err != nil {
+		return err
+	}
+	if *paretoFront {
+		popt := robust.PaperParetoOptions()
+		popt.MaxGenerations = *gens
+		if popt.MaxGenerations > 300 {
+			popt.MaxGenerations = 300
+		}
+		front, err := robust.SolvePareto(w, popt, r)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("NSGA-II front: %d non-dominated schedules (HEFT: M0 %.4g, slack %.4g)\n",
+			len(front), baseline.Makespan(), baseline.AvgSlack())
+		fmt.Printf("%-6s %12s %12s\n", "#", "makespan", "avg slack")
+		for i, p := range front {
+			fmt.Printf("%-6d %12.4g %12.4g\n", i, p.Makespan, p.Slack)
+		}
+		return nil
+	}
+	var s *schedule.Schedule
+	switch *scheduler {
+	case "heft":
+		s = baseline
+	case "heft-noins":
+		s, err = heft.HEFT(w, heft.Options{NoInsertion: true})
+	case "risk-heft":
+		s, err = stoch.HEFT(w, *risk)
+	case "weighted":
+		var res *robust.Result
+		res, err = robust.SolveWeightedSum(w, *weight, robust.Options{
+			PopSize: *pop, CrossoverRate: 0.9, MutationRate: 0.1,
+			MaxGenerations: *gens, Stagnation: *stagnation,
+		}, r)
+		if err == nil {
+			s = res.Schedule
+		}
+	case "cpop":
+		s, err = heft.CPOP(w, heft.Options{})
+	case "peft":
+		s, err = heft.PEFT(w, heft.Options{})
+	case "minmin":
+		s, err = heft.Batch(w, heft.MinMin)
+	case "maxmin":
+		s, err = heft.Batch(w, heft.MaxMin)
+	case "anneal":
+		var res *robust.Result
+		res, err = robust.SolveAnneal(w, robust.AnnealOptions{Eps: *eps, Steps: *pop * *gens}, r)
+		if err == nil {
+			s = res.Schedule
+		}
+	case "random":
+		s, err = heft.RandomSchedule(w, r)
+	case "ga":
+		opt := robust.Options{
+			Eps:            *eps,
+			PopSize:        *pop,
+			CrossoverRate:  0.9,
+			MutationRate:   0.1,
+			MaxGenerations: *gens,
+			Stagnation:     *stagnation,
+		}
+		switch *mode {
+		case "eps":
+			opt.Mode = robust.EpsilonConstraint
+		case "minmakespan":
+			opt.Mode = robust.MinMakespan
+		case "maxslack":
+			opt.Mode = robust.MaxSlack
+		default:
+			return fmt.Errorf("unknown -mode %q", *mode)
+		}
+		var res *robust.Result
+		res, err = robust.Solve(w, opt, r)
+		if err == nil {
+			s = res.Schedule
+			if !*quiet {
+				fmt.Printf("GA: %d generations (stagnated=%v)\n", res.Generations, res.Stagnated)
+			}
+		}
+	default:
+		return fmt.Errorf("unknown -scheduler %q", *scheduler)
+	}
+	if err != nil {
+		return err
+	}
+
+	ms, err := sim.EvaluateAll([]*schedule.Schedule{s, baseline},
+		sim.Options{Realizations: *realizations, Deadline: *deadline}, rng.New(*seed^0xbeef))
+	if err != nil {
+		return err
+	}
+	if !*quiet {
+		fmt.Printf("workload: %d tasks, %d processors, %d edges, CCR %.3g\n",
+			w.N(), w.M(), w.G.EdgeCount(), w.CCR())
+		fmt.Printf("\n%-22s %12s %12s\n", "", *scheduler, "heft")
+		row := func(name string, a, b float64) {
+			fmt.Printf("%-22s %12.4g %12.4g\n", name, a, b)
+		}
+		row("expected makespan M0", s.Makespan(), baseline.Makespan())
+		row("avg slack", s.AvgSlack(), baseline.AvgSlack())
+		row("realized mean", ms[0].MeanMakespan, ms[1].MeanMakespan)
+		row("realized std", ms[0].StdMakespan, ms[1].StdMakespan)
+		row("mean tardiness E[δ]", ms[0].MeanTardiness, ms[1].MeanTardiness)
+		row("miss rate α", ms[0].MissRate, ms[1].MissRate)
+		row("robustness R1", ms[0].R1, ms[1].R1)
+		row("robustness R2", ms[0].R2, ms[1].R2)
+		row("realized p95", ms[0].P95, ms[1].P95)
+		row("realized p99", ms[0].P99, ms[1].P99)
+		if *deadline > 0 {
+			row(fmt.Sprintf("P(M > %.4g)", *deadline), ms[0].DeadlineMissRate, ms[1].DeadlineMissRate)
+		}
+		fmt.Println()
+	}
+	fmt.Printf("%s: M0=%.4g slack=%.4g R1=%.4g R2=%.4g (HEFT M0=%.4g)\n",
+		*scheduler, s.Makespan(), s.AvgSlack(), ms[0].R1, ms[0].R2, baseline.Makespan())
+
+	if *clarkEst {
+		a := clark.Analyze(s)
+		fmt.Printf("clark: E[M]=%.4g std=%.4g p95=%.4g (analytic; biased high on the mean)\n",
+			a.Makespan.Mean, a.Makespan.Std(), a.Quantile(0.95))
+	}
+	if *repairTheta > 0 {
+		rm, err := repair.Evaluate(s, repair.Policy{Threshold: *repairTheta},
+			sim.Options{Realizations: *realizations}, rng.New(*seed^0xcafe))
+		if err != nil {
+			return err
+		}
+		fmt.Printf("repair θ=%.3g: realized mean %.4g (vs %.4g rigid), p95 %.4g, %.2f reschedules/run\n",
+			*repairTheta, rm.MeanMakespan, ms[0].MeanMakespan, rm.P95, rm.MeanReschedules)
+	}
+
+	if *gantt {
+		fmt.Println()
+		fmt.Print(s.Gantt(96))
+	}
+	if *svgPath != "" {
+		title := fmt.Sprintf("%s on %d tasks / %d processors", *scheduler, w.N(), w.M())
+		svg := viz.GanttSVG(s, viz.GanttOptions{Title: title, ShowSlack: true})
+		if err := os.WriteFile(*svgPath, []byte(svg), 0o644); err != nil {
+			return err
+		}
+		if !*quiet {
+			fmt.Printf("SVG Gantt written to %s\n", *svgPath)
+		}
+	}
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := wio.WriteSchedule(f, s); err != nil {
+			return err
+		}
+		if !*quiet {
+			fmt.Printf("schedule written to %s\n", *outPath)
+		}
+	}
+	return nil
+}
+
+func loadOrGenerate(path string, n, m int, seed uint64, ul, cc, ccr, shape float64) (*platform.Workload, error) {
+	if path != "" {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return wio.ReadWorkload(f)
+	}
+	p := gen.PaperParams()
+	p.N, p.M = n, m
+	p.MeanUL, p.CC, p.CCR, p.Shape = ul, cc, ccr, shape
+	return gen.Random(p, rng.New(seed))
+}

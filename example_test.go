@@ -1,0 +1,53 @@
+package robsched_test
+
+import (
+	"fmt"
+
+	"robsched"
+)
+
+// Example_quickstart schedules the deterministic 4-task diamond of the
+// package tests with HEFT and prints the paper's schedule analysis.
+func Example_quickstart() {
+	b := robsched.NewGraphBuilder(4)
+	b.MustAddEdge(0, 1, 2)
+	b.MustAddEdge(0, 2, 4)
+	b.MustAddEdge(1, 3, 1)
+	b.MustAddEdge(2, 3, 3)
+	g := b.MustBuild()
+
+	exec, _ := robsched.MatrixFromRows([][]float64{{2, 3}, {3, 2}, {4, 2}, {1, 2}})
+	w, _ := robsched.DeterministicWorkload(g, robsched.UniformSystem(2, 1), exec)
+
+	s, _ := robsched.NewSchedule(w, []int{0, 0, 1, 0}, [][]int{{0, 1, 3}, {2}})
+	fmt.Printf("schedule  %v\n", s)
+	fmt.Printf("makespan  %g\n", s.Makespan())
+	fmt.Printf("avg slack %g\n", s.AvgSlack())
+	fmt.Printf("slack(v2) %g\n", s.Slack(1))
+	// Output:
+	// schedule  {{(v1,v2), (v2,v4)}, {v3}}
+	// makespan  12
+	// avg slack 1.5
+	// slack(v2) 6
+}
+
+// Example_robustness generates a random uncertain workload, solves it with
+// the bi-objective GA under ε = 1.3, and checks the ε-constraint.
+func Example_robustness() {
+	r := robsched.NewRNG(42)
+	p := robsched.PaperWorkloadParams()
+	p.N, p.M = 30, 4
+	p.MeanUL = 4
+	w, _ := robsched.GenerateWorkload(p, r)
+
+	opt := robsched.PaperSolveOptions(robsched.EpsilonConstraint, 1.3)
+	opt.MaxGenerations = 60
+	opt.Stagnation = 0
+	res, _ := robsched.Solve(w, opt, r)
+
+	fmt.Printf("constraint holds: %v\n", res.Schedule.Makespan() <= 1.3*res.MHEFT)
+	fmt.Printf("slack grew: %v\n", res.Schedule.AvgSlack() >= res.HEFT.AvgSlack())
+	// Output:
+	// constraint holds: true
+	// slack grew: true
+}

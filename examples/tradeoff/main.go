@@ -1,0 +1,92 @@
+// Tradeoff sweeps the ε parameter of the bi-objective scheduler across one
+// workload and prints the makespan–robustness frontier: how much expected
+// makespan must be sacrificed to buy slack, and how much robustness that
+// slack purchases. This is the paper's ε-constraint method (Section 4.1)
+// seen from a user's perspective.
+//
+// Run with:
+//
+//	go run ./examples/tradeoff
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"robsched"
+)
+
+func main() {
+	// One 60-task, 6-processor workload with heavy uncertainty (UL = 6).
+	p := robsched.PaperWorkloadParams()
+	p.N, p.M = 60, 6
+	p.MeanUL = 6
+	r := robsched.NewRNG(99)
+	w, err := robsched.GenerateWorkload(p, r)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	heft, err := robsched.HEFT(w)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("workload: %d tasks, %d processors, mean UL %.1f\n", w.N(), w.M(), p.MeanUL)
+	fmt.Printf("HEFT: M0 = %.1f, avg slack = %.2f\n\n", heft.Makespan(), heft.AvgSlack())
+
+	epsGrid := []float64{1.0, 1.1, 1.2, 1.4, 1.6, 1.8, 2.0}
+	schedules := []*robsched.Schedule{heft}
+	for _, eps := range epsGrid {
+		opt := robsched.PaperSolveOptions(robsched.EpsilonConstraint, eps)
+		opt.MaxGenerations = 300
+		opt.Stagnation = 60
+		res, err := robsched.Solve(w, opt, robsched.NewRNG(uint64(eps*1000)))
+		if err != nil {
+			log.Fatal(err)
+		}
+		schedules = append(schedules, res.Schedule)
+	}
+
+	// Common random numbers across the whole frontier.
+	ms, err := robsched.EvaluateAll(schedules, robsched.SimOptions{Realizations: 1000}, robsched.NewRNG(7))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%-8s %10s %10s %10s %10s %10s %10s\n",
+		"eps", "M0", "M0/MHEFT", "slack", "E[δ]", "R1", "R2")
+	print := func(name string, m robsched.SimMetrics, slack float64) {
+		fmt.Printf("%-8s %10.1f %10.3f %10.2f %10.4f %10.2f %10.2f\n",
+			name, m.M0, m.M0/heft.Makespan(), slack, m.MeanTardiness, m.R1, m.R2)
+	}
+	print("HEFT", ms[0], heft.AvgSlack())
+	for i, eps := range epsGrid {
+		print(fmt.Sprintf("%.1f", eps), ms[i+1], schedules[i+1].AvgSlack())
+	}
+
+	// Pick the best ε for three user profiles via Eqn. 9.
+	fmt.Println("\nbest ε by user profile (overall performance, Eqn. 9):")
+	for _, rWeight := range []float64{0.1, 0.5, 0.9} {
+		bestEps, bestP := 0.0, -1e18
+		for i, eps := range epsGrid {
+			p := robsched.OverallPerformance(rWeight,
+				ms[i+1].MeanMakespan, ms[0].MeanMakespan, ms[i+1].R1, ms[0].R1)
+			if p > bestP {
+				bestP, bestEps = p, eps
+			}
+		}
+		fmt.Printf("  r = %.1f (%s): ε = %.1f  (P = %+.4f)\n",
+			rWeight, profile(rWeight), bestEps, bestP)
+	}
+}
+
+func profile(r float64) string {
+	switch {
+	case r < 0.3:
+		return "robustness first"
+	case r > 0.7:
+		return "makespan first"
+	default:
+		return "balanced"
+	}
+}

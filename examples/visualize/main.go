@@ -1,0 +1,103 @@
+// Visualize produces the library's SVG artifacts for one workload into
+// ./viz-out: the HEFT and robust-GA Gantt charts (with slack windows
+// shaded), the NSGA-II Pareto front as a line chart, and the two schedules'
+// makespan histograms with M0/p95 markers — everything needed to *see* the
+// robustness trade-off without any plotting stack.
+//
+// Run with:
+//
+//	go run ./examples/visualize
+//	open viz-out/*.svg
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"robsched"
+)
+
+func main() {
+	outDir := "viz-out"
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	write := func(name, content string) {
+		path := filepath.Join(outDir, name)
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("wrote", path)
+	}
+
+	p := robsched.PaperWorkloadParams()
+	p.N, p.M = 40, 4
+	p.MeanUL = 4
+	w, err := robsched.GenerateWorkload(p, robsched.NewRNG(5))
+	if err != nil {
+		log.Fatal(err)
+	}
+	heft, err := robsched.HEFT(w)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opt := robsched.PaperSolveOptions(robsched.EpsilonConstraint, 1.4)
+	opt.MaxGenerations = 250
+	opt.Stagnation = 50
+	res, err := robsched.Solve(w, opt, robsched.NewRNG(6))
+	if err != nil {
+		log.Fatal(err)
+	}
+	ga := res.Schedule
+
+	// Gantt charts with slack windows.
+	write("gantt_heft.svg", robsched.GanttSVG(heft, robsched.GanttOptions{
+		Title: "HEFT — tight, little slack", ShowSlack: true}))
+	write("gantt_robust.svg", robsched.GanttSVG(ga, robsched.GanttOptions{
+		Title: "robust GA (ε = 1.4) — slack windows shaded", ShowSlack: true}))
+
+	// The Pareto front.
+	popt := robsched.PaperParetoOptions()
+	popt.MaxGenerations = 120
+	front, err := robsched.SolvePareto(w, popt, robsched.NewRNG(7))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fx := make([]float64, len(front))
+	fy := make([]float64, len(front))
+	for i, pt := range front {
+		fx[i], fy[i] = pt.Makespan, pt.Slack
+	}
+	write("pareto_front.svg", robsched.LineChartSVG(
+		[]robsched.VizSeries{
+			{Name: "NSGA-II front", X: fx, Y: fy},
+			{Name: "HEFT", X: []float64{heft.Makespan()}, Y: []float64{heft.AvgSlack()}},
+			{Name: "ε-GA (1.4)", X: []float64{ga.Makespan()}, Y: []float64{ga.AvgSlack()}},
+		},
+		robsched.ChartOptions{Title: "makespan–slack trade-off", XLabel: "expected makespan", YLabel: "avg slack"},
+	))
+
+	// Makespan distributions with planning markers.
+	for _, sc := range []struct {
+		name string
+		s    *robsched.Schedule
+	}{{"heft", heft}, {"robust", ga}} {
+		samples, err := robsched.SampleMakespans(sc.s, 3000, robsched.NewRNG(8))
+		if err != nil {
+			log.Fatal(err)
+		}
+		m, err := robsched.Evaluate(sc.s, robsched.SimOptions{Realizations: 3000}, robsched.NewRNG(8))
+		if err != nil {
+			log.Fatal(err)
+		}
+		write("hist_"+sc.name+".svg", robsched.HistogramSVG(samples, robsched.HistogramOptions{
+			Title:   fmt.Sprintf("%s: realized makespan (miss rate %.2f)", sc.name, m.MissRate),
+			XLabel:  "makespan",
+			Markers: map[string]float64{"M0": m.M0, "p95": m.P95},
+		}))
+	}
+	fmt.Println("\nthe HEFT histogram sits almost entirely right of its M0 marker (it plans")
+	fmt.Println("optimistically); the robust schedule's M0 splits its distribution near the middle.")
+}

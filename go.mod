@@ -1,0 +1,3 @@
+module robsched
+
+go 1.22

@@ -1,0 +1,306 @@
+package robsched_test
+
+// Cross-module integration tests: full pipelines through the public API,
+// asserting the paper's qualitative results end to end. The heavier
+// scenarios honour -short.
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"robsched"
+)
+
+// TestIntegrationPaperStory runs the paper's whole argument on one
+// workload batch: HEFT is fast but fragile; the ε-constraint GA buys
+// robustness (R1, R2) within a bounded makespan budget; relaxing ε buys
+// more; and the overall-performance score picks sensible ε per user
+// weight.
+func TestIntegrationPaperStory(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long integration test")
+	}
+	type cell struct {
+		eps        float64
+		m0, slack  float64
+		r1, r2     float64
+		meanM, p95 float64
+	}
+	const graphs = 3
+	epsGrid := []float64{1.0, 1.5, 2.0}
+	agg := make([]cell, len(epsGrid))
+	var heftR1, heftMean float64
+	for g := 0; g < graphs; g++ {
+		p := robsched.PaperWorkloadParams()
+		p.N, p.M, p.MeanUL = 50, 4, 4
+		w, err := robsched.GenerateWorkload(p, robsched.NewRNG(uint64(500+g)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		heft, err := robsched.HEFT(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		schedules := []*robsched.Schedule{heft}
+		for _, eps := range epsGrid {
+			opt := robsched.PaperSolveOptions(robsched.EpsilonConstraint, eps)
+			opt.MaxGenerations = 150
+			opt.Stagnation = 0
+			res, err := robsched.Solve(w, opt, robsched.NewRNG(uint64(600+g)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Schedule.Makespan() > eps*res.MHEFT+1e-9 {
+				t.Fatalf("graph %d eps %g: constraint violated", g, eps)
+			}
+			schedules = append(schedules, res.Schedule)
+		}
+		ms, err := robsched.EvaluateAll(schedules, robsched.SimOptions{Realizations: 400}, robsched.NewRNG(uint64(700+g)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		heftR1 += ms[0].R1 / graphs
+		heftMean += ms[0].MeanMakespan / graphs
+		for i := range epsGrid {
+			agg[i].eps = epsGrid[i]
+			agg[i].m0 += schedules[i+1].Makespan() / graphs
+			agg[i].slack += schedules[i+1].AvgSlack() / graphs
+			agg[i].r1 += ms[i+1].R1 / graphs
+			agg[i].r2 += ms[i+1].R2 / graphs
+			agg[i].meanM += ms[i+1].MeanMakespan / graphs
+			agg[i].p95 += ms[i+1].P95 / graphs
+		}
+	}
+	// Slack grows monotonically in ε.
+	for i := 1; i < len(agg); i++ {
+		if agg[i].slack <= agg[i-1].slack {
+			t.Errorf("slack not increasing in ε: %g then %g", agg[i-1].slack, agg[i].slack)
+		}
+	}
+	// Every ε beats HEFT on R1; larger ε beats smaller on average.
+	for i, c := range agg {
+		if c.r1 <= heftR1 {
+			t.Errorf("eps %g: R1 %g does not beat HEFT %g", c.eps, c.r1, heftR1)
+		}
+		_ = i
+	}
+	if agg[2].r1 <= agg[0].r1 {
+		t.Errorf("eps 2.0 R1 %g not above eps 1.0 R1 %g", agg[2].r1, agg[0].r1)
+	}
+	// The overall performance score prefers small ε when r → 1 and larger
+	// ε when r → 0.
+	best := func(r float64) float64 {
+		bi, bp := 0, math.Inf(-1)
+		for i, c := range agg {
+			p := robsched.OverallPerformance(r, c.meanM, heftMean, c.r1, heftR1)
+			if p > bp {
+				bi, bp = i, p
+			}
+		}
+		return agg[bi].eps
+	}
+	if b1, b0 := best(1), best(0); b1 > b0 {
+		t.Errorf("best ε at r=1 (%g) exceeds best ε at r=0 (%g)", b1, b0)
+	}
+}
+
+// TestIntegrationAllSolversOneWorkload pushes one workload through every
+// scheduler in the library and validates mutual consistency.
+func TestIntegrationAllSolversOneWorkload(t *testing.T) {
+	p := robsched.PaperWorkloadParams()
+	p.N, p.M, p.MeanUL = 40, 4, 4
+	w, err := robsched.GenerateWorkload(p, robsched.NewRNG(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	heft, err := robsched.HEFT(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpop, err := robsched.CPOP(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	noins, err := robsched.HEFTNoInsertion(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	risk, err := robsched.RiskHEFT(w, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	random, err := robsched.RandomSchedule(w, robsched.NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gaOpt := robsched.PaperSolveOptions(robsched.EpsilonConstraint, 1.3)
+	gaOpt.MaxGenerations = 80
+	gaOpt.Stagnation = 0
+	ga, err := robsched.Solve(w, gaOpt, robsched.NewRNG(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws, err := robsched.SolveWeightedSum(w, 0.5, gaOpt, robsched.NewRNG(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := []*robsched.Schedule{heft, cpop, noins, risk, random, ga.Schedule, ws.Schedule}
+	ms, err := robsched.EvaluateAll(all, robsched.SimOptions{Realizations: 200}, robsched.NewRNG(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, m := range ms {
+		if m.MeanMakespan <= 0 || math.IsNaN(m.MeanMakespan) {
+			t.Fatalf("scheduler %d produced degenerate metrics: %+v", i, m)
+		}
+		if m.MinMakespan > m.P50 || m.P50 > m.P99 {
+			t.Fatalf("scheduler %d quantiles disordered", i)
+		}
+	}
+	// Every schedule assigns all tasks.
+	for i, s := range all {
+		total := 0
+		for q := 0; q < w.M(); q++ {
+			total += len(s.ProcOrder(q))
+		}
+		if total != w.N() {
+			t.Fatalf("scheduler %d covers %d/%d tasks", i, total, w.N())
+		}
+	}
+}
+
+// TestIntegrationDeterministicReproducibility: the same seeds regenerate
+// byte-identical experiment tables, across worker counts.
+func TestIntegrationDeterministicReproducibility(t *testing.T) {
+	run := func(workers int) string {
+		cfg := robsched.DefaultExperimentConfig()
+		cfg.Gen.N, cfg.Gen.M = 20, 3
+		cfg.Graphs = 2
+		cfg.Realizations = 80
+		cfg.ULs = []float64{2, 4}
+		cfg.Eps = []float64{1.0, 1.5}
+		cfg.GA.PopSize = 8
+		cfg.GA.MaxGenerations = 20
+		cfg.Workers = workers
+		sw, err := cfg.RunSweep()
+		if err != nil {
+			t.Fatal(err)
+		}
+		fig4, err := sw.Fig4()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return robsched.FormatSeries("fig4", "UL", fig4)
+	}
+	a, b := run(1), run(8)
+	if a != b {
+		t.Fatalf("experiment output depends on worker count:\n%s\nvs\n%s", a, b)
+	}
+}
+
+// TestIntegrationWorkloadFileLifecycle exercises the JSON lifecycle:
+// generate → write → read → schedule → write schedule → read schedule.
+func TestIntegrationWorkloadFileLifecycle(t *testing.T) {
+	p := robsched.PaperWorkloadParams()
+	p.N, p.M = 25, 3
+	w, err := robsched.GenerateWorkload(p, robsched.NewRNG(77))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wbuf bytes.Buffer
+	if err := robsched.WriteWorkload(&wbuf, w); err != nil {
+		t.Fatal(err)
+	}
+	w2, err := robsched.ReadWorkload(strings.NewReader(wbuf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := robsched.PaperSolveOptions(robsched.EpsilonConstraint, 1.2)
+	opt.MaxGenerations = 40
+	opt.Stagnation = 0
+	res, err := robsched.Solve(w2, opt, robsched.NewRNG(78))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sbuf bytes.Buffer
+	if err := robsched.WriteSchedule(&sbuf, res.Schedule); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := robsched.ReadSchedule(strings.NewReader(sbuf.String()), w2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Makespan() != res.Schedule.Makespan() || s2.AvgSlack() != res.Schedule.AvgSlack() {
+		t.Fatal("schedule changed across serialization")
+	}
+	// And the round-tripped schedule evaluates identically under the same
+	// seed.
+	m1, err := robsched.Evaluate(res.Schedule, robsched.SimOptions{Realizations: 100}, robsched.NewRNG(79))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := robsched.Evaluate(s2, robsched.SimOptions{Realizations: 100}, robsched.NewRNG(79))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1.MeanMakespan != m2.MeanMakespan {
+		t.Fatal("round-tripped schedule evaluates differently")
+	}
+}
+
+// TestIntegrationStructuredWorkloadsAllPipelines runs the structured
+// graphs through generation, scheduling, repair and analysis.
+func TestIntegrationStructuredWorkloadsAllPipelines(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long integration test")
+	}
+	graphs := map[string]*robsched.Graph{}
+	g1, err := robsched.GaussianElimination(6, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	graphs["gauss"] = g1
+	g2, err := robsched.FFT(3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	graphs["fft"] = g2
+	g3, err := robsched.Stencil(5, 4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	graphs["stencil"] = g3
+	for name, g := range graphs {
+		r := robsched.NewRNG(uint64(len(name)))
+		exec := robsched.ExecMatrix(g.N(), 4, 15, 0.5, 0.5, r)
+		ul := robsched.ULMatrix(g.N(), 4, 3, 0.5, 0.5, r)
+		w, err := robsched.NewWorkload(g, robsched.UniformSystem(4, 1), exec, ul)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		s, err := robsched.HEFT(w)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		// Analytic and MC agree within the documented bands.
+		an := robsched.AnalyzeClark(s)
+		mc, err := robsched.Evaluate(s, robsched.SimOptions{Realizations: 500}, r)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if rel := (an.Makespan.Mean - mc.MeanMakespan) / mc.MeanMakespan; rel < -0.05 || rel > 0.3 {
+			t.Errorf("%s: Clark mean off by %+.3f", name, rel)
+		}
+		// Repair with a tight threshold stays valid and does not blow up.
+		durs := robsched.RealizeDurations(w, r)
+		o, err := robsched.ExecuteWithRepair(s, durs, robsched.RepairPolicy{Threshold: 0.05})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if o.Makespan <= 0 || o.Makespan > 50*s.Makespan() {
+			t.Errorf("%s: repaired makespan %g implausible", name, o.Makespan)
+		}
+	}
+}

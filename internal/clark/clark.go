@@ -1,0 +1,240 @@
+// Package clark estimates the distribution of a schedule's makespan
+// *analytically*, without Monte-Carlo sampling, using Clark's classical
+// moment-matching recursion for the maximum of normal variables
+// (C. E. Clark, "The greatest of a finite set of random variables",
+// Operations Research 9(2), 1961 — the standard PERT-network approach).
+//
+// Each task's uncertain duration U(b, (2·UL−1)·b) contributes its exact
+// mean and variance; finish-time distributions are propagated through the
+// schedule's disjunctive graph by approximating every finish time as a
+// normal variable and every max of incoming arrival times with Clark's
+// first two moments. Two simplifications are inherited from the method:
+// arrival times at a join are treated as independent (shared ancestors are
+// ignored), and all intermediate distributions are normal. The result is a
+// fast O(V+E) estimate of E[makespan] and Var[makespan].
+//
+// Accuracy: on the dense disjunctive graphs of this problem (many joins
+// with heavily shared ancestry) the independence assumption makes the
+// method biased in the textbook directions — the mean is overestimated by
+// a few percent (typically 5–17% at n=50–100) and the variance is substantially
+// underestimated (roughly 2× on the standard deviation), because ignoring
+// the positive correlation between arrival times inflates E[max] and
+// deflates Var[max]. The tests quantify these bands against the
+// Monte-Carlo engine; treat the analytic numbers as a fast screening
+// estimate, not a replacement for simulation. (Exact correlation tracking
+// à la Canon & Jeannot is O(V²) and out of scope.)
+package clark
+
+import (
+	"math"
+
+	"robsched/internal/schedule"
+)
+
+// Moments is a mean/variance pair describing a (approximately normal)
+// random variable.
+type Moments struct {
+	Mean, Var float64
+}
+
+// Std returns the standard deviation.
+func (m Moments) Std() float64 { return math.Sqrt(m.Var) }
+
+// normPDF and normCDF are the standard normal density and distribution.
+func normPDF(x float64) float64 { return math.Exp(-x*x/2) / math.Sqrt(2*math.Pi) }
+func normCDF(x float64) float64 { return 0.5 * math.Erfc(-x/math.Sqrt2) }
+
+// MaxMoments returns Clark's first two moments of max(X, Y) for normal
+// X ~ (a.Mean, a.Var) and Y ~ (b.Mean, b.Var) with correlation rho.
+func MaxMoments(a, b Moments, rho float64) Moments {
+	theta2 := a.Var + b.Var - 2*rho*a.Std()*b.Std()
+	if theta2 <= 1e-18 {
+		// (Nearly) perfectly dependent with equal spread: the max is just
+		// the larger mean's variable.
+		if a.Mean >= b.Mean {
+			return a
+		}
+		return b
+	}
+	theta := math.Sqrt(theta2)
+	alpha := (a.Mean - b.Mean) / theta
+	phi := normPDF(alpha)
+	Phi := normCDF(alpha)
+	mean := a.Mean*Phi + b.Mean*(1-Phi) + theta*phi
+	second := (a.Mean*a.Mean+a.Var)*Phi +
+		(b.Mean*b.Mean+b.Var)*(1-Phi) +
+		(a.Mean+b.Mean)*theta*phi
+	variance := second - mean*mean
+	if variance < 0 {
+		variance = 0
+	}
+	return Moments{Mean: mean, Var: variance}
+}
+
+// SumMoments returns the moments of X + c for a deterministic offset c.
+func (m Moments) shift(c float64) Moments { return Moments{Mean: m.Mean + c, Var: m.Var} }
+
+// add returns the moments of X + Y for independent X, Y.
+func (m Moments) add(o Moments) Moments {
+	return Moments{Mean: m.Mean + o.Mean, Var: m.Var + o.Var}
+}
+
+// TaskMoments returns the exact mean and variance of each task's duration
+// on its assigned processor under the workload's uniform model:
+// mean = UL·b, variance = ((UL−1)·b)²/3.
+func TaskMoments(s *schedule.Schedule) []Moments {
+	w := s.Workload()
+	out := make([]Moments, w.N())
+	for v := range out {
+		p := s.Proc(v)
+		b := w.BCET.At(v, p)
+		ul := w.UL.At(v, p)
+		half := (ul - 1) * b // half-width of the uniform support
+		out[v] = Moments{Mean: ul * b, Var: half * half / 3}
+	}
+	return out
+}
+
+// Analysis is the analytic estimate of a schedule's realized behaviour.
+type Analysis struct {
+	// Makespan is the estimated distribution of the realized makespan.
+	Makespan Moments
+	// Finish is the estimated finish-time distribution of each task.
+	Finish []Moments
+	// TardinessMean estimates E[max(0, M − M0)]/M0 under the normal
+	// approximation of the makespan (comparable to sim's MeanTardiness).
+	TardinessMean float64
+	// MissRate estimates P(M > M0) under the same approximation.
+	MissRate float64
+}
+
+// Analyze propagates duration moments through the disjunctive graph:
+// start(v) = max over predecessors of (finish(u) + comm), approximated
+// pairwise with Clark's equations (independence assumed at joins), and
+// finish(v) = start(v) + duration(v).
+func Analyze(s *schedule.Schedule) Analysis {
+	w := s.Workload()
+	n := w.N()
+	dur := TaskMoments(s)
+	finish := make([]Moments, n)
+	// A task is an exit of G_s iff it has no data successors and is last
+	// on its processor; every other finish time is dominated by a
+	// successor's in every realization, so the makespan max runs only over
+	// exits (this also keeps serial chains exact).
+	isExit := make([]bool, n)
+	for p := 0; p < w.M(); p++ {
+		order := s.ProcOrder(p)
+		if len(order) > 0 {
+			last := order[len(order)-1]
+			isExit[last] = w.G.OutDegree(last) == 0
+		}
+	}
+	var makespan Moments
+	first := true
+	for _, v := range s.Order() {
+		start := Moments{}
+		haveStart := false
+		// The disjunctive predecessors are exactly the predecessors used
+		// by the expected-duration analysis; recover them from the
+		// original graph plus the processor order.
+		for _, u := range disjunctivePreds(s, v) {
+			arrival := finish[u.task].shift(u.comm)
+			if !haveStart {
+				start, haveStart = arrival, true
+				continue
+			}
+			start = MaxMoments(start, arrival, 0)
+		}
+		finish[v] = start.add(dur[v])
+		if !isExit[v] {
+			continue
+		}
+		if first {
+			makespan, first = finish[v], false
+		} else {
+			makespan = MaxMoments(makespan, finish[v], 0)
+		}
+	}
+	m0 := s.Makespan()
+	a := Analysis{Makespan: makespan, Finish: finish}
+	// Normal-approximation tardiness: E[max(0, M−m0)] for M ~ N(µ, σ²) is
+	// σ·φ(z) + (µ−m0)·(1−Φ(z)) with z = (m0−µ)/σ.
+	sigma := makespan.Std()
+	if sigma > 0 {
+		z := (m0 - makespan.Mean) / sigma
+		a.TardinessMean = (sigma*normPDF(z) + (makespan.Mean-m0)*(1-normCDF(z))) / m0
+		a.MissRate = 1 - normCDF(z)
+	} else if makespan.Mean > m0 {
+		a.TardinessMean = (makespan.Mean - m0) / m0
+		a.MissRate = 1
+	}
+	return a
+}
+
+type pred struct {
+	task int
+	comm float64
+}
+
+// disjunctivePreds lists v's predecessors in G_s with their communication
+// costs: data-edge predecessors (cost by processor pair) plus the previous
+// task on v's processor (cost 0).
+func disjunctivePreds(s *schedule.Schedule, v int) []pred {
+	w := s.Workload()
+	var out []pred
+	for _, a := range w.G.Predecessors(v) {
+		u := a.To
+		out = append(out, pred{u, w.Sys.CommCost(s.Proc(u), s.Proc(v), a.Data)})
+	}
+	order := s.ProcOrder(s.Proc(v))
+	for i, t := range order {
+		if t == v && i > 0 {
+			prev := order[i-1]
+			if !w.G.HasEdge(prev, v) {
+				out = append(out, pred{prev, 0})
+			}
+		}
+	}
+	return out
+}
+
+// Quantile returns the q-quantile of the normal approximation of the
+// makespan.
+func (a Analysis) Quantile(q float64) float64 {
+	return a.Makespan.Mean + a.Makespan.Std()*normQuantile(q)
+}
+
+// normQuantile is the standard normal quantile (Acklam's rational
+// approximation; |error| < 1.15e-9 over (0,1)).
+func normQuantile(p float64) float64 {
+	if p <= 0 {
+		return math.Inf(-1)
+	}
+	if p >= 1 {
+		return math.Inf(1)
+	}
+	a := [6]float64{-3.969683028665376e+01, 2.209460984245205e+02, -2.759285104469687e+02,
+		1.383577518672690e+02, -3.066479806614716e+01, 2.506628277459239e+00}
+	b := [5]float64{-5.447609879822406e+01, 1.615858368580409e+02, -1.556989798598866e+02,
+		6.680131188771972e+01, -1.328068155288572e+01}
+	c := [6]float64{-7.784894002430293e-03, -3.223964580411365e-01, -2.400758277161838e+00,
+		-2.549732539343734e+00, 4.374664141464968e+00, 2.938163982698783e+00}
+	d := [4]float64{7.784695709041462e-03, 3.224671290700398e-01, 2.445134137142996e+00,
+		3.754408661907416e+00}
+	const pLow = 0.02425
+	switch {
+	case p < pLow:
+		q := math.Sqrt(-2 * math.Log(p))
+		return (((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	case p <= 1-pLow:
+		q := p - 0.5
+		r := q * q
+		return (((((a[0]*r+a[1])*r+a[2])*r+a[3])*r+a[4])*r + a[5]) * q /
+			(((((b[0]*r+b[1])*r+b[2])*r+b[3])*r+b[4])*r + 1)
+	default:
+		q := math.Sqrt(-2 * math.Log(1-p))
+		return -(((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	}
+}

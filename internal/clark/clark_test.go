@@ -1,0 +1,242 @@
+package clark
+
+import (
+	"math"
+	"testing"
+
+	"robsched/internal/dag"
+	"robsched/internal/gen"
+	"robsched/internal/heft"
+	"robsched/internal/platform"
+	"robsched/internal/rng"
+	"robsched/internal/schedule"
+	"robsched/internal/sim"
+)
+
+func TestNormHelpers(t *testing.T) {
+	if math.Abs(normCDF(0)-0.5) > 1e-12 {
+		t.Errorf("Φ(0) = %g", normCDF(0))
+	}
+	if math.Abs(normCDF(1.959963985)-0.975) > 1e-6 {
+		t.Errorf("Φ(1.96) = %g", normCDF(1.959963985))
+	}
+	if math.Abs(normPDF(0)-1/math.Sqrt(2*math.Pi)) > 1e-12 {
+		t.Errorf("φ(0) = %g", normPDF(0))
+	}
+	// Quantile inverts the CDF.
+	for _, p := range []float64{0.01, 0.1, 0.5, 0.9, 0.975, 0.999} {
+		if got := normCDF(normQuantile(p)); math.Abs(got-p) > 1e-6 {
+			t.Errorf("Φ(Φ⁻¹(%g)) = %g", p, got)
+		}
+	}
+	if !math.IsInf(normQuantile(0), -1) || !math.IsInf(normQuantile(1), 1) {
+		t.Error("extreme quantiles not infinite")
+	}
+}
+
+func TestMaxMomentsAgainstSampling(t *testing.T) {
+	r := rng.New(1)
+	cases := []struct {
+		a, b Moments
+		rho  float64
+	}{
+		{Moments{0, 1}, Moments{0, 1}, 0},
+		{Moments{0, 1}, Moments{2, 1}, 0},
+		{Moments{5, 4}, Moments{3, 9}, 0},
+		{Moments{1, 0.25}, Moments{1.2, 0.01}, 0},
+	}
+	const n = 400000
+	for ci, c := range cases {
+		got := MaxMoments(c.a, c.b, c.rho)
+		var sum, sum2 float64
+		for i := 0; i < n; i++ {
+			x := r.Norm(c.a.Mean, c.a.Std())
+			y := r.Norm(c.b.Mean, c.b.Std())
+			m := math.Max(x, y)
+			sum += m
+			sum2 += m * m
+		}
+		mean := sum / n
+		variance := sum2/n - mean*mean
+		if math.Abs(got.Mean-mean) > 0.02*(1+math.Abs(mean)) {
+			t.Errorf("case %d: Clark mean %g vs sampled %g", ci, got.Mean, mean)
+		}
+		if math.Abs(got.Var-variance) > 0.05*(1+variance) {
+			t.Errorf("case %d: Clark var %g vs sampled %g", ci, got.Var, variance)
+		}
+	}
+}
+
+func TestMaxMomentsDegenerate(t *testing.T) {
+	a := Moments{3, 0}
+	b := Moments{5, 0}
+	got := MaxMoments(a, b, 0)
+	if got.Mean != 5 || got.Var != 0 {
+		t.Fatalf("max of constants = %+v", got)
+	}
+	got = MaxMoments(b, a, 0)
+	if got.Mean != 5 {
+		t.Fatalf("max of constants (swapped) = %+v", got)
+	}
+}
+
+func TestTaskMoments(t *testing.T) {
+	// Single task, UL = 2, b = 6 on its processor: duration U(6, 18),
+	// mean 12, variance (18-6)²/12 = 12.
+	g := dag.NewBuilder(1).MustBuild()
+	bcet, _ := platform.MatrixFromRows([][]float64{{6}})
+	ul, _ := platform.MatrixFromRows([][]float64{{2}})
+	w, err := platform.NewWorkload(g, platform.UniformSystem(1, 1), bcet, ul)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := schedule.FromOrder(w, []int{0}, []int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := TaskMoments(s)
+	if math.Abs(m[0].Mean-12) > 1e-12 || math.Abs(m[0].Var-12) > 1e-12 {
+		t.Fatalf("moments = %+v, want mean 12 var 12", m[0])
+	}
+}
+
+func TestAnalyzeChainExact(t *testing.T) {
+	// A serial chain has no max operations: the analytic mean/variance are
+	// exact sums of the task moments.
+	b := dag.NewBuilder(3)
+	b.MustAddEdge(0, 1, 0)
+	b.MustAddEdge(1, 2, 0)
+	g := b.MustBuild()
+	bcet, _ := platform.MatrixFromRows([][]float64{{4}, {6}, {10}})
+	ul, _ := platform.MatrixFromRows([][]float64{{2}, {3}, {1.5}})
+	w, err := platform.NewWorkload(g, platform.UniformSystem(1, 1), bcet, ul)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := schedule.FromOrder(w, []int{0, 1, 2}, []int{0, 0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := Analyze(s)
+	wantMean := 2*4.0 + 3*6.0 + 1.5*10.0
+	wantVar := sq((2-1)*4)/3 + sq((3-1)*6)/3 + sq((1.5-1)*10)/3
+	if math.Abs(a.Makespan.Mean-wantMean) > 1e-9 {
+		t.Errorf("chain mean = %g, want %g", a.Makespan.Mean, wantMean)
+	}
+	if math.Abs(a.Makespan.Var-wantVar) > 1e-9 {
+		t.Errorf("chain var = %g, want %g", a.Makespan.Var, wantVar)
+	}
+	// Expected makespan of the schedule equals the analytic mean on a
+	// chain.
+	if math.Abs(a.Makespan.Mean-s.Makespan()) > 1e-9 {
+		t.Errorf("analytic mean %g != M0 %g on a chain", a.Makespan.Mean, s.Makespan())
+	}
+}
+
+func sq(x float64) float64 { return x * x }
+
+func TestAnalyzeMatchesMonteCarlo(t *testing.T) {
+	// On random workloads the Clark estimate must land within the method's
+	// documented bias bands of the Monte-Carlo ground truth: the
+	// independence assumption overestimates the mean by up to ~25% on the densest instances
+	// (but never underestimates it beyond noise) and underestimates the
+	// standard deviation by up to a factor of ~3.
+	for seed := uint64(0); seed < 5; seed++ {
+		p := gen.PaperParams()
+		p.N, p.M, p.MeanUL = 50, 4, 4
+		w, err := gen.Random(p, rng.New(200+seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := heft.HEFT(w, heft.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		mc, err := sim.Evaluate(s, sim.Options{Realizations: 4000}, rng.New(300+seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		a := Analyze(s)
+		rel := (a.Makespan.Mean - mc.MeanMakespan) / mc.MeanMakespan
+		if rel < -0.02 || rel > 0.25 {
+			t.Errorf("seed %d: analytic mean %g vs MC %g (rel %+g, want [-0.02, +0.25])",
+				seed, a.Makespan.Mean, mc.MeanMakespan, rel)
+		}
+		ratio := a.Makespan.Std() / mc.StdMakespan
+		if ratio < 0.25 || ratio > 2.0 {
+			t.Errorf("seed %d: analytic std %g vs MC %g (ratio %g, want [0.25, 2])",
+				seed, a.Makespan.Std(), mc.StdMakespan, ratio)
+		}
+		// With the mean overestimated, the analytic miss rate saturates
+		// high; it must at least stay in [MC-0.1, 1].
+		if a.MissRate < mc.MissRate-0.1 || a.MissRate > 1 {
+			t.Errorf("seed %d: analytic miss %g vs MC %g", seed, a.MissRate, mc.MissRate)
+		}
+	}
+}
+
+func TestAnalyzeQuantileOrder(t *testing.T) {
+	p := gen.PaperParams()
+	p.N, p.M, p.MeanUL = 30, 3, 3
+	w, err := gen.Random(p, rng.New(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := heft.HEFT(w, heft.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := Analyze(s)
+	q50, q95, q99 := a.Quantile(0.5), a.Quantile(0.95), a.Quantile(0.99)
+	if !(q50 < q95 && q95 < q99) {
+		t.Fatalf("quantiles out of order: %g %g %g", q50, q95, q99)
+	}
+	if math.Abs(q50-a.Makespan.Mean) > 1e-9 {
+		t.Errorf("normal median %g != mean %g", q50, a.Makespan.Mean)
+	}
+}
+
+func TestAnalyzeDeterministicWorkload(t *testing.T) {
+	// UL = 1 everywhere: zero variance, makespan mean equals M0 exactly,
+	// no tardiness.
+	p := gen.PaperParams()
+	p.N, p.M = 25, 3
+	r := rng.New(13)
+	g, err := gen.RandomGraph(p, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exec := gen.ExecMatrix(g.N(), 3, 20, 0.5, 0.5, r)
+	w, err := platform.DeterministicWorkload(g, platform.UniformSystem(3, 1), exec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := heft.HEFT(w, heft.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := Analyze(s)
+	if math.Abs(a.Makespan.Mean-s.Makespan()) > 1e-9 || a.Makespan.Var > 1e-12 {
+		t.Fatalf("deterministic analysis: mean %g (M0 %g), var %g",
+			a.Makespan.Mean, s.Makespan(), a.Makespan.Var)
+	}
+	if a.TardinessMean != 0 || a.MissRate != 0 {
+		t.Fatalf("deterministic tardiness %g miss %g", a.TardinessMean, a.MissRate)
+	}
+}
+
+func BenchmarkAnalyze100x8(b *testing.B) {
+	p := gen.PaperParams()
+	w, err := gen.Random(p, rng.New(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := heft.HEFT(w, heft.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Analyze(s)
+	}
+}

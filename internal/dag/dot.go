@@ -1,0 +1,25 @@
+package dag
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Dot renders the graph in Graphviz format. Node labels are 1-based to match
+// the paper's figures; edge labels carry the data size when non-zero.
+func (g *Graph) Dot(name string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n  rankdir=TB;\n  node [shape=circle];\n", name)
+	for v := 0; v < g.n; v++ {
+		fmt.Fprintf(&b, "  n%d [label=\"%d\"];\n", v, v+1)
+	}
+	for _, e := range g.Edges() {
+		if e.Data != 0 {
+			fmt.Fprintf(&b, "  n%d -> n%d [label=\"%.3g\"];\n", e.From, e.To, e.Data)
+		} else {
+			fmt.Fprintf(&b, "  n%d -> n%d;\n", e.From, e.To)
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

@@ -1,0 +1,72 @@
+package dag
+
+// Stats summarizes a task graph's shape — the quantities workload studies
+// report next to their parameters (depth, width, density, degree).
+type Stats struct {
+	Nodes  int
+	Edges  int
+	Depth  int // levels in the longest-path layering
+	Width  int // size of the largest level
+	MaxIn  int // largest in-degree
+	MaxOut int // largest out-degree
+	// Density is edges / possible edges in a DAG: n(n-1)/2.
+	Density float64
+	// AvgDegree is the mean number of successors per node.
+	AvgDegree float64
+	// Parallelism is Nodes / Depth: the mean level width, an upper bound
+	// estimate of exploitable task parallelism.
+	Parallelism float64
+	// Entries and Exits count source and sink tasks.
+	Entries, Exits int
+}
+
+// Stats computes the summary.
+func (g *Graph) Stats() Stats {
+	s := Stats{Nodes: g.n, Edges: g.edges}
+	levels := g.Levels()
+	s.Depth = len(levels)
+	for _, lv := range levels {
+		if len(lv) > s.Width {
+			s.Width = len(lv)
+		}
+	}
+	for v := 0; v < g.n; v++ {
+		if d := g.InDegree(v); d > s.MaxIn {
+			s.MaxIn = d
+		}
+		if d := g.OutDegree(v); d > s.MaxOut {
+			s.MaxOut = d
+		}
+	}
+	if g.n > 1 {
+		s.Density = float64(g.edges) / (float64(g.n) * float64(g.n-1) / 2)
+	}
+	s.AvgDegree = float64(g.edges) / float64(g.n)
+	s.Parallelism = float64(g.n) / float64(s.Depth)
+	s.Entries = len(g.Entries())
+	s.Exits = len(g.Exits())
+	return s
+}
+
+// LongestPath returns the length of the longest path through the graph
+// where each node contributes nodeWeight(v) and each edge
+// edgeWeight(u, v, data). With unit node weights and zero edge weights it
+// equals Depth().
+func (g *Graph) LongestPath(nodeWeight func(v int) float64, edgeWeight func(u, v int, data float64) float64) float64 {
+	dist := make([]float64, g.n)
+	best := 0.0
+	for _, v := range g.topo {
+		d := 0.0
+		for _, a := range g.pred[v] {
+			u := a.To
+			if x := dist[u] + edgeWeight(u, v, a.Data); x > d {
+				d = x
+			}
+		}
+		dist[v] = d + nodeWeight(v)
+		if dist[v] > best {
+			best = dist[v]
+		}
+	}
+	return best
+}

@@ -1,0 +1,80 @@
+package dag
+
+import (
+	"robsched/internal/rng"
+
+	"math"
+	"testing"
+)
+
+func TestStatsDiamond(t *testing.T) {
+	g := diamond(t)
+	s := g.Stats()
+	if s.Nodes != 4 || s.Edges != 4 {
+		t.Fatalf("nodes/edges = %d/%d", s.Nodes, s.Edges)
+	}
+	if s.Depth != 3 || s.Width != 2 {
+		t.Errorf("depth/width = %d/%d, want 3/2", s.Depth, s.Width)
+	}
+	if s.MaxIn != 2 || s.MaxOut != 2 {
+		t.Errorf("maxIn/maxOut = %d/%d", s.MaxIn, s.MaxOut)
+	}
+	if want := 4.0 / 6.0; math.Abs(s.Density-want) > 1e-12 {
+		t.Errorf("density = %g, want %g", s.Density, want)
+	}
+	if s.AvgDegree != 1 {
+		t.Errorf("avgDegree = %g", s.AvgDegree)
+	}
+	if want := 4.0 / 3.0; math.Abs(s.Parallelism-want) > 1e-12 {
+		t.Errorf("parallelism = %g, want %g", s.Parallelism, want)
+	}
+	if s.Entries != 1 || s.Exits != 1 {
+		t.Errorf("entries/exits = %d/%d", s.Entries, s.Exits)
+	}
+}
+
+func TestStatsSingleNode(t *testing.T) {
+	g := NewBuilder(1).MustBuild()
+	s := g.Stats()
+	if s.Depth != 1 || s.Width != 1 || s.Density != 0 || s.Parallelism != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestLongestPathUnitWeights(t *testing.T) {
+	g := diamond(t)
+	got := g.LongestPath(
+		func(int) float64 { return 1 },
+		func(int, int, float64) float64 { return 0 },
+	)
+	if got != float64(g.Depth()) {
+		t.Fatalf("unit longest path = %g, want depth %d", got, g.Depth())
+	}
+}
+
+func TestLongestPathWeighted(t *testing.T) {
+	// diamond edges carry data 1, 2, 3, 4; node weight = id+1, edge weight
+	// = data. Paths: 0-1-3 = (1+2+4)+(1+3) = 11; 0-2-3 = (1+3+4)+(2+4) = 14.
+	g := diamond(t)
+	got := g.LongestPath(
+		func(v int) float64 { return float64(v + 1) },
+		func(u, v int, data float64) float64 { return data },
+	)
+	if got != 14 {
+		t.Fatalf("weighted longest path = %g, want 14", got)
+	}
+}
+
+func TestLongestPathMatchesLevelsOnRandom(t *testing.T) {
+	r := rng.New(17)
+	for trial := 0; trial < 30; trial++ {
+		g := randomDAG(r, 2+r.Intn(50), 0.2)
+		lp := g.LongestPath(
+			func(int) float64 { return 1 },
+			func(int, int, float64) float64 { return 0 },
+		)
+		if int(lp) != g.Depth() {
+			t.Fatalf("unit longest path %g != depth %d", lp, g.Depth())
+		}
+	}
+}

@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// FormatSeries renders a set of series sharing one X grid as an aligned
+// text table: one row per X value, one column per series. This is the
+// "figure" output of the harness — same axes and series as the paper's
+// plots, as numbers.
+func FormatSeries(title, xlabel string, series []Series) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s\n", title)
+	if len(series) == 0 {
+		b.WriteString("(no data)\n")
+		return b.String()
+	}
+	// Header.
+	fmt.Fprintf(&b, "%-10s", xlabel)
+	for _, s := range series {
+		fmt.Fprintf(&b, " %14s", truncate(s.Name, 14))
+	}
+	b.WriteByte('\n')
+	for i := range series[0].X {
+		fmt.Fprintf(&b, "%-10.4g", series[0].X[i])
+		for _, s := range series {
+			if i < len(s.Y) {
+				fmt.Fprintf(&b, " %14s", fmtVal(s.Y[i]))
+			} else {
+				fmt.Fprintf(&b, " %14s", "-")
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// WriteCSV emits the series as CSV with an x column followed by one column
+// per series, for external plotting.
+func WriteCSV(w io.Writer, xlabel string, series []Series) error {
+	cols := []string{csvEscape(xlabel)}
+	for _, s := range series {
+		cols = append(cols, csvEscape(s.Name))
+	}
+	if _, err := fmt.Fprintln(w, strings.Join(cols, ",")); err != nil {
+		return err
+	}
+	if len(series) == 0 {
+		return nil
+	}
+	for i := range series[0].X {
+		row := []string{fmt.Sprintf("%g", series[0].X[i])}
+		for _, s := range series {
+			if i < len(s.Y) {
+				row = append(row, fmt.Sprintf("%g", s.Y[i]))
+			} else {
+				row = append(row, "")
+			}
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(row, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func fmtVal(v float64) string {
+	switch {
+	case math.IsNaN(v):
+		return "NaN"
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	default:
+		return fmt.Sprintf("%.6g", v)
+	}
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n-1] + "…"
+}
+
+func csvEscape(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return "\"" + strings.ReplaceAll(s, "\"", "\"\"") + "\""
+	}
+	return s
+}

@@ -1,0 +1,113 @@
+package experiments
+
+import (
+	"fmt"
+
+	"robsched/internal/rng"
+	"robsched/internal/robust"
+	"robsched/internal/schedule"
+	"robsched/internal/sim"
+	"robsched/internal/stats"
+)
+
+// SensitivityParam selects which workload knob a sensitivity sweep varies.
+// The paper fixes CCR = 0.1, shape α = 1.0 and one platform; these sweeps
+// answer the natural follow-up of how the robustness gains transfer.
+type SensitivityParam int
+
+const (
+	// SweepCCR varies the communication-to-computation ratio.
+	SweepCCR SensitivityParam = iota
+	// SweepShape varies the graph shape parameter α (tall vs wide DAGs).
+	SweepShape
+	// SweepProcs varies the processor count.
+	SweepProcs
+)
+
+func (p SensitivityParam) String() string {
+	switch p {
+	case SweepCCR:
+		return "CCR"
+	case SweepShape:
+		return "shape"
+	case SweepProcs:
+		return "procs"
+	default:
+		return fmt.Sprintf("SensitivityParam(%d)", int(p))
+	}
+}
+
+// Sensitivity sweeps one workload parameter at the first configured
+// uncertainty level and reports, per grid value, the ε-constraint GA's
+// realized R1 improvement over HEFT (ln ratio) and its makespan ratio
+// M0/M_HEFT. Returned series (x = parameter value): "lnR1-improvement",
+// "M0/MHEFT".
+func (c Config) Sensitivity(param SensitivityParam, grid []float64, eps float64) ([]Series, error) {
+	if err := c.validate(); err != nil {
+		return nil, err
+	}
+	if len(grid) == 0 {
+		return nil, fmt.Errorf("experiments: empty sensitivity grid")
+	}
+	if eps <= 0 {
+		eps = 1.4
+	}
+	ul := c.ULs[0]
+	base := c.gaOptions()
+	base.Mode = robust.EpsilonConstraint
+	base.Eps = eps
+	r1Y := make([]float64, len(grid))
+	m0Y := make([]float64, len(grid))
+	for gi, val := range grid {
+		cfg := c
+		cfg.Gen = c.Gen // copy
+		switch param {
+		case SweepCCR:
+			cfg.Gen.CCR = val
+		case SweepShape:
+			cfg.Gen.Shape = val
+		case SweepProcs:
+			cfg.Gen.M = int(val)
+			if cfg.Gen.M < 1 {
+				return nil, fmt.Errorf("experiments: processor count %g invalid", val)
+			}
+		default:
+			return nil, fmt.Errorf("experiments: unknown sensitivity parameter %v", param)
+		}
+		if err := cfg.Gen.Validate(); err != nil {
+			return nil, err
+		}
+		r1s := make([]float64, cfg.Graphs)
+		m0s := make([]float64, cfg.Graphs)
+		err := cfg.parallelFor(cfg.Graphs, func(g int) error {
+			w, err := cfg.workload(gi+100, g, ul)
+			if err != nil {
+				return err
+			}
+			res, err := robust.Solve(w, base, rng.New(cfg.graphSeed(gi+100, g)^0x5e51))
+			if err != nil {
+				return err
+			}
+			ms, err := sim.EvaluateAll(
+				[]*schedule.Schedule{res.Schedule, res.HEFT},
+				sim.Options{Realizations: cfg.Realizations},
+				rng.New(cfg.graphSeed(gi+100, g)^0x5e52))
+			if err != nil {
+				return err
+			}
+			r1s[g] = stats.LogRatio(ms[0].R1, ms[1].R1)
+			m0s[g] = res.Schedule.Makespan() / res.MHEFT
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		r1Y[gi] = meanFinite(r1s)
+		m0Y[gi] = stats.Mean(m0s)
+	}
+	x := append([]float64(nil), grid...)
+	return []Series{
+		{Name: "lnR1-improvement", X: x, Y: r1Y},
+		{Name: "M0/MHEFT", X: x, Y: m0Y},
+	}, nil
+}

@@ -1,0 +1,271 @@
+// Package ga implements the standard genetic algorithm of Section 4.2 as a
+// reusable engine: constant-size population, uniqueness-checked initial
+// population with heuristic seeding, systematic binary tournament selection
+// (Goldberg & Deb), single-point crossover and mutation hooks, elitism, and
+// the paper's stopping criteria (generation cap or stagnation window).
+//
+// The engine is generic over the chromosome type; the bi-objective robust
+// scheduling chromosome lives in internal/robust. Fitness is evaluated for
+// the whole population at once because the paper's ε-constraint fitness
+// (Eqn. 8) is population-based: an infeasible individual's value depends on
+// the minimum feasible fitness of its generation.
+package ga
+
+import (
+	"fmt"
+
+	"robsched/internal/rng"
+)
+
+// Config assembles the problem-specific hooks and the GA parameters.
+// PaperDefaults fills the parameter values used in Section 5.
+type Config[T any] struct {
+	// PopSize is Np, the constant population size.
+	PopSize int
+	// CrossoverRate is pc: the fraction of the intermediate population
+	// recombined each generation (the rest is copied unchanged).
+	CrossoverRate float64
+	// MutationRate is pm: the probability that an individual is mutated.
+	MutationRate float64
+	// MaxGenerations caps the evolution (paper: 1000).
+	MaxGenerations int
+	// Stagnation stops the run when the best fitness has not improved for
+	// this many consecutive generations (paper: 100). Zero disables it.
+	Stagnation int
+
+	// Random generates one random individual.
+	Random func(r *rng.Source) T
+	// Crossover recombines two parents into two offspring. It must not
+	// modify the parents.
+	Crossover func(a, b T, r *rng.Source) (T, T)
+	// Mutate returns a mutated copy of the individual. It must not modify
+	// its argument.
+	Mutate func(ind T, r *rng.Source) T
+	// Evaluate returns the fitness of every individual (larger is better).
+	Evaluate func(pop []T) []float64
+	// Key returns a fingerprint used to reject duplicate individuals when
+	// building the initial population. Optional; nil disables the check.
+	Key func(ind T) string
+
+	// Seeds are injected into the initial population before random filling
+	// (the paper seeds one HEFT chromosome).
+	Seeds []T
+
+	// OnGeneration, if non-nil, observes every generation after evaluation:
+	// the generation index (0 = initial population), the population and its
+	// fitness values. Used by the Fig. 2/3 evolution-trace experiments.
+	OnGeneration func(gen int, pop []T, fit []float64)
+}
+
+// PaperDefaults sets the GA parameters of Section 5 (Np=20, pc=0.9, pm=0.1,
+// 1000 generations, 100-generation stagnation window) on the config,
+// leaving hooks untouched.
+func (c *Config[T]) PaperDefaults() {
+	c.PopSize = 20
+	c.CrossoverRate = 0.9
+	c.MutationRate = 0.1
+	c.MaxGenerations = 1000
+	c.Stagnation = 100
+}
+
+func (c *Config[T]) validate() error {
+	switch {
+	case c.PopSize < 2:
+		return fmt.Errorf("ga: PopSize=%d must be >= 2", c.PopSize)
+	case c.CrossoverRate < 0 || c.CrossoverRate > 1:
+		return fmt.Errorf("ga: CrossoverRate=%g out of [0,1]", c.CrossoverRate)
+	case c.MutationRate < 0 || c.MutationRate > 1:
+		return fmt.Errorf("ga: MutationRate=%g out of [0,1]", c.MutationRate)
+	case c.MaxGenerations < 1:
+		return fmt.Errorf("ga: MaxGenerations=%d must be >= 1", c.MaxGenerations)
+	case c.Stagnation < 0:
+		return fmt.Errorf("ga: Stagnation=%d must be >= 0", c.Stagnation)
+	case c.Random == nil || c.Crossover == nil || c.Mutate == nil || c.Evaluate == nil:
+		return fmt.Errorf("ga: Random, Crossover, Mutate and Evaluate hooks are required")
+	case len(c.Seeds) > c.PopSize:
+		return fmt.Errorf("ga: %d seeds exceed population size %d", len(c.Seeds), c.PopSize)
+	}
+	return nil
+}
+
+// Result reports the outcome of one GA run.
+type Result[T any] struct {
+	// Best is the fittest individual ever evaluated.
+	Best T
+	// BestFitness is its fitness in its final generation's evaluation.
+	BestFitness float64
+	// Generations is the number of evolution steps performed (excluding
+	// the initial population).
+	Generations int
+	// Stagnated reports whether the run stopped on the stagnation window
+	// rather than the generation cap.
+	Stagnated bool
+}
+
+// Run evolves a population and returns the best individual found.
+func Run[T any](c Config[T], r *rng.Source) (Result[T], error) {
+	var zero Result[T]
+	if err := c.validate(); err != nil {
+		return zero, err
+	}
+	pop := c.initialPopulation(r)
+	fit := c.Evaluate(pop)
+	if len(fit) != len(pop) {
+		return zero, fmt.Errorf("ga: Evaluate returned %d values for %d individuals", len(fit), len(pop))
+	}
+	bestIdx := argmax(fit)
+	best, bestFit := pop[bestIdx], fit[bestIdx]
+	if c.OnGeneration != nil {
+		c.OnGeneration(0, pop, fit)
+	}
+	sinceImprove := 0
+	gen := 0
+	for gen = 1; gen <= c.MaxGenerations; gen++ {
+		inter := c.tournament(pop, fit, r)
+		next := c.recombine(inter, r)
+		nextFit := c.Evaluate(next)
+		if len(nextFit) != len(next) {
+			return zero, fmt.Errorf("ga: Evaluate returned %d values for %d individuals", len(nextFit), len(next))
+		}
+		// Elitism: the worst of the new population is replaced by the best
+		// of the current one (Section 4.2.3), then re-scored within the new
+		// population by re-evaluating — the ε-constraint fitness is
+		// population-relative, so the carried-over individual must be
+		// valued against its new peers.
+		worst := argmin(nextFit)
+		next[worst] = best
+		nextFit = c.Evaluate(next)
+		pop, fit = next, nextFit
+		bestIdx = argmax(fit)
+		if c.OnGeneration != nil {
+			c.OnGeneration(gen, pop, fit)
+		}
+		if fit[bestIdx] > bestFit+1e-12 {
+			best, bestFit = pop[bestIdx], fit[bestIdx]
+			sinceImprove = 0
+		} else {
+			// Track the current best individual even when fitness is flat,
+			// and refresh bestFit downward drift caused by the population-
+			// relative component.
+			best, bestFit = pop[bestIdx], fit[bestIdx]
+			sinceImprove++
+		}
+		if c.Stagnation > 0 && sinceImprove >= c.Stagnation {
+			return Result[T]{Best: best, BestFitness: bestFit, Generations: gen, Stagnated: true}, nil
+		}
+	}
+	return Result[T]{Best: best, BestFitness: bestFit, Generations: c.MaxGenerations}, nil
+}
+
+// initialPopulation seeds, then fills with unique random individuals
+// (Section 4.2.2). After a bounded number of duplicate rejections the
+// uniqueness requirement is dropped so degenerate search spaces (e.g. a
+// one-task graph) cannot hang the run.
+func (c Config[T]) initialPopulation(r *rng.Source) []T {
+	pop := make([]T, 0, c.PopSize)
+	seen := make(map[string]bool, c.PopSize)
+	add := func(ind T) bool {
+		if c.Key != nil {
+			k := c.Key(ind)
+			if seen[k] {
+				return false
+			}
+			seen[k] = true
+		}
+		pop = append(pop, ind)
+		return true
+	}
+	for _, s := range c.Seeds {
+		add(s)
+	}
+	misses := 0
+	for len(pop) < c.PopSize {
+		if add(c.Random(r)) {
+			misses = 0
+			continue
+		}
+		misses++
+		if misses > 50*c.PopSize {
+			// Give up on uniqueness: accept duplicates.
+			saved := c.Key
+			c.Key = nil
+			for len(pop) < c.PopSize {
+				add(c.Random(r))
+			}
+			c.Key = saved
+		}
+	}
+	return pop
+}
+
+// tournament runs the systematic binary tournament: the population is
+// shuffled twice and adjacent pairs compete, so every individual
+// participates in exactly two tournaments; the best individual always wins
+// both (two copies), the worst always loses both (eliminated).
+func (c Config[T]) tournament(pop []T, fit []float64, r *rng.Source) []T {
+	np := len(pop)
+	out := make([]T, 0, np)
+	for round := 0; round < 2; round++ {
+		perm := r.Perm(np)
+		for i := 0; i+1 < np; i += 2 {
+			a, b := perm[i], perm[i+1]
+			if fit[a] >= fit[b] {
+				out = append(out, pop[a])
+			} else {
+				out = append(out, pop[b])
+			}
+		}
+		if np%2 == 1 {
+			// Odd population: the leftover individual fights a random
+			// opponent so the intermediate population keeps size Np.
+			a := perm[np-1]
+			b := perm[r.Intn(np-1)]
+			if fit[a] >= fit[b] {
+				out = append(out, pop[a])
+			} else {
+				out = append(out, pop[b])
+			}
+		}
+	}
+	return out[:np]
+}
+
+// recombine applies crossover to a pc fraction of the intermediate
+// population (pairing adjacent individuals, which the tournament already
+// shuffled) and mutation with probability pm per individual.
+func (c Config[T]) recombine(inter []T, r *rng.Source) []T {
+	np := len(inter)
+	next := make([]T, np)
+	copy(next, inter)
+	for i := 0; i+1 < np; i += 2 {
+		if r.Float64() < c.CrossoverRate {
+			next[i], next[i+1] = c.Crossover(inter[i], inter[i+1], r)
+		}
+	}
+	for i := range next {
+		if r.Float64() < c.MutationRate {
+			next[i] = c.Mutate(next[i], r)
+		}
+	}
+	return next
+}
+
+func argmax(xs []float64) int {
+	best := 0
+	for i, x := range xs {
+		if x > xs[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+func argmin(xs []float64) int {
+	best := 0
+	for i, x := range xs {
+		if x < xs[best] {
+			best = i
+		}
+	}
+	return best
+}

@@ -1,0 +1,291 @@
+package ga
+
+import (
+	"strings"
+	"testing"
+
+	"robsched/internal/rng"
+)
+
+// oneMax is a bitstring test problem: fitness = number of ones. The GA must
+// reliably solve it, which exercises selection pressure, crossover,
+// mutation and elitism end to end.
+type bits []byte
+
+func oneMaxConfig(n int) Config[bits] {
+	c := Config[bits]{
+		Random: func(r *rng.Source) bits {
+			b := make(bits, n)
+			for i := range b {
+				b[i] = byte(r.Intn(2))
+			}
+			return b
+		},
+		Crossover: func(a, b bits, r *rng.Source) (bits, bits) {
+			cut := 1 + r.Intn(n-1)
+			c1 := append(append(bits{}, a[:cut]...), b[cut:]...)
+			c2 := append(append(bits{}, b[:cut]...), a[cut:]...)
+			return c1, c2
+		},
+		Mutate: func(ind bits, r *rng.Source) bits {
+			out := append(bits{}, ind...)
+			out[r.Intn(n)] ^= 1
+			return out
+		},
+		Evaluate: func(pop []bits) []float64 {
+			fit := make([]float64, len(pop))
+			for i, ind := range pop {
+				for _, b := range ind {
+					fit[i] += float64(b)
+				}
+			}
+			return fit
+		},
+		Key: func(ind bits) string { return string(ind) },
+	}
+	c.PaperDefaults()
+	return c
+}
+
+func TestPaperDefaults(t *testing.T) {
+	var c Config[bits]
+	c.PaperDefaults()
+	if c.PopSize != 20 || c.CrossoverRate != 0.9 || c.MutationRate != 0.1 ||
+		c.MaxGenerations != 1000 || c.Stagnation != 100 {
+		t.Fatalf("PaperDefaults = %+v", c)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	base := oneMaxConfig(8)
+	muts := []struct {
+		name string
+		f    func(*Config[bits])
+	}{
+		{"pop", func(c *Config[bits]) { c.PopSize = 1 }},
+		{"pc", func(c *Config[bits]) { c.CrossoverRate = 1.5 }},
+		{"pm", func(c *Config[bits]) { c.MutationRate = -0.1 }},
+		{"gens", func(c *Config[bits]) { c.MaxGenerations = 0 }},
+		{"stag", func(c *Config[bits]) { c.Stagnation = -1 }},
+		{"hooks", func(c *Config[bits]) { c.Evaluate = nil }},
+		{"seeds", func(c *Config[bits]) { c.Seeds = make([]bits, 21) }},
+	}
+	for _, m := range muts {
+		c := base
+		m.f(&c)
+		if _, err := Run(c, rng.New(1)); err == nil {
+			t.Errorf("%s: invalid config accepted", m.name)
+		}
+	}
+}
+
+func TestSolvesOneMax(t *testing.T) {
+	const n = 24
+	c := oneMaxConfig(n)
+	c.MaxGenerations = 400
+	c.Stagnation = 0
+	res, err := Run(c, rng.New(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BestFitness != n {
+		t.Fatalf("best fitness %g after %d generations, want %d", res.BestFitness, res.Generations, n)
+	}
+}
+
+func TestBestFitnessMonotoneWithAbsoluteFitness(t *testing.T) {
+	// With an absolute (population-independent) fitness, elitism must make
+	// the per-generation best non-decreasing.
+	c := oneMaxConfig(16)
+	c.MaxGenerations = 150
+	c.Stagnation = 0
+	prev := -1.0
+	c.OnGeneration = func(gen int, pop []bits, fit []float64) {
+		best := fit[0]
+		for _, f := range fit {
+			if f > best {
+				best = f
+			}
+		}
+		if best < prev {
+			t.Fatalf("generation %d: best fitness dropped %g -> %g", gen, prev, best)
+		}
+		prev = best
+	}
+	if _, err := Run(c, rng.New(7)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSeedsEnterInitialPopulation(t *testing.T) {
+	const n = 16
+	c := oneMaxConfig(n)
+	seed := make(bits, n)
+	for i := range seed {
+		seed[i] = 1
+	}
+	c.Seeds = []bits{seed}
+	sawSeed := false
+	c.OnGeneration = func(gen int, pop []bits, fit []float64) {
+		if gen != 0 {
+			return
+		}
+		for _, ind := range pop {
+			if string(ind) == string(seed) {
+				sawSeed = true
+			}
+		}
+	}
+	c.MaxGenerations = 1
+	c.Stagnation = 0
+	res, err := Run(c, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sawSeed {
+		t.Fatal("seed not present in initial population")
+	}
+	// The all-ones seed is optimal: it must be the final best.
+	if res.BestFitness != n {
+		t.Fatalf("best fitness %g, want %d (the seed)", res.BestFitness, n)
+	}
+}
+
+func TestInitialPopulationUnique(t *testing.T) {
+	c := oneMaxConfig(10)
+	c.OnGeneration = func(gen int, pop []bits, fit []float64) {
+		if gen != 0 {
+			return
+		}
+		seen := map[string]bool{}
+		for _, ind := range pop {
+			k := string(ind)
+			if seen[k] {
+				t.Fatalf("duplicate chromosome in initial population: %v", ind)
+			}
+			seen[k] = true
+		}
+	}
+	c.MaxGenerations = 1
+	if _, err := Run(c, rng.New(5)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUniquenessFallbackOnTinySpace(t *testing.T) {
+	// Only 2 distinct 1-bit chromosomes exist but PopSize is 4: the
+	// uniqueness check must relax rather than loop forever.
+	c := oneMaxConfig(1)
+	c.PopSize = 4
+	c.Crossover = func(a, b bits, r *rng.Source) (bits, bits) {
+		return append(bits{}, a...), append(bits{}, b...)
+	}
+	c.MaxGenerations = 2
+	res, err := Run(c, rng.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BestFitness != 1 {
+		t.Fatalf("best fitness %g, want 1", res.BestFitness)
+	}
+}
+
+func TestStagnationStops(t *testing.T) {
+	c := oneMaxConfig(6)
+	c.MaxGenerations = 1000
+	c.Stagnation = 10
+	res, err := Run(c, rng.New(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A 6-bit OneMax converges almost immediately; the run must stop on
+	// stagnation well before 1000 generations.
+	if !res.Stagnated {
+		t.Fatalf("run did not stagnate (generations=%d)", res.Generations)
+	}
+	if res.Generations >= 1000 {
+		t.Fatalf("ran %d generations despite stagnation window", res.Generations)
+	}
+}
+
+func TestPopulationSizeConstant(t *testing.T) {
+	for _, np := range []int{2, 5, 20} { // includes an odd size
+		c := oneMaxConfig(8)
+		c.PopSize = np
+		c.MaxGenerations = 20
+		c.Stagnation = 0
+		c.OnGeneration = func(gen int, pop []bits, fit []float64) {
+			if len(pop) != np || len(fit) != np {
+				t.Fatalf("Np=%d: generation %d has %d individuals, %d fitnesses", np, gen, len(pop), len(fit))
+			}
+		}
+		if _, err := Run(c, rng.New(13)); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestTournamentProperties(t *testing.T) {
+	c := oneMaxConfig(4)
+	pop := []bits{{0, 0, 0, 0}, {1, 0, 0, 0}, {1, 1, 0, 0}, {1, 1, 1, 0}, {1, 1, 1, 1}, {0, 1, 0, 0}}
+	fit := []float64{0, 1, 2, 3, 4, 1}
+	r := rng.New(17)
+	for trial := 0; trial < 50; trial++ {
+		out := c.tournament(pop, fit, r)
+		if len(out) != len(pop) {
+			t.Fatalf("tournament changed population size: %d", len(out))
+		}
+		bestCopies, worstCopies := 0, 0
+		for _, ind := range out {
+			switch string(ind) {
+			case string(pop[4]):
+				bestCopies++
+			case string(pop[0]):
+				worstCopies++
+			}
+		}
+		if bestCopies < 2 {
+			t.Fatalf("best individual got %d copies, want >= 2", bestCopies)
+		}
+		if worstCopies != 0 {
+			t.Fatalf("worst individual survived with %d copies", worstCopies)
+		}
+	}
+}
+
+func TestZeroRatesStillRun(t *testing.T) {
+	c := oneMaxConfig(8)
+	c.CrossoverRate = 0
+	c.MutationRate = 0
+	c.MaxGenerations = 30
+	c.Stagnation = 0
+	res, err := Run(c, rng.New(19))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Selection alone should at least keep the initial best.
+	if res.BestFitness < 4 {
+		t.Fatalf("best fitness %g suspiciously low", res.BestFitness)
+	}
+}
+
+func TestEvaluateSizeMismatchRejected(t *testing.T) {
+	c := oneMaxConfig(8)
+	c.Evaluate = func(pop []bits) []float64 { return make([]float64, 1) }
+	if _, err := Run(c, rng.New(1)); err == nil || !strings.Contains(err.Error(), "Evaluate returned") {
+		t.Fatalf("mismatched Evaluate not rejected: %v", err)
+	}
+}
+
+func BenchmarkOneMaxGeneration(b *testing.B) {
+	c := oneMaxConfig(64)
+	c.MaxGenerations = 1
+	c.Stagnation = 0
+	r := rng.New(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(c, r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,157 @@
+package ga
+
+import (
+	"fmt"
+	"sync"
+
+	"robsched/internal/rng"
+)
+
+// IslandConfig runs K independent populations ("islands") of the same
+// problem in parallel goroutines, exchanging their best individuals every
+// MigrationEvery generations in a ring topology. Island models both cut
+// wall-clock time on multicore machines and preserve diversity: separated
+// populations explore different basins before migration cross-pollinates
+// them.
+type IslandConfig[T any] struct {
+	// Base is the per-island configuration. Its Seeds go to island 0; all
+	// islands share the hooks and parameters. OnGeneration is not
+	// supported across islands and must be nil.
+	Base Config[T]
+	// Islands is the number of populations (>= 1; 1 degenerates to Run).
+	Islands int
+	// MigrationEvery is the generation interval between migrations
+	// (default 25).
+	MigrationEvery int
+}
+
+// RunIslands evolves the islands and returns the best individual across
+// all of them, evaluated within its own island's final population.
+func RunIslands[T any](c IslandConfig[T], root *rng.Source) (Result[T], error) {
+	var zero Result[T]
+	if c.Islands < 1 {
+		return zero, fmt.Errorf("ga: Islands=%d must be >= 1", c.Islands)
+	}
+	if c.Base.OnGeneration != nil {
+		return zero, fmt.Errorf("ga: OnGeneration is not supported with islands")
+	}
+	if c.Islands == 1 {
+		return Run(c.Base, root)
+	}
+	if err := c.Base.validate(); err != nil {
+		return zero, err
+	}
+	every := c.MigrationEvery
+	if every <= 0 {
+		every = 25
+	}
+
+	// Each island runs in epochs of `every` generations; between epochs
+	// the ring migration replaces each island's worst individual with its
+	// left neighbour's best. Implemented by running the engine repeatedly
+	// with seeding, which reuses all of Run's machinery (elitism,
+	// tournament, stagnation bookkeeping is reset per epoch — stagnation
+	// is therefore tracked across epochs here).
+	states := make([]*islandState[T], c.Islands)
+	for i := range states {
+		r := root.Split()
+		cfg := c.Base
+		if i != 0 {
+			cfg.Seeds = nil // the paper's heuristic seed goes to island 0
+		}
+		pop := cfg.initialPopulation(r)
+		fit := cfg.Evaluate(pop)
+		if len(fit) != len(pop) {
+			return zero, fmt.Errorf("ga: Evaluate returned %d values for %d individuals", len(fit), len(pop))
+		}
+		bi := argmax(fit)
+		states[i] = &islandState[T]{pop: pop, fit: fit, rng: r, best: pop[bi], bf: fit[bi]}
+	}
+
+	totalGens := c.Base.MaxGenerations
+	sinceImprove := make([]int, c.Islands)
+	gen := 0
+	for gen < totalGens {
+		epoch := every
+		if gen+epoch > totalGens {
+			epoch = totalGens - gen
+		}
+		var wg sync.WaitGroup
+		for i := range states {
+			wg.Add(1)
+			go func(st *islandState[T], idx int) {
+				defer wg.Done()
+				cfg := c.Base
+				for e := 0; e < epoch; e++ {
+					inter := cfg.tournament(st.pop, st.fit, st.rng)
+					next := cfg.recombine(inter, st.rng)
+					fit := cfg.Evaluate(next)
+					worst := argmin(fit)
+					next[worst] = st.best
+					fit = cfg.Evaluate(next)
+					st.pop, st.fit = next, fit
+					bi := argmax(fit)
+					if fit[bi] > st.bf+1e-12 {
+						sinceImprove[idx] = 0
+					} else {
+						sinceImprove[idx]++
+					}
+					st.best, st.bf = st.pop[bi], fit[bi]
+				}
+			}(states[i], i)
+		}
+		wg.Wait()
+		gen += epoch
+		// Ring migration: island i's worst is replaced by island (i-1)'s
+		// best, then fitness is refreshed.
+		if gen < totalGens {
+			bests := make([]T, c.Islands)
+			for i, st := range states {
+				bests[i] = st.best
+			}
+			for i, st := range states {
+				from := (i - 1 + c.Islands) % c.Islands
+				worst := argmin(st.fit)
+				st.pop[worst] = bests[from]
+				st.fit = c.Base.Evaluate(st.pop)
+				bi := argmax(st.fit)
+				st.best, st.bf = st.pop[bi], st.fit[bi]
+			}
+		}
+		// Global stagnation: stop when every island has stagnated.
+		if c.Base.Stagnation > 0 {
+			all := true
+			for _, s := range sinceImprove {
+				if s < c.Base.Stagnation {
+					all = false
+					break
+				}
+			}
+			if all {
+				best := pickBest(states)
+				return Result[T]{Best: best.best, BestFitness: best.bf, Generations: gen, Stagnated: true}, nil
+			}
+		}
+	}
+	best := pickBest(states)
+	return Result[T]{Best: best.best, BestFitness: best.bf, Generations: totalGens}, nil
+}
+
+// islandState is one population's live state.
+type islandState[T any] struct {
+	pop  []T
+	fit  []float64
+	rng  *rng.Source
+	best T
+	bf   float64
+}
+
+func pickBest[T any](states []*islandState[T]) *islandState[T] {
+	out := states[0]
+	for _, s := range states[1:] {
+		if s.bf > out.bf {
+			out = s
+		}
+	}
+	return out
+}

@@ -1,0 +1,133 @@
+package gen
+
+import (
+	"fmt"
+
+	"robsched/internal/dag"
+)
+
+// PaperExampleGraph returns the illustrative 8-task graph used to explain
+// Fig. 1 of the paper. The published figure's exact edges are not fully
+// legible in the text, so this graph is constructed to be consistent with
+// the schedule the paper writes out for it:
+// {{(v1,v2),(v2,v4)}, {(v3,v5),(v5,v8)}, {(v6,v7)}, ∅}.
+// Tasks use 0-based ids internally (v1 = task 0).
+func PaperExampleGraph(data float64) *dag.Graph {
+	b := dag.NewBuilder(8)
+	edges := [][2]int{
+		{0, 1}, {0, 2}, // v1 -> v2, v3
+		{1, 3}, {1, 4}, // v2 -> v4, v5
+		{2, 4}, {2, 5}, // v3 -> v5, v6
+		{5, 6},                 // v6 -> v7
+		{3, 7}, {4, 7}, {6, 7}, // v4, v5, v7 -> v8
+	}
+	for _, e := range edges {
+		b.MustAddEdge(e[0], e[1], data)
+	}
+	return b.MustBuild()
+}
+
+// GaussianElimination returns the task graph of Gaussian elimination on a
+// k×k matrix (k >= 2), the classic structured workload from the HEFT paper:
+// for each elimination step j there is one pivot task followed by k-1-j
+// update tasks; the pivot feeds every update of its step, and each update
+// feeds the next step's pivot (column j+1) or its same-column update.
+// Every edge carries data units of communication.
+func GaussianElimination(k int, data float64) (*dag.Graph, error) {
+	if k < 2 {
+		return nil, fmt.Errorf("gen: GaussianElimination needs k >= 2, got %d", k)
+	}
+	// Number the tasks step by step: pivot(j) then update(j, i) for
+	// i = j+1..k-1.
+	type key struct{ j, i int }
+	id := make(map[key]int)
+	next := 0
+	for j := 0; j < k-1; j++ {
+		id[key{j, j}] = next // pivot of step j
+		next++
+		for i := j + 1; i < k; i++ {
+			id[key{j, i}] = next // update of column i at step j
+			next++
+		}
+	}
+	b := dag.NewBuilder(next)
+	for j := 0; j < k-1; j++ {
+		pivot := id[key{j, j}]
+		for i := j + 1; i < k; i++ {
+			b.MustAddEdge(pivot, id[key{j, i}], data)
+		}
+		if j+1 < k-1 {
+			// update(j, j+1) produces the next pivot column.
+			b.MustAddEdge(id[key{j, j + 1}], id[key{j + 1, j + 1}], data)
+			for i := j + 2; i < k; i++ {
+				b.MustAddEdge(id[key{j, i}], id[key{j + 1, i}], data)
+			}
+		}
+	}
+	return b.Build()
+}
+
+// FFT returns the butterfly task graph of a 2^stages-point fast Fourier
+// transform: stages+1 rows of 2^stages tasks where task (l, i) of row l >= 1
+// depends on tasks (l-1, i) and (l-1, i XOR 2^(l-1)). Every edge carries
+// data units of communication.
+func FFT(stages int, data float64) (*dag.Graph, error) {
+	if stages < 1 || stages > 16 {
+		return nil, fmt.Errorf("gen: FFT stages must be in [1,16], got %d", stages)
+	}
+	p := 1 << stages
+	b := dag.NewBuilder((stages + 1) * p)
+	id := func(l, i int) int { return l*p + i }
+	for l := 1; l <= stages; l++ {
+		half := 1 << (l - 1)
+		for i := 0; i < p; i++ {
+			b.MustAddEdge(id(l-1, i), id(l, i), data)
+			b.MustAddEdge(id(l-1, i^half), id(l, i), data)
+		}
+	}
+	return b.Build()
+}
+
+// ForkJoin returns stages sequential fork-join diamonds: a fork task
+// fanning out to width parallel tasks that all join, the join feeding the
+// next stage's fork. Every edge carries data units of communication.
+func ForkJoin(width, stages int, data float64) (*dag.Graph, error) {
+	if width < 1 || stages < 1 {
+		return nil, fmt.Errorf("gen: ForkJoin needs width, stages >= 1, got %d, %d", width, stages)
+	}
+	n := stages*(width+2) - (stages - 1) // join of stage s is fork of stage s+1
+	b := dag.NewBuilder(n)
+	fork := 0
+	next := 1
+	for s := 0; s < stages; s++ {
+		join := next + width
+		for w := 0; w < width; w++ {
+			b.MustAddEdge(fork, next+w, data)
+			b.MustAddEdge(next+w, join, data)
+		}
+		fork = join
+		next = join + 1
+	}
+	return b.Build()
+}
+
+// Stencil returns a depth×width pipeline stencil: task (d, w) for d >= 1
+// depends on its up-to-three upper neighbours (d-1, w-1..w+1). Every edge
+// carries data units of communication.
+func Stencil(width, depth int, data float64) (*dag.Graph, error) {
+	if width < 1 || depth < 1 {
+		return nil, fmt.Errorf("gen: Stencil needs width, depth >= 1, got %d, %d", width, depth)
+	}
+	b := dag.NewBuilder(width * depth)
+	id := func(d, w int) int { return d*width + w }
+	for d := 1; d < depth; d++ {
+		for w := 0; w < width; w++ {
+			for dw := -1; dw <= 1; dw++ {
+				if u := w + dw; u >= 0 && u < width {
+					b.MustAddEdge(id(d-1, u), id(d, w), data)
+				}
+			}
+		}
+	}
+	return b.Build()
+}

@@ -1,0 +1,110 @@
+package gen
+
+import (
+	"fmt"
+
+	"robsched/internal/dag"
+	"robsched/internal/rng"
+)
+
+// OutTree generates a random rooted out-tree (task 0 is the root; every
+// other task has exactly one parent chosen uniformly among earlier tasks,
+// with branching capped at maxChildren). Out-trees model divide-style
+// computations; they stress schedulers differently from layered DAGs
+// because every join is trivial.
+func OutTree(n, maxChildren int, data float64, r *rng.Source) (*dag.Graph, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("gen: OutTree needs n >= 1, got %d", n)
+	}
+	if maxChildren < 1 {
+		return nil, fmt.Errorf("gen: OutTree needs maxChildren >= 1, got %d", maxChildren)
+	}
+	b := dag.NewBuilder(n)
+	children := make([]int, n)
+	for v := 1; v < n; v++ {
+		// Uniform parent among earlier tasks with spare child slots.
+		parent := -1
+		for attempts := 0; attempts < 4*v; attempts++ {
+			c := r.Intn(v)
+			if children[c] < maxChildren {
+				parent = c
+				break
+			}
+		}
+		if parent < 0 {
+			// All sampled candidates full: scan deterministically.
+			for c := 0; c < v; c++ {
+				if children[c] < maxChildren {
+					parent = c
+					break
+				}
+			}
+		}
+		if parent < 0 {
+			return nil, fmt.Errorf("gen: OutTree cannot place task %d (maxChildren too small)", v)
+		}
+		children[parent]++
+		b.MustAddEdge(parent, v, data)
+	}
+	return b.Build()
+}
+
+// InTree generates a random rooted in-tree: the mirror of OutTree, with
+// every non-final task feeding exactly one later consumer and task n-1 the
+// single sink. In-trees model reduction-style computations.
+func InTree(n, maxParents int, data float64, r *rng.Source) (*dag.Graph, error) {
+	out, err := OutTree(n, maxParents, data, r)
+	if err != nil {
+		return nil, err
+	}
+	// Reverse every edge and relabel v -> n-1-v so the sink is the
+	// highest id and edges still go low -> high.
+	b := dag.NewBuilder(n)
+	for _, e := range out.Edges() {
+		b.MustAddEdge(n-1-e.To, n-1-e.From, e.Data)
+	}
+	return b.Build()
+}
+
+// SeriesParallel generates a random series-parallel DAG by repeated
+// expansion: starting from a single source→sink edge, each step picks a
+// random edge and either serializes it (u→w→v) or parallelizes it
+// (a second path u→w→v), until n tasks exist. Series-parallel graphs are
+// the classical tractable family for stochastic makespan analysis, which
+// makes them good test beds for the Clark estimator.
+func SeriesParallel(n int, data float64, r *rng.Source) (*dag.Graph, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("gen: SeriesParallel needs n >= 2, got %d", n)
+	}
+	type edge struct{ u, v int }
+	edges := []edge{{0, 1}}
+	next := 2
+	for next < n {
+		e := edges[r.Intn(len(edges))]
+		w := next
+		next++
+		if r.Float64() < 0.5 {
+			// Series: replace u→v with u→w→v.
+			for i := range edges {
+				if edges[i] == e {
+					edges[i] = edge{e.u, w}
+					break
+				}
+			}
+			edges = append(edges, edge{w, e.v})
+		} else {
+			// Parallel: add u→w→v next to u→v.
+			edges = append(edges, edge{e.u, w}, edge{w, e.v})
+		}
+	}
+	b := dag.NewBuilder(n)
+	seen := map[edge]bool{}
+	for _, e := range edges {
+		if seen[e] {
+			continue
+		}
+		seen[e] = true
+		b.MustAddEdge(e.u, e.v, data)
+	}
+	return b.Build()
+}

@@ -1,0 +1,122 @@
+package gen
+
+import (
+	"testing"
+
+	"robsched/internal/rng"
+)
+
+func TestOutTreeShape(t *testing.T) {
+	r := rng.New(1)
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + r.Intn(60)
+		g, err := OutTree(n, 3, 2, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.N() != n || g.EdgeCount() != n-1 {
+			t.Fatalf("n=%d: %d nodes %d edges", n, g.N(), g.EdgeCount())
+		}
+		// Exactly one entry (the root); every other node has in-degree 1.
+		if es := g.Entries(); len(es) != 1 || es[0] != 0 {
+			t.Fatalf("entries = %v", es)
+		}
+		for v := 1; v < n; v++ {
+			if g.InDegree(v) != 1 {
+				t.Fatalf("node %d in-degree %d", v, g.InDegree(v))
+			}
+			if g.OutDegree(v) > 3 {
+				t.Fatalf("node %d exceeds branching cap", v)
+			}
+		}
+		if g.OutDegree(0) > 3 {
+			t.Fatal("root exceeds branching cap")
+		}
+	}
+}
+
+func TestOutTreeValidation(t *testing.T) {
+	r := rng.New(2)
+	if _, err := OutTree(0, 3, 1, r); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := OutTree(5, 0, 1, r); err == nil {
+		t.Error("maxChildren=0 accepted")
+	}
+	// maxChildren=1 degenerates to a chain and must still work.
+	g, err := OutTree(10, 1, 1, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Depth() != 10 {
+		t.Fatalf("chain depth = %d", g.Depth())
+	}
+}
+
+func TestInTreeShape(t *testing.T) {
+	r := rng.New(3)
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + r.Intn(50)
+		g, err := InTree(n, 3, 2, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.N() != n || g.EdgeCount() != n-1 {
+			t.Fatalf("n=%d: %d nodes %d edges", n, g.N(), g.EdgeCount())
+		}
+		// Exactly one exit (the sink, highest id); every other node has
+		// out-degree 1.
+		if xs := g.Exits(); len(xs) != 1 || xs[0] != n-1 {
+			t.Fatalf("exits = %v", xs)
+		}
+		for v := 0; v < n-1; v++ {
+			if g.OutDegree(v) != 1 {
+				t.Fatalf("node %d out-degree %d", v, g.OutDegree(v))
+			}
+			if g.InDegree(v) > 3 {
+				t.Fatalf("node %d exceeds join cap", v)
+			}
+		}
+	}
+}
+
+func TestSeriesParallelShape(t *testing.T) {
+	r := rng.New(5)
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + r.Intn(60)
+		g, err := SeriesParallel(n, 2, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.N() != n {
+			t.Fatalf("n = %d, want %d", g.N(), n)
+		}
+		// Single source (0) and single sink (1) by construction.
+		if es := g.Entries(); len(es) != 1 || es[0] != 0 {
+			t.Fatalf("entries = %v", es)
+		}
+		if xs := g.Exits(); len(xs) != 1 || xs[0] != 1 {
+			t.Fatalf("exits = %v", xs)
+		}
+		if !g.IsTopologicalOrder(g.TopologicalOrder()) {
+			t.Fatal("invalid topological order")
+		}
+	}
+	if _, err := SeriesParallel(1, 1, r); err == nil {
+		t.Error("n=1 accepted")
+	}
+}
+
+func TestTreesDeterministicPerSeed(t *testing.T) {
+	a, err := SeriesParallel(25, 1, rng.New(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SeriesParallel(25, 1, rng.New(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.EdgeCount() != b.EdgeCount() {
+		t.Fatal("same seed produced different graphs")
+	}
+}

@@ -1,0 +1,467 @@
+package heft
+
+import (
+	"math"
+	"testing"
+
+	"robsched/internal/dag"
+	"robsched/internal/platform"
+	"robsched/internal/rng"
+)
+
+// topcuogluExample builds the canonical 10-task, 3-processor example from
+// the HEFT paper (Topcuoglu et al., IEEE TPDS 2002, Fig. 2 / Table 1),
+// for which the upward ranks and the final makespan (80) are published.
+// Transfer rate is 1, so edge data equals communication cost.
+func topcuogluExample(t testing.TB) *platform.Workload {
+	t.Helper()
+	b := dag.NewBuilder(10)
+	edges := []struct {
+		u, v int
+		c    float64
+	}{
+		{0, 1, 18}, {0, 2, 12}, {0, 3, 9}, {0, 4, 11}, {0, 5, 14},
+		{1, 7, 19}, {1, 8, 16},
+		{2, 6, 23},
+		{3, 7, 27}, {3, 8, 23},
+		{4, 8, 13},
+		{5, 7, 15},
+		{6, 9, 17},
+		{7, 9, 11},
+		{8, 9, 13},
+	}
+	for _, e := range edges {
+		b.MustAddEdge(e.u, e.v, e.c)
+	}
+	g := b.MustBuild()
+	exec, err := platform.MatrixFromRows([][]float64{
+		{14, 16, 9},
+		{13, 19, 18},
+		{11, 13, 19},
+		{13, 8, 17},
+		{12, 13, 10},
+		{13, 16, 9},
+		{7, 15, 11},
+		{5, 11, 14},
+		{18, 12, 20},
+		{21, 7, 16},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := platform.DeterministicWorkload(g, platform.UniformSystem(3, 1), exec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestUpwardRanksCanonical(t *testing.T) {
+	w := topcuogluExample(t)
+	ranks := UpwardRanks(w)
+	// Published rank_u values (Table 3 of the HEFT paper).
+	want := []float64{108, 77, 80, 80, 69, 63.333, 42.667, 35.667, 44.333, 14.667}
+	for v, r := range ranks {
+		if math.Abs(r-want[v]) > 0.01 {
+			t.Errorf("rank_u(t%d) = %.3f, want %.3f", v+1, r, want[v])
+		}
+	}
+}
+
+func TestHEFTTaskOrderCanonical(t *testing.T) {
+	w := topcuogluExample(t)
+	order := tasksByDescending(UpwardRanks(w))
+	// Decreasing rank order from the HEFT paper: t1 t3 t4 t2 t5 t6 t9 t7 t8
+	// t10. Tasks t3 and t4 tie at rank exactly 80 in real arithmetic, so
+	// floating point may order the pair either way.
+	want := []int{0, 2, 3, 1, 4, 5, 8, 6, 7, 9}
+	for i := range want {
+		if order[i] != want[i] {
+			if (i == 1 || i == 2) && order[1] == 3 && order[2] == 2 {
+				continue // tied pair swapped; equally canonical
+			}
+			t.Fatalf("processing order = %v, want %v (t3/t4 may swap)", order, want)
+		}
+	}
+}
+
+func TestHEFTCanonicalMakespan(t *testing.T) {
+	w := topcuogluExample(t)
+	s, err := HEFT(w, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s.Makespan()-80) > 1e-9 {
+		t.Fatalf("HEFT makespan = %g, want 80 (published result)", s.Makespan())
+	}
+	// Published assignment highlights: t1 on P3, t10 on P2.
+	if s.Proc(0) != 2 {
+		t.Errorf("t1 on processor %d, want P3", s.Proc(0)+1)
+	}
+	if s.Proc(9) != 1 {
+		t.Errorf("t10 on processor %d, want P2", s.Proc(9)+1)
+	}
+}
+
+func TestCPOPCanonicalMakespan(t *testing.T) {
+	w := topcuogluExample(t)
+	s, err := CPOP(w, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The CPOP schedule for this example has makespan 86 in the paper's
+	// accounting; ASAP re-evaluation can only tighten it. Sanity-band it.
+	if s.Makespan() < 60 || s.Makespan() > 100 {
+		t.Fatalf("CPOP makespan = %g, expected near the published 86", s.Makespan())
+	}
+}
+
+func TestDownwardRanks(t *testing.T) {
+	w := topcuogluExample(t)
+	down := DownwardRanks(w)
+	if down[0] != 0 {
+		t.Errorf("rank_d(entry) = %g, want 0", down[0])
+	}
+	// rank_d(t2) = rank_d(t1) + mean(t1) + c(1→2) = 0 + 13 + 18 = 31.
+	if math.Abs(down[1]-31) > 1e-9 {
+		t.Errorf("rank_d(t2) = %g, want 31", down[1])
+	}
+	// rank_d(t10): via t9 path = rank_d(t9)+mean(t9)+13. rank_d(t9) =
+	// max(via t2=31+50/3+16, via t4=22+38/3+23, via t5=24+35/3+13) =
+	// max(63.667, 57.667, 48.667) = 63.667 → 63.667+16.667+13 = 93.333.
+	// via t8: rank_d(t8)=max(31+16.667+19, 22+12.667+27)=66.667 → +10+11=87.667.
+	// via t7: rank_d(t7)=14.333+23+... t3: rank_d=0+13+12=25? no:
+	// rank_d(t3)=rank_d(t1)+mean(t1)+c(1→3)=0+13+12... mean(t1)=(14+16+9)/3=13.
+	// rank_d(t7)=25+14.333+23=62.333 → +11+17=90.333.
+	// max = 93.333.
+	if math.Abs(down[9]-93.3333333) > 0.01 {
+		t.Errorf("rank_d(t10) = %g, want 93.333", down[9])
+	}
+}
+
+func TestHEFTValidAndCompetitiveOnRandom(t *testing.T) {
+	r := rng.New(5)
+	for trial := 0; trial < 15; trial++ {
+		w := randomWorkload(t, r, 30, 4)
+		s, err := HEFT(w, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// HEFT should beat the average random schedule comfortably.
+		var sum float64
+		const k = 10
+		for i := 0; i < k; i++ {
+			rs, err := RandomSchedule(w, r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sum += rs.Makespan()
+		}
+		if avg := sum / k; s.Makespan() > avg {
+			t.Errorf("trial %d: HEFT makespan %g worse than random average %g",
+				trial, s.Makespan(), avg)
+		}
+	}
+}
+
+func TestCPOPValidOnRandom(t *testing.T) {
+	r := rng.New(7)
+	for trial := 0; trial < 15; trial++ {
+		w := randomWorkload(t, r, 25, 3)
+		s, err := CPOP(w, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Makespan() <= 0 {
+			t.Fatal("non-positive makespan")
+		}
+	}
+}
+
+func TestInsertionNeverWorse(t *testing.T) {
+	r := rng.New(9)
+	betterOrEqual, strictly := 0, 0
+	for trial := 0; trial < 30; trial++ {
+		w := randomWorkload(t, r, 40, 4)
+		ins, err := HEFT(w, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		app, err := HEFT(w, Options{NoInsertion: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ins.Makespan() <= app.Makespan()+1e-9 {
+			betterOrEqual++
+		}
+		if ins.Makespan() < app.Makespan()-1e-9 {
+			strictly++
+		}
+	}
+	// Insertion is not provably dominant per-instance (greedy choices
+	// diverge), but it should win or tie on the overwhelming majority and
+	// strictly win sometimes.
+	if betterOrEqual < 25 {
+		t.Errorf("insertion better-or-equal on only %d/30 instances", betterOrEqual)
+	}
+	if strictly == 0 {
+		t.Error("insertion never strictly better; slot search is probably inert")
+	}
+}
+
+func TestSingleProcessor(t *testing.T) {
+	r := rng.New(11)
+	w := randomWorkload(t, r, 12, 1)
+	s, err := HEFT(w, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// On one processor the makespan is the serial sum of durations.
+	sum := 0.0
+	for i := 0; i < w.N(); i++ {
+		sum += w.ExpectedAt(i, 0)
+	}
+	if math.Abs(s.Makespan()-sum) > 1e-9 {
+		t.Errorf("single-proc makespan = %g, want serial sum %g", s.Makespan(), sum)
+	}
+}
+
+func TestRandomScheduleValidity(t *testing.T) {
+	r := rng.New(13)
+	w := randomWorkload(t, r, 20, 3)
+	for i := 0; i < 20; i++ {
+		s, err := RandomSchedule(w, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		count := 0
+		for p := 0; p < w.M(); p++ {
+			count += len(s.ProcOrder(p))
+		}
+		if count != w.N() {
+			t.Fatalf("schedule covers %d tasks, want %d", count, w.N())
+		}
+	}
+}
+
+func TestFindStart(t *testing.T) {
+	tl := []slot{{10, 20, 0}, {30, 40, 1}}
+	cases := []struct {
+		ready, dur float64
+		noIns      bool
+		want       float64
+	}{
+		{0, 5, false, 0},    // fits before the first slot
+		{0, 15, false, 40},  // too long for any gap (gap 20..30 is 10 wide)
+		{0, 10, false, 0},   // exactly fills the leading gap [0,10)
+		{12, 10, false, 20}, // leading gap gone; exactly fills [20,30)
+		{22, 8, false, 22},  // fits the rest of the middle gap
+		{25, 8, false, 40},  // middle gap too short from 25
+		{50, 3, false, 50},  // after everything
+		{0, 1, true, 40},    // append-only ignores gaps
+		{45, 1, true, 45},   // append-only starts at ready when free
+	}
+	for i, c := range cases {
+		if got := findStart(tl, c.ready, c.dur, c.noIns); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("case %d: findStart = %g, want %g", i, got, c.want)
+		}
+	}
+	if got := findStart(nil, 7, 3, false); got != 7 {
+		t.Errorf("empty timeline: findStart = %g, want 7", got)
+	}
+}
+
+func TestInsertSlotKeepsOrder(t *testing.T) {
+	var tl []slot
+	for _, s := range []slot{{30, 40, 2}, {0, 10, 0}, {15, 20, 1}} {
+		tl = insertSlot(tl, s)
+	}
+	for i := 1; i < len(tl); i++ {
+		if tl[i-1].start > tl[i].start {
+			t.Fatalf("timeline out of order: %+v", tl)
+		}
+	}
+	if tl[0].task != 0 || tl[1].task != 1 || tl[2].task != 2 {
+		t.Fatalf("unexpected slot order: %+v", tl)
+	}
+}
+
+func randomWorkload(t testing.TB, r *rng.Source, n, m int) *platform.Workload {
+	t.Helper()
+	b := dag.NewBuilder(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if r.Float64() < 0.2 {
+				b.MustAddEdge(u, v, r.Uniform(0, 10))
+			}
+		}
+	}
+	g := b.MustBuild()
+	bcet := platform.NewMatrix(n, m)
+	ul := platform.NewMatrix(n, m)
+	for i := 0; i < n; i++ {
+		for j := 0; j < m; j++ {
+			bcet.Set(i, j, r.Uniform(5, 30))
+			ul.Set(i, j, r.Uniform(1, 4))
+		}
+	}
+	w, err := platform.NewWorkload(g, platform.UniformSystem(m, 1), bcet, ul)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func BenchmarkHEFT100x8(b *testing.B) {
+	r := rng.New(1)
+	w := randomWorkload(b, r, 100, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := HEFT(w, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestBatchMinMinValid(t *testing.T) {
+	r := rng.New(41)
+	for trial := 0; trial < 15; trial++ {
+		w := randomWorkload(t, r, 25, 3)
+		for _, rule := range []BatchRule{MinMin, MaxMin} {
+			s, err := Batch(w, rule)
+			if err != nil {
+				t.Fatalf("%v: %v", rule, err)
+			}
+			if s.Makespan() <= 0 {
+				t.Fatalf("%v: bad makespan", rule)
+			}
+			count := 0
+			for p := 0; p < w.M(); p++ {
+				count += len(s.ProcOrder(p))
+			}
+			if count != w.N() {
+				t.Fatalf("%v: %d tasks scheduled", rule, count)
+			}
+		}
+	}
+}
+
+func TestBatchSingleTask(t *testing.T) {
+	b := dag.NewBuilder(1)
+	g := b.MustBuild()
+	exec, _ := platform.MatrixFromRows([][]float64{{7, 3}})
+	w, err := platform.DeterministicWorkload(g, platform.UniformSystem(2, 1), exec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Batch(w, MinMin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Proc(0) != 1 || s.Makespan() != 3 {
+		t.Fatalf("min-min put the task on %d with makespan %g", s.Proc(0), s.Makespan())
+	}
+}
+
+func TestBatchCompetitiveWithRandom(t *testing.T) {
+	r := rng.New(43)
+	for trial := 0; trial < 10; trial++ {
+		w := randomWorkload(t, r, 30, 4)
+		mm, err := Batch(w, MinMin)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var randSum float64
+		for i := 0; i < 8; i++ {
+			rs, err := RandomSchedule(w, r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			randSum += rs.Makespan()
+		}
+		if mm.Makespan() > randSum/8 {
+			t.Errorf("trial %d: min-min %g worse than average random %g",
+				trial, mm.Makespan(), randSum/8)
+		}
+	}
+}
+
+func TestBatchRuleString(t *testing.T) {
+	if MinMin.String() != "min-min" || MaxMin.String() != "max-min" {
+		t.Fatal("BatchRule strings wrong")
+	}
+}
+
+func TestPEFTOCTExitRowsZero(t *testing.T) {
+	w := topcuogluExample(t)
+	oct := OptimisticCostTable(w)
+	// Exit task t10 has OCT 0 on every processor.
+	for p := 0; p < w.M(); p++ {
+		if oct.At(9, p) != 0 {
+			t.Fatalf("OCT(exit, %d) = %g", p, oct.At(9, p))
+		}
+	}
+	// Entries are positive for non-exit tasks.
+	for p := 0; p < w.M(); p++ {
+		if oct.At(0, p) <= 0 {
+			t.Fatalf("OCT(t1, %d) = %g", p, oct.At(0, p))
+		}
+	}
+}
+
+func TestPEFTValidAndCompetitive(t *testing.T) {
+	r := rng.New(61)
+	worseCount := 0
+	const trials = 15
+	for trial := 0; trial < trials; trial++ {
+		w := randomWorkload(t, r, 40, 4)
+		ps, err := PEFT(w, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		hs, err := HEFT(w, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ps.Makespan() <= 0 {
+			t.Fatal("bad makespan")
+		}
+		if ps.Makespan() > 1.5*hs.Makespan() {
+			worseCount++
+		}
+	}
+	// PEFT should generally be in HEFT's ballpark.
+	if worseCount > trials/3 {
+		t.Errorf("PEFT >1.5x HEFT on %d/%d instances", worseCount, trials)
+	}
+}
+
+func TestPEFTCanonicalSanity(t *testing.T) {
+	w := topcuogluExample(t)
+	s, err := PEFT(w, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The published PEFT schedule for this example reaches makespan 86 in
+	// the authors' accounting (HEFT gets 80 on this particular graph);
+	// ASAP re-evaluation can only tighten. Band it.
+	if s.Makespan() < 60 || s.Makespan() > 110 {
+		t.Fatalf("PEFT makespan = %g out of plausible band", s.Makespan())
+	}
+}
+
+func TestPEFTSingleProcessor(t *testing.T) {
+	r := rng.New(67)
+	w := randomWorkload(t, r, 10, 1)
+	s, err := PEFT(w, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for i := 0; i < w.N(); i++ {
+		sum += w.ExpectedAt(i, 0)
+	}
+	if math.Abs(s.Makespan()-sum) > 1e-9 {
+		t.Fatalf("single-proc PEFT makespan %g != serial sum %g", s.Makespan(), sum)
+	}
+}

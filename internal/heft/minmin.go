@@ -1,0 +1,105 @@
+package heft
+
+import (
+	"math"
+
+	"robsched/internal/platform"
+	"robsched/internal/schedule"
+)
+
+// BatchRule selects which task a levelized batch scheduler commits next
+// from the ready set.
+type BatchRule int
+
+const (
+	// MinMin repeatedly commits the (task, processor) pair with the
+	// globally smallest earliest finish time — fast tasks first, the
+	// classic independent-task heuristic lifted to DAGs by levelization.
+	MinMin BatchRule = iota
+	// MaxMin commits the task whose *best* finish time is largest —
+	// long tasks first, trading mean performance for balance.
+	MaxMin
+)
+
+func (r BatchRule) String() string {
+	if r == MaxMin {
+		return "max-min"
+	}
+	return "min-min"
+}
+
+// Batch schedules the workload with a levelized Min-Min or Max-Min
+// heuristic: tasks become ready when all predecessors are scheduled, and
+// the rule repeatedly picks from the ready set using insertion-free
+// earliest-finish-time estimates on expected durations. These are the
+// batch-mode baselines of the heterogeneous-computing literature (Ali et
+// al.'s COV model paper evaluates on them), complementing the list
+// schedulers.
+func Batch(w *platform.Workload, rule BatchRule) (*schedule.Schedule, error) {
+	n, m := w.N(), w.M()
+	proc := make([]int, n)
+	aft := make([]float64, n)
+	for i := range proc {
+		proc[i] = -1
+	}
+	procFree := make([]float64, m)
+	timelinesOrder := make([][]int, m)
+	remaining := make([]int, n)
+	ready := make(map[int]bool)
+	for v := 0; v < n; v++ {
+		remaining[v] = w.G.InDegree(v)
+		if remaining[v] == 0 {
+			ready[v] = true
+		}
+	}
+	// eft computes the append-only earliest finish of v on p.
+	eft := func(v, p int) (start, finish float64) {
+		start = procFree[p]
+		for _, a := range w.G.Predecessors(v) {
+			u := a.To
+			if t := aft[u] + w.Sys.CommCost(proc[u], p, a.Data); t > start {
+				start = t
+			}
+		}
+		return start, start + w.ExpectedAt(v, p)
+	}
+	scheduled := 0
+	for scheduled < n {
+		bestTask, bestProc := -1, -1
+		bestKey := math.Inf(1)
+		if rule == MaxMin {
+			bestKey = math.Inf(-1)
+		}
+		bestFinish := 0.0
+		for v := range ready {
+			vProc, vFinish := -1, math.Inf(1)
+			for p := 0; p < m; p++ {
+				if _, f := eft(v, p); f < vFinish {
+					vProc, vFinish = p, f
+				}
+			}
+			better := vFinish < bestKey
+			if rule == MaxMin {
+				better = vFinish > bestKey
+			}
+			// Deterministic tie-break on task id.
+			if better || (vFinish == bestKey && (bestTask < 0 || v < bestTask)) {
+				bestTask, bestProc, bestKey, bestFinish = v, vProc, vFinish, vFinish
+			}
+		}
+		v, p := bestTask, bestProc
+		proc[v] = p
+		aft[v] = bestFinish
+		procFree[p] = bestFinish
+		timelinesOrder[p] = append(timelinesOrder[p], v)
+		delete(ready, v)
+		scheduled++
+		for _, a := range w.G.Successors(v) {
+			remaining[a.To]--
+			if remaining[a.To] == 0 {
+				ready[a.To] = true
+			}
+		}
+	}
+	return schedule.New(w, proc, timelinesOrder)
+}

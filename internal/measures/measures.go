@@ -1,0 +1,185 @@
+// Package measures implements the alternative robustness measures from the
+// paper's related-work section, so the slack-based approach can be compared
+// against its contemporaries on the same schedules:
+//
+//   - Bölöni & Marinescu (Journal of Scheduling 2002): the number of
+//     *critical components* of a schedule — the fewer tasks sit on a
+//     critical path, the more robust the schedule — and a schedule
+//     *entropy* built from the probability that each task becomes critical
+//     in a realization (the paper notes this probability is "non-trivial"
+//     to determine analytically; here it is estimated by Monte Carlo).
+//   - Leon, Wu & Storer (IIE Transactions 1994): average slack as a delay
+//     predictor (the quantity the paper adopts as its surrogate; exposed
+//     here for side-by-side reporting).
+//   - England, Weissman & Sadagopan (HPDC 2005): robustness as a
+//     distributional distance — implemented as the Kolmogorov–Smirnov
+//     statistic between empirical makespan distributions.
+package measures
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"robsched/internal/rng"
+	"robsched/internal/schedule"
+	"robsched/internal/sim"
+)
+
+// CriticalTolerance is the slack threshold below which a task counts as
+// critical, relative to the schedule makespan.
+const CriticalTolerance = 1e-9
+
+// CriticalComponents returns the number of tasks with (numerically) zero
+// slack under expected durations — Bölöni & Marinescu's first robustness
+// indicator (smaller is more robust).
+func CriticalComponents(s *schedule.Schedule) int {
+	count := 0
+	for v := 0; v < s.Workload().N(); v++ {
+		if s.Slack(v) <= CriticalTolerance*(1+s.Makespan()) {
+			count++
+		}
+	}
+	return count
+}
+
+// CriticalityProbabilities estimates, by Monte Carlo over realized
+// durations, the probability that each task lies on a critical path of the
+// realized execution (slack ≈ 0 under the realized durations).
+func CriticalityProbabilities(s *schedule.Schedule, realizations int, root *rng.Source) ([]float64, error) {
+	if realizations < 1 {
+		return nil, fmt.Errorf("measures: realizations=%d must be >= 1", realizations)
+	}
+	w := s.Workload()
+	n := w.N()
+	counts := make([]int, n)
+	dur := make([]float64, n)
+	for k := 0; k < realizations; k++ {
+		r := rng.New(root.Uint64())
+		for v := 0; v < n; v++ {
+			dur[v] = w.SampleDuration(v, s.Proc(v), r)
+		}
+		slack, makespan := s.SlackWith(dur)
+		tol := CriticalTolerance * (1 + makespan)
+		for v := 0; v < n; v++ {
+			if slack[v] <= tol {
+				counts[v]++
+			}
+		}
+	}
+	probs := make([]float64, n)
+	for v := range probs {
+		probs[v] = float64(counts[v]) / float64(realizations)
+	}
+	return probs, nil
+}
+
+// Entropy returns the Shannon entropy (nats) of the normalized criticality
+// distribution — Bölöni & Marinescu's second indicator, adapted to task
+// (rather than path) criticality probabilities: a schedule whose
+// criticality concentrates on few tasks has low entropy; spreading the
+// risk across many potential critical tasks raises it.
+func Entropy(probs []float64) float64 {
+	total := 0.0
+	for _, p := range probs {
+		total += p
+	}
+	if total <= 0 {
+		return 0
+	}
+	h := 0.0
+	for _, p := range probs {
+		if p <= 0 {
+			continue
+		}
+		q := p / total
+		h -= q * math.Log(q)
+	}
+	return h
+}
+
+// MeanSlack is Leon et al.'s average-slack predictor — identical to the
+// schedule's AvgSlack, re-exported for uniform reporting.
+func MeanSlack(s *schedule.Schedule) float64 { return s.AvgSlack() }
+
+// KSDistance returns the two-sample Kolmogorov–Smirnov statistic between
+// empirical samples a and b: the maximum vertical distance between their
+// empirical CDFs, in [0, 1]. England et al. frame robustness comparisons
+// as distances between performance distributions; two schedules whose
+// makespan distributions are close behave interchangeably under
+// uncertainty.
+func KSDistance(a, b []float64) (float64, error) {
+	if len(a) == 0 || len(b) == 0 {
+		return 0, fmt.Errorf("measures: KS distance needs non-empty samples")
+	}
+	as := append([]float64(nil), a...)
+	bs := append([]float64(nil), b...)
+	sort.Float64s(as)
+	sort.Float64s(bs)
+	i, j := 0, 0
+	d := 0.0
+	for i < len(as) && j < len(bs) {
+		// Step past every occurrence of the current smallest value in both
+		// samples before measuring, so ties move the two CDFs together.
+		x := math.Min(as[i], bs[j])
+		for i < len(as) && as[i] == x {
+			i++
+		}
+		for j < len(bs) && bs[j] == x {
+			j++
+		}
+		fa := float64(i) / float64(len(as))
+		fb := float64(j) / float64(len(bs))
+		if diff := math.Abs(fa - fb); diff > d {
+			d = diff
+		}
+	}
+	return d, nil
+}
+
+// SampleMakespans draws n realized makespans of the schedule, the raw
+// material for distributional measures.
+func SampleMakespans(s *schedule.Schedule, n int, root *rng.Source) ([]float64, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("measures: n=%d must be >= 1", n)
+	}
+	w := s.Workload()
+	out := make([]float64, n)
+	dur := make([]float64, w.N())
+	startBuf := make([]float64, w.N())
+	finishBuf := make([]float64, w.N())
+	for k := range out {
+		r := rng.New(root.Uint64())
+		for v := range dur {
+			dur[v] = w.SampleDuration(v, s.Proc(v), r)
+		}
+		out[k] = s.MakespanInto(dur, startBuf, finishBuf)
+	}
+	return out, nil
+}
+
+// Report bundles every related-work measure for one schedule.
+type Report struct {
+	CriticalComponents int
+	Entropy            float64
+	MeanSlack          float64
+	Metrics            sim.Metrics
+}
+
+// Measure computes the full report with the given Monte-Carlo budget.
+func Measure(s *schedule.Schedule, realizations int, root *rng.Source) (Report, error) {
+	probs, err := CriticalityProbabilities(s, realizations, root.Split())
+	if err != nil {
+		return Report{}, err
+	}
+	m, err := sim.Evaluate(s, sim.Options{Realizations: realizations}, root.Split())
+	if err != nil {
+		return Report{}, err
+	}
+	return Report{
+		CriticalComponents: CriticalComponents(s),
+		Entropy:            Entropy(probs),
+		MeanSlack:          MeanSlack(s),
+		Metrics:            m,
+	}, nil
+}

@@ -1,0 +1,278 @@
+package measures
+
+import (
+	"math"
+	"testing"
+
+	"robsched/internal/dag"
+	"robsched/internal/gen"
+	"robsched/internal/heft"
+	"robsched/internal/platform"
+	"robsched/internal/rng"
+	"robsched/internal/robust"
+	"robsched/internal/schedule"
+)
+
+func testWorkload(t testing.TB, seed uint64, n, m int, ul float64) *platform.Workload {
+	t.Helper()
+	p := gen.PaperParams()
+	p.N, p.M, p.MeanUL = n, m, ul
+	w, err := gen.Random(p, rng.New(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+// diamondSchedule reuses the hand-checkable fixture: slack = [0, 6, 0, 0],
+// so exactly 3 critical components.
+func diamondSchedule(t *testing.T) *schedule.Schedule {
+	t.Helper()
+	b := dag.NewBuilder(4)
+	b.MustAddEdge(0, 1, 2)
+	b.MustAddEdge(0, 2, 4)
+	b.MustAddEdge(1, 3, 1)
+	b.MustAddEdge(2, 3, 3)
+	g := b.MustBuild()
+	exec, _ := platform.MatrixFromRows([][]float64{{2, 3}, {3, 2}, {4, 2}, {1, 2}})
+	w, err := platform.DeterministicWorkload(g, platform.UniformSystem(2, 1), exec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := schedule.New(w, []int{0, 0, 1, 0}, [][]int{{0, 1, 3}, {2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestCriticalComponentsDiamond(t *testing.T) {
+	s := diamondSchedule(t)
+	if got := CriticalComponents(s); got != 3 {
+		t.Fatalf("CriticalComponents = %d, want 3", got)
+	}
+}
+
+func TestSlackWithMatchesExpected(t *testing.T) {
+	// SlackWith under expected durations reproduces the cached analysis.
+	w := testWorkload(t, 1, 30, 4, 3)
+	s, err := heft.HEFT(w, heft.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	slack, makespan := s.SlackWith(s.ExpectedDurations())
+	if math.Abs(makespan-s.Makespan()) > 1e-9 {
+		t.Fatalf("makespan %g != %g", makespan, s.Makespan())
+	}
+	for v := range slack {
+		if math.Abs(slack[v]-s.Slack(v)) > 1e-9 {
+			t.Fatalf("slack(%d) = %g, want %g", v, slack[v], s.Slack(v))
+		}
+	}
+}
+
+func TestCriticalityProbabilitiesDeterministic(t *testing.T) {
+	// With UL=1 every realization is identical, so criticality
+	// probabilities are exactly 0 or 1 and match the static analysis.
+	s := diamondSchedule(t)
+	probs, err := CriticalityProbabilities(s, 50, rng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1, 0, 1, 1}
+	for v := range want {
+		if probs[v] != want[v] {
+			t.Fatalf("probs = %v, want %v", probs, want)
+		}
+	}
+}
+
+func TestCriticalityProbabilitiesRange(t *testing.T) {
+	w := testWorkload(t, 3, 25, 3, 4)
+	s, err := heft.HEFT(w, heft.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	probs, err := CriticalityProbabilities(s, 200, rng.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	anyPositive := false
+	for v, p := range probs {
+		if p < 0 || p > 1 {
+			t.Fatalf("prob(%d) = %g", v, p)
+		}
+		if p > 0 {
+			anyPositive = true
+		}
+	}
+	if !anyPositive {
+		t.Fatal("no task ever critical")
+	}
+	if _, err := CriticalityProbabilities(s, 0, rng.New(1)); err == nil {
+		t.Fatal("zero realizations accepted")
+	}
+}
+
+func TestEntropy(t *testing.T) {
+	// Concentrated criticality → zero entropy.
+	if h := Entropy([]float64{1, 0, 0}); h != 0 {
+		t.Errorf("concentrated entropy = %g", h)
+	}
+	// Uniform over k tasks → ln k.
+	if h := Entropy([]float64{0.5, 0.5, 0.5, 0.5}); math.Abs(h-math.Log(4)) > 1e-12 {
+		t.Errorf("uniform entropy = %g, want ln 4", h)
+	}
+	// Empty / all-zero → 0.
+	if h := Entropy(nil); h != 0 {
+		t.Errorf("empty entropy = %g", h)
+	}
+	if h := Entropy([]float64{0, 0}); h != 0 {
+		t.Errorf("zero entropy = %g", h)
+	}
+	// Scale invariance of the normalization.
+	a := Entropy([]float64{0.2, 0.4, 0.4})
+	b := Entropy([]float64{0.1, 0.2, 0.2})
+	if math.Abs(a-b) > 1e-12 {
+		t.Errorf("entropy not scale invariant: %g vs %g", a, b)
+	}
+}
+
+func TestKSDistance(t *testing.T) {
+	// Identical samples → 0.
+	a := []float64{1, 2, 3, 4, 5}
+	if d, err := KSDistance(a, a); err != nil || d != 0 {
+		t.Fatalf("KS(a,a) = %g, %v", d, err)
+	}
+	// Disjoint supports → 1.
+	b := []float64{10, 11, 12}
+	if d, _ := KSDistance(a, b); d != 1 {
+		t.Fatalf("KS(disjoint) = %g, want 1", d)
+	}
+	// Known half-shifted case: {1,2} vs {2,3}: D = 0.5.
+	if d, _ := KSDistance([]float64{1, 2}, []float64{2, 3}); d != 0.5 {
+		t.Fatalf("KS half shift = %g, want 0.5", d)
+	}
+	// Symmetry.
+	d1, _ := KSDistance(a, b)
+	d2, _ := KSDistance(b, a)
+	if d1 != d2 {
+		t.Fatalf("KS not symmetric: %g vs %g", d1, d2)
+	}
+	if _, err := KSDistance(nil, a); err == nil {
+		t.Fatal("empty sample accepted")
+	}
+}
+
+func TestKSDistanceStatistical(t *testing.T) {
+	// Two large samples from the same distribution have small KS distance;
+	// from shifted distributions, large.
+	r := rng.New(5)
+	const n = 5000
+	same1 := make([]float64, n)
+	same2 := make([]float64, n)
+	shifted := make([]float64, n)
+	for i := 0; i < n; i++ {
+		same1[i] = r.Norm(0, 1)
+		same2[i] = r.Norm(0, 1)
+		shifted[i] = r.Norm(1, 1)
+	}
+	dSame, _ := KSDistance(same1, same2)
+	dShift, _ := KSDistance(same1, shifted)
+	if dSame > 0.05 {
+		t.Errorf("KS same-distribution = %g, want small", dSame)
+	}
+	if dShift < 0.3 {
+		t.Errorf("KS shifted = %g, want large", dShift)
+	}
+}
+
+func TestSampleMakespans(t *testing.T) {
+	w := testWorkload(t, 7, 20, 3, 3)
+	s, err := heft.HEFT(w, heft.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms, err := SampleMakespans(s, 300, rng.New(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 300 {
+		t.Fatalf("got %d samples", len(ms))
+	}
+	for _, m := range ms {
+		if m < s.Makespan()*0.2 {
+			t.Fatalf("implausible makespan %g (M0 %g)", m, s.Makespan())
+		}
+	}
+	if _, err := SampleMakespans(s, 0, rng.New(1)); err == nil {
+		t.Fatal("n=0 accepted")
+	}
+}
+
+// TestRobustScheduleLowersCriticalityEntropy ties the paper's approach to
+// Bölöni & Marinescu's entropy measure: the slack-maximized GA schedule
+// concentrates criticality on one stable, heavily padded path, so the
+// probability of *which* tasks become critical is far less dispersed than
+// in HEFT's tight schedule, where the critical path wanders between
+// realizations. Lower schedule entropy = more predictable = more robust in
+// their framing. (The raw critical-component *count* is not a reliable
+// discriminator here: stretching the makespan can lengthen the single
+// critical chain even as everything else gains slack.)
+func TestRobustScheduleLowersCriticalityEntropy(t *testing.T) {
+	lower := 0
+	const instances = 5
+	for k := 0; k < instances; k++ {
+		w := testWorkload(t, uint64(20+k), 30, 4, 4)
+		hs, err := heft.HEFT(w, heft.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := robust.Solve(w, robust.Options{
+			Mode: robust.EpsilonConstraint, Eps: 1.5,
+			PopSize: 12, CrossoverRate: 0.9, MutationRate: 0.2,
+			MaxGenerations: 60,
+		}, rng.New(uint64(30+k)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ph, err := CriticalityProbabilities(hs, 200, rng.New(uint64(40+k)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		pg, err := CriticalityProbabilities(res.Schedule, 200, rng.New(uint64(40+k)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if Entropy(pg) < Entropy(ph) {
+			lower++
+		}
+	}
+	if lower < instances-1 {
+		t.Errorf("GA lowered criticality entropy on only %d/%d instances", lower, instances)
+	}
+}
+
+func TestMeasureReport(t *testing.T) {
+	w := testWorkload(t, 9, 20, 3, 3)
+	s, err := heft.HEFT(w, heft.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Measure(s, 150, rng.New(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.CriticalComponents < 1 || rep.CriticalComponents > w.N() {
+		t.Errorf("CriticalComponents = %d", rep.CriticalComponents)
+	}
+	if rep.Entropy < 0 {
+		t.Errorf("Entropy = %g", rep.Entropy)
+	}
+	if rep.MeanSlack != s.AvgSlack() {
+		t.Errorf("MeanSlack = %g, want %g", rep.MeanSlack, s.AvgSlack())
+	}
+	if rep.Metrics.Realizations != 150 {
+		t.Errorf("Metrics.Realizations = %d", rep.Metrics.Realizations)
+	}
+}

@@ -1,0 +1,68 @@
+package measures
+
+import (
+	"testing"
+
+	"robsched/internal/heft"
+	"robsched/internal/rng"
+	"robsched/internal/robust"
+	"robsched/internal/schedule"
+	"robsched/internal/sim"
+	"robsched/internal/stats"
+)
+
+// TestSlackPredictsDelay validates the claim the paper builds on (Leon,
+// Wu & Storer 1994: "the mean job slack was a good predictor of average
+// schedule delay"): across many schedules of the same uncertain workload,
+// the normalized average slack must correlate *negatively* and strongly
+// with the realized mean relative tardiness. This is the statistical
+// justification for using slack as the GA's robustness surrogate at all.
+func TestSlackPredictsDelay(t *testing.T) {
+	w := testWorkload(t, 999, 40, 4, 4)
+
+	// The schedule family where slack is the controlled variable: the
+	// ε-constraint GA across the ε grid (the paper's own Fig. 5 setting),
+	// anchored by HEFT. (Uniformly random schedules confound the
+	// relationship — their tardiness is dominated by structure, not slack —
+	// so the paper's claim is about *engineered* slack, which this family
+	// isolates.)
+	var schedules []*schedule.Schedule
+	hs, err := heft.HEFT(w, heft.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	schedules = append(schedules, hs)
+	for i, eps := range []float64{1.0, 1.2, 1.4, 1.6, 1.8, 2.0} {
+		res, err := robust.Solve(w, robust.Options{
+			Mode: robust.EpsilonConstraint, Eps: eps,
+			PopSize: 12, CrossoverRate: 0.9, MutationRate: 0.2,
+			MaxGenerations: 60,
+		}, rng.New(uint64(40+i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		schedules = append(schedules, res.Schedule)
+	}
+
+	ms, err := sim.EvaluateAll(schedules, sim.Options{Realizations: 500}, rng.New(33))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Normalize slack by the schedule's own makespan so the predictor is
+	// scale-free across the ε range.
+	var slackNorm, tard []float64
+	for i, s := range schedules {
+		slackNorm = append(slackNorm, s.AvgSlack()/s.Makespan())
+		tard = append(tard, ms[i].MeanTardiness)
+	}
+	pearson := stats.Pearson(slackNorm, tard)
+	spearman := stats.Spearman(slackNorm, tard)
+	if pearson >= -0.6 {
+		t.Errorf("normalized slack does not predict tardiness: Pearson %g (want strongly negative)", pearson)
+	}
+	if spearman >= -0.6 {
+		t.Errorf("normalized slack does not rank-predict tardiness: Spearman %g", spearman)
+	}
+	t.Logf("slack→tardiness correlation over %d schedules: Pearson %.3f, Spearman %.3f",
+		len(schedules), pearson, spearman)
+}

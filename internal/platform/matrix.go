@@ -1,0 +1,114 @@
+// Package platform models the heterogeneous multiprocessor computing system
+// of Section 3.1: a set of m fully connected processors with a data transfer
+// rate matrix TR, a best-case execution time (BCET) matrix B, and an
+// uncertainty-level matrix UL. The real duration of task i on processor j is
+// the uniform random variable U(b_ij, (2*UL_ij - 1)*b_ij), whose expectation
+// UL_ij*b_ij is what deterministic schedulers are fed.
+package platform
+
+import "fmt"
+
+// Matrix is a dense row-major matrix of float64. The zero value is an empty
+// matrix; use NewMatrix.
+type Matrix struct {
+	rows, cols int
+	v          []float64
+}
+
+// NewMatrix returns a rows×cols zero matrix. It panics on non-positive
+// dimensions.
+func NewMatrix(rows, cols int) Matrix {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("platform: NewMatrix(%d, %d)", rows, cols))
+	}
+	return Matrix{rows: rows, cols: cols, v: make([]float64, rows*cols)}
+}
+
+// MatrixFromRows builds a matrix from row slices, which must be non-empty
+// and of equal length.
+func MatrixFromRows(rows [][]float64) (Matrix, error) {
+	if len(rows) == 0 || len(rows[0]) == 0 {
+		return Matrix{}, fmt.Errorf("platform: MatrixFromRows needs at least one non-empty row")
+	}
+	m := NewMatrix(len(rows), len(rows[0]))
+	for i, r := range rows {
+		if len(r) != m.cols {
+			return Matrix{}, fmt.Errorf("platform: row %d has %d columns, want %d", i, len(r), m.cols)
+		}
+		copy(m.v[i*m.cols:(i+1)*m.cols], r)
+	}
+	return m, nil
+}
+
+// Rows returns the number of rows.
+func (m Matrix) Rows() int { return m.rows }
+
+// Cols returns the number of columns.
+func (m Matrix) Cols() int { return m.cols }
+
+// IsZero reports whether the matrix is the unusable zero value.
+func (m Matrix) IsZero() bool { return m.v == nil }
+
+// At returns element (i, j).
+func (m Matrix) At(i, j int) float64 { return m.v[i*m.cols+j] }
+
+// Set assigns element (i, j).
+func (m Matrix) Set(i, j int, x float64) { m.v[i*m.cols+j] = x }
+
+// Row returns row i as a slice aliasing the matrix storage.
+func (m Matrix) Row(i int) []float64 { return m.v[i*m.cols : (i+1)*m.cols] }
+
+// Clone returns a deep copy.
+func (m Matrix) Clone() Matrix {
+	out := Matrix{rows: m.rows, cols: m.cols, v: make([]float64, len(m.v))}
+	copy(out.v, m.v)
+	return out
+}
+
+// Fill sets every element to x.
+func (m Matrix) Fill(x float64) {
+	for i := range m.v {
+		m.v[i] = x
+	}
+}
+
+// RowMean returns the arithmetic mean of row i.
+func (m Matrix) RowMean(i int) float64 {
+	sum := 0.0
+	for _, x := range m.Row(i) {
+		sum += x
+	}
+	return sum / float64(m.cols)
+}
+
+// Mean returns the mean over all elements.
+func (m Matrix) Mean() float64 {
+	sum := 0.0
+	for _, x := range m.v {
+		sum += x
+	}
+	return sum / float64(len(m.v))
+}
+
+// Min returns the smallest element.
+func (m Matrix) Min() float64 {
+	min := m.v[0]
+	for _, x := range m.v[1:] {
+		if x < min {
+			min = x
+		}
+	}
+	return min
+}
+
+// Hadamard returns the element-wise product of two equally sized matrices.
+func (m Matrix) Hadamard(o Matrix) Matrix {
+	if m.rows != o.rows || m.cols != o.cols {
+		panic(fmt.Sprintf("platform: Hadamard size mismatch %dx%d vs %dx%d", m.rows, m.cols, o.rows, o.cols))
+	}
+	out := m.Clone()
+	for i := range out.v {
+		out.v[i] *= o.v[i]
+	}
+	return out
+}

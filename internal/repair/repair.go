@@ -1,0 +1,239 @@
+// Package repair executes a static schedule against realized task
+// durations under runtime repair policies, the reactive middle ground
+// between the paper's pure static robustness and full online scheduling
+// (cf. the related work of Leon et al., who study rescheduling after
+// disruptions, and Moukrim et al.'s partially on-line algorithms):
+//
+//   - right-shift (the base policy, threshold = +Inf): the assignment and
+//     processor orders are kept and every task simply starts as soon as it
+//     is ready — exactly the paper's realization semantics (Claim 3.2);
+//   - reactive rescheduling: execution follows the current plan until some
+//     task finishes more than threshold·M0 later than planned, at which
+//     point every not-yet-started task is re-planned with an
+//     earliest-finish-time pass using expected durations, the observed
+//     completions and current processor availability.
+//
+// The simulator is event-driven and chronologically consistent: the next
+// task to start is always the plan-eligible task with the earliest
+// feasible start time. One simplification: tasks already *running* at a
+// re-plan instant keep their processor (correct — they cannot migrate) and
+// the re-planner uses their realized finish times rather than re-estimating
+// the remaining work of an in-flight task; this only sharpens the ready
+// times the re-planner sees and does not let it change any decision it
+// could not have made.
+package repair
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"robsched/internal/heft"
+	"robsched/internal/platform"
+	"robsched/internal/rng"
+	"robsched/internal/schedule"
+	"robsched/internal/sim"
+)
+
+// Policy selects the repair behaviour.
+type Policy struct {
+	// Threshold is the relative delay (fraction of the plan's M0) of a
+	// task's actual finish beyond its planned finish that triggers a
+	// re-plan of all unstarted tasks. +Inf (or 0 value via NeverReschedule)
+	// never triggers, giving pure right-shift execution.
+	Threshold float64
+}
+
+// NeverReschedule is the pure right-shift policy.
+func NeverReschedule() Policy { return Policy{Threshold: math.Inf(1)} }
+
+// Outcome is one simulated execution under a repair policy.
+type Outcome struct {
+	Makespan    float64
+	Reschedules int
+	Proc        []int
+	Start       []float64
+	Finish      []float64
+}
+
+// Execute plays the realized duration matrix against the schedule under
+// the policy. durs.At(i, p) is the duration task i would actually take on
+// processor p (only the assigned processor's entry is consumed unless a
+// re-plan moves the task).
+func Execute(s *schedule.Schedule, durs platform.Matrix, pol Policy) (Outcome, error) {
+	w := s.Workload()
+	n, m := w.N(), w.M()
+	if durs.Rows() != n || durs.Cols() != m {
+		return Outcome{}, fmt.Errorf("repair: duration matrix is %dx%d, want %dx%d", durs.Rows(), durs.Cols(), n, m)
+	}
+	if pol.Threshold < 0 {
+		return Outcome{}, fmt.Errorf("repair: threshold %g must be >= 0", pol.Threshold)
+	}
+	window := pol.Threshold * s.Makespan()
+
+	out := Outcome{
+		Proc:   s.ProcAssignment(),
+		Start:  make([]float64, n),
+		Finish: make([]float64, n),
+	}
+	// Current plan: per-processor queues of unstarted tasks plus the
+	// planned finish time of every task.
+	queues := make([][]int, m)
+	for p := 0; p < m; p++ {
+		queues[p] = s.ProcOrder(p)
+	}
+	planned := make([]float64, n)
+	for v := 0; v < n; v++ {
+		planned[v] = s.Finish(v)
+	}
+	completed := make([]bool, n)
+	remainingPreds := make([]int, n)
+	for v := 0; v < n; v++ {
+		remainingPreds[v] = w.G.InDegree(v)
+	}
+	procFree := make([]float64, m)
+	ranks := heft.UpwardRanks(w)
+	done := 0
+	for done < n {
+		// Among processor-queue heads whose predecessors are all
+		// completed, execute the one with the earliest feasible start.
+		bestProc, bestStart := -1, math.Inf(1)
+		for p := 0; p < m; p++ {
+			if len(queues[p]) == 0 {
+				continue
+			}
+			v := queues[p][0]
+			if remainingPreds[v] > 0 {
+				continue
+			}
+			start := procFree[p]
+			for _, a := range w.G.Predecessors(v) {
+				u := a.To
+				if t := out.Finish[u] + w.Sys.CommCost(out.Proc[u], p, a.Data); t > start {
+					start = t
+				}
+			}
+			if start < bestStart {
+				bestProc, bestStart = p, start
+			}
+		}
+		if bestProc < 0 {
+			return Outcome{}, fmt.Errorf("repair: execution stalled with %d tasks left (plan inconsistency)", n-done)
+		}
+		v := queues[bestProc][0]
+		queues[bestProc] = queues[bestProc][1:]
+		out.Start[v] = bestStart
+		out.Finish[v] = bestStart + durs.At(v, bestProc)
+		out.Proc[v] = bestProc
+		procFree[bestProc] = out.Finish[v]
+		completed[v] = true
+		done++
+		for _, a := range w.G.Successors(v) {
+			remainingPreds[a.To]--
+		}
+		if out.Finish[v] > out.Makespan {
+			out.Makespan = out.Finish[v]
+		}
+		// Repair trigger: the observed finish ran past the plan by more
+		// than the window.
+		if !math.IsInf(pol.Threshold, 1) && out.Finish[v]-planned[v] > window && done < n {
+			replan(w, ranks, completed, out, procFree, queues, planned)
+			out.Reschedules++
+		}
+	}
+	return out, nil
+}
+
+// replan rebuilds the queues and planned finishes of every unstarted task
+// with an earliest-finish-time pass over expected durations, seeded with
+// the observed completions and processor availability.
+func replan(w *platform.Workload, ranks []float64, completed []bool, out Outcome,
+	procFree []float64, queues [][]int, planned []float64) {
+	n, m := w.N(), w.M()
+	var remaining []int
+	for v := 0; v < n; v++ {
+		if !completed[v] {
+			remaining = append(remaining, v)
+		}
+	}
+	// Decreasing upward rank is a topological order of the remaining
+	// sub-DAG (ranks strictly decrease along edges).
+	sort.SliceStable(remaining, func(a, b int) bool {
+		if ranks[remaining[a]] != ranks[remaining[b]] {
+			return ranks[remaining[a]] > ranks[remaining[b]]
+		}
+		return remaining[a] < remaining[b]
+	})
+	estFree := append([]float64(nil), procFree...)
+	estFinish := make([]float64, n)
+	estProc := make([]int, n)
+	for v := 0; v < n; v++ {
+		estProc[v] = out.Proc[v]
+		if completed[v] {
+			estFinish[v] = out.Finish[v]
+		}
+	}
+	for p := 0; p < m; p++ {
+		queues[p] = queues[p][:0]
+	}
+	for _, v := range remaining {
+		bestProc, bestFinish := -1, math.Inf(1)
+		for p := 0; p < m; p++ {
+			start := estFree[p]
+			for _, a := range w.G.Predecessors(v) {
+				u := a.To
+				if t := estFinish[u] + w.Sys.CommCost(estProc[u], p, a.Data); t > start {
+					start = t
+				}
+			}
+			if f := start + w.ExpectedAt(v, p); f < bestFinish {
+				bestProc, bestFinish = p, f
+			}
+		}
+		estProc[v] = bestProc
+		estFinish[v] = bestFinish
+		estFree[bestProc] = bestFinish
+		queues[bestProc] = append(queues[bestProc], v)
+		planned[v] = bestFinish
+		out.Proc[v] = bestProc
+	}
+}
+
+// Metrics extends the simulator metrics with repair statistics.
+type Metrics struct {
+	sim.Metrics
+	// MeanReschedules is the average number of re-plans per realization.
+	MeanReschedules float64
+}
+
+// Evaluate Monte-Carlo evaluates the schedule under the repair policy.
+// M0 is the schedule's planned makespan, so tardiness and miss rate are
+// directly comparable with the static (right-shift) evaluation.
+func Evaluate(s *schedule.Schedule, pol Policy, opt sim.Options, root *rng.Source) (Metrics, error) {
+	if opt.Realizations < 1 {
+		return Metrics{}, fmt.Errorf("repair: Realizations=%d must be >= 1", opt.Realizations)
+	}
+	w := s.Workload()
+	n, m := w.N(), w.M()
+	makespans := make([]float64, opt.Realizations)
+	totalResched := 0
+	durs := platform.NewMatrix(n, m)
+	for k := range makespans {
+		r := rng.New(root.Uint64())
+		for i := 0; i < n; i++ {
+			for p := 0; p < m; p++ {
+				durs.Set(i, p, w.SampleDuration(i, p, r))
+			}
+		}
+		o, err := Execute(s, durs, pol)
+		if err != nil {
+			return Metrics{}, err
+		}
+		makespans[k] = o.Makespan
+		totalResched += o.Reschedules
+	}
+	return Metrics{
+		Metrics:         sim.MetricsFromSamples(s.Makespan(), makespans, opt.Deadline),
+		MeanReschedules: float64(totalResched) / float64(opt.Realizations),
+	}, nil
+}

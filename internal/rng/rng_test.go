@@ -1,0 +1,320 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 1000; i++ {
+		if av, bv := a.Uint64(), b.Uint64(); av != bv {
+			t.Fatalf("step %d: streams diverged: %d != %d", i, av, bv)
+		}
+	}
+}
+
+func TestDistinctSeedsDiffer(t *testing.T) {
+	a := New(1)
+	b := New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("seeds 1 and 2 produced %d identical outputs out of 100", same)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := New(7)
+	child := parent.Split()
+	// The child stream must differ from the parent's continuation.
+	diff := false
+	for i := 0; i < 64; i++ {
+		if parent.Uint64() != child.Uint64() {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Fatal("child stream identical to parent continuation")
+	}
+}
+
+func TestSplitDeterminism(t *testing.T) {
+	mk := func() []uint64 {
+		r := New(99)
+		c1 := r.Split()
+		c2 := r.Split()
+		out := make([]uint64, 0, 20)
+		for i := 0; i < 10; i++ {
+			out = append(out, c1.Uint64(), c2.Uint64())
+		}
+		return out
+	}
+	a, b := mk(), mk()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("split streams not reproducible at %d", i)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(3)
+	for i := 0; i < 100000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of [0,1): %g", f)
+		}
+	}
+}
+
+func TestFloat64OpenNonZero(t *testing.T) {
+	r := New(3)
+	for i := 0; i < 100000; i++ {
+		if f := r.Float64Open(); f <= 0 || f >= 1 {
+			t.Fatalf("Float64Open out of (0,1): %g", f)
+		}
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := New(5)
+	if err := quick.Check(func(nRaw uint16) bool {
+		n := int(nRaw%1000) + 1
+		v := r.Intn(n)
+		return v >= 0 && v < n
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestIntnUniformity(t *testing.T) {
+	r := New(11)
+	const n, draws = 10, 200000
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[r.Intn(n)]++
+	}
+	want := float64(draws) / n
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Errorf("bucket %d: count %d too far from expected %g", i, c, want)
+		}
+	}
+}
+
+func TestUniformRange(t *testing.T) {
+	r := New(13)
+	for i := 0; i < 10000; i++ {
+		v := r.Uniform(2, 5)
+		if v < 2 || v >= 5 {
+			t.Fatalf("Uniform(2,5) out of range: %g", v)
+		}
+	}
+}
+
+func TestUniformDegenerate(t *testing.T) {
+	r := New(13)
+	if v := r.Uniform(3, 3); v != 3 {
+		t.Fatalf("Uniform(3,3) = %g, want 3", v)
+	}
+}
+
+func TestUniformMoments(t *testing.T) {
+	r := New(17)
+	const n = 200000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += r.Uniform(10, 30)
+	}
+	mean := sum / n
+	if math.Abs(mean-20) > 0.1 {
+		t.Errorf("Uniform(10,30) mean = %g, want ~20", mean)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(19)
+	for n := 0; n < 50; n++ {
+		p := r.Perm(n)
+		if len(p) != n {
+			t.Fatalf("Perm(%d) has length %d", n, len(p))
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("Perm(%d) = %v is not a permutation", n, p)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestPermUniformFirstElement(t *testing.T) {
+	r := New(23)
+	const n, draws = 5, 100000
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[r.Perm(n)[0]]++
+	}
+	want := float64(draws) / n
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Errorf("Perm first element %d: count %d too far from %g", i, c, want)
+		}
+	}
+}
+
+func TestExpMoments(t *testing.T) {
+	r := New(29)
+	const n = 200000
+	var sum float64
+	for i := 0; i < n; i++ {
+		v := r.Exp(2)
+		if v < 0 {
+			t.Fatalf("Exp produced negative %g", v)
+		}
+		sum += v
+	}
+	if mean := sum / n; math.Abs(mean-0.5) > 0.01 {
+		t.Errorf("Exp(2) mean = %g, want ~0.5", mean)
+	}
+}
+
+func TestNormMoments(t *testing.T) {
+	r := New(31)
+	const n = 200000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		v := r.Norm(5, 2)
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean-5) > 0.05 {
+		t.Errorf("Norm(5,2) mean = %g, want ~5", mean)
+	}
+	if math.Abs(variance-4) > 0.15 {
+		t.Errorf("Norm(5,2) variance = %g, want ~4", variance)
+	}
+}
+
+func TestGammaMoments(t *testing.T) {
+	r := New(37)
+	cases := []struct{ shape, scale float64 }{
+		{0.5, 2.0}, // sub-1 shape path
+		{1.0, 3.0},
+		{4.0, 0.5},
+		{9.0, 1.0},
+	}
+	const n = 200000
+	for _, c := range cases {
+		var sum, sumSq float64
+		for i := 0; i < n; i++ {
+			v := r.Gamma(c.shape, c.scale)
+			if v <= 0 {
+				t.Fatalf("Gamma(%g,%g) produced non-positive %g", c.shape, c.scale, v)
+			}
+			sum += v
+			sumSq += v * v
+		}
+		mean := sum / n
+		variance := sumSq/n - mean*mean
+		wantMean := c.shape * c.scale
+		wantVar := c.shape * c.scale * c.scale
+		if math.Abs(mean-wantMean) > 0.03*wantMean+0.02 {
+			t.Errorf("Gamma(%g,%g) mean = %g, want ~%g", c.shape, c.scale, mean, wantMean)
+		}
+		if math.Abs(variance-wantVar) > 0.10*wantVar+0.05 {
+			t.Errorf("Gamma(%g,%g) variance = %g, want ~%g", c.shape, c.scale, variance, wantVar)
+		}
+	}
+}
+
+func TestGammaMeanCOVMoments(t *testing.T) {
+	r := New(41)
+	const n = 200000
+	const mean, cov = 20.0, 0.5 // the paper's µ_task = cc = 20, V = 0.5
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		v := r.GammaMeanCOV(mean, cov)
+		sum += v
+		sumSq += v * v
+	}
+	gotMean := sum / n
+	gotStd := math.Sqrt(sumSq/n - gotMean*gotMean)
+	if math.Abs(gotMean-mean) > 0.5 {
+		t.Errorf("GammaMeanCOV mean = %g, want ~%g", gotMean, mean)
+	}
+	if gotCOV := gotStd / gotMean; math.Abs(gotCOV-cov) > 0.02 {
+		t.Errorf("GammaMeanCOV COV = %g, want ~%g", gotCOV, cov)
+	}
+}
+
+func TestGammaPanicsOnBadArgs(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Gamma(0, 1) did not panic")
+		}
+	}()
+	New(1).Gamma(0, 1)
+}
+
+func TestShuffleKeepsElements(t *testing.T) {
+	r := New(43)
+	if err := quick.Check(func(seedRaw uint32) bool {
+		p := []int{10, 20, 30, 40, 50, 60}
+		r.Shuffle(p)
+		sum := 0
+		for _, v := range p {
+			sum += v
+		}
+		return sum == 210 && len(p) == 6
+	}, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += r.Uint64()
+	}
+	_ = sink
+}
+
+func BenchmarkGamma(b *testing.B) {
+	r := New(1)
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += r.Gamma(4, 0.5)
+	}
+	_ = sink
+}
+
+func BenchmarkUniform(b *testing.B) {
+	r := New(1)
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += r.Uniform(1, 9)
+	}
+	_ = sink
+}

@@ -1,0 +1,178 @@
+// Package robust implements the paper's contribution: the bi-objective
+// genetic algorithm of Section 4 that schedules a DAG onto heterogeneous
+// processors to maximize robustness (average slack) subject to the
+// ε-constraint M0(s) <= ε·M_HEFT, together with the two single-objective
+// modes (minimize makespan / maximize slack) used by the Fig. 2 and Fig. 3
+// experiments.
+package robust
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"robsched/internal/platform"
+	"robsched/internal/rng"
+	"robsched/internal/schedule"
+)
+
+// Chromosome is the GA encoding of Section 4.2.1: a scheduling string (a
+// topological order of the task graph giving the global execution order)
+// plus the task→processor assignment. The per-processor assignment strings
+// of the paper are recovered by filtering the scheduling string by
+// processor, which is exactly how the paper's mutation operator re-inserts
+// tasks ("keeping the relative order of all the tasks assigned on that
+// processor according to the scheduling string").
+type Chromosome struct {
+	Order []int // scheduling string: a topological order of the tasks
+	Proc  []int // assignment: processor of each task (indexed by task id)
+
+	// decoded memoizes the schedule; operators always produce fresh
+	// chromosomes, so the cache never goes stale.
+	decoded *schedule.Schedule
+}
+
+// NewChromosome wraps the given order and assignment without copying.
+func NewChromosome(order, proc []int) *Chromosome {
+	return &Chromosome{Order: order, Proc: proc}
+}
+
+// Random generates a valid chromosome uniformly: a random topological order
+// and independent uniform processor choices (Section 4.2.2).
+func Random(w *platform.Workload, r *rng.Source) *Chromosome {
+	order := w.G.RandomTopologicalOrder(r)
+	proc := make([]int, w.N())
+	for i := range proc {
+		proc[i] = r.Intn(w.M())
+	}
+	return NewChromosome(order, proc)
+}
+
+// FromSchedule encodes an existing schedule (e.g. HEFT's) as a chromosome,
+// used to seed the initial population.
+func FromSchedule(s *schedule.Schedule) *Chromosome {
+	c := NewChromosome(s.Order(), s.ProcAssignment())
+	c.decoded = s
+	return c
+}
+
+// Clone returns a deep copy without the memoized schedule.
+func (c *Chromosome) Clone() *Chromosome {
+	return NewChromosome(append([]int(nil), c.Order...), append([]int(nil), c.Proc...))
+}
+
+// Decode builds (and memoizes) the schedule the chromosome represents.
+// Operators maintain the invariant that Order is a topological order, so a
+// failure here is a bug, reported as an error rather than hidden.
+func (c *Chromosome) Decode(w *platform.Workload) (*schedule.Schedule, error) {
+	if c.decoded != nil {
+		return c.decoded, nil
+	}
+	s, err := schedule.FromOrder(w, c.Order, c.Proc)
+	if err != nil {
+		return nil, fmt.Errorf("robust: invalid chromosome: %w", err)
+	}
+	c.decoded = s
+	return s, nil
+}
+
+// Key fingerprints the genotype for the GA's initial-population uniqueness
+// check.
+func (c *Chromosome) Key() string {
+	buf := make([]byte, 0, 4*(len(c.Order)+len(c.Proc)))
+	var tmp [4]byte
+	for _, v := range c.Order {
+		binary.LittleEndian.PutUint32(tmp[:], uint32(v))
+		buf = append(buf, tmp[:]...)
+	}
+	for _, v := range c.Proc {
+		binary.LittleEndian.PutUint32(tmp[:], uint32(v))
+		buf = append(buf, tmp[:]...)
+	}
+	return string(buf)
+}
+
+// Crossover implements the paper's single-point operator (Section 4.2.5).
+//
+// Scheduling strings: a random cut splits both parents; each child keeps
+// its own left part and reorders its right-part tasks by their relative
+// order in the other parent. Because both parents are topological orders,
+// the children are too: a precedence u→v with u left / v right is trivially
+// respected, both-left keeps the parent's order, and both-right inherits
+// the other parent's (topological) relative order.
+//
+// Assignment strings: each parent's assignment is viewed as a processor
+// string indexed by task; a second random cut exchanges the right parts.
+func Crossover(a, b *Chromosome, r *rng.Source) (*Chromosome, *Chromosome) {
+	n := len(a.Order)
+	c1, c2 := a.Clone(), b.Clone()
+	if n >= 2 {
+		cut := 1 + r.Intn(n-1)
+		reorderTail(c1.Order, cut, b.Order)
+		reorderTail(c2.Order, cut, a.Order)
+		pcut := 1 + r.Intn(n-1)
+		for v := pcut; v < n; v++ {
+			c1.Proc[v], c2.Proc[v] = b.Proc[v], a.Proc[v]
+		}
+	}
+	return c1, c2
+}
+
+// reorderTail rewrites order[cut:] so its tasks appear in the relative
+// order they have in ref.
+func reorderTail(order []int, cut int, ref []int) {
+	inTail := make(map[int]bool, len(order)-cut)
+	for _, v := range order[cut:] {
+		inTail[v] = true
+	}
+	i := cut
+	for _, v := range ref {
+		if inTail[v] {
+			order[i] = v
+			i++
+		}
+	}
+}
+
+// Mutate implements the paper's operator (Section 4.2.6): a random task v
+// is moved to a uniformly random position within its feasible range in the
+// scheduling string — strictly after the last of its immediate predecessors
+// and strictly before the first of its immediate successors — and then
+// reassigned to a uniformly random processor.
+func Mutate(w *platform.Workload, c *Chromosome, r *rng.Source) *Chromosome {
+	out := c.Clone()
+	n := len(out.Order)
+	v := r.Intn(n)
+	pos := make(map[int]int, n)
+	for i, t := range out.Order {
+		pos[t] = i
+	}
+	lo := 0 // first feasible index for v
+	for _, a := range w.G.Predecessors(v) {
+		if p := pos[a.To] + 1; p > lo {
+			lo = p
+		}
+	}
+	hi := n - 1 // last feasible index for v
+	for _, a := range w.G.Successors(v) {
+		if p := pos[a.To] - 1; p < hi {
+			hi = p
+		}
+	}
+	newPos := lo + r.Intn(hi-lo+1)
+	moveWithin(out.Order, pos[v], newPos)
+	out.Proc[v] = r.Intn(w.M())
+	return out
+}
+
+// moveWithin moves the element at index from to index to, shifting the
+// elements in between.
+func moveWithin(xs []int, from, to int) {
+	v := xs[from]
+	switch {
+	case from < to:
+		copy(xs[from:to], xs[from+1:to+1])
+	case from > to:
+		copy(xs[to+1:from+1], xs[to:from])
+	}
+	xs[to] = v
+}

@@ -1,0 +1,303 @@
+package robust
+
+import (
+	"fmt"
+	"math"
+
+	"robsched/internal/ga"
+	"robsched/internal/heft"
+	"robsched/internal/platform"
+	"robsched/internal/rng"
+	"robsched/internal/schedule"
+)
+
+// Mode selects the GA objective.
+type Mode int
+
+const (
+	// EpsilonConstraint maximizes slack subject to M0(s) <= ε·M_HEFT
+	// (Eqn. 7/8) — the paper's bi-objective method.
+	EpsilonConstraint Mode = iota
+	// MinMakespan minimizes the expected makespan, the classical GA
+	// objective used for the Fig. 2 experiment.
+	MinMakespan
+	// MaxSlack maximizes slack with no makespan constraint, used for the
+	// Fig. 3 experiment.
+	MaxSlack
+)
+
+func (m Mode) String() string {
+	switch m {
+	case EpsilonConstraint:
+		return "epsilon-constraint"
+	case MinMakespan:
+		return "min-makespan"
+	case MaxSlack:
+		return "max-slack"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// SlackMetric selects the robustness surrogate maximized by the GA.
+type SlackMetric int
+
+const (
+	// AvgSlack is the paper's surrogate (Eqn. 3).
+	AvgSlack SlackMetric = iota
+	// MinSlack is a more conservative extension: the smallest task slack.
+	MinSlack
+)
+
+// Options configures the robust scheduler. ZeroOptions-with-PaperDefaults is
+// the paper's configuration.
+type Options struct {
+	Mode        Mode
+	Eps         float64     // ε of the constraint method (paper sweeps 1.0..2.0)
+	SlackMetric SlackMetric // robustness surrogate (paper: AvgSlack)
+
+	// GA parameters (Section 5: Np=20, pc=0.9, pm=0.1, 1000 generations,
+	// 100-generation stagnation window).
+	PopSize        int
+	CrossoverRate  float64
+	MutationRate   float64
+	MaxGenerations int
+	Stagnation     int
+
+	// NoHEFTSeed drops the HEFT chromosome from the initial population
+	// (ablation; the paper always seeds it).
+	NoHEFTSeed bool
+	// Islands > 1 runs that many populations in parallel goroutines with
+	// ring migration every MigrationEvery generations — an island-model
+	// extension of the paper's single-population GA. Incompatible with
+	// OnGeneration.
+	Islands        int
+	MigrationEvery int
+	// NoElitism is reserved for engine-level ablation and currently unused;
+	// elitism is integral to the engine.
+
+	// OnGeneration, if set, observes the best schedule of each generation
+	// (generation 0 is the initial population). Used to trace Figs. 2–3.
+	OnGeneration func(gen int, best *schedule.Schedule)
+}
+
+// PaperOptions returns the paper's GA configuration for the given mode and ε.
+func PaperOptions(mode Mode, eps float64) Options {
+	return Options{
+		Mode: mode, Eps: eps,
+		PopSize: 20, CrossoverRate: 0.9, MutationRate: 0.1,
+		MaxGenerations: 1000, Stagnation: 100,
+	}
+}
+
+// Result is the outcome of a robust scheduling run.
+type Result struct {
+	// Schedule is the best schedule found by the GA.
+	Schedule *schedule.Schedule
+	// HEFT is the baseline schedule (also the GA seed unless disabled).
+	HEFT *schedule.Schedule
+	// MHEFT is the baseline's expected makespan (the constraint anchor).
+	MHEFT float64
+	// Generations actually evolved, and whether the stagnation window
+	// triggered.
+	Generations int
+	Stagnated   bool
+}
+
+// Solve runs the bi-objective GA on the workload and returns the best
+// schedule under the selected objective.
+func Solve(w *platform.Workload, opt Options, r *rng.Source) (*Result, error) {
+	if opt.PopSize == 0 && opt.MaxGenerations == 0 {
+		def := PaperOptions(opt.Mode, opt.Eps)
+		def.SlackMetric = opt.SlackMetric
+		def.NoHEFTSeed = opt.NoHEFTSeed
+		def.OnGeneration = opt.OnGeneration
+		opt = def
+	}
+	if opt.Mode == EpsilonConstraint && opt.Eps <= 0 {
+		return nil, fmt.Errorf("robust: epsilon-constraint mode needs Eps > 0, got %g", opt.Eps)
+	}
+	hs, err := heft.HEFT(w, heft.Options{})
+	if err != nil {
+		return nil, fmt.Errorf("robust: HEFT baseline failed: %w", err)
+	}
+	mheft := hs.Makespan()
+
+	eval := evaluator{w: w, opt: opt, mheft: mheft}
+	cfg := ga.Config[*Chromosome]{
+		PopSize:        opt.PopSize,
+		CrossoverRate:  opt.CrossoverRate,
+		MutationRate:   opt.MutationRate,
+		MaxGenerations: opt.MaxGenerations,
+		Stagnation:     opt.Stagnation,
+		Random:         func(r *rng.Source) *Chromosome { return Random(w, r) },
+		Crossover:      Crossover,
+		Mutate:         func(c *Chromosome, r *rng.Source) *Chromosome { return Mutate(w, c, r) },
+		Evaluate:       eval.evaluate,
+		Key:            (*Chromosome).Key,
+	}
+	if !opt.NoHEFTSeed {
+		cfg.Seeds = []*Chromosome{FromSchedule(hs)}
+	}
+	if opt.OnGeneration != nil {
+		on := opt.OnGeneration
+		cfg.OnGeneration = func(gen int, pop []*Chromosome, fit []float64) {
+			best := 0
+			for i, f := range fit {
+				if f > fit[best] {
+					best = i
+				}
+			}
+			s, err := pop[best].Decode(w)
+			if err != nil {
+				panic(err) // operators guarantee validity
+			}
+			on(gen, s)
+		}
+	}
+	var res ga.Result[*Chromosome]
+	if opt.Islands > 1 {
+		res, err = ga.RunIslands(ga.IslandConfig[*Chromosome]{
+			Base:           cfg,
+			Islands:        opt.Islands,
+			MigrationEvery: opt.MigrationEvery,
+		}, r)
+	} else {
+		res, err = ga.Run(cfg, r)
+	}
+	if err != nil {
+		return nil, err
+	}
+	s, err := res.Best.Decode(w)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Schedule:    s,
+		HEFT:        hs,
+		MHEFT:       mheft,
+		Generations: res.Generations,
+		Stagnated:   res.Stagnated,
+	}, nil
+}
+
+// runCustomFitness evolves the standard chromosome with an arbitrary
+// per-schedule fitness function (larger is better). Used by the
+// weighted-sum comparator; the ε-constraint path goes through Solve
+// because its fitness is population-relative.
+func runCustomFitness(w *platform.Workload, opt Options, r *rng.Source, seed *schedule.Schedule, fitness func(*schedule.Schedule) float64) (*Result, error) {
+	cfg := ga.Config[*Chromosome]{
+		PopSize:        opt.PopSize,
+		CrossoverRate:  opt.CrossoverRate,
+		MutationRate:   opt.MutationRate,
+		MaxGenerations: opt.MaxGenerations,
+		Stagnation:     opt.Stagnation,
+		Random:         func(r *rng.Source) *Chromosome { return Random(w, r) },
+		Crossover:      Crossover,
+		Mutate:         func(c *Chromosome, r *rng.Source) *Chromosome { return Mutate(w, c, r) },
+		Key:            (*Chromosome).Key,
+		Evaluate: func(pop []*Chromosome) []float64 {
+			fit := make([]float64, len(pop))
+			for i, c := range pop {
+				s, err := c.Decode(w)
+				if err != nil {
+					panic(err)
+				}
+				fit[i] = fitness(s)
+			}
+			return fit
+		},
+	}
+	if seed != nil && !opt.NoHEFTSeed {
+		cfg.Seeds = []*Chromosome{FromSchedule(seed)}
+	}
+	res, err := ga.Run(cfg, r)
+	if err != nil {
+		return nil, err
+	}
+	s, err := res.Best.Decode(w)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Schedule: s, Generations: res.Generations, Stagnated: res.Stagnated}, nil
+}
+
+// evaluator computes the population fitness for each mode.
+type evaluator struct {
+	w     *platform.Workload
+	opt   Options
+	mheft float64
+}
+
+// slackOf returns the configured robustness surrogate of a schedule.
+func (e evaluator) slackOf(s *schedule.Schedule) float64 {
+	if e.opt.SlackMetric == MinSlack {
+		return s.MinSlack()
+	}
+	return s.AvgSlack()
+}
+
+// evaluate implements the three objectives. Decoding is memoized on the
+// chromosome, so the engine's post-elitism re-evaluation costs only the
+// O(Np) fitness recombination, not a second round of schedule builds.
+func (e evaluator) evaluate(pop []*Chromosome) []float64 {
+	fit := make([]float64, len(pop))
+	switch e.opt.Mode {
+	case MinMakespan:
+		for i, c := range pop {
+			s, err := c.Decode(e.w)
+			if err != nil {
+				panic(err)
+			}
+			fit[i] = -s.Makespan()
+		}
+	case MaxSlack:
+		for i, c := range pop {
+			s, err := c.Decode(e.w)
+			if err != nil {
+				panic(err)
+			}
+			fit[i] = e.slackOf(s)
+		}
+	case EpsilonConstraint:
+		// Eqn. 8. Feasible individuals score their slack; infeasible ones
+		// score min(feasible fitness) · ε·M_HEFT / M0, which is strictly
+		// below every feasible score and decreases with the violation.
+		bound := e.opt.Eps * e.mheft
+		minFeasible := math.Inf(1)
+		type decoded struct {
+			m0, slack float64
+			feasible  bool
+		}
+		ds := make([]decoded, len(pop))
+		for i, c := range pop {
+			s, err := c.Decode(e.w)
+			if err != nil {
+				panic(err)
+			}
+			d := decoded{m0: s.Makespan(), slack: e.slackOf(s)}
+			d.feasible = d.m0 <= bound
+			ds[i] = d
+			if d.feasible && d.slack < minFeasible {
+				minFeasible = d.slack
+			}
+		}
+		for i, d := range ds {
+			switch {
+			case d.feasible:
+				fit[i] = d.slack
+			case math.IsInf(minFeasible, 1):
+				// No feasible individual this generation — a case the
+				// paper leaves unspecified. Rank purely by (inverse)
+				// constraint violation, shifted below any plausible
+				// feasible score.
+				fit[i] = -d.m0 / bound
+			default:
+				fit[i] = minFeasible * bound / d.m0
+			}
+		}
+	default:
+		panic(fmt.Sprintf("robust: unknown mode %d", e.opt.Mode))
+	}
+	return fit
+}

@@ -1,0 +1,313 @@
+package robust
+
+import (
+	"math"
+	"testing"
+
+	"robsched/internal/heft"
+	"robsched/internal/rng"
+	"robsched/internal/schedule"
+)
+
+// quickOptions returns a small-but-effective GA configuration for tests.
+func quickOptions(mode Mode, eps float64) Options {
+	return Options{
+		Mode: mode, Eps: eps,
+		PopSize: 12, CrossoverRate: 0.9, MutationRate: 0.2,
+		MaxGenerations: 80, Stagnation: 0,
+	}
+}
+
+func TestSolveMinMakespanNeverWorseThanHEFT(t *testing.T) {
+	// The HEFT chromosome seeds the population and elitism preserves the
+	// best individual, so the final makespan can never exceed HEFT's.
+	for seed := uint64(0); seed < 4; seed++ {
+		w := testWorkload(t, 100+seed, 30, 4)
+		res, err := Solve(w, quickOptions(MinMakespan, 0), rng.New(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Schedule.Makespan() > res.MHEFT+1e-9 {
+			t.Fatalf("seed %d: GA makespan %g worse than HEFT %g",
+				seed, res.Schedule.Makespan(), res.MHEFT)
+		}
+	}
+}
+
+func TestSolveMinMakespanImprovesOverRandom(t *testing.T) {
+	w := testWorkload(t, 200, 30, 4)
+	r := rng.New(1)
+	res, err := Solve(w, quickOptions(MinMakespan, 0), rng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var worst float64
+	for i := 0; i < 20; i++ {
+		rs, err := heft.RandomSchedule(w, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		worst += rs.Makespan()
+	}
+	if avg := worst / 20; res.Schedule.Makespan() >= avg {
+		t.Fatalf("GA makespan %g not better than random average %g",
+			res.Schedule.Makespan(), avg)
+	}
+}
+
+func TestSolveMaxSlackIncreasesSlack(t *testing.T) {
+	w := testWorkload(t, 300, 30, 4)
+	res, err := Solve(w, quickOptions(MaxSlack, 0), rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Seeded with HEFT and elitist, so slack must be at least HEFT's, and
+	// for a 30-task/4-proc instance the GA should strictly improve it.
+	if res.Schedule.AvgSlack() < res.HEFT.AvgSlack()-1e-9 {
+		t.Fatalf("GA slack %g below HEFT slack %g",
+			res.Schedule.AvgSlack(), res.HEFT.AvgSlack())
+	}
+	if res.Schedule.AvgSlack() <= res.HEFT.AvgSlack() {
+		t.Fatalf("GA did not improve slack at all (%g)", res.Schedule.AvgSlack())
+	}
+}
+
+func TestSolveEpsilonConstraintFeasible(t *testing.T) {
+	for _, eps := range []float64{1.0, 1.3, 2.0} {
+		w := testWorkload(t, 400, 30, 4)
+		res, err := Solve(w, quickOptions(EpsilonConstraint, eps), rng.New(4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		bound := eps * res.MHEFT
+		if res.Schedule.Makespan() > bound+1e-9 {
+			t.Fatalf("eps=%g: result infeasible: M0 %g > bound %g",
+				eps, res.Schedule.Makespan(), bound)
+		}
+		if res.Schedule.AvgSlack() < res.HEFT.AvgSlack()-1e-9 {
+			t.Fatalf("eps=%g: slack %g below HEFT's %g",
+				eps, res.Schedule.AvgSlack(), res.HEFT.AvgSlack())
+		}
+	}
+}
+
+func TestLargerEpsilonMoreSlack(t *testing.T) {
+	// Relaxing the makespan bound can only expand the feasible set, so the
+	// attained slack should (weakly, modulo search noise) increase. We
+	// compare the extremes with the same seed and allow a tiny tolerance.
+	w := testWorkload(t, 500, 40, 4)
+	tight, err := Solve(w, quickOptions(EpsilonConstraint, 1.0), rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	loose, err := Solve(w, quickOptions(EpsilonConstraint, 2.0), rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loose.Schedule.AvgSlack() < tight.Schedule.AvgSlack()*0.9 {
+		t.Fatalf("eps=2.0 slack %g much smaller than eps=1.0 slack %g",
+			loose.Schedule.AvgSlack(), tight.Schedule.AvgSlack())
+	}
+}
+
+func TestSolveNoHEFTSeed(t *testing.T) {
+	w := testWorkload(t, 600, 20, 3)
+	opt := quickOptions(EpsilonConstraint, 1.5)
+	opt.NoHEFTSeed = true
+	res, err := Solve(w, opt, rng.New(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Schedule == nil || res.HEFT == nil {
+		t.Fatal("missing schedules")
+	}
+}
+
+func TestSolveMinSlackMetric(t *testing.T) {
+	w := testWorkload(t, 650, 20, 3)
+	opt := quickOptions(EpsilonConstraint, 1.5)
+	opt.SlackMetric = MinSlack
+	res, err := Solve(w, opt, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Schedule.Makespan() > 1.5*res.MHEFT+1e-9 {
+		t.Fatal("min-slack run broke the constraint")
+	}
+}
+
+func TestSolveDefaultsToPaperOptions(t *testing.T) {
+	w := testWorkload(t, 700, 10, 2)
+	// Zero GA parameters: Solve must substitute the paper defaults rather
+	// than fail. Keep the graph tiny so the 1000-generation default (with
+	// its 100-generation stagnation window) stays fast.
+	res, err := Solve(w, Options{Mode: EpsilonConstraint, Eps: 1.2}, rng.New(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Generations == 0 {
+		t.Fatal("no generations evolved")
+	}
+	if !res.Stagnated && res.Generations != 1000 {
+		t.Fatalf("unexpected termination after %d generations", res.Generations)
+	}
+}
+
+func TestSolveRejectsBadEps(t *testing.T) {
+	w := testWorkload(t, 800, 10, 2)
+	if _, err := Solve(w, quickOptions(EpsilonConstraint, 0), rng.New(9)); err == nil {
+		t.Fatal("eps=0 accepted")
+	}
+}
+
+func TestOnGenerationObservesEveryGeneration(t *testing.T) {
+	w := testWorkload(t, 900, 15, 3)
+	opt := quickOptions(MinMakespan, 0)
+	opt.MaxGenerations = 10
+	var gens []int
+	var spans []float64
+	opt.OnGeneration = func(gen int, best *schedule.Schedule) {
+		gens = append(gens, gen)
+		spans = append(spans, best.Makespan())
+	}
+	if _, err := Solve(w, opt, rng.New(10)); err != nil {
+		t.Fatal(err)
+	}
+	// Generation 0 (initial population) plus 10 evolved generations.
+	if len(gens) != 11 {
+		t.Fatalf("observer called %d times, want 11", len(gens))
+	}
+	for i, g := range gens {
+		if g != i {
+			t.Fatalf("generation sequence %v not consecutive", gens)
+		}
+	}
+	// In MinMakespan mode with elitism, the observed best makespan is
+	// non-increasing across generations.
+	for i := 1; i < len(spans); i++ {
+		if spans[i] > spans[i-1]+1e-9 {
+			t.Fatalf("best makespan increased at generation %d: %g -> %g",
+				i, spans[i-1], spans[i])
+		}
+	}
+	if math.IsNaN(spans[0]) {
+		t.Fatal("NaN makespan observed")
+	}
+}
+
+// TestEqn8FitnessOrdering exercises the ε-constraint fitness directly:
+// feasible individuals rank by slack, infeasible ones strictly below every
+// feasible one, worse with larger violation.
+func TestEqn8FitnessOrdering(t *testing.T) {
+	w := testWorkload(t, 950, 25, 4)
+	r := rng.New(11)
+	hs, err := heft.HEFT(w, heft.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eval := evaluator{w: w, opt: Options{Mode: EpsilonConstraint, Eps: 1.2}, mheft: hs.Makespan()}
+	bound := 1.2 * hs.Makespan()
+	// Collect a population with both kinds.
+	var pop []*Chromosome
+	for len(pop) < 30 {
+		pop = append(pop, Random(w, r))
+	}
+	pop = append(pop, FromSchedule(hs)) // certainly feasible
+	fit := eval.evaluate(pop)
+	minFeasible, maxInfeasible := math.Inf(1), math.Inf(-1)
+	nFeas, nInfeas := 0, 0
+	for i, c := range pop {
+		s, err := c.Decode(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Makespan() <= bound {
+			nFeas++
+			if fit[i] != s.AvgSlack() {
+				t.Fatalf("feasible fitness %g != slack %g", fit[i], s.AvgSlack())
+			}
+			if fit[i] < minFeasible {
+				minFeasible = fit[i]
+			}
+		} else {
+			nInfeas++
+			if fit[i] > maxInfeasible {
+				maxInfeasible = fit[i]
+			}
+		}
+	}
+	if nFeas == 0 || nInfeas == 0 {
+		t.Skipf("population not mixed (feasible=%d infeasible=%d)", nFeas, nInfeas)
+	}
+	if maxInfeasible >= minFeasible {
+		t.Fatalf("infeasible fitness %g not below feasible minimum %g",
+			maxInfeasible, minFeasible)
+	}
+	// Larger violation → smaller fitness among infeasible individuals.
+	type vi struct{ m0, f float64 }
+	var vis []vi
+	for i, c := range pop {
+		s, _ := c.Decode(w)
+		if s.Makespan() > bound {
+			vis = append(vis, vi{s.Makespan(), fit[i]})
+		}
+	}
+	for i := 0; i < len(vis); i++ {
+		for j := 0; j < len(vis); j++ {
+			if vis[i].m0 < vis[j].m0-1e-9 && vis[i].f < vis[j].f-1e-9 {
+				t.Fatalf("violation ordering broken: M0 %g fit %g vs M0 %g fit %g",
+					vis[i].m0, vis[i].f, vis[j].m0, vis[j].f)
+			}
+		}
+	}
+}
+
+// TestEqn8NoFeasibleFallback: when no individual satisfies the constraint,
+// fitness must still rank by violation (smaller M0 is better).
+func TestEqn8NoFeasibleFallback(t *testing.T) {
+	w := testWorkload(t, 960, 25, 4)
+	r := rng.New(12)
+	hs, err := heft.HEFT(w, heft.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// An absurdly tight bound makes everything infeasible.
+	eval := evaluator{w: w, opt: Options{Mode: EpsilonConstraint, Eps: 0.01}, mheft: hs.Makespan()}
+	var pop []*Chromosome
+	for len(pop) < 10 {
+		pop = append(pop, Random(w, r))
+	}
+	fit := eval.evaluate(pop)
+	for i := range pop {
+		for j := range pop {
+			si, _ := pop[i].Decode(w)
+			sj, _ := pop[j].Decode(w)
+			if si.Makespan() < sj.Makespan()-1e-9 && fit[i] <= fit[j]-1e-12 {
+				t.Fatalf("fallback ranking broken: M0 %g fit %g vs M0 %g fit %g",
+					si.Makespan(), fit[i], sj.Makespan(), fit[j])
+			}
+		}
+	}
+}
+
+func TestSolveWithIslands(t *testing.T) {
+	w := testWorkload(t, 1100, 30, 4)
+	opt := quickOptions(EpsilonConstraint, 1.4)
+	opt.Islands = 3
+	opt.MigrationEvery = 15
+	res, err := Solve(w, opt, rng.New(20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Schedule.Makespan() > 1.4*res.MHEFT+1e-9 {
+		t.Fatal("island result infeasible")
+	}
+	if res.Schedule.AvgSlack() < res.HEFT.AvgSlack()-1e-9 {
+		t.Fatal("island result below HEFT slack (seed lost)")
+	}
+	// Islands must be incompatible with the trace observer.
+	opt.OnGeneration = func(int, *schedule.Schedule) {}
+	if _, err := Solve(w, opt, rng.New(21)); err == nil {
+		t.Fatal("islands with OnGeneration accepted")
+	}
+}

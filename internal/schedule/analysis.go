@@ -1,0 +1,91 @@
+package schedule
+
+// CriticalPath returns one longest path of the disjunctive graph under
+// expected durations, as an ordered task sequence from an entry to an exit
+// of G_s. Ties are broken deterministically (smallest task id). All tasks
+// on the returned path have zero slack.
+func (s *Schedule) CriticalPath() []int {
+	// Walk forward from the task whose finish equals the makespan,
+	// following predecessors whose finish+comm attains each start.
+	end := -1
+	for v := 0; v < s.w.N(); v++ {
+		if s.finish[v] >= s.makespan-1e-9 && (end < 0 || v < end) {
+			end = v
+		}
+	}
+	if end < 0 {
+		return nil
+	}
+	var rev []int
+	v := end
+	for {
+		rev = append(rev, v)
+		bestU := -1
+		for _, a := range s.pred[v] {
+			u := a.to
+			if s.finish[u]+a.comm >= s.start[v]-1e-9 && (bestU < 0 || u < bestU) {
+				bestU = u
+			}
+		}
+		if bestU < 0 {
+			break
+		}
+		v = bestU
+	}
+	// Reverse into entry→exit order.
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+// ProcessorUtilization returns each processor's busy fraction under
+// expected durations: total assigned work divided by the makespan. An
+// empty schedule (zero makespan) reports zeros.
+func (s *Schedule) ProcessorUtilization() []float64 {
+	m := s.w.M()
+	out := make([]float64, m)
+	if s.makespan <= 0 {
+		return out
+	}
+	for v := 0; v < s.w.N(); v++ {
+		out[s.proc[v]] += s.expDur[v]
+	}
+	for p := range out {
+		out[p] /= s.makespan
+	}
+	return out
+}
+
+// TotalIdleTime returns the summed idle time across processors within the
+// makespan window under expected durations: m·makespan − total work.
+func (s *Schedule) TotalIdleTime() float64 {
+	busy := 0.0
+	for v := 0; v < s.w.N(); v++ {
+		busy += s.expDur[v]
+	}
+	return float64(s.w.M())*s.makespan - busy
+}
+
+// LoadImbalance returns (max − min) processor busy time divided by the
+// makespan — 0 for perfectly balanced schedules.
+func (s *Schedule) LoadImbalance() float64 {
+	if s.makespan <= 0 {
+		return 0
+	}
+	m := s.w.M()
+	busy := make([]float64, m)
+	for v := 0; v < s.w.N(); v++ {
+		busy[s.proc[v]] += s.expDur[v]
+	}
+	min, max := busy[0], busy[0]
+	for _, b := range busy[1:] {
+		if b < min {
+			min = b
+		}
+		if b > max {
+			max = b
+		}
+	}
+	return (max - min) / s.makespan
+}

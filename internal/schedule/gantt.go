@@ -1,0 +1,51 @@
+package schedule
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Gantt renders a text Gantt chart of the schedule under expected durations,
+// one row per processor, scaled to the given width in character cells.
+// Tasks are labelled with their 1-based id as in the paper's Fig. 1(c).
+func (s *Schedule) Gantt(width int) string {
+	if width < 10 {
+		width = 10
+	}
+	if s.makespan <= 0 {
+		return "(empty schedule)\n"
+	}
+	scale := float64(width) / s.makespan
+	var b strings.Builder
+	for p, list := range s.procOrder {
+		row := make([]byte, width)
+		for i := range row {
+			row[i] = '.'
+		}
+		for _, v := range list {
+			lo := int(s.start[v] * scale)
+			hi := int(s.finish[v] * scale)
+			if hi > width {
+				hi = width
+			}
+			if hi <= lo {
+				hi = lo + 1
+				if hi > width {
+					lo, hi = width-1, width
+				}
+			}
+			label := fmt.Sprintf("%d", v+1)
+			for i := lo; i < hi && i < width; i++ {
+				row[i] = '#'
+			}
+			for i, c := range []byte(label) {
+				if lo+i < hi && lo+i < width {
+					row[lo+i] = c
+				}
+			}
+		}
+		fmt.Fprintf(&b, "P%-2d |%s|\n", p+1, string(row))
+	}
+	fmt.Fprintf(&b, "      0%*s%.4g\n", width-1, "t=", s.makespan)
+	return b.String()
+}

@@ -1,0 +1,416 @@
+// Package schedule implements schedules and their semantics from Section 3
+// of the paper: the per-processor task orders, the disjunctive graph G_s
+// (Definition 3.1), the makespan of any duration realization as the critical
+// path of G_s (Claim 3.2), and per-task / average slack (Definition 3.3).
+//
+// A Schedule is immutable once built. Construction precomputes one
+// topological order of the disjunctive graph together with the communication
+// cost of every arc, so that each Monte-Carlo realization costs a single
+// O(V+E) longest-path pass with no allocation — the property that makes the
+// paper's 100 graphs × 1000 realizations evaluation tractable.
+package schedule
+
+import (
+	"fmt"
+	"strings"
+
+	"robsched/internal/dag"
+	"robsched/internal/platform"
+)
+
+// arc is one edge of the disjunctive graph with its fixed communication
+// cost. Disjunctive (same-processor ordering) arcs and same-processor data
+// edges cost zero.
+type arc struct {
+	to   int
+	comm float64
+}
+
+// Schedule is an immutable assignment of tasks to processors plus an
+// execution order on each processor, together with the analysis of the
+// schedule under expected task durations.
+type Schedule struct {
+	w         *platform.Workload
+	proc      []int   // task -> processor
+	procOrder [][]int // per-processor ordered task lists
+	topo      []int   // topological order of the disjunctive graph
+	succ      [][]arc // disjunctive-graph adjacency with comm costs
+	pred      [][]arc
+
+	// Analysis under expected durations.
+	expDur   []float64 // expected duration of each task on its processor
+	start    []float64 // earliest (ASAP) start times; equals top level
+	finish   []float64
+	makespan float64   // M0(s)
+	bl       []float64 // bottom levels (including own duration)
+	slack    []float64 // σ_i = M - Bl(i) - Tl(i)
+	avgSlack float64
+	minSlack float64
+}
+
+// New builds and validates a schedule from a task→processor map and
+// per-processor orders. It returns an error if the assignment is not a
+// partition of the tasks consistent with proc, or if the processor orders
+// conflict with the task graph's precedence constraints (i.e. the
+// disjunctive graph would be cyclic).
+func New(w *platform.Workload, proc []int, procOrder [][]int) (*Schedule, error) {
+	n, m := w.N(), w.M()
+	if len(proc) != n {
+		return nil, fmt.Errorf("schedule: proc has %d entries, want %d", len(proc), n)
+	}
+	if len(procOrder) != m {
+		return nil, fmt.Errorf("schedule: procOrder has %d lists, want %d", len(procOrder), m)
+	}
+	seen := make([]bool, n)
+	for p, list := range procOrder {
+		for _, v := range list {
+			if v < 0 || v >= n {
+				return nil, fmt.Errorf("schedule: task %d out of range on processor %d", v, p)
+			}
+			if seen[v] {
+				return nil, fmt.Errorf("schedule: task %d appears more than once", v)
+			}
+			seen[v] = true
+			if proc[v] != p {
+				return nil, fmt.Errorf("schedule: task %d listed on processor %d but proc maps it to %d", v, p, proc[v])
+			}
+		}
+	}
+	for v, ok := range seen {
+		if !ok {
+			return nil, fmt.Errorf("schedule: task %d is not assigned", v)
+		}
+	}
+	for v, p := range proc {
+		if p < 0 || p >= m {
+			return nil, fmt.Errorf("schedule: task %d assigned to processor %d out of range [0,%d)", v, p, m)
+		}
+	}
+	s := &Schedule{
+		w:         w,
+		proc:      append([]int(nil), proc...),
+		procOrder: make([][]int, m),
+	}
+	for p := range procOrder {
+		s.procOrder[p] = append([]int(nil), procOrder[p]...)
+	}
+	if err := s.buildDisjunctive(); err != nil {
+		return nil, err
+	}
+	s.analyze()
+	return s, nil
+}
+
+// FromOrder builds a schedule from a global scheduling string (a topological
+// order of the task graph) and a task→processor map; each processor executes
+// its tasks in their relative order within the scheduling string. This is
+// exactly the decoding of the paper's GA chromosome (Section 4.2.1).
+func FromOrder(w *platform.Workload, order []int, proc []int) (*Schedule, error) {
+	if !w.G.IsTopologicalOrder(order) {
+		return nil, fmt.Errorf("schedule: scheduling string is not a topological order of the task graph")
+	}
+	m := w.M()
+	procOrder := make([][]int, m)
+	for _, v := range order {
+		p := proc[v]
+		if p < 0 || p >= m {
+			return nil, fmt.Errorf("schedule: task %d assigned to processor %d out of range [0,%d)", v, p, m)
+		}
+		procOrder[p] = append(procOrder[p], v)
+	}
+	return New(w, proc, procOrder)
+}
+
+// buildDisjunctive constructs the adjacency of G_s = (V, E ∪ E'):
+// the original data edges (with comm cost depending on the processors of the
+// endpoints) plus zero-cost disjunctive arcs between consecutive tasks on
+// the same processor that are not already connected. It also fixes one
+// topological order of G_s, failing if the processor orders contradict the
+// precedence constraints.
+func (s *Schedule) buildDisjunctive() error {
+	g, sys := s.w.G, s.w.Sys
+	n := g.N()
+	s.succ = make([][]arc, n)
+	s.pred = make([][]arc, n)
+	indeg := make([]int, n)
+	addArc := func(u, v int, comm float64) {
+		s.succ[u] = append(s.succ[u], arc{v, comm})
+		s.pred[v] = append(s.pred[v], arc{u, comm})
+		indeg[v]++
+	}
+	for _, e := range g.Edges() {
+		addArc(e.From, e.To, sys.CommCost(s.proc[e.From], s.proc[e.To], e.Data))
+	}
+	for _, list := range s.procOrder {
+		for i := 1; i < len(list); i++ {
+			u, v := list[i-1], list[i]
+			if !g.HasEdge(u, v) {
+				addArc(u, v, 0) // disjunctive edge, zero data (Eqn. 1)
+			}
+		}
+	}
+	// Kahn over G_s; a shortfall means the processor orders induced a cycle.
+	s.topo = make([]int, 0, n)
+	queue := make([]int, 0, n)
+	for v := 0; v < n; v++ {
+		if indeg[v] == 0 {
+			queue = append(queue, v)
+		}
+	}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		s.topo = append(s.topo, v)
+		for _, a := range s.succ[v] {
+			indeg[a.to]--
+			if indeg[a.to] == 0 {
+				queue = append(queue, a.to)
+			}
+		}
+	}
+	if len(s.topo) != n {
+		return fmt.Errorf("schedule: processor orders conflict with precedence constraints (disjunctive graph is cyclic)")
+	}
+	return nil
+}
+
+// analyze computes the expected-duration analysis: ASAP start/finish times,
+// makespan M0, top/bottom levels and slack.
+func (s *Schedule) analyze() {
+	n := s.w.N()
+	s.expDur = make([]float64, n)
+	for v := 0; v < n; v++ {
+		s.expDur[v] = s.w.ExpectedAt(v, s.proc[v])
+	}
+	s.start = make([]float64, n)
+	s.finish = make([]float64, n)
+	s.makespan = s.forward(s.expDur, s.start, s.finish)
+
+	// Bottom levels over G_s: Bl(v) = dur(v) + max over successors of
+	// (comm(v,u) + Bl(u)). Top level equals the ASAP start time.
+	s.bl = make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		v := s.topo[i]
+		best := 0.0
+		for _, a := range s.succ[v] {
+			if c := a.comm + s.bl[a.to]; c > best {
+				best = c
+			}
+		}
+		s.bl[v] = s.expDur[v] + best
+	}
+	s.slack = make([]float64, n)
+	sum := 0.0
+	s.minSlack = 0
+	for v := 0; v < n; v++ {
+		sl := s.makespan - s.bl[v] - s.start[v]
+		// Clamp the tiny negative values floating-point subtraction can
+		// produce on critical-path nodes.
+		if sl < 0 && sl > -1e-9 {
+			sl = 0
+		}
+		s.slack[v] = sl
+		sum += sl
+		if v == 0 || sl < s.minSlack {
+			s.minSlack = sl
+		}
+	}
+	s.avgSlack = sum / float64(n)
+}
+
+// forward runs one ASAP longest-path pass over the disjunctive graph with
+// the given durations, filling start and finish, and returns the makespan.
+// start and finish must have length N.
+func (s *Schedule) forward(dur, start, finish []float64) float64 {
+	makespan := 0.0
+	for _, v := range s.topo {
+		st := 0.0
+		for _, a := range s.pred[v] {
+			if t := finish[a.to] + a.comm; t > st {
+				st = t
+			}
+		}
+		start[v] = st
+		finish[v] = st + dur[v]
+		if finish[v] > makespan {
+			makespan = finish[v]
+		}
+	}
+	return makespan
+}
+
+// MakespanWith returns the makespan of the schedule when task v takes
+// dur[v] time units (durations already resolved for the assigned
+// processors), per Claim 3.2: every task starts as soon as it is ready.
+func (s *Schedule) MakespanWith(dur []float64) float64 {
+	n := s.w.N()
+	start := make([]float64, n)
+	finish := make([]float64, n)
+	return s.forward(dur, start, finish)
+}
+
+// MakespanInto is MakespanWith with caller-provided scratch buffers (each of
+// length N), for allocation-free Monte-Carlo loops.
+func (s *Schedule) MakespanInto(dur, startBuf, finishBuf []float64) float64 {
+	return s.forward(dur, startBuf, finishBuf)
+}
+
+// SlackWith computes each task's slack and the makespan of the schedule
+// under an arbitrary duration vector (Definition 3.3 evaluated on a
+// realization instead of the expectations). Robustness measures that ask
+// which tasks *became* critical in a realization build on this.
+func (s *Schedule) SlackWith(dur []float64) (slack []float64, makespan float64) {
+	n := s.w.N()
+	start := make([]float64, n)
+	finish := make([]float64, n)
+	makespan = s.forward(dur, start, finish)
+	bl := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		v := s.topo[i]
+		best := 0.0
+		for _, a := range s.succ[v] {
+			if c := a.comm + bl[a.to]; c > best {
+				best = c
+			}
+		}
+		bl[v] = dur[v] + best
+	}
+	slack = make([]float64, n)
+	for v := 0; v < n; v++ {
+		sl := makespan - bl[v] - start[v]
+		if sl < 0 && sl > -1e-9 {
+			sl = 0
+		}
+		slack[v] = sl
+	}
+	return slack, makespan
+}
+
+// Workload returns the workload the schedule was built for.
+func (s *Schedule) Workload() *platform.Workload { return s.w }
+
+// Proc returns the processor assigned to task v.
+func (s *Schedule) Proc(v int) int { return s.proc[v] }
+
+// ProcAssignment returns a copy of the task→processor map.
+func (s *Schedule) ProcAssignment() []int { return append([]int(nil), s.proc...) }
+
+// ProcOrder returns a copy of the ordered task list of processor p.
+func (s *Schedule) ProcOrder(p int) []int { return append([]int(nil), s.procOrder[p]...) }
+
+// Order returns the global execution order (the topological order of G_s
+// used by the analysis).
+func (s *Schedule) Order() []int { return append([]int(nil), s.topo...) }
+
+// Makespan returns the expected makespan M0(s).
+func (s *Schedule) Makespan() float64 { return s.makespan }
+
+// Start returns the ASAP start time of task v under expected durations;
+// this equals the task's top level Tl(v).
+func (s *Schedule) Start(v int) float64 { return s.start[v] }
+
+// Finish returns the finish time of task v under expected durations.
+func (s *Schedule) Finish(v int) float64 { return s.finish[v] }
+
+// TopLevel returns Tl(v), the length of the longest path from an entry node
+// to v (excluding v) in G_s under expected durations.
+func (s *Schedule) TopLevel(v int) float64 { return s.start[v] }
+
+// BottomLevel returns Bl(v), the length of the longest path from v to an
+// exit node (including v) in G_s under expected durations.
+func (s *Schedule) BottomLevel(v int) float64 { return s.bl[v] }
+
+// Slack returns σ_v = M - Bl(v) - Tl(v) (Definition 3.3): the window by
+// which v's duration may grow without extending the makespan, all other
+// durations at their expected values (Theorem 3.4).
+func (s *Schedule) Slack(v int) float64 { return s.slack[v] }
+
+// AvgSlack returns the average slack over all tasks (Eqn. 3), the paper's
+// robustness surrogate.
+func (s *Schedule) AvgSlack() float64 { return s.avgSlack }
+
+// MinSlack returns the smallest task slack; an alternative, more
+// conservative robustness surrogate exposed as a fitness option.
+func (s *Schedule) MinSlack() float64 { return s.minSlack }
+
+// ExpectedDurations returns a copy of the expected duration of each task on
+// its assigned processor.
+func (s *Schedule) ExpectedDurations() []float64 { return append([]float64(nil), s.expDur...) }
+
+// DisjunctiveEdges returns the extra (E') edges of G_s, i.e. the
+// same-processor ordering arcs that are not data edges.
+func (s *Schedule) DisjunctiveEdges() []dag.Edge {
+	var out []dag.Edge
+	g := s.w.G
+	for _, list := range s.procOrder {
+		for i := 1; i < len(list); i++ {
+			u, v := list[i-1], list[i]
+			if !g.HasEdge(u, v) {
+				out = append(out, dag.Edge{From: u, To: v, Data: 0})
+			}
+		}
+	}
+	return out
+}
+
+// DisjunctiveGraph materializes G_s as a dag.Graph (Definition 3.1), with
+// the data sizes of same-processor edges zeroed per Eqn. 1.
+func (s *Schedule) DisjunctiveGraph() (*dag.Graph, error) {
+	b := dag.NewBuilder(s.w.N())
+	for _, e := range s.w.G.Edges() {
+		data := e.Data
+		if s.proc[e.From] == s.proc[e.To] {
+			data = 0
+		}
+		if err := b.AddEdge(e.From, e.To, data); err != nil {
+			return nil, err
+		}
+	}
+	for _, e := range s.DisjunctiveEdges() {
+		if err := b.AddEdge(e.From, e.To, 0); err != nil {
+			return nil, err
+		}
+	}
+	return b.Build()
+}
+
+// CriticalTasks returns the tasks with (numerically) zero slack, i.e. the
+// tasks on some critical path of G_s.
+func (s *Schedule) CriticalTasks() []int {
+	var out []int
+	for v, sl := range s.slack {
+		if sl <= 1e-9 {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// String renotes the schedule in the paper's notation
+// {{(v1,v2),(v2,v4)}, {(v3,v5)}, ∅}, with 1-based task names.
+func (s *Schedule) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	for p, list := range s.procOrder {
+		if p > 0 {
+			b.WriteString(", ")
+		}
+		switch {
+		case len(list) == 0:
+			b.WriteString("∅")
+		case len(list) == 1:
+			fmt.Fprintf(&b, "{v%d}", list[0]+1)
+		default:
+			b.WriteByte('{')
+			for i := 1; i < len(list); i++ {
+				if i > 1 {
+					b.WriteString(", ")
+				}
+				fmt.Fprintf(&b, "(v%d,v%d)", list[i-1]+1, list[i]+1)
+			}
+			b.WriteByte('}')
+		}
+	}
+	b.WriteByte('}')
+	return b.String()
+}

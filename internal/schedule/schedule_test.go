@@ -1,0 +1,606 @@
+package schedule
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"robsched/internal/dag"
+	"robsched/internal/platform"
+	"robsched/internal/rng"
+)
+
+// diamondWorkload is a hand-checkable fixture: the 4-node diamond on two
+// processors with unit transfer rate and deterministic durations.
+//
+//	edges: 0->1 (d=2), 0->2 (d=4), 1->3 (d=1), 2->3 (d=3)
+//	exec:  task0 {2,3}, task1 {3,2}, task2 {4,2}, task3 {1,2}
+func diamondWorkload(t *testing.T) *platform.Workload {
+	t.Helper()
+	b := dag.NewBuilder(4)
+	b.MustAddEdge(0, 1, 2)
+	b.MustAddEdge(0, 2, 4)
+	b.MustAddEdge(1, 3, 1)
+	b.MustAddEdge(2, 3, 3)
+	g := b.MustBuild()
+	exec, err := platform.MatrixFromRows([][]float64{{2, 3}, {3, 2}, {4, 2}, {1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := platform.DeterministicWorkload(g, platform.UniformSystem(2, 1), exec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+// diamondSchedule assigns tasks {0,1,3} to P0 and {2} to P1.
+// Hand computation: start = [0,2,6,11], finish = [2,5,8,12], M0 = 12,
+// slack = [0,6,0,0].
+func diamondSchedule(t *testing.T) *Schedule {
+	t.Helper()
+	w := diamondWorkload(t)
+	s, err := New(w, []int{0, 0, 1, 0}, [][]int{{0, 1, 3}, {2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestDiamondAnalysis(t *testing.T) {
+	s := diamondSchedule(t)
+	wantStart := []float64{0, 2, 6, 11}
+	wantFinish := []float64{2, 5, 8, 12}
+	wantSlack := []float64{0, 6, 0, 0}
+	for v := 0; v < 4; v++ {
+		if got := s.Start(v); got != wantStart[v] {
+			t.Errorf("Start(%d) = %g, want %g", v, got, wantStart[v])
+		}
+		if got := s.Finish(v); got != wantFinish[v] {
+			t.Errorf("Finish(%d) = %g, want %g", v, got, wantFinish[v])
+		}
+		if got := s.Slack(v); got != wantSlack[v] {
+			t.Errorf("Slack(%d) = %g, want %g", v, got, wantSlack[v])
+		}
+		if got := s.TopLevel(v); got != wantStart[v] {
+			t.Errorf("TopLevel(%d) = %g, want %g", v, got, wantStart[v])
+		}
+	}
+	if s.Makespan() != 12 {
+		t.Errorf("Makespan = %g, want 12", s.Makespan())
+	}
+	if got := s.AvgSlack(); got != 1.5 {
+		t.Errorf("AvgSlack = %g, want 1.5", got)
+	}
+	if got := s.MinSlack(); got != 0 {
+		t.Errorf("MinSlack = %g, want 0", got)
+	}
+	if got := s.BottomLevel(0); got != 12 {
+		t.Errorf("BottomLevel(0) = %g, want 12", got)
+	}
+	if got := s.BottomLevel(1); got != 4 {
+		t.Errorf("BottomLevel(1) = %g, want 4", got)
+	}
+}
+
+func TestDiamondCriticalTasks(t *testing.T) {
+	s := diamondSchedule(t)
+	crit := s.CriticalTasks()
+	want := []int{0, 2, 3}
+	if len(crit) != len(want) {
+		t.Fatalf("CriticalTasks = %v, want %v", crit, want)
+	}
+	for i := range want {
+		if crit[i] != want[i] {
+			t.Fatalf("CriticalTasks = %v, want %v", crit, want)
+		}
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	w := diamondWorkload(t)
+	cases := []struct {
+		name      string
+		proc      []int
+		procOrder [][]int
+	}{
+		{"short proc", []int{0, 0, 1}, [][]int{{0, 1, 3}, {2}}},
+		{"wrong list count", []int{0, 0, 1, 0}, [][]int{{0, 1, 3, 2}}},
+		{"task out of range", []int{0, 0, 1, 0}, [][]int{{0, 1, 9}, {2}}},
+		{"duplicate task", []int{0, 0, 1, 0}, [][]int{{0, 1, 1}, {2}}},
+		{"missing task", []int{0, 0, 1, 0}, [][]int{{0, 1}, {2}}},
+		{"proc mismatch", []int{0, 0, 0, 0}, [][]int{{0, 1, 3}, {2}}},
+		{"proc out of range", []int{0, 0, 5, 0}, [][]int{{0, 1, 3}, {}}},
+		{"precedence conflict", []int{0, 0, 1, 0}, [][]int{{0, 3, 1}, {2}}},
+		{"reverse order cycle", []int{0, 0, 0, 0}, [][]int{{3, 2, 1, 0}, {}}},
+	}
+	for _, c := range cases {
+		if _, err := New(w, c.proc, c.procOrder); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+func TestFromOrder(t *testing.T) {
+	w := diamondWorkload(t)
+	s, err := FromOrder(w, []int{0, 2, 1, 3}, []int{0, 0, 1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Makespan() != 12 {
+		t.Errorf("Makespan = %g, want 12", s.Makespan())
+	}
+	p0 := s.ProcOrder(0)
+	if len(p0) != 3 || p0[0] != 0 || p0[1] != 1 || p0[2] != 3 {
+		t.Errorf("ProcOrder(0) = %v", p0)
+	}
+	if _, err := FromOrder(w, []int{1, 0, 2, 3}, []int{0, 0, 1, 0}); err == nil {
+		t.Error("non-topological order accepted")
+	}
+	if _, err := FromOrder(w, []int{0, 1, 2, 3}, []int{0, 0, 7, 0}); err == nil {
+		t.Error("out-of-range processor accepted")
+	}
+}
+
+func TestSerialScheduleWithDisjunctiveEdge(t *testing.T) {
+	w := diamondWorkload(t)
+	s, err := New(w, []int{0, 0, 0, 0}, [][]int{{0, 1, 2, 3}, {}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All on one processor: zero comm, serial execution 2+3+4+1 = 10.
+	if s.Makespan() != 10 {
+		t.Errorf("Makespan = %g, want 10", s.Makespan())
+	}
+	dis := s.DisjunctiveEdges()
+	if len(dis) != 1 || dis[0].From != 1 || dis[0].To != 2 {
+		t.Errorf("DisjunctiveEdges = %v, want [{1 2 0}]", dis)
+	}
+	// Every task is critical in a serial schedule.
+	if got := len(s.CriticalTasks()); got != 4 {
+		t.Errorf("CriticalTasks count = %d, want 4", got)
+	}
+	if s.AvgSlack() != 0 {
+		t.Errorf("AvgSlack = %g, want 0", s.AvgSlack())
+	}
+}
+
+func TestMakespanWith(t *testing.T) {
+	s := diamondSchedule(t)
+	// Expected durations reproduce M0.
+	if got := s.MakespanWith(s.ExpectedDurations()); got != 12 {
+		t.Errorf("MakespanWith(expected) = %g, want 12", got)
+	}
+	// Task 1 has slack 6: delaying it by 6 leaves the makespan at 12.
+	dur := s.ExpectedDurations()
+	dur[1] += 6
+	if got := s.MakespanWith(dur); got != 12 {
+		t.Errorf("MakespanWith(+slack) = %g, want 12", got)
+	}
+	// Delaying by slack+1 extends the makespan by exactly the overshoot.
+	dur[1] += 1
+	if got := s.MakespanWith(dur); got != 13 {
+		t.Errorf("MakespanWith(+slack+1) = %g, want 13", got)
+	}
+	// Critical task 2 extends the makespan one-for-one.
+	dur2 := s.ExpectedDurations()
+	dur2[2] += 2.5
+	if got := s.MakespanWith(dur2); got != 14.5 {
+		t.Errorf("MakespanWith(critical+2.5) = %g, want 14.5", got)
+	}
+}
+
+func TestMakespanIntoMatchesMakespanWith(t *testing.T) {
+	s := diamondSchedule(t)
+	r := rng.New(3)
+	n := s.Workload().N()
+	startBuf := make([]float64, n)
+	finishBuf := make([]float64, n)
+	for trial := 0; trial < 100; trial++ {
+		dur := make([]float64, n)
+		for i := range dur {
+			dur[i] = r.Uniform(0.5, 10)
+		}
+		a := s.MakespanWith(dur)
+		b := s.MakespanInto(dur, startBuf, finishBuf)
+		if a != b {
+			t.Fatalf("MakespanWith=%g MakespanInto=%g", a, b)
+		}
+	}
+}
+
+func TestAccessorsReturnCopies(t *testing.T) {
+	s := diamondSchedule(t)
+	s.ProcAssignment()[0] = 9
+	if s.Proc(0) == 9 {
+		t.Error("ProcAssignment exposed internals")
+	}
+	s.ProcOrder(0)[0] = 9
+	if s.ProcOrder(0)[0] == 9 {
+		t.Error("ProcOrder exposed internals")
+	}
+	s.Order()[0] = 9
+	if s.Order()[0] == 9 {
+		t.Error("Order exposed internals")
+	}
+	s.ExpectedDurations()[0] = 99
+	if s.ExpectedDurations()[0] == 99 {
+		t.Error("ExpectedDurations exposed internals")
+	}
+}
+
+func TestDisjunctiveGraph(t *testing.T) {
+	s := diamondSchedule(t)
+	gs, err := s.DisjunctiveGraph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same-processor data edges have their data zeroed (Eqn. 1).
+	if d, ok := gs.Data(0, 1); !ok || d != 0 {
+		t.Errorf("Data(0,1) = %g,%v, want 0,true", d, ok)
+	}
+	// Cross-processor data edges keep their size.
+	if d, ok := gs.Data(0, 2); !ok || d != 4 {
+		t.Errorf("Data(0,2) = %g,%v, want 4,true", d, ok)
+	}
+	if gs.EdgeCount() != 4 {
+		t.Errorf("EdgeCount = %d, want 4", gs.EdgeCount())
+	}
+}
+
+// TestMakespanEqualsCriticalPathOfGs cross-checks Claim 3.2 against an
+// independent longest-path computation over the materialized G_s.
+func TestMakespanEqualsCriticalPathOfGs(t *testing.T) {
+	r := rng.New(11)
+	for trial := 0; trial < 30; trial++ {
+		w := randomWorkload(t, r, 2+r.Intn(30), 1+r.Intn(4))
+		s := randomSchedule(t, r, w)
+		gs, err := s.DisjunctiveGraph()
+		if err != nil {
+			t.Fatal(err)
+		}
+		dur := s.ExpectedDurations()
+		// Independent longest path over gs. Edge cost = data / rate between
+		// the assigned processors (0 for same processor; gs already zeroed
+		// same-processor data).
+		lp := make([]float64, w.N())
+		best := 0.0
+		for _, v := range gs.TopologicalOrder() {
+			st := 0.0
+			for _, a := range gs.Predecessors(v) {
+				u := a.To
+				c := w.Sys.CommCost(s.Proc(u), s.Proc(v), a.Data)
+				if x := lp[u] + c; x > st {
+					st = x
+				}
+			}
+			lp[v] = st + dur[v]
+			if lp[v] > best {
+				best = lp[v]
+			}
+		}
+		if math.Abs(best-s.Makespan()) > 1e-9 {
+			t.Fatalf("trial %d: critical path %g != makespan %g", trial, best, s.Makespan())
+		}
+	}
+}
+
+// randomWorkload builds a random layered-ish DAG workload for property
+// tests (the real generator lives in internal/gen; tests here stay local).
+func randomWorkload(t *testing.T, r *rng.Source, n, m int) *platform.Workload {
+	t.Helper()
+	b := dag.NewBuilder(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if r.Float64() < 0.25 {
+				b.MustAddEdge(u, v, r.Uniform(0, 8))
+			}
+		}
+	}
+	g := b.MustBuild()
+	bcet := platform.NewMatrix(n, m)
+	ul := platform.NewMatrix(n, m)
+	for i := 0; i < n; i++ {
+		for j := 0; j < m; j++ {
+			bcet.Set(i, j, r.Uniform(1, 20))
+			ul.Set(i, j, r.Uniform(1, 6))
+		}
+	}
+	w, err := platform.NewWorkload(g, platform.UniformSystem(m, 1), bcet, ul)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func randomSchedule(t *testing.T, r *rng.Source, w *platform.Workload) *Schedule {
+	t.Helper()
+	order := w.G.RandomTopologicalOrder(r)
+	proc := make([]int, w.N())
+	for i := range proc {
+		proc[i] = r.Intn(w.M())
+	}
+	s, err := FromOrder(w, order, proc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestTheorem34 verifies the slack theorem: delaying a single task by at
+// most its slack (others at expected durations) leaves the makespan
+// unchanged, and delaying any task with positive slack by more extends it.
+func TestTheorem34(t *testing.T) {
+	r := rng.New(17)
+	for trial := 0; trial < 50; trial++ {
+		w := randomWorkload(t, r, 2+r.Intn(40), 1+r.Intn(4))
+		s := randomSchedule(t, r, w)
+		base := s.ExpectedDurations()
+		for v := 0; v < w.N(); v++ {
+			sl := s.Slack(v)
+			if sl < 0 {
+				t.Fatalf("negative slack %g on task %d", sl, v)
+			}
+			dur := append([]float64(nil), base...)
+			dur[v] += sl
+			if got := s.MakespanWith(dur); got > s.Makespan()+1e-9 {
+				t.Fatalf("delay within slack grew makespan: task %d slack %g, %g > %g",
+					v, sl, got, s.Makespan())
+			}
+			if sl > 1e-9 {
+				dur[v] += 0.5 * sl
+				if got := s.MakespanWith(dur); got <= s.Makespan()+1e-12 {
+					// Exceeding the slack on task v must extend the
+					// makespan: slack is tight by construction.
+					t.Fatalf("delay beyond slack did not grow makespan: task %d", v)
+				}
+			}
+		}
+	}
+}
+
+// TestCorollary35 verifies that simultaneously delaying a set of pairwise
+// independent tasks (in G_s), each within its own slack, does not increase
+// the makespan.
+func TestCorollary35(t *testing.T) {
+	r := rng.New(23)
+	for trial := 0; trial < 50; trial++ {
+		w := randomWorkload(t, r, 3+r.Intn(40), 1+r.Intn(4))
+		s := randomSchedule(t, r, w)
+		gs, err := s.DisjunctiveGraph()
+		if err != nil {
+			t.Fatal(err)
+		}
+		closure := gs.TransitiveClosure()
+		// Greedily pick a pairwise-independent set among tasks with
+		// positive slack.
+		var set []int
+		for _, v := range r.Perm(w.N()) {
+			if s.Slack(v) <= 1e-9 {
+				continue
+			}
+			ok := true
+			for _, u := range set {
+				if !closure.Independent(u, v) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				set = append(set, v)
+			}
+		}
+		if len(set) < 2 {
+			continue
+		}
+		dur := s.ExpectedDurations()
+		for _, v := range set {
+			dur[v] += s.Slack(v) * r.Float64()
+		}
+		if got := s.MakespanWith(dur); got > s.Makespan()+1e-9 {
+			t.Fatalf("independent delays within slack grew makespan: set %v, %g > %g",
+				set, got, s.Makespan())
+		}
+	}
+}
+
+// TestTheorem34SlackInvariance checks the second part of Theorem 3.4: after
+// delaying task i within its slack, the slack of every task independent of
+// i in G_s is unchanged. We rebuild the analysis on a workload whose
+// expected duration for i is inflated.
+func TestTheorem34SlackInvariance(t *testing.T) {
+	r := rng.New(29)
+	for trial := 0; trial < 25; trial++ {
+		w := randomWorkload(t, r, 3+r.Intn(25), 1+r.Intn(3))
+		s := randomSchedule(t, r, w)
+		// Pick a task with positive slack.
+		cand := -1
+		for _, v := range r.Perm(w.N()) {
+			if s.Slack(v) > 1e-6 {
+				cand = v
+				break
+			}
+		}
+		if cand < 0 {
+			continue
+		}
+		delta := s.Slack(cand) * r.Float64()
+		p := s.Proc(cand)
+		// Inflate the BCET so the expected duration grows by delta on the
+		// assigned processor (UL is untouched).
+		bcet2 := w.BCET.Clone()
+		bcet2.Set(cand, p, bcet2.At(cand, p)+delta/w.UL.At(cand, p))
+		w2, err := platform.NewWorkload(w.G, w.Sys, bcet2, w.UL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		procOrder := make([][]int, w.M())
+		for q := 0; q < w.M(); q++ {
+			procOrder[q] = s.ProcOrder(q)
+		}
+		s2, err := New(w2, s.ProcAssignment(), procOrder)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(s2.Makespan()-s.Makespan()) > 1e-6 {
+			t.Fatalf("makespan changed: %g -> %g (delta %g <= slack %g)",
+				s.Makespan(), s2.Makespan(), delta, s.Slack(cand))
+		}
+		gs, err := s.DisjunctiveGraph()
+		if err != nil {
+			t.Fatal(err)
+		}
+		closure := gs.TransitiveClosure()
+		for v := 0; v < w.N(); v++ {
+			if v == cand || !closure.Independent(cand, v) {
+				continue
+			}
+			if math.Abs(s2.Slack(v)-s.Slack(v)) > 1e-6 {
+				t.Fatalf("slack of independent task %d changed: %g -> %g",
+					v, s.Slack(v), s2.Slack(v))
+			}
+		}
+	}
+}
+
+// TestMonotoneDurations: growing any subset of durations never shrinks the
+// makespan (longest-path monotonicity).
+func TestMonotoneDurations(t *testing.T) {
+	r := rng.New(31)
+	for trial := 0; trial < 50; trial++ {
+		w := randomWorkload(t, r, 2+r.Intn(30), 1+r.Intn(4))
+		s := randomSchedule(t, r, w)
+		dur := s.ExpectedDurations()
+		grown := append([]float64(nil), dur...)
+		for i := range grown {
+			if r.Float64() < 0.5 {
+				grown[i] += r.Uniform(0, 5)
+			}
+		}
+		if s.MakespanWith(grown) < s.MakespanWith(dur)-1e-9 {
+			t.Fatal("growing durations shrank the makespan")
+		}
+	}
+}
+
+// TestSlackNonNegativeProperty: slack is non-negative on random schedules
+// and zero on every exit task that ends the critical path.
+func TestSlackNonNegativeProperty(t *testing.T) {
+	r := rng.New(37)
+	for trial := 0; trial < 60; trial++ {
+		w := randomWorkload(t, r, 2+r.Intn(50), 1+r.Intn(5))
+		s := randomSchedule(t, r, w)
+		minSlack := math.Inf(1)
+		for v := 0; v < w.N(); v++ {
+			if s.Slack(v) < 0 {
+				t.Fatalf("negative slack %g", s.Slack(v))
+			}
+			if s.Slack(v) < minSlack {
+				minSlack = s.Slack(v)
+			}
+		}
+		if minSlack > 1e-9 {
+			t.Fatal("no zero-slack task: critical path must have slack 0")
+		}
+		if s.MinSlack() != minSlack {
+			t.Fatalf("MinSlack = %g, want %g", s.MinSlack(), minSlack)
+		}
+	}
+}
+
+func TestStringNotation(t *testing.T) {
+	s := diamondSchedule(t)
+	got := s.String()
+	if !strings.Contains(got, "(v1,v2)") || !strings.Contains(got, "(v2,v4)") {
+		t.Errorf("String = %q, want paper notation with (v1,v2), (v2,v4)", got)
+	}
+	if !strings.Contains(got, "{v3}") {
+		t.Errorf("String = %q, want singleton {v3}", got)
+	}
+	w := diamondWorkload(t)
+	s2, err := New(w, []int{0, 0, 0, 0}, [][]int{{0, 1, 2, 3}, {}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(s2.String(), "∅") {
+		t.Errorf("String = %q, want ∅ for the empty processor", s2.String())
+	}
+}
+
+func TestGantt(t *testing.T) {
+	s := diamondSchedule(t)
+	g := s.Gantt(40)
+	if !strings.Contains(g, "P1 ") || !strings.Contains(g, "P2 ") {
+		t.Errorf("Gantt missing processor rows:\n%s", g)
+	}
+	if !strings.Contains(g, "1") || !strings.Contains(g, "3") {
+		t.Errorf("Gantt missing task labels:\n%s", g)
+	}
+	lines := strings.Split(strings.TrimRight(g, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Errorf("Gantt has %d lines, want 3:\n%s", len(lines), g)
+	}
+}
+
+func BenchmarkMakespanInto100(b *testing.B) {
+	r := rng.New(1)
+	w := benchWorkload(b, r, 100, 4)
+	order := w.G.RandomTopologicalOrder(r)
+	proc := make([]int, w.N())
+	for i := range proc {
+		proc[i] = r.Intn(w.M())
+	}
+	s, err := FromOrder(w, order, proc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dur := s.ExpectedDurations()
+	startBuf := make([]float64, w.N())
+	finishBuf := make([]float64, w.N())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.MakespanInto(dur, startBuf, finishBuf)
+	}
+}
+
+func benchWorkload(b *testing.B, r *rng.Source, n, m int) *platform.Workload {
+	b.Helper()
+	bd := dag.NewBuilder(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if r.Float64() < 0.05 {
+				bd.MustAddEdge(u, v, r.Uniform(0, 8))
+			}
+		}
+	}
+	g := bd.MustBuild()
+	bcet := platform.NewMatrix(n, m)
+	ul := platform.NewMatrix(n, m)
+	for i := 0; i < n; i++ {
+		for j := 0; j < m; j++ {
+			bcet.Set(i, j, r.Uniform(1, 20))
+			ul.Set(i, j, r.Uniform(1, 6))
+		}
+	}
+	w, err := platform.NewWorkload(g, platform.UniformSystem(m, 1), bcet, ul)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return w
+}
+
+func BenchmarkNewSchedule100(b *testing.B) {
+	r := rng.New(1)
+	w := benchWorkload(b, r, 100, 4)
+	order := w.G.RandomTopologicalOrder(r)
+	proc := make([]int, w.N())
+	for i := range proc {
+		proc[i] = r.Intn(w.M())
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := FromOrder(w, order, proc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,148 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// P2Quantile is the Jain & Chlamtac P² algorithm: an online estimator of a
+// single quantile using five markers and O(1) memory, so the Monte-Carlo
+// engine can report makespan tails (p95/p99) without retaining the full
+// sample. Estimates are exact until five observations arrive and converge
+// with O(1/sqrt(n)) error afterwards.
+type P2Quantile struct {
+	p       float64
+	n       int
+	heights [5]float64 // marker heights
+	pos     [5]float64 // actual marker positions (1-based)
+	want    [5]float64 // desired marker positions
+	inc     [5]float64 // desired position increments per observation
+	init    []float64  // first observations until the estimator is primed
+}
+
+// NewP2Quantile returns an estimator of the p-quantile, 0 < p < 1.
+func NewP2Quantile(p float64) *P2Quantile {
+	if p <= 0 || p >= 1 {
+		panic(fmt.Sprintf("sim: NewP2Quantile(%g) needs 0 < p < 1", p))
+	}
+	return &P2Quantile{
+		p:    p,
+		inc:  [5]float64{0, p / 2, p, (1 + p) / 2, 1},
+		init: make([]float64, 0, 5),
+	}
+}
+
+// Add feeds one observation.
+func (q *P2Quantile) Add(x float64) {
+	q.n++
+	if len(q.init) < 5 {
+		q.init = append(q.init, x)
+		if len(q.init) == 5 {
+			sort.Float64s(q.init)
+			copy(q.heights[:], q.init)
+			for i := range q.pos {
+				q.pos[i] = float64(i + 1)
+			}
+			q.want = [5]float64{1, 1 + 2*q.p, 1 + 4*q.p, 3 + 2*q.p, 5}
+		}
+		return
+	}
+	// Locate the cell containing x and update the extreme markers.
+	var k int
+	switch {
+	case x < q.heights[0]:
+		q.heights[0] = x
+		k = 0
+	case x >= q.heights[4]:
+		q.heights[4] = x
+		k = 3
+	default:
+		for k = 0; k < 4; k++ {
+			if x < q.heights[k+1] {
+				break
+			}
+		}
+	}
+	for i := k + 1; i < 5; i++ {
+		q.pos[i]++
+	}
+	for i := range q.want {
+		q.want[i] += q.inc[i]
+	}
+	// Adjust the three interior markers with the piecewise-parabolic
+	// formula, falling back to linear when the parabola would cross a
+	// neighbour.
+	for i := 1; i <= 3; i++ {
+		d := q.want[i] - q.pos[i]
+		if (d >= 1 && q.pos[i+1]-q.pos[i] > 1) || (d <= -1 && q.pos[i-1]-q.pos[i] < -1) {
+			s := 1.0
+			if d < 0 {
+				s = -1.0
+			}
+			h := q.parabolic(i, s)
+			if q.heights[i-1] < h && h < q.heights[i+1] {
+				q.heights[i] = h
+			} else {
+				q.heights[i] = q.linear(i, s)
+			}
+			q.pos[i] += s
+		}
+	}
+}
+
+func (q *P2Quantile) parabolic(i int, s float64) float64 {
+	num1 := q.pos[i] - q.pos[i-1] + s
+	num2 := q.pos[i+1] - q.pos[i] - s
+	den := q.pos[i+1] - q.pos[i-1]
+	t1 := (q.heights[i+1] - q.heights[i]) / (q.pos[i+1] - q.pos[i])
+	t2 := (q.heights[i] - q.heights[i-1]) / (q.pos[i] - q.pos[i-1])
+	return q.heights[i] + s/den*(num1*t1+num2*t2)
+}
+
+func (q *P2Quantile) linear(i int, s float64) float64 {
+	j := i + int(s)
+	return q.heights[i] + s*(q.heights[j]-q.heights[i])/(q.pos[j]-q.pos[i])
+}
+
+// N returns the number of observations fed so far.
+func (q *P2Quantile) N() int { return q.n }
+
+// Value returns the current quantile estimate; NaN before any observation.
+func (q *P2Quantile) Value() float64 {
+	if q.n == 0 {
+		return math.NaN()
+	}
+	if len(q.init) < 5 {
+		// Fewer than five observations: interpolate on the sorted sample.
+		s := append([]float64(nil), q.init...)
+		sort.Float64s(s)
+		pos := q.p * float64(len(s)-1)
+		lo := int(math.Floor(pos))
+		hi := int(math.Ceil(pos))
+		if lo == hi {
+			return s[lo]
+		}
+		frac := pos - float64(lo)
+		return s[lo]*(1-frac) + s[hi]*frac
+	}
+	return q.heights[2]
+}
+
+// Merge is intentionally absent: P² markers cannot be merged exactly.
+// Parallel workers therefore feed disjoint realization indices into
+// per-worker estimators and the engine reports the median of the worker
+// estimates, which keeps the error within the estimator's own noise for
+// the realization counts used here.
+func medianOf(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	mid := len(s) / 2
+	if len(s)%2 == 1 {
+		return s[mid]
+	}
+	return (s[mid-1] + s[mid]) / 2
+}

@@ -1,0 +1,211 @@
+package sim
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"robsched/internal/rng"
+)
+
+func exactQuantile(xs []float64, p float64) float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	pos := p * float64(len(s)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := pos - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+func TestP2QuantilePanicsOnBadP(t *testing.T) {
+	for _, p := range []float64{0, 1, -0.5, 2} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewP2Quantile(%g) did not panic", p)
+				}
+			}()
+			NewP2Quantile(p)
+		}()
+	}
+}
+
+func TestP2QuantileEmpty(t *testing.T) {
+	q := NewP2Quantile(0.5)
+	if !math.IsNaN(q.Value()) {
+		t.Fatal("empty estimator not NaN")
+	}
+	if q.N() != 0 {
+		t.Fatal("N != 0")
+	}
+}
+
+func TestP2QuantileSmallSamplesExact(t *testing.T) {
+	// With fewer than five observations the estimate is the exact sample
+	// quantile.
+	q := NewP2Quantile(0.5)
+	q.Add(5)
+	if q.Value() != 5 {
+		t.Fatalf("single value: %g", q.Value())
+	}
+	q.Add(1)
+	if q.Value() != 3 {
+		t.Fatalf("two values median: %g", q.Value())
+	}
+	q.Add(9)
+	if q.Value() != 5 {
+		t.Fatalf("three values median: %g", q.Value())
+	}
+}
+
+func TestP2QuantileUniform(t *testing.T) {
+	r := rng.New(1)
+	for _, p := range []float64{0.5, 0.9, 0.95, 0.99} {
+		q := NewP2Quantile(p)
+		var xs []float64
+		const n = 20000
+		for i := 0; i < n; i++ {
+			x := r.Uniform(0, 100)
+			xs = append(xs, x)
+			q.Add(x)
+		}
+		want := exactQuantile(xs, p)
+		if math.Abs(q.Value()-want) > 1.0 {
+			t.Errorf("p=%g: P² = %g, exact = %g", p, q.Value(), want)
+		}
+		if q.N() != n {
+			t.Errorf("N = %d", q.N())
+		}
+	}
+}
+
+func TestP2QuantileSkewed(t *testing.T) {
+	// Exponential data: heavy right tail stresses the marker adjustment.
+	r := rng.New(2)
+	q := NewP2Quantile(0.95)
+	var xs []float64
+	const n = 30000
+	for i := 0; i < n; i++ {
+		x := r.Exp(0.1)
+		xs = append(xs, x)
+		q.Add(x)
+	}
+	want := exactQuantile(xs, 0.95)
+	if math.Abs(q.Value()-want)/want > 0.05 {
+		t.Errorf("exponential p95: P² = %g, exact = %g", q.Value(), want)
+	}
+}
+
+func TestP2QuantileSortedInput(t *testing.T) {
+	// Monotone input is a classic stress case for online estimators.
+	q := NewP2Quantile(0.5)
+	const n = 10001
+	for i := 0; i < n; i++ {
+		q.Add(float64(i))
+	}
+	want := float64(n-1) / 2
+	if math.Abs(q.Value()-want)/want > 0.05 {
+		t.Errorf("sorted input median: P² = %g, want ~%g", q.Value(), want)
+	}
+}
+
+func TestP2QuantileConstantInput(t *testing.T) {
+	q := NewP2Quantile(0.9)
+	for i := 0; i < 100; i++ {
+		q.Add(7)
+	}
+	if q.Value() != 7 {
+		t.Fatalf("constant input: %g", q.Value())
+	}
+}
+
+func TestMedianOf(t *testing.T) {
+	if got := medianOf([]float64{3, 1, 2}); got != 2 {
+		t.Errorf("odd median = %g", got)
+	}
+	if got := medianOf([]float64{4, 1, 2, 3}); got != 2.5 {
+		t.Errorf("even median = %g", got)
+	}
+	if !math.IsNaN(medianOf(nil)) {
+		t.Error("empty median not NaN")
+	}
+}
+
+func TestMetricsQuantilesOrdered(t *testing.T) {
+	w := testWorkload(t, 51, 60, 4, 4)
+	s := heftSchedule(t, w)
+	m, err := Evaluate(s, Options{Realizations: 2000}, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(m.MinMakespan <= m.P50 && m.P50 <= m.P95 && m.P95 <= m.P99 && m.P99 <= m.MaxMakespan+1e-9) {
+		t.Fatalf("quantiles out of order: min %g p50 %g p95 %g p99 %g max %g",
+			m.MinMakespan, m.P50, m.P95, m.P99, m.MaxMakespan)
+	}
+	// The median should sit near the mean for this roughly symmetric
+	// distribution.
+	if math.Abs(m.P50-m.MeanMakespan)/m.MeanMakespan > 0.1 {
+		t.Errorf("median %g far from mean %g", m.P50, m.MeanMakespan)
+	}
+}
+
+func TestDeadlineMissRate(t *testing.T) {
+	w := testWorkload(t, 53, 40, 4, 3)
+	s := heftSchedule(t, w)
+	// A deadline below any realization misses always; above all, never.
+	low, err := Evaluate(s, Options{Realizations: 300, Deadline: 1e-6}, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if low.DeadlineMissRate != 1 {
+		t.Errorf("tiny deadline miss rate = %g, want 1", low.DeadlineMissRate)
+	}
+	high, err := Evaluate(s, Options{Realizations: 300, Deadline: 1e12}, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if high.DeadlineMissRate != 0 {
+		t.Errorf("huge deadline miss rate = %g, want 0", high.DeadlineMissRate)
+	}
+	// A deadline at the p95 estimate should miss roughly 5% of the time.
+	m, err := Evaluate(s, Options{Realizations: 2000}, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	at95, err := Evaluate(s, Options{Realizations: 2000, Deadline: m.P95}, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if at95.DeadlineMissRate < 0.01 || at95.DeadlineMissRate > 0.12 {
+		t.Errorf("p95 deadline miss rate = %g, want ~0.05", at95.DeadlineMissRate)
+	}
+	// Without a deadline the field is NaN.
+	if !math.IsNaN(m.DeadlineMissRate) {
+		t.Errorf("unset deadline produced %g", m.DeadlineMissRate)
+	}
+}
+
+func TestQuantileStableAcrossWorkerCounts(t *testing.T) {
+	// Quantiles come from per-worker estimators and are only approximately
+	// worker-count independent; require agreement within a small relative
+	// band.
+	w := testWorkload(t, 55, 60, 4, 4)
+	s := heftSchedule(t, w)
+	a, err := Evaluate(s, Options{Realizations: 2000, Workers: 1}, rng.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Evaluate(s, Options{Realizations: 2000, Workers: 8}, rng.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pair := range [][2]float64{{a.P50, b.P50}, {a.P95, b.P95}} {
+		if math.Abs(pair[0]-pair[1])/pair[0] > 0.03 {
+			t.Errorf("quantile unstable across worker counts: %g vs %g", pair[0], pair[1])
+		}
+	}
+}

@@ -1,0 +1,422 @@
+// Package sim implements the paper's evaluation methodology: Monte-Carlo
+// realizations of the non-deterministic task durations (Section 3.1's
+// uniform model c_ij ~ U(b_ij, (2·UL_ij−1)·b_ij)) and the two robustness
+// metrics computed from them — R1, the inverse expected relative tardiness
+// (Definition 3.6), and R2, the inverse schedule miss rate (Definition 3.7).
+//
+// Each realization is a single allocation-free longest-path pass over the
+// schedule's precomputed disjunctive graph, and realizations fan out across
+// GOMAXPROCS workers with per-realization deterministic RNG streams, so
+// results are bit-identical regardless of parallelism.
+package sim
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+
+	"robsched/internal/rng"
+	"robsched/internal/schedule"
+)
+
+// Options configures a Monte-Carlo evaluation.
+type Options struct {
+	// Realizations is the number of sampled executions (paper: 1000).
+	Realizations int
+	// Workers caps the parallel fan-out; 0 means GOMAXPROCS.
+	Workers int
+	// Deadline, when positive, additionally reports the fraction of
+	// realizations whose makespan exceeds it (a user-deadline robustness
+	// view beyond the paper's M0-relative miss rate).
+	Deadline float64
+	// Antithetic pairs each realization with its mirrored counterpart
+	// (uniform draws u and 1−u). The makespan is monotone in every task
+	// duration, so the paired makespans are negatively correlated and the
+	// mean estimator's variance strictly drops for the same sample count —
+	// classic antithetic-variates variance reduction. Odd realization
+	// counts leave the last sample unpaired.
+	Antithetic bool
+}
+
+// PaperOptions returns the paper's evaluation settings (1000 realizations).
+func PaperOptions() Options { return Options{Realizations: 1000} }
+
+func (o Options) validate() error {
+	if o.Realizations < 1 {
+		return fmt.Errorf("sim: Realizations=%d must be >= 1", o.Realizations)
+	}
+	if o.Workers < 0 {
+		return fmt.Errorf("sim: Workers=%d must be >= 0", o.Workers)
+	}
+	return nil
+}
+
+func (o Options) workers() int {
+	w := o.Workers
+	if w == 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > o.Realizations {
+		w = o.Realizations
+	}
+	return w
+}
+
+// Metrics summarizes the realized behaviour of one schedule.
+type Metrics struct {
+	// M0 is the expected makespan the schedule was planned with.
+	M0 float64
+	// Realizations is the number of Monte-Carlo samples behind the stats.
+	Realizations int
+
+	// MeanMakespan, StdMakespan, MinMakespan, MaxMakespan summarize the
+	// realized makespan distribution.
+	MeanMakespan float64
+	StdMakespan  float64
+	MinMakespan  float64
+	MaxMakespan  float64
+
+	// MeanTardiness is E[δ] with δ_i = max(0, M_i − M0)/M0 (Eqn. 4).
+	MeanTardiness float64
+	// MissRate is α = |{M_i > M0}|/N (Definition 3.7).
+	MissRate float64
+	// R1 = 1/E[δ] (Eqn. 5); +Inf when no realization is tardy.
+	R1 float64
+	// R2 = 1/α (Eqn. 6); +Inf when no realization misses.
+	R2 float64
+
+	// P50, P95 and P99 are online P²-estimated quantiles of the realized
+	// makespan distribution (tail behaviour the mean hides).
+	P50, P95, P99 float64
+	// DeadlineMissRate is the fraction of realizations whose makespan
+	// exceeded Options.Deadline; NaN when no deadline was set.
+	DeadlineMissRate float64
+}
+
+// accum is one worker's partial statistics. Mean and variance use
+// Welford's online algorithm (and Chan's pairwise merge) — the naive
+// sum-of-squares form cancels catastrophically when the makespan spread is
+// tiny relative to its magnitude (e.g. deterministic workloads).
+type accum struct {
+	n         int
+	meanM     float64
+	m2        float64 // sum of squared deviations from the running mean
+	minM      float64
+	maxM      float64
+	sumDelta  float64
+	missCount int
+
+	deadline       float64 // 0 disables
+	deadlineMisses int
+	q50, q95, q99  *P2Quantile
+}
+
+func newAccum() accum {
+	return accum{
+		minM: math.Inf(1), maxM: math.Inf(-1),
+		q50: NewP2Quantile(0.50),
+		q95: NewP2Quantile(0.95),
+		q99: NewP2Quantile(0.99),
+	}
+}
+
+func (a *accum) add(m, m0 float64) {
+	a.q50.Add(m)
+	a.q95.Add(m)
+	a.q99.Add(m)
+	if a.deadline > 0 && m > a.deadline {
+		a.deadlineMisses++
+	}
+	a.n++
+	d := m - a.meanM
+	a.meanM += d / float64(a.n)
+	a.m2 += d * (m - a.meanM)
+	if m < a.minM {
+		a.minM = m
+	}
+	if m > a.maxM {
+		a.maxM = m
+	}
+	if m > m0*(1+1e-12) {
+		a.missCount++
+		a.sumDelta += (m - m0) / m0
+	}
+}
+
+func (a *accum) merge(b accum) {
+	if b.n == 0 {
+		return
+	}
+	if a.n == 0 {
+		*a = b
+		return
+	}
+	na, nb := float64(a.n), float64(b.n)
+	delta := b.meanM - a.meanM
+	a.m2 += b.m2 + delta*delta*na*nb/(na+nb)
+	a.meanM += delta * nb / (na + nb)
+	a.n += b.n
+	if b.minM < a.minM {
+		a.minM = b.minM
+	}
+	if b.maxM > a.maxM {
+		a.maxM = b.maxM
+	}
+	a.sumDelta += b.sumDelta
+	a.missCount += b.missCount
+	a.deadlineMisses += b.deadlineMisses
+}
+
+func (a accum) metrics(m0 float64) Metrics {
+	n := float64(a.n)
+	mean := a.meanM
+	variance := a.m2 / n
+	if variance < 0 {
+		variance = 0
+	}
+	meanDelta := a.sumDelta / n
+	missRate := float64(a.missCount) / n
+	r1 := math.Inf(1)
+	if meanDelta > 0 {
+		r1 = 1 / meanDelta
+	}
+	r2 := math.Inf(1)
+	if missRate > 0 {
+		r2 = 1 / missRate
+	}
+	deadlineMiss := math.NaN()
+	if a.deadline > 0 {
+		deadlineMiss = float64(a.deadlineMisses) / n
+	}
+	return Metrics{
+		M0:               m0,
+		Realizations:     a.n,
+		MeanMakespan:     mean,
+		StdMakespan:      math.Sqrt(variance),
+		MinMakespan:      a.minM,
+		MaxMakespan:      a.maxM,
+		MeanTardiness:    meanDelta,
+		MissRate:         missRate,
+		R1:               r1,
+		R2:               r2,
+		DeadlineMissRate: deadlineMiss,
+		// Quantiles are filled by EvaluateAll from the per-worker
+		// estimators (P² markers cannot be merged exactly).
+		P50: math.NaN(), P95: math.NaN(), P99: math.NaN(),
+	}
+}
+
+// Evaluate runs opt.Realizations Monte-Carlo executions of the schedule and
+// returns its robustness metrics. The root source seeds one independent
+// stream per realization, so results do not depend on the worker count.
+func Evaluate(s *schedule.Schedule, opt Options, root *rng.Source) (Metrics, error) {
+	ms, err := EvaluateAll([]*schedule.Schedule{s}, opt, root)
+	if err != nil {
+		return Metrics{}, err
+	}
+	return ms[0], nil
+}
+
+// EvaluateAll evaluates several schedules of the *same workload* under
+// common random numbers: each realization samples the full n×m duration
+// matrix once and applies it to every schedule, which is how the paper
+// compares the GA's schedules against HEFT's on identical environments
+// (and is the variance-reduction friendly way to estimate improvements).
+func EvaluateAll(ss []*schedule.Schedule, opt Options, root *rng.Source) ([]Metrics, error) {
+	if err := opt.validate(); err != nil {
+		return nil, err
+	}
+	if len(ss) == 0 {
+		return nil, fmt.Errorf("sim: no schedules to evaluate")
+	}
+	w := ss[0].Workload()
+	for _, s := range ss[1:] {
+		if s.Workload() != w {
+			return nil, fmt.Errorf("sim: schedules must share one workload for common random numbers")
+		}
+	}
+	n, m := w.N(), w.M()
+	// One deterministic seed per realization, independent of parallelism.
+	// With antithetic pairing, realizations 2k and 2k+1 share a seed; the
+	// odd one mirrors every uniform draw.
+	seeds := make([]uint64, opt.Realizations)
+	for i := range seeds {
+		if opt.Antithetic && i%2 == 1 {
+			seeds[i] = seeds[i-1]
+		} else {
+			seeds[i] = root.Uint64()
+		}
+	}
+	nw := opt.workers()
+	partials := make([][]accum, nw)
+	var wg sync.WaitGroup
+	for k := 0; k < nw; k++ {
+		partials[k] = make([]accum, len(ss))
+		for j := range partials[k] {
+			partials[k][j] = newAccum()
+			partials[k][j].deadline = opt.Deadline
+		}
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			acc := partials[k]
+			durs := make([]float64, n*m) // sampled duration matrix, row-major
+			dur := make([]float64, n)
+			startBuf := make([]float64, n)
+			finishBuf := make([]float64, n)
+			for i := k; i < opt.Realizations; i += nw {
+				r := rng.New(seeds[i])
+				var src uniformSource = r
+				if opt.Antithetic && i%2 == 1 {
+					src = mirrored{r}
+				}
+				for t := 0; t < n; t++ {
+					for p := 0; p < m; p++ {
+						durs[t*m+p] = w.SampleDuration(t, p, src)
+					}
+				}
+				for j, s := range ss {
+					for t := 0; t < n; t++ {
+						dur[t] = durs[t*m+s.Proc(t)]
+					}
+					mk := s.MakespanInto(dur, startBuf, finishBuf)
+					acc[j].add(mk, s.Makespan())
+				}
+			}
+		}(k)
+	}
+	wg.Wait()
+	out := make([]Metrics, len(ss))
+	for j, s := range ss {
+		total := newAccum()
+		total.deadline = opt.Deadline
+		var q50s, q95s, q99s []float64
+		for k := 0; k < nw; k++ {
+			total.merge(partials[k][j])
+			q50s = append(q50s, partials[k][j].q50.Value())
+			q95s = append(q95s, partials[k][j].q95.Value())
+			q99s = append(q99s, partials[k][j].q99.Value())
+		}
+		out[j] = total.metrics(s.Makespan())
+		out[j].P50 = medianOf(q50s)
+		out[j].P95 = medianOf(q95s)
+		out[j].P99 = medianOf(q99s)
+	}
+	return out, nil
+}
+
+// uniformSource is the sampling capability Workload.SampleDuration needs.
+type uniformSource interface {
+	Uniform(a, b float64) float64
+}
+
+// mirrored reflects every uniform draw of the wrapped source across its
+// interval midpoint: the antithetic counterpart stream.
+type mirrored struct {
+	src *rng.Source
+}
+
+func (m mirrored) Uniform(a, b float64) float64 {
+	return a + b - m.src.Uniform(a, b)
+}
+
+// MetricsFromSamples assembles the full metric set from an explicit slice
+// of realized makespans against the planned makespan m0. Other simulators
+// (e.g. the dynamic online baseline) use this to report results comparable
+// to Evaluate's. deadline <= 0 disables the deadline miss rate.
+func MetricsFromSamples(m0 float64, makespans []float64, deadline float64) Metrics {
+	a := newAccum()
+	a.deadline = deadline
+	for _, m := range makespans {
+		a.add(m, m0)
+	}
+	out := a.metrics(m0)
+	out.P50 = a.q50.Value()
+	out.P95 = a.q95.Value()
+	out.P99 = a.q99.Value()
+	return out
+}
+
+// DeadlineForConfidence returns the smallest deadline D such that the
+// schedule meets D in at least the given fraction of sampled realizations:
+// the empirical `confidence`-quantile of the realized makespan. This is
+// the planning question robustness ultimately answers — "what completion
+// time can I promise with 95% confidence?".
+func DeadlineForConfidence(s *schedule.Schedule, confidence float64, opt Options, root *rng.Source) (float64, error) {
+	if confidence <= 0 || confidence > 1 {
+		return 0, fmt.Errorf("sim: confidence %g out of (0, 1]", confidence)
+	}
+	if err := opt.validate(); err != nil {
+		return 0, err
+	}
+	w := s.Workload()
+	n := w.N()
+	makespans := make([]float64, opt.Realizations)
+	dur := make([]float64, n)
+	startBuf := make([]float64, n)
+	finishBuf := make([]float64, n)
+	for k := range makespans {
+		r := rng.New(root.Uint64())
+		for t := 0; t < n; t++ {
+			dur[t] = w.SampleDuration(t, s.Proc(t), r)
+		}
+		makespans[k] = s.MakespanInto(dur, startBuf, finishBuf)
+	}
+	sort.Float64s(makespans)
+	idx := int(math.Ceil(confidence*float64(len(makespans)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	return makespans[idx], nil
+}
+
+// CVaR returns the conditional value at risk of the schedule's makespan at
+// level q: the mean of the worst (1−q) fraction of sampled realizations —
+// what "bad days" cost on average, the risk measure conservative planners
+// optimize for.
+func CVaR(s *schedule.Schedule, q float64, opt Options, root *rng.Source) (float64, error) {
+	if q <= 0 || q >= 1 {
+		return 0, fmt.Errorf("sim: CVaR level %g out of (0, 1)", q)
+	}
+	if err := opt.validate(); err != nil {
+		return 0, err
+	}
+	w := s.Workload()
+	n := w.N()
+	makespans := make([]float64, opt.Realizations)
+	dur := make([]float64, n)
+	startBuf := make([]float64, n)
+	finishBuf := make([]float64, n)
+	for k := range makespans {
+		r := rng.New(root.Uint64())
+		for t := 0; t < n; t++ {
+			dur[t] = w.SampleDuration(t, s.Proc(t), r)
+		}
+		makespans[k] = s.MakespanInto(dur, startBuf, finishBuf)
+	}
+	sort.Float64s(makespans)
+	cut := int(math.Floor(q * float64(len(makespans))))
+	if cut >= len(makespans) {
+		cut = len(makespans) - 1
+	}
+	tail := makespans[cut:]
+	sum := 0.0
+	for _, m := range tail {
+		sum += m
+	}
+	return sum / float64(len(tail)), nil
+}
+
+// Realize samples a single duration vector for the schedule's assignment —
+// one concrete execution environment — using the given stream. Useful for
+// examples and for tests that need a single realization.
+func Realize(s *schedule.Schedule, r *rng.Source) []float64 {
+	w := s.Workload()
+	dur := make([]float64, w.N())
+	for t := range dur {
+		dur[t] = w.SampleDuration(t, s.Proc(t), r)
+	}
+	return dur
+}

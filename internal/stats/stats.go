@@ -1,0 +1,225 @@
+// Package stats provides the summary statistics and metric arithmetic the
+// experiment harness builds its tables from: means and deviations, safe
+// log-ratios (the paper plots natural-log ratios of improvements, which
+// degenerate when a robustness metric is infinite), and the overall
+// performance score P(s) of Eqn. 9.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs; NaN for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Std returns the population standard deviation of xs; NaN for fewer than
+// one element. It uses the two-pass formula for stability.
+func Std(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	m := Mean(xs)
+	sum := 0.0
+	for _, x := range xs {
+		d := x - m
+		sum += d * d
+	}
+	return math.Sqrt(sum / float64(len(xs)))
+}
+
+// Min returns the smallest element; NaN for an empty slice.
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	min := xs[0]
+	for _, x := range xs[1:] {
+		if x < min {
+			min = x
+		}
+	}
+	return min
+}
+
+// Max returns the largest element; NaN for an empty slice.
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	max := xs[0]
+	for _, x := range xs[1:] {
+		if x > max {
+			max = x
+		}
+	}
+	return max
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of xs with linear
+// interpolation; NaN for an empty slice. xs is not modified.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 || q < 0 || q > 1 {
+		return math.NaN()
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	pos := q * float64(len(s)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := pos - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// Summary bundles the usual descriptive statistics of a sample.
+type Summary struct {
+	N                int
+	Mean, Std        float64
+	Min, Median, Max float64
+	Q25, Q75         float64
+}
+
+// Summarize computes a Summary of xs.
+func Summarize(xs []float64) Summary {
+	return Summary{
+		N:      len(xs),
+		Mean:   Mean(xs),
+		Std:    Std(xs),
+		Min:    Min(xs),
+		Median: Quantile(xs, 0.5),
+		Max:    Max(xs),
+		Q25:    Quantile(xs, 0.25),
+		Q75:    Quantile(xs, 0.75),
+	}
+}
+
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.4g std=%.4g min=%.4g p25=%.4g med=%.4g p75=%.4g max=%.4g",
+		s.N, s.Mean, s.Std, s.Min, s.Q25, s.Median, s.Q75, s.Max)
+}
+
+// RatioCap bounds the ratios fed to LogRatio when one side is infinite (a
+// robustness metric with zero tardiness or miss rate). exp(±RatioLogCap)
+// is the effective ratio bound.
+const RatioLogCap = 20.0
+
+// SafeRatio returns a/b guarded for the infinities the robustness metrics
+// produce: Inf/Inf = 1 (both schedules perfectly robust), Inf/x caps high,
+// x/Inf caps low, and non-positive denominators cap by sign.
+func SafeRatio(a, b float64) float64 {
+	aInf, bInf := math.IsInf(a, 1), math.IsInf(b, 1)
+	switch {
+	case aInf && bInf:
+		return 1
+	case aInf:
+		return math.Exp(RatioLogCap)
+	case bInf:
+		return math.Exp(-RatioLogCap)
+	case b <= 0 || a <= 0:
+		// Degenerate metric; treat as no information.
+		return 1
+	default:
+		return a / b
+	}
+}
+
+// LogRatio returns ln(SafeRatio(a, b)) clamped to ±RatioLogCap. The paper's
+// figures plot natural-log ratios (e.g. "log ratio of the change relative
+// to step 0", "log ratio of relative improvement over HEFT").
+func LogRatio(a, b float64) float64 {
+	l := math.Log(SafeRatio(a, b))
+	if l > RatioLogCap {
+		return RatioLogCap
+	}
+	if l < -RatioLogCap {
+		return -RatioLogCap
+	}
+	return l
+}
+
+// OverallPerformance computes P(s) of Eqn. 9:
+//
+//	P(s) = r·ln(M_HEFT / M(s)) + (1−r)·ln(R(s) / R_HEFT)
+//
+// where r in [0,1] weights makespan emphasis against robustness emphasis.
+// Infinite robustness values are capped via LogRatio.
+func OverallPerformance(r, makespan, makespanHEFT, robustness, robustnessHEFT float64) float64 {
+	if r < 0 || r > 1 {
+		return math.NaN()
+	}
+	return r*LogRatio(makespanHEFT, makespan) + (1-r)*LogRatio(robustness, robustnessHEFT)
+}
+
+// Pearson returns the Pearson correlation coefficient of two equally sized
+// samples; NaN when either sample is constant or shorter than 2.
+func Pearson(xs, ys []float64) float64 {
+	n := len(xs)
+	if n != len(ys) || n < 2 {
+		return math.NaN()
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var sxy, sxx, syy float64
+	for i := 0; i < n; i++ {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return math.NaN()
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}
+
+// Spearman returns the Spearman rank correlation of two equally sized
+// samples (Pearson on mid-ranks; ties averaged).
+func Spearman(xs, ys []float64) float64 {
+	return Pearson(ranks(xs), ranks(ys))
+}
+
+// ranks returns the mid-ranks of xs (1-based, ties averaged).
+func ranks(xs []float64) []float64 {
+	n := len(xs)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return xs[idx[a]] < xs[idx[b]] })
+	out := make([]float64, n)
+	for i := 0; i < n; {
+		j := i
+		for j+1 < n && xs[idx[j+1]] == xs[idx[i]] {
+			j++
+		}
+		mid := float64(i+j)/2 + 1
+		for k := i; k <= j; k++ {
+			out[idx[k]] = mid
+		}
+		i = j + 1
+	}
+	return out
+}
+
+// ArgmaxF returns the index in xs whose f value is largest (ties: first).
+func ArgmaxF(n int, f func(i int) float64) int {
+	best, bestV := 0, math.Inf(-1)
+	for i := 0; i < n; i++ {
+		if v := f(i); v > bestV {
+			best, bestV = i, v
+		}
+	}
+	return best
+}

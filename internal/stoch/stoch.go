@@ -1,0 +1,96 @@
+// Package stoch implements the paper's future-work direction: "guiding the
+// scheduling algorithm with the stochastic information about the
+// environment. Currently the algorithm is provided with the expected
+// system performance ... We believe that stochastic information about the
+// computing system will direct the algorithm to generate more robust
+// schedules."
+//
+// Under the paper's duration model c_ij ~ U(b_ij, (2·UL_ij−1)·b_ij) the
+// full distribution is known, not just its mean: the standard deviation is
+// σ_ij = (UL_ij−1)·b_ij / √3. This package exposes *risk-adjusted*
+// workload views whose planning durations are E[c] + k·σ for a risk factor
+// k ≥ 0, so any deterministic scheduler (HEFT, CPOP, the GA) becomes a
+// variance-aware one: processors on which a task's duration is volatile
+// look slower and attract fewer critical tasks. k = 0 recovers the plain
+// expected-duration model; larger k buys robustness with expected
+// makespan, giving a second, orthogonal robustness dial next to the
+// paper's ε.
+package stoch
+
+import (
+	"fmt"
+	"math"
+
+	"robsched/internal/heft"
+	"robsched/internal/platform"
+	"robsched/internal/schedule"
+)
+
+// Sigma returns the n×m matrix of duration standard deviations implied by
+// the workload's uniform model: σ_ij = (UL_ij − 1) · b_ij / √3.
+func Sigma(w *platform.Workload) platform.Matrix {
+	n, m := w.N(), w.M()
+	out := platform.NewMatrix(n, m)
+	for i := 0; i < n; i++ {
+		for j := 0; j < m; j++ {
+			out.Set(i, j, (w.UL.At(i, j)-1)*w.BCET.At(i, j)/math.Sqrt(3))
+		}
+	}
+	return out
+}
+
+// RiskAdjusted returns a planning view of the workload whose expected
+// durations are inflated to E[c] + k·σ (risk factor k >= 0). The view
+// shares the graph and platform; its BCET matrix carries the inflated
+// durations with UL = 1 everywhere, so deterministic schedulers treat the
+// inflated values as exact. Schedules built against the view must be
+// re-bound to the original workload (Rebind) before Monte-Carlo
+// evaluation.
+func RiskAdjusted(w *platform.Workload, k float64) (*platform.Workload, error) {
+	if k < 0 {
+		return nil, fmt.Errorf("stoch: risk factor %g must be >= 0", k)
+	}
+	sigma := Sigma(w)
+	n, m := w.N(), w.M()
+	adj := platform.NewMatrix(n, m)
+	for i := 0; i < n; i++ {
+		for j := 0; j < m; j++ {
+			adj.Set(i, j, w.ExpectedAt(i, j)+k*sigma.At(i, j))
+		}
+	}
+	return platform.DeterministicWorkload(w.G, w.Sys, adj)
+}
+
+// Rebind re-expresses a schedule planned on one view of a workload (same
+// graph and platform, any duration matrices) as a schedule of the target
+// workload, revalidating it and recomputing the analysis under the
+// target's expected durations.
+func Rebind(s *schedule.Schedule, target *platform.Workload) (*schedule.Schedule, error) {
+	src := s.Workload()
+	if src.G != target.G {
+		return nil, fmt.Errorf("stoch: rebind across different task graphs")
+	}
+	if src.Sys != target.Sys {
+		return nil, fmt.Errorf("stoch: rebind across different platforms")
+	}
+	procOrder := make([][]int, target.M())
+	for p := 0; p < target.M(); p++ {
+		procOrder[p] = s.ProcOrder(p)
+	}
+	return schedule.New(target, s.ProcAssignment(), procOrder)
+}
+
+// HEFT schedules the workload with HEFT on risk-adjusted durations
+// (E[c] + k·σ) and returns the schedule bound to the original workload —
+// the variance-aware baseline the paper's conclusion calls for.
+func HEFT(w *platform.Workload, k float64) (*schedule.Schedule, error) {
+	view, err := RiskAdjusted(w, k)
+	if err != nil {
+		return nil, err
+	}
+	s, err := heft.HEFT(view, heft.Options{})
+	if err != nil {
+		return nil, err
+	}
+	return Rebind(s, w)
+}

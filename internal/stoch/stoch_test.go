@@ -1,0 +1,169 @@
+package stoch
+
+import (
+	"math"
+	"testing"
+
+	"robsched/internal/gen"
+	"robsched/internal/heft"
+	"robsched/internal/platform"
+	"robsched/internal/rng"
+	"robsched/internal/schedule"
+	"robsched/internal/sim"
+)
+
+func testWorkload(t testing.TB, seed uint64, n, m int, ul float64) *platform.Workload {
+	t.Helper()
+	p := gen.PaperParams()
+	p.N, p.M, p.MeanUL = n, m, ul
+	w, err := gen.Random(p, rng.New(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestSigma(t *testing.T) {
+	w := testWorkload(t, 1, 10, 3, 3)
+	sigma := Sigma(w)
+	for i := 0; i < w.N(); i++ {
+		for j := 0; j < w.M(); j++ {
+			want := (w.UL.At(i, j) - 1) * w.BCET.At(i, j) / math.Sqrt(3)
+			if math.Abs(sigma.At(i, j)-want) > 1e-12 {
+				t.Fatalf("sigma(%d,%d) = %g, want %g", i, j, sigma.At(i, j), want)
+			}
+			if sigma.At(i, j) < 0 {
+				t.Fatal("negative sigma")
+			}
+		}
+	}
+}
+
+func TestSigmaMatchesSampleStd(t *testing.T) {
+	// The analytic σ must match the empirical standard deviation of
+	// SampleDuration.
+	w := testWorkload(t, 2, 5, 2, 4)
+	sigma := Sigma(w)
+	r := rng.New(3)
+	const n = 200000
+	i, p := 0, 0
+	var sum, sum2 float64
+	for k := 0; k < n; k++ {
+		d := w.SampleDuration(i, p, r)
+		sum += d
+		sum2 += d * d
+	}
+	mean := sum / n
+	std := math.Sqrt(sum2/n - mean*mean)
+	if math.Abs(std-sigma.At(i, p))/sigma.At(i, p) > 0.02 {
+		t.Fatalf("empirical std %g vs analytic %g", std, sigma.At(i, p))
+	}
+}
+
+func TestRiskAdjustedDurations(t *testing.T) {
+	w := testWorkload(t, 5, 12, 3, 3)
+	view, err := RiskAdjusted(w, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sigma := Sigma(w)
+	for i := 0; i < w.N(); i++ {
+		for j := 0; j < w.M(); j++ {
+			want := w.ExpectedAt(i, j) + 1.5*sigma.At(i, j)
+			if math.Abs(view.ExpectedAt(i, j)-want) > 1e-9 {
+				t.Fatalf("adjusted (%d,%d) = %g, want %g", i, j, view.ExpectedAt(i, j), want)
+			}
+		}
+	}
+	// k = 0 recovers the plain expectations.
+	zero, err := RiskAdjusted(w, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < w.N(); i++ {
+		for j := 0; j < w.M(); j++ {
+			if math.Abs(zero.ExpectedAt(i, j)-w.ExpectedAt(i, j)) > 1e-12 {
+				t.Fatal("k=0 changed the expectations")
+			}
+		}
+	}
+	if _, err := RiskAdjusted(w, -1); err == nil {
+		t.Fatal("negative k accepted")
+	}
+}
+
+func TestRebindValidation(t *testing.T) {
+	w1 := testWorkload(t, 7, 10, 2, 2)
+	w2 := testWorkload(t, 8, 10, 2, 2) // different graph
+	s, err := heft.HEFT(w1, heft.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Rebind(s, w2); err == nil {
+		t.Fatal("rebind across graphs accepted")
+	}
+	// Rebinding to the same workload is the identity on the assignment.
+	s2, err := Rebind(s, w1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Makespan() != s.Makespan() {
+		t.Fatalf("identity rebind changed makespan: %g vs %g", s2.Makespan(), s.Makespan())
+	}
+}
+
+func TestHEFTRiskZeroMatchesPlainHEFT(t *testing.T) {
+	w := testWorkload(t, 9, 25, 4, 3)
+	plain, err := heft.HEFT(w, heft.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	risk0, err := HEFT(w, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if risk0.Makespan() != plain.Makespan() {
+		t.Fatalf("k=0 HEFT makespan %g != plain %g", risk0.Makespan(), plain.Makespan())
+	}
+	for v := 0; v < w.N(); v++ {
+		if risk0.Proc(v) != plain.Proc(v) {
+			t.Fatalf("k=0 HEFT assignment differs at task %d", v)
+		}
+	}
+}
+
+// TestRiskFactorBuysRobustness is the future-work hypothesis as a test:
+// averaged across instances, scheduling against inflated (mean + k·σ)
+// durations reduces the relative tardiness and the makespan variability
+// compared with plain HEFT. The effect is an aggregate one (a few percent
+// per instance, with instance-level noise either way), so the assertion is
+// on the mean over a batch of workloads.
+func TestRiskFactorBuysRobustness(t *testing.T) {
+	const instances = 12
+	var dTard, dCov float64
+	for inst := 0; inst < instances; inst++ {
+		w := testWorkload(t, uint64(50+inst), 60, 4, 6)
+		plain, err := heft.HEFT(w, heft.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		risky, err := HEFT(w, 2.0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		both, err := sim.EvaluateAll(
+			[]*schedule.Schedule{plain, risky},
+			sim.Options{Realizations: 500}, rng.New(uint64(77+inst)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		dTard += (both[1].MeanTardiness - both[0].MeanTardiness) / both[0].MeanTardiness
+		dCov += both[1].StdMakespan/both[1].MeanMakespan - both[0].StdMakespan/both[0].MeanMakespan
+	}
+	if mean := dTard / instances; mean >= 0 {
+		t.Errorf("risk-adjusted HEFT did not reduce mean relative tardiness: %+.4f", mean)
+	}
+	if mean := dCov / instances; mean >= 0 {
+		t.Errorf("risk-adjusted HEFT did not reduce makespan variability: %+.4f", mean)
+	}
+}

@@ -1,0 +1,95 @@
+package viz
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"robsched/internal/schedule"
+)
+
+// GanttOptions styles a Gantt chart. Zero values get defaults.
+type GanttOptions struct {
+	Title string
+	Width int // default 860
+	// RowHeight is the per-processor lane height (default 34).
+	RowHeight int
+	// ShowSlack shades each task's slack window after its bar.
+	ShowSlack bool
+}
+
+// GanttSVG renders the schedule under expected durations as an SVG Gantt
+// chart: one lane per processor, one labelled bar per task, a time axis,
+// and (optionally) the slack window of every task shaded behind it.
+func GanttSVG(s *schedule.Schedule, opt GanttOptions) string {
+	w := s.Workload()
+	width := opt.Width
+	if width <= 0 {
+		width = 860
+	}
+	rowH := opt.RowHeight
+	if rowH <= 0 {
+		rowH = 34
+	}
+	const left, right, top = 60, 24, 44
+	bottom := 40
+	m := w.M()
+	height := top + m*rowH + bottom
+	plotW := float64(width - left - right)
+	makespan := s.Makespan()
+	if makespan <= 0 {
+		makespan = 1
+	}
+	sx := func(t float64) float64 { return float64(left) + t/makespan*plotW }
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d" font-family="sans-serif">`,
+		width, height, width, height)
+	b.WriteString(`<rect width="100%" height="100%" fill="white"/>`)
+	if opt.Title != "" {
+		fmt.Fprintf(&b, `<text x="%d" y="24" font-size="14" font-weight="bold">%s</text>`, left, esc(opt.Title))
+	}
+	// Lanes.
+	for p := 0; p < m; p++ {
+		y := top + p*rowH
+		fill := "#fafafa"
+		if p%2 == 1 {
+			fill = "#f0f0f0"
+		}
+		fmt.Fprintf(&b, `<rect x="%d" y="%d" width="%.0f" height="%d" fill="%s"/>`,
+			left, y, plotW, rowH, fill)
+		fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="12" text-anchor="end">P%d</text>`,
+			left-8, y+rowH/2+4, p+1)
+	}
+	// Time ticks.
+	for _, tx := range niceTicks(0, makespan, 8) {
+		px := sx(tx)
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%d" x2="%.1f" y2="%d" stroke="#ccc"/>`,
+			px, top, px, top+m*rowH)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d" font-size="11" text-anchor="middle">%s</text>`,
+			px, top+m*rowH+16, fmtTick(tx))
+	}
+	// Task bars (and slack windows).
+	for v := 0; v < w.N(); v++ {
+		p := s.Proc(v)
+		y := top + p*rowH + 4
+		h := rowH - 8
+		x0, x1 := sx(s.Start(v)), sx(s.Finish(v))
+		if opt.ShowSlack && s.Slack(v) > 1e-9 {
+			fmt.Fprintf(&b, `<rect x="%.1f" y="%d" width="%.1f" height="%d" fill="%s" fill-opacity="0.15"/>`,
+				x1, y, sx(s.Finish(v)+s.Slack(v))-x1, h, palette[v%len(palette)])
+		}
+		fmt.Fprintf(&b, `<rect x="%.1f" y="%d" width="%.1f" height="%d" rx="2" fill="%s" fill-opacity="0.85">`,
+			x0, y, math.Max(x1-x0, 1), h, palette[v%len(palette)])
+		fmt.Fprintf(&b, `<title>v%d: [%.2f, %.2f] slack %.2f</title></rect>`,
+			v+1, s.Start(v), s.Finish(v), s.Slack(v))
+		if x1-x0 > 16 {
+			fmt.Fprintf(&b, `<text x="%.1f" y="%d" font-size="10" fill="white" text-anchor="middle">%d</text>`,
+				(x0+x1)/2, y+h/2+4, v+1)
+		}
+	}
+	fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="11">makespan %.4g</text>`,
+		left, height-8, s.Makespan())
+	b.WriteString(`</svg>`)
+	return b.String()
+}

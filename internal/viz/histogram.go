@@ -1,0 +1,113 @@
+package viz
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// HistogramOptions styles a histogram.
+type HistogramOptions struct {
+	Title  string
+	XLabel string
+	Width  int // default 640
+	Height int // default 360
+	Bins   int // default Sturges' rule
+	// Markers draws labelled vertical reference lines (e.g. M0, p95).
+	Markers map[string]float64
+}
+
+// HistogramSVG renders an empirical distribution (e.g. sampled makespans)
+// as an SVG histogram with optional labelled markers.
+func HistogramSVG(samples []float64, opt HistogramOptions) string {
+	w, h := opt.Width, opt.Height
+	if w <= 0 {
+		w = 640
+	}
+	if h <= 0 {
+		h = 360
+	}
+	const left, right, top, bottom = 60, 24, 44, 52
+	plotW := float64(w - left - right)
+	plotH := float64(h - top - bottom)
+
+	var finiteSamples []float64
+	for _, x := range samples {
+		if finite(x) {
+			finiteSamples = append(finiteSamples, x)
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d" font-family="sans-serif">`, w, h, w, h)
+	b.WriteString(`<rect width="100%" height="100%" fill="white"/>`)
+	if opt.Title != "" {
+		fmt.Fprintf(&b, `<text x="%d" y="24" font-size="14" font-weight="bold">%s</text>`, left, esc(opt.Title))
+	}
+	if len(finiteSamples) == 0 {
+		fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="12">(no data)</text>`, left, top+20)
+		b.WriteString(`</svg>`)
+		return b.String()
+	}
+	sort.Float64s(finiteSamples)
+	lo, hi := finiteSamples[0], finiteSamples[len(finiteSamples)-1]
+	if hi == lo {
+		hi = lo + 1
+	}
+	bins := opt.Bins
+	if bins <= 0 {
+		bins = int(math.Ceil(math.Log2(float64(len(finiteSamples))))) + 1
+	}
+	counts := make([]int, bins)
+	for _, x := range finiteSamples {
+		i := int((x - lo) / (hi - lo) * float64(bins))
+		if i >= bins {
+			i = bins - 1
+		}
+		counts[i]++
+	}
+	maxCount := 1
+	for _, c := range counts {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	sx := func(x float64) float64 { return float64(left) + (x-lo)/(hi-lo)*plotW }
+	binW := plotW / float64(bins)
+	for i, c := range counts {
+		barH := float64(c) / float64(maxCount) * plotH
+		fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="#1f77b4" fill-opacity="0.7" stroke="white" stroke-width="0.5"/>`,
+			float64(left)+float64(i)*binW, float64(top)+plotH-barH, binW, barH)
+	}
+	// Frame and x ticks.
+	fmt.Fprintf(&b, `<rect x="%d" y="%d" width="%.0f" height="%.0f" fill="none" stroke="#444"/>`, left, top, plotW, plotH)
+	for _, tx := range niceTicks(lo, hi, 6) {
+		px := sx(tx)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-size="11" text-anchor="middle">%s</text>`,
+			px, float64(top)+plotH+16, fmtTick(tx))
+	}
+	if opt.XLabel != "" {
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d" font-size="12" text-anchor="middle">%s</text>`,
+			float64(left)+plotW/2, h-10, esc(opt.XLabel))
+	}
+	// Markers in sorted-name order for determinism.
+	var names []string
+	for name := range opt.Markers {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for i, name := range names {
+		x := opt.Markers[name]
+		if !finite(x) || x < lo || x > hi {
+			continue
+		}
+		px := sx(x)
+		color := palette[(i+1)%len(palette)]
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%d" x2="%.1f" y2="%.1f" stroke="%s" stroke-width="1.5" stroke-dasharray="4 3"/>`,
+			px, top, px, float64(top)+plotH, color)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d" font-size="10" fill="%s" text-anchor="middle">%s</text>`,
+			px, top-4, color, esc(name))
+	}
+	b.WriteString(`</svg>`)
+	return b.String()
+}

@@ -1,0 +1,211 @@
+// Package viz renders the library's outputs as standalone SVG documents —
+// line charts for the regenerated figures and Gantt charts for schedules —
+// with no dependencies beyond the standard library. The experiment CLI
+// writes figN.svg next to the CSV files so results can be eyeballed
+// without a plotting stack.
+package viz
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one named curve.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// ChartOptions styles a line chart. Zero values get sensible defaults.
+type ChartOptions struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Width  int // default 720
+	Height int // default 440
+}
+
+// palette holds distinguishable series colours (repeating if exhausted).
+var palette = []string{
+	"#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e",
+	"#8c564b", "#e377c2", "#17becf", "#bcbd22", "#7f7f7f",
+}
+
+// LineChartSVG renders the series as an SVG line chart with axes, ticks
+// and a legend. NaN and infinite points break the polyline rather than
+// distorting the scale.
+func LineChartSVG(series []Series, opt ChartOptions) string {
+	w, h := opt.Width, opt.Height
+	if w <= 0 {
+		w = 720
+	}
+	if h <= 0 {
+		h = 440
+	}
+	const (
+		left, right, top, bottom = 70, 180, 46, 56
+	)
+	plotW := float64(w - left - right)
+	plotH := float64(h - top - bottom)
+
+	// Data ranges over finite points only.
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		for i := range s.X {
+			if i >= len(s.Y) || !finite(s.X[i]) || !finite(s.Y[i]) {
+				continue
+			}
+			xmin, xmax = math.Min(xmin, s.X[i]), math.Max(xmax, s.X[i])
+			ymin, ymax = math.Min(ymin, s.Y[i]), math.Max(ymax, s.Y[i])
+		}
+	}
+	if xmin > xmax { // no finite data
+		xmin, xmax, ymin, ymax = 0, 1, 0, 1
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	// Pad the y range slightly so curves do not hug the frame.
+	pad := (ymax - ymin) * 0.05
+	ymin, ymax = ymin-pad, ymax+pad
+
+	sx := func(x float64) float64 { return float64(left) + (x-xmin)/(xmax-xmin)*plotW }
+	sy := func(y float64) float64 { return float64(top) + (1-(y-ymin)/(ymax-ymin))*plotH }
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d" font-family="sans-serif">`, w, h, w, h)
+	b.WriteString(`<rect width="100%" height="100%" fill="white"/>`)
+	if opt.Title != "" {
+		fmt.Fprintf(&b, `<text x="%d" y="24" font-size="15" font-weight="bold">%s</text>`, left, esc(opt.Title))
+	}
+	// Frame.
+	fmt.Fprintf(&b, `<rect x="%d" y="%d" width="%.0f" height="%.0f" fill="none" stroke="#444"/>`,
+		left, top, plotW, plotH)
+	// Ticks and grid.
+	for _, tx := range niceTicks(xmin, xmax, 6) {
+		px := sx(tx)
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%d" x2="%.1f" y2="%.1f" stroke="#ddd"/>`,
+			px, top, px, float64(top)+plotH)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-size="11" text-anchor="middle">%s</text>`,
+			px, float64(top)+plotH+16, fmtTick(tx))
+	}
+	for _, ty := range niceTicks(ymin, ymax, 6) {
+		py := sy(ty)
+		fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#ddd"/>`,
+			left, py, float64(left)+plotW, py)
+		fmt.Fprintf(&b, `<text x="%d" y="%.1f" font-size="11" text-anchor="end">%s</text>`,
+			left-6, py+4, fmtTick(ty))
+	}
+	if opt.XLabel != "" {
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d" font-size="12" text-anchor="middle">%s</text>`,
+			float64(left)+plotW/2, h-14, esc(opt.XLabel))
+	}
+	if opt.YLabel != "" {
+		fmt.Fprintf(&b, `<text x="18" y="%.1f" font-size="12" text-anchor="middle" transform="rotate(-90 18 %.1f)">%s</text>`,
+			float64(top)+plotH/2, float64(top)+plotH/2, esc(opt.YLabel))
+	}
+	// Curves.
+	for si, s := range series {
+		color := palette[si%len(palette)]
+		var pts []string
+		flush := func() {
+			if len(pts) >= 2 {
+				fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="1.8"/>`,
+					strings.Join(pts, " "), color)
+			}
+			pts = pts[:0]
+		}
+		for i := range s.X {
+			if i >= len(s.Y) || !finite(s.X[i]) || !finite(s.Y[i]) {
+				flush()
+				continue
+			}
+			px, py := sx(s.X[i]), sy(s.Y[i])
+			pts = append(pts, fmt.Sprintf("%.1f,%.1f", px, py))
+			fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="2.3" fill="%s"/>`, px, py, color)
+		}
+		flush()
+		// Legend entry.
+		ly := top + 14 + si*18
+		lx := left + int(plotW) + 12
+		fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="%s" stroke-width="2"/>`,
+			lx, ly-4, lx+18, ly-4, color)
+		fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="11">%s</text>`, lx+24, ly, esc(s.Name))
+	}
+	b.WriteString(`</svg>`)
+	return b.String()
+}
+
+func finite(x float64) bool { return !math.IsNaN(x) && !math.IsInf(x, 0) }
+
+func esc(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}
+
+// niceTicks returns ~count round tick positions spanning [lo, hi].
+func niceTicks(lo, hi float64, count int) []float64 {
+	if count < 2 {
+		count = 2
+	}
+	span := hi - lo
+	if span <= 0 || !finite(span) {
+		return []float64{lo}
+	}
+	step := niceNum(span/float64(count-1), true)
+	start := math.Ceil(lo/step) * step
+	var out []float64
+	for t := start; t <= hi+step*1e-9; t += step {
+		// Snap tiny float noise to zero.
+		if math.Abs(t) < step*1e-9 {
+			t = 0
+		}
+		out = append(out, t)
+	}
+	return out
+}
+
+// niceNum rounds x to a "nice" number (1, 2, 5 × 10^k), per Heckbert's
+// classic Graphics Gems axis-labelling routine.
+func niceNum(x float64, round bool) float64 {
+	exp := math.Floor(math.Log10(x))
+	f := x / math.Pow(10, exp)
+	var nf float64
+	if round {
+		switch {
+		case f < 1.5:
+			nf = 1
+		case f < 3:
+			nf = 2
+		case f < 7:
+			nf = 5
+		default:
+			nf = 10
+		}
+	} else {
+		switch {
+		case f <= 1:
+			nf = 1
+		case f <= 2:
+			nf = 2
+		case f <= 5:
+			nf = 5
+		default:
+			nf = 10
+		}
+	}
+	return nf * math.Pow(10, exp)
+}
+
+func fmtTick(x float64) string {
+	if x == math.Trunc(x) && math.Abs(x) < 1e7 {
+		return fmt.Sprintf("%.0f", x)
+	}
+	return fmt.Sprintf("%.3g", x)
+}

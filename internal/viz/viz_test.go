@@ -1,0 +1,184 @@
+package viz
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"robsched/internal/gen"
+	"robsched/internal/heft"
+	"robsched/internal/rng"
+)
+
+func TestLineChartSVGBasic(t *testing.T) {
+	series := []Series{
+		{Name: "alpha", X: []float64{0, 1, 2, 3}, Y: []float64{1, 4, 2, 8}},
+		{Name: "beta", X: []float64{0, 1, 2, 3}, Y: []float64{3, 3, 3, 3}},
+	}
+	svg := LineChartSVG(series, ChartOptions{Title: "A & B", XLabel: "x", YLabel: "y"})
+	for _, want := range []string{
+		"<svg", "</svg>", "polyline", "A &amp; B", "alpha", "beta",
+		`text-anchor="middle">x</text>`, ">y</text>",
+	} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	// Two polylines, one per series.
+	if got := strings.Count(svg, "<polyline"); got != 2 {
+		t.Errorf("polyline count = %d, want 2", got)
+	}
+	// One circle per finite point.
+	if got := strings.Count(svg, "<circle"); got != 8 {
+		t.Errorf("circle count = %d, want 8", got)
+	}
+}
+
+func TestLineChartSVGHandlesNaNAndInf(t *testing.T) {
+	series := []Series{{
+		Name: "broken",
+		X:    []float64{0, 1, 2, 3, 4},
+		Y:    []float64{1, math.NaN(), 2, math.Inf(1), 3},
+	}}
+	svg := LineChartSVG(series, ChartOptions{})
+	if !strings.Contains(svg, "<svg") || !strings.Contains(svg, "</svg>") {
+		t.Fatal("not an SVG document")
+	}
+	// NaN/Inf never leak into coordinates.
+	if strings.Contains(svg, "NaN") || strings.Contains(svg, "Inf") {
+		t.Fatal("non-finite coordinates leaked into the SVG")
+	}
+	// Finite points still plotted.
+	if got := strings.Count(svg, "<circle"); got != 3 {
+		t.Errorf("circle count = %d, want 3", got)
+	}
+}
+
+func TestLineChartSVGEmpty(t *testing.T) {
+	svg := LineChartSVG(nil, ChartOptions{})
+	if !strings.Contains(svg, "<svg") {
+		t.Fatal("empty chart not an SVG")
+	}
+	svg = LineChartSVG([]Series{{Name: "nodata"}}, ChartOptions{})
+	if !strings.Contains(svg, "nodata") {
+		t.Fatal("legend missing for empty series")
+	}
+}
+
+func TestLineChartSVGConstantSeries(t *testing.T) {
+	// Degenerate ranges (all x equal, all y equal) must not divide by zero.
+	svg := LineChartSVG([]Series{{Name: "c", X: []float64{5, 5}, Y: []float64{2, 2}}}, ChartOptions{})
+	if strings.Contains(svg, "NaN") {
+		t.Fatal("NaN in degenerate chart")
+	}
+}
+
+func TestNiceTicks(t *testing.T) {
+	ticks := niceTicks(0, 10, 6)
+	if len(ticks) < 3 {
+		t.Fatalf("too few ticks: %v", ticks)
+	}
+	for i := 1; i < len(ticks); i++ {
+		if ticks[i] <= ticks[i-1] {
+			t.Fatalf("ticks not increasing: %v", ticks)
+		}
+	}
+	if ticks[0] < 0 || ticks[len(ticks)-1] > 10+1e-9 {
+		t.Fatalf("ticks out of range: %v", ticks)
+	}
+	// Negative ranges work too.
+	neg := niceTicks(-3, 3, 5)
+	found0 := false
+	for _, x := range neg {
+		if x == 0 {
+			found0 = true
+		}
+	}
+	if !found0 {
+		t.Fatalf("no zero tick across a sign change: %v", neg)
+	}
+}
+
+func TestNiceNum(t *testing.T) {
+	cases := []struct{ in, want float64 }{
+		{1.3, 1}, {2.4, 2}, {6.5, 5}, {8, 10}, {0.13, 0.1}, {34, 50},
+	}
+	for _, c := range cases {
+		if got := niceNum(c.in, true); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("niceNum(%g) = %g, want %g", c.in, got, c.want)
+		}
+	}
+}
+
+func TestGanttSVG(t *testing.T) {
+	p := gen.PaperParams()
+	p.N, p.M = 15, 3
+	w, err := gen.Random(p, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := heft.HEFT(w, heft.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svg := GanttSVG(s, GanttOptions{Title: "demo", ShowSlack: true})
+	for _, want := range []string{"<svg", "</svg>", "demo", ">P1</text>", ">P3</text>", "makespan"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("Gantt missing %q", want)
+		}
+	}
+	// One tooltip per task.
+	if got := strings.Count(svg, "<title>"); got != w.N() {
+		t.Errorf("tooltip count = %d, want %d", got, w.N())
+	}
+	if strings.Contains(svg, "NaN") {
+		t.Fatal("NaN coordinates in Gantt")
+	}
+}
+
+func TestEscape(t *testing.T) {
+	if got := esc(`a<b>&"c"`); got != `a&lt;b&gt;&amp;&quot;c&quot;` {
+		t.Fatalf("esc = %q", got)
+	}
+}
+
+func TestHistogramSVG(t *testing.T) {
+	r := rng.New(9)
+	samples := make([]float64, 500)
+	for i := range samples {
+		samples[i] = r.Norm(100, 15)
+	}
+	svg := HistogramSVG(samples, HistogramOptions{
+		Title:   "makespan distribution",
+		XLabel:  "makespan",
+		Markers: map[string]float64{"M0": 95, "p95": 125},
+	})
+	for _, want := range []string{"<svg", "</svg>", "makespan distribution", "M0", "p95", "stroke-dasharray"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("histogram missing %q", want)
+		}
+	}
+	if strings.Contains(svg, "NaN") {
+		t.Fatal("NaN leaked into histogram")
+	}
+	// Bars drawn.
+	if got := strings.Count(svg, `fill="#1f77b4"`); got < 5 {
+		t.Errorf("only %d bars", got)
+	}
+}
+
+func TestHistogramSVGEdgeCases(t *testing.T) {
+	if svg := HistogramSVG(nil, HistogramOptions{}); !strings.Contains(svg, "no data") {
+		t.Error("empty histogram not labelled")
+	}
+	// All-equal samples must not divide by zero.
+	svg := HistogramSVG([]float64{5, 5, 5}, HistogramOptions{Bins: 4})
+	if strings.Contains(svg, "NaN") {
+		t.Fatal("NaN in constant histogram")
+	}
+	// NaN samples ignored.
+	svg = HistogramSVG([]float64{math.NaN(), 1, 2}, HistogramOptions{})
+	if strings.Contains(svg, "NaN") {
+		t.Fatal("NaN sample leaked")
+	}
+}

@@ -1,0 +1,181 @@
+// Package wio serializes workloads and schedules to JSON so the command-
+// line tools can exchange problem instances and results: a workload file
+// carries the task graph, transfer rates, BCET and UL matrices; a schedule
+// file carries the assignment and per-processor orders plus the analysis
+// headline numbers.
+package wio
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"robsched/internal/dag"
+	"robsched/internal/platform"
+	"robsched/internal/schedule"
+)
+
+// WorkloadJSON is the on-disk form of a workload.
+type WorkloadJSON struct {
+	// Tasks is the number of tasks.
+	Tasks int `json:"tasks"`
+	// Edges lists the precedence edges with their data volumes.
+	Edges []EdgeJSON `json:"edges"`
+	// Rates is the m×m transfer rate matrix (diagonal ignored).
+	Rates [][]float64 `json:"rates"`
+	// BCET is the n×m best-case execution time matrix.
+	BCET [][]float64 `json:"bcet"`
+	// UL is the n×m uncertainty level matrix (entries ≥ 1). Optional: when
+	// omitted, all levels default to 1 (deterministic durations).
+	UL [][]float64 `json:"ul,omitempty"`
+}
+
+// EdgeJSON is one precedence edge.
+type EdgeJSON struct {
+	From int     `json:"from"`
+	To   int     `json:"to"`
+	Data float64 `json:"data"`
+}
+
+// WriteWorkload serializes w as indented JSON.
+func WriteWorkload(out io.Writer, w *platform.Workload) error {
+	n, m := w.N(), w.M()
+	doc := WorkloadJSON{Tasks: n}
+	for _, e := range w.G.Edges() {
+		doc.Edges = append(doc.Edges, EdgeJSON{e.From, e.To, e.Data})
+	}
+	doc.Rates = matrixRows(ratesOf(w.Sys))
+	doc.BCET = make([][]float64, n)
+	doc.UL = make([][]float64, n)
+	for i := 0; i < n; i++ {
+		doc.BCET[i] = append([]float64(nil), w.BCET.Row(i)...)
+		doc.UL[i] = append([]float64(nil), w.UL.Row(i)...)
+	}
+	_ = m
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// ratesOf reconstructs the system's rate matrix.
+func ratesOf(sys *platform.System) platform.Matrix {
+	m := sys.M()
+	rates := platform.NewMatrix(m, m)
+	for p := 0; p < m; p++ {
+		for q := 0; q < m; q++ {
+			if p != q {
+				rates.Set(p, q, sys.Rate(p, q))
+			}
+		}
+	}
+	return rates
+}
+
+func matrixRows(m platform.Matrix) [][]float64 {
+	out := make([][]float64, m.Rows())
+	for i := range out {
+		out[i] = append([]float64(nil), m.Row(i)...)
+	}
+	return out
+}
+
+// ReadWorkload parses and validates a workload document.
+func ReadWorkload(in io.Reader) (*platform.Workload, error) {
+	var doc WorkloadJSON
+	dec := json.NewDecoder(in)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&doc); err != nil {
+		return nil, fmt.Errorf("wio: decoding workload: %w", err)
+	}
+	return doc.Build()
+}
+
+// Build validates the document into a live workload.
+func (doc WorkloadJSON) Build() (*platform.Workload, error) {
+	if doc.Tasks <= 0 {
+		return nil, fmt.Errorf("wio: workload has %d tasks", doc.Tasks)
+	}
+	b := dag.NewBuilder(doc.Tasks)
+	for _, e := range doc.Edges {
+		if err := b.AddEdge(e.From, e.To, e.Data); err != nil {
+			return nil, fmt.Errorf("wio: %w", err)
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("wio: %w", err)
+	}
+	rates, err := platform.MatrixFromRows(doc.Rates)
+	if err != nil {
+		return nil, fmt.Errorf("wio: rates: %w", err)
+	}
+	// The diagonal is ignored semantically but must pass validation.
+	for p := 0; p < rates.Rows() && p < rates.Cols(); p++ {
+		if rates.At(p, p) == 0 {
+			rates.Set(p, p, 1)
+		}
+	}
+	sys, err := platform.NewSystem(rates)
+	if err != nil {
+		return nil, fmt.Errorf("wio: %w", err)
+	}
+	bcet, err := platform.MatrixFromRows(doc.BCET)
+	if err != nil {
+		return nil, fmt.Errorf("wio: bcet: %w", err)
+	}
+	var ul platform.Matrix
+	if doc.UL == nil {
+		ul = platform.NewMatrix(bcet.Rows(), bcet.Cols())
+		ul.Fill(1)
+	} else {
+		ul, err = platform.MatrixFromRows(doc.UL)
+		if err != nil {
+			return nil, fmt.Errorf("wio: ul: %w", err)
+		}
+	}
+	w, err := platform.NewWorkload(g, sys, bcet, ul)
+	if err != nil {
+		return nil, fmt.Errorf("wio: %w", err)
+	}
+	return w, nil
+}
+
+// ScheduleJSON is the on-disk form of a schedule plus its analysis
+// headline numbers (informational on write, ignored on read).
+type ScheduleJSON struct {
+	Proc      []int   `json:"proc"`
+	ProcOrder [][]int `json:"proc_order"`
+	Makespan  float64 `json:"makespan,omitempty"`
+	AvgSlack  float64 `json:"avg_slack,omitempty"`
+}
+
+// WriteSchedule serializes s as indented JSON.
+func WriteSchedule(out io.Writer, s *schedule.Schedule) error {
+	doc := ScheduleJSON{
+		Proc:     s.ProcAssignment(),
+		Makespan: s.Makespan(),
+		AvgSlack: s.AvgSlack(),
+	}
+	for p := 0; p < s.Workload().M(); p++ {
+		doc.ProcOrder = append(doc.ProcOrder, s.ProcOrder(p))
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// ReadSchedule parses a schedule document and binds it to the workload,
+// re-validating every constraint.
+func ReadSchedule(in io.Reader, w *platform.Workload) (*schedule.Schedule, error) {
+	var doc ScheduleJSON
+	dec := json.NewDecoder(in)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&doc); err != nil {
+		return nil, fmt.Errorf("wio: decoding schedule: %w", err)
+	}
+	s, err := schedule.New(w, doc.Proc, doc.ProcOrder)
+	if err != nil {
+		return nil, fmt.Errorf("wio: %w", err)
+	}
+	return s, nil
+}

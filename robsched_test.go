@@ -1,0 +1,330 @@
+package robsched_test
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"robsched"
+)
+
+// buildDiamond is the deterministic fixture used across the public-API
+// tests: the 4-task diamond on two unit-rate processors.
+func buildDiamond(t testing.TB) *robsched.Workload {
+	t.Helper()
+	b := robsched.NewGraphBuilder(4)
+	for _, e := range []struct {
+		u, v int
+		d    float64
+	}{{0, 1, 2}, {0, 2, 4}, {1, 3, 1}, {2, 3, 3}} {
+		if err := b.AddEdge(e.u, e.v, e.d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	exec, err := robsched.MatrixFromRows([][]float64{{2, 3}, {3, 2}, {4, 2}, {1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := robsched.DeterministicWorkload(g, robsched.UniformSystem(2, 1), exec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestPublicEndToEnd(t *testing.T) {
+	r := robsched.NewRNG(7)
+	p := robsched.PaperWorkloadParams()
+	p.N, p.M = 40, 4
+	p.MeanUL = 3
+	w, err := robsched.GenerateWorkload(p, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	heftS, err := robsched.HEFT(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpopS, err := robsched.CPOP(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if heftS.Makespan() <= 0 || cpopS.Makespan() <= 0 {
+		t.Fatal("baseline makespans must be positive")
+	}
+
+	opt := robsched.PaperSolveOptions(robsched.EpsilonConstraint, 1.3)
+	opt.MaxGenerations = 120
+	opt.Stagnation = 0
+	res, err := robsched.Solve(w, opt, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Schedule.Makespan() > 1.3*res.MHEFT+1e-9 {
+		t.Fatalf("constraint violated: %g > 1.3·%g", res.Schedule.Makespan(), res.MHEFT)
+	}
+	if res.Schedule.AvgSlack() < heftS.AvgSlack()-1e-9 {
+		t.Fatalf("GA slack %g below HEFT slack %g", res.Schedule.AvgSlack(), heftS.AvgSlack())
+	}
+
+	ms, err := robsched.EvaluateAll(
+		[]*robsched.Schedule{res.Schedule, heftS},
+		robsched.SimOptions{Realizations: 400},
+		robsched.NewRNG(99),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The central claim: more slack, more robustness.
+	if ms[0].R1 <= ms[1].R1 {
+		t.Errorf("GA R1 %g not above HEFT R1 %g despite slack %g vs %g",
+			ms[0].R1, ms[1].R1, res.Schedule.AvgSlack(), heftS.AvgSlack())
+	}
+	// Overall performance favors the GA when robustness is emphasized.
+	pGA := robsched.OverallPerformance(0.1, ms[0].MeanMakespan, ms[1].MeanMakespan, ms[0].R1, ms[1].R1)
+	if pGA <= 0 {
+		t.Errorf("overall performance at r=0.1 is %g, want > 0", pGA)
+	}
+}
+
+func TestPublicDiamondAnalysis(t *testing.T) {
+	w := buildDiamond(t)
+	s, err := robsched.NewSchedule(w, []int{0, 0, 1, 0}, [][]int{{0, 1, 3}, {2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Makespan() != 12 || s.AvgSlack() != 1.5 || s.Slack(1) != 6 {
+		t.Fatalf("analysis wrong: M=%g avg=%g σ1=%g", s.Makespan(), s.AvgSlack(), s.Slack(1))
+	}
+	if got := s.String(); !strings.Contains(got, "(v1,v2)") {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestPublicScheduleFromOrder(t *testing.T) {
+	w := buildDiamond(t)
+	s, err := robsched.ScheduleFromOrder(w, []int{0, 2, 1, 3}, []int{0, 0, 1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Makespan() != 12 {
+		t.Fatalf("Makespan = %g", s.Makespan())
+	}
+}
+
+func TestPublicStructuredGraphs(t *testing.T) {
+	r := robsched.NewRNG(3)
+	cases := []struct {
+		name string
+		g    *robsched.Graph
+		err  error
+	}{}
+	gauss, err := robsched.GaussianElimination(5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fft, err := robsched.FFT(3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fj, err := robsched.ForkJoin(4, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := robsched.Stencil(4, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases = append(cases,
+		struct {
+			name string
+			g    *robsched.Graph
+			err  error
+		}{"gauss", gauss, nil},
+		struct {
+			name string
+			g    *robsched.Graph
+			err  error
+		}{"fft", fft, nil},
+		struct {
+			name string
+			g    *robsched.Graph
+			err  error
+		}{"forkjoin", fj, nil},
+		struct {
+			name string
+			g    *robsched.Graph
+			err  error
+		}{"stencil", st, nil},
+	)
+	for _, c := range cases {
+		exec := robsched.ExecMatrix(c.g.N(), 3, 20, 0.5, 0.5, r)
+		ul := robsched.ULMatrix(c.g.N(), 3, 2, 0.5, 0.5, r)
+		w, err := robsched.NewWorkload(c.g, robsched.UniformSystem(3, 1), exec, ul)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		s, err := robsched.HEFT(w)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if s.Makespan() <= 0 {
+			t.Fatalf("%s: bad makespan", c.name)
+		}
+	}
+}
+
+func TestPublicPaperExampleGraph(t *testing.T) {
+	g := robsched.PaperExampleGraph(2)
+	if g.N() != 8 {
+		t.Fatalf("N = %d", g.N())
+	}
+	r := robsched.NewRNG(5)
+	exec := robsched.ExecMatrix(8, 4, 10, 0.5, 0.5, r)
+	ul := robsched.ULMatrix(8, 4, 2, 0.5, 0.5, r)
+	w, err := robsched.NewWorkload(g, robsched.UniformSystem(4, 1), exec, ul)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := robsched.HEFT(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := robsched.Evaluate(s, robsched.SimOptions{Realizations: 100}, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.MeanMakespan < s.Makespan()*0.5 {
+		t.Fatal("implausible realized makespan")
+	}
+}
+
+func TestPublicWorkloadIO(t *testing.T) {
+	w := buildDiamond(t)
+	var buf bytes.Buffer
+	if err := robsched.WriteWorkload(&buf, w); err != nil {
+		t.Fatal(err)
+	}
+	w2, err := robsched.ReadWorkload(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, err := robsched.HEFT(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := robsched.HEFT(w2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1.Makespan() != s2.Makespan() {
+		t.Fatal("round-tripped workload schedules differently")
+	}
+	var sbuf bytes.Buffer
+	if err := robsched.WriteSchedule(&sbuf, s1); err != nil {
+		t.Fatal(err)
+	}
+	s3, err := robsched.ReadSchedule(&sbuf, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s3.Makespan() != s1.Makespan() {
+		t.Fatal("round-tripped schedule changed")
+	}
+}
+
+func TestPublicRandomScheduleAndRanks(t *testing.T) {
+	w := buildDiamond(t)
+	r := robsched.NewRNG(11)
+	s, err := robsched.RandomSchedule(w, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Makespan() <= 0 {
+		t.Fatal("bad makespan")
+	}
+	ranks := robsched.UpwardRanks(w)
+	if len(ranks) != 4 {
+		t.Fatalf("ranks = %v", ranks)
+	}
+	// Entry dominates, exit is smallest.
+	if ranks[0] <= ranks[1] || ranks[0] <= ranks[2] || ranks[3] >= ranks[1] {
+		t.Fatalf("rank order wrong: %v", ranks)
+	}
+}
+
+func TestPublicHEFTInsertionAblation(t *testing.T) {
+	r := robsched.NewRNG(13)
+	p := robsched.PaperWorkloadParams()
+	p.N, p.M = 60, 4
+	w, err := robsched.GenerateWorkload(p, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins, err := robsched.HEFT(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	app, err := robsched.HEFTNoInsertion(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ins.Makespan() <= 0 || app.Makespan() <= 0 {
+		t.Fatal("bad makespans")
+	}
+}
+
+func TestPublicExperimentHarness(t *testing.T) {
+	cfg := robsched.DefaultExperimentConfig()
+	cfg.Gen.N = 20
+	cfg.Gen.M = 3
+	cfg.Graphs = 2
+	cfg.Realizations = 80
+	cfg.ULs = []float64{2}
+	cfg.Eps = []float64{1.0, 1.5}
+	cfg.GA.MaxGenerations = 25
+	cfg.GA.PopSize = 8
+	sw, err := cfg.RunSweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	series, err := sw.Fig4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := robsched.FormatSeries("Fig. 4", "UL", series)
+	if !strings.Contains(out, "R1") || !strings.Contains(out, "Makespan") {
+		t.Errorf("missing columns:\n%s", out)
+	}
+	for _, s := range series {
+		for _, y := range s.Y {
+			if math.IsNaN(y) {
+				t.Errorf("series %s has NaN", s.Name)
+			}
+		}
+	}
+}
+
+func TestPublicSlackTheorem(t *testing.T) {
+	// Public-API restatement of Theorem 3.4 on the diamond fixture.
+	w := buildDiamond(t)
+	s, err := robsched.NewSchedule(w, []int{0, 0, 1, 0}, [][]int{{0, 1, 3}, {2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dur := s.ExpectedDurations()
+	dur[1] += s.Slack(1)
+	if got := s.MakespanWith(dur); got != s.Makespan() {
+		t.Fatalf("delay within slack changed makespan: %g != %g", got, s.Makespan())
+	}
+	dur[1] += 0.5
+	if got := s.MakespanWith(dur); got <= s.Makespan() {
+		t.Fatalf("delay beyond slack did not extend makespan: %g", got)
+	}
+}
