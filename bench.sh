@@ -1,0 +1,12 @@
+#!/bin/sh
+# bench.sh — run the decode-path benchmarks with allocation stats and append
+# the results to the BENCH_decode.json trajectory file. Run from the repo
+# root; pass extra `go test` flags (e.g. -benchtime 10x) as arguments.
+set -eu
+cd "$(dirname "$0")"
+
+go test -run '^$' \
+    -bench 'BenchmarkDecode$|BenchmarkFromOrder$|BenchmarkEvaluatePopulation|BenchmarkSolveEpsilonConstraint$' \
+    -benchmem "$@" ./internal/schedule ./internal/robust . \
+  | tee /dev/stderr \
+  | go run ./cmd/benchjson -o BENCH_decode.json

@@ -1,0 +1,116 @@
+// Command benchjson converts `go test -bench` output on stdin into a JSON
+// trajectory file: each invocation appends one timestamped run (with every
+// parsed benchmark line) to the JSON array in the output file, so successive
+// runs of bench.sh accumulate a before/after history.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+)
+
+type benchLine struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"b_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+}
+
+type run struct {
+	Timestamp  string      `json:"timestamp"`
+	Note       string      `json:"note,omitempty"`
+	Go         string      `json:"go,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []benchLine `json:"benchmarks"`
+}
+
+func main() {
+	out := flag.String("o", "BENCH_decode.json", "output trajectory file")
+	note := flag.String("note", "", "optional label stored with this run")
+	flag.Parse()
+
+	cur := run{Timestamp: time.Now().UTC().Format(time.RFC3339), Note: *note}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goarch:"):
+			// ignored; goos+goarch rarely matter for the trajectory
+		case strings.HasPrefix(line, "cpu:"):
+			cur.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "go: "):
+			cur.Go = strings.TrimSpace(strings.TrimPrefix(line, "go: "))
+		case strings.HasPrefix(line, "Benchmark"):
+			if bl, ok := parseBench(line); ok {
+				cur.Benchmarks = append(cur.Benchmarks, bl)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fatal(err)
+	}
+	if len(cur.Benchmarks) == 0 {
+		fatal(fmt.Errorf("no benchmark lines found on stdin"))
+	}
+
+	var runs []run
+	if data, err := os.ReadFile(*out); err == nil {
+		if err := json.Unmarshal(data, &runs); err != nil {
+			fatal(fmt.Errorf("existing %s is not a run array: %w", *out, err))
+		}
+	}
+	runs = append(runs, cur)
+	data, err := json.MarshalIndent(runs, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: recorded %d benchmarks in %s (%d runs total)\n",
+		len(cur.Benchmarks), *out, len(runs))
+}
+
+// parseBench parses one result line, e.g.
+//
+//	BenchmarkDecode-8  123456  9876 ns/op  1234 B/op  2 allocs/op
+func parseBench(line string) (benchLine, bool) {
+	f := strings.Fields(line)
+	if len(f) < 4 || !strings.Contains(line, "ns/op") {
+		return benchLine{}, false
+	}
+	bl := benchLine{Name: f[0]}
+	iters, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return benchLine{}, false
+	}
+	bl.Iterations = iters
+	for i := 2; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			continue
+		}
+		switch f[i+1] {
+		case "ns/op":
+			bl.NsPerOp = v
+		case "B/op":
+			bl.BytesPerOp = int64(v)
+		case "allocs/op":
+			bl.AllocsPerOp = int64(v)
+		}
+	}
+	return bl, bl.NsPerOp > 0
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}

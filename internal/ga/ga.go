@@ -42,10 +42,24 @@ type Config[T any] struct {
 	// its argument.
 	Mutate func(ind T, r *rng.Source) T
 	// Evaluate returns the fitness of every individual (larger is better).
+	// It must be pure with respect to the population: it must not mutate
+	// pop (memoizing per-individual decode state is fine), and it must
+	// return the same values when called again on the same individuals.
+	// The engine relies on this — elitism may evaluate a population twice
+	// per generation.
 	Evaluate func(pop []T) []float64
+	// EvaluateOne returns the fitness of a single individual. Optional: set
+	// it only when fitness is population-independent (each individual's
+	// value does not depend on its peers), and it must agree exactly with
+	// Evaluate. When present, the engine re-scores only the elite individual
+	// after elitism instead of re-evaluating the whole population. Leave nil
+	// for population-relative fitness such as the ε-constraint mode.
+	EvaluateOne func(ind T) float64
 	// Key returns a fingerprint used to reject duplicate individuals when
-	// building the initial population. Optional; nil disables the check.
-	Key func(ind T) string
+	// building the initial population (e.g. an FNV-1a hash of the genotype).
+	// Optional; nil disables the check. Collisions are benign: a colliding
+	// fresh individual is rejected as a duplicate and redrawn.
+	Key func(ind T) uint64
 
 	// Seeds are injected into the initial population before random filling
 	// (the paper seeds one HEFT chromosome).
@@ -129,12 +143,21 @@ func Run[T any](c Config[T], r *rng.Source) (Result[T], error) {
 		}
 		// Elitism: the worst of the new population is replaced by the best
 		// of the current one (Section 4.2.3), then re-scored within the new
-		// population by re-evaluating — the ε-constraint fitness is
-		// population-relative, so the carried-over individual must be
-		// valued against its new peers.
+		// population. With a population-relative fitness (ε-constraint,
+		// Eqn. 8) the whole population must be re-evaluated — the
+		// carried-over individual is valued against its new peers — but a
+		// population-independent fitness only needs the one replaced slot
+		// re-scored via EvaluateOne.
 		worst := argmin(nextFit)
 		next[worst] = best
-		nextFit = c.Evaluate(next)
+		if c.EvaluateOne != nil {
+			nextFit[worst] = c.EvaluateOne(best)
+		} else {
+			nextFit = c.Evaluate(next)
+			if len(nextFit) != len(next) {
+				return zero, fmt.Errorf("ga: Evaluate returned %d values for %d individuals", len(nextFit), len(next))
+			}
+		}
 		pop, fit = next, nextFit
 		bestIdx = argmax(fit)
 		if c.OnGeneration != nil {
@@ -163,7 +186,7 @@ func Run[T any](c Config[T], r *rng.Source) (Result[T], error) {
 // one-task graph) cannot hang the run.
 func (c Config[T]) initialPopulation(r *rng.Source) []T {
 	pop := make([]T, 0, c.PopSize)
-	seen := make(map[string]bool, c.PopSize)
+	seen := make(map[uint64]bool, c.PopSize)
 	add := func(ind T) bool {
 		if c.Key != nil {
 			k := c.Key(ind)

@@ -41,7 +41,14 @@ func oneMaxConfig(n int) Config[bits] {
 			}
 			return fit
 		},
-		Key: func(ind bits) string { return string(ind) },
+		Key: func(ind bits) uint64 {
+			const prime64 = 1099511628211
+			h := uint64(14695981039346656037)
+			for _, b := range ind {
+				h = (h ^ uint64(b)) * prime64
+			}
+			return h
+		},
 	}
 	c.PaperDefaults()
 	return c
@@ -286,6 +293,42 @@ func BenchmarkOneMaxGeneration(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := Run(c, r); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// TestEvaluateOneElitismMatchesFullReevaluation: with a population-
+// independent fitness, supplying EvaluateOne must leave the evolution
+// trajectory bit-identical to the full post-elitism re-evaluation — it only
+// skips redundant work.
+func TestEvaluateOneElitismMatchesFullReevaluation(t *testing.T) {
+	for _, seed := range []uint64{1, 7, 42} {
+		run := func(fast bool) Result[bits] {
+			c := oneMaxConfig(24)
+			c.MaxGenerations = 40
+			c.Stagnation = 0
+			if fast {
+				c.EvaluateOne = func(ind bits) float64 {
+					f := 0.0
+					for _, b := range ind {
+						f += float64(b)
+					}
+					return f
+				}
+			}
+			res, err := Run(c, rng.New(seed))
+			if err != nil {
+				t.Fatal(err)
+			}
+			return res
+		}
+		full, fast := run(false), run(true)
+		if full.BestFitness != fast.BestFitness || full.Generations != fast.Generations ||
+			full.Stagnated != fast.Stagnated {
+			t.Fatalf("seed %d: EvaluateOne run diverged: %+v vs %+v", seed, fast, full)
+		}
+		if string(full.Best) != string(fast.Best) {
+			t.Fatalf("seed %d: best individuals differ", seed)
 		}
 	}
 }

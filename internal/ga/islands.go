@@ -88,7 +88,11 @@ func RunIslands[T any](c IslandConfig[T], root *rng.Source) (Result[T], error) {
 					fit := cfg.Evaluate(next)
 					worst := argmin(fit)
 					next[worst] = st.best
-					fit = cfg.Evaluate(next)
+					if cfg.EvaluateOne != nil {
+						fit[worst] = cfg.EvaluateOne(st.best)
+					} else {
+						fit = cfg.Evaluate(next)
+					}
 					st.pop, st.fit = next, fit
 					bi := argmax(fit)
 					if fit[bi] > st.bf+1e-12 {
@@ -113,7 +117,11 @@ func RunIslands[T any](c IslandConfig[T], root *rng.Source) (Result[T], error) {
 				from := (i - 1 + c.Islands) % c.Islands
 				worst := argmin(st.fit)
 				st.pop[worst] = bests[from]
-				st.fit = c.Base.Evaluate(st.pop)
+				if c.Base.EvaluateOne != nil {
+					st.fit[worst] = c.Base.EvaluateOne(bests[from])
+				} else {
+					st.fit = c.Base.Evaluate(st.pop)
+				}
 				bi := argmax(st.fit)
 				st.best, st.bf = st.pop[bi], st.fit[bi]
 			}

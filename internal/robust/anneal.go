@@ -86,13 +86,14 @@ func SolveAnneal(w *platform.Workload, opt AnnealOptions, r *rng.Source) (*Resul
 		return (s.Makespan() - bound) / mheft * (1 + mheft)
 	}
 
+	dec := schedule.NewDecoder(w)
 	var cur *Chromosome
 	if opt.NoHEFTSeed {
 		cur = Random(w, r)
 	} else {
 		cur = FromSchedule(hs)
 	}
-	curS, err := cur.Decode(w)
+	curS, err := cur.DecodeWith(dec)
 	if err != nil {
 		return nil, err
 	}
@@ -106,7 +107,7 @@ func SolveAnneal(w *platform.Workload, opt AnnealOptions, r *rng.Source) (*Resul
 	temp := opt.InitialTemp * scale
 	for step := 0; step < opt.Steps; step++ {
 		next := Mutate(w, cur, r)
-		nextS, err := next.Decode(w)
+		nextS, err := next.DecodeWith(dec)
 		if err != nil {
 			return nil, err
 		}

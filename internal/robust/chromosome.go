@@ -7,8 +7,8 @@
 package robust
 
 import (
-	"encoding/binary"
 	"fmt"
+	"sync"
 
 	"robsched/internal/platform"
 	"robsched/internal/rng"
@@ -27,8 +27,12 @@ type Chromosome struct {
 	Proc  []int // assignment: processor of each task (indexed by task id)
 
 	// decoded memoizes the schedule; operators always produce fresh
-	// chromosomes, so the cache never goes stale.
-	decoded *schedule.Schedule
+	// chromosomes, so the cache never goes stale. When the chromosome is
+	// decoded through a schedule.Decoder the schedule lives in decodedVal,
+	// so the steady-state cost per decode is just the two arena
+	// allocations inside DecodeInto.
+	decoded    *schedule.Schedule
+	decodedVal schedule.Schedule
 }
 
 // NewChromosome wraps the given order and assignment without copying.
@@ -61,13 +65,15 @@ func (c *Chromosome) Clone() *Chromosome {
 }
 
 // Decode builds (and memoizes) the schedule the chromosome represents.
-// Operators maintain the invariant that Order is a topological order, so a
-// failure here is a bug, reported as an error rather than hidden.
+// Operators maintain the invariant that Order is a topological order, so the
+// trusted constructor applies; malformed genotypes (non-permutations,
+// out-of-range processors, same-processor precedence inversions) are still
+// rejected with an error.
 func (c *Chromosome) Decode(w *platform.Workload) (*schedule.Schedule, error) {
 	if c.decoded != nil {
 		return c.decoded, nil
 	}
-	s, err := schedule.FromOrder(w, c.Order, c.Proc)
+	s, err := schedule.FromOrderTrusted(w, c.Order, c.Proc)
 	if err != nil {
 		return nil, fmt.Errorf("robust: invalid chromosome: %w", err)
 	}
@@ -75,20 +81,43 @@ func (c *Chromosome) Decode(w *platform.Workload) (*schedule.Schedule, error) {
 	return s, nil
 }
 
+// DecodeWith is Decode on the solver's pooled decoder: the schedule is built
+// into storage embedded in the chromosome, so a steady-state decode costs
+// exactly the decoder's two arena allocations.
+func (c *Chromosome) DecodeWith(d *schedule.Decoder) (*schedule.Schedule, error) {
+	if c.decoded != nil {
+		return c.decoded, nil
+	}
+	if err := d.DecodeInto(&c.decodedVal, c.Order, c.Proc); err != nil {
+		return nil, fmt.Errorf("robust: invalid chromosome: %w", err)
+	}
+	c.decoded = &c.decodedVal
+	return c.decoded, nil
+}
+
 // Key fingerprints the genotype for the GA's initial-population uniqueness
-// check.
-func (c *Chromosome) Key() string {
-	buf := make([]byte, 0, 4*(len(c.Order)+len(c.Proc)))
-	var tmp [4]byte
+// check: an FNV-1a hash over the order and assignment strings. A collision
+// makes the GA discard one freshly sampled random individual as a
+// "duplicate" — it cannot affect correctness, only (with probability about
+// 2^-64 per pair) the diversity of the initial population.
+func (c *Chromosome) Key() uint64 {
+	const prime64 = 1099511628211
+	h := uint64(14695981039346656037)
 	for _, v := range c.Order {
-		binary.LittleEndian.PutUint32(tmp[:], uint32(v))
-		buf = append(buf, tmp[:]...)
+		x := uint32(v)
+		h = (h ^ uint64(x&0xff)) * prime64
+		h = (h ^ uint64(x>>8&0xff)) * prime64
+		h = (h ^ uint64(x>>16&0xff)) * prime64
+		h = (h ^ uint64(x>>24)) * prime64
 	}
 	for _, v := range c.Proc {
-		binary.LittleEndian.PutUint32(tmp[:], uint32(v))
-		buf = append(buf, tmp[:]...)
+		x := uint32(v)
+		h = (h ^ uint64(x&0xff)) * prime64
+		h = (h ^ uint64(x>>8&0xff)) * prime64
+		h = (h ^ uint64(x>>16&0xff)) * prime64
+		h = (h ^ uint64(x>>24)) * prime64
 	}
-	return string(buf)
+	return h
 }
 
 // Crossover implements the paper's single-point operator (Section 4.2.5).
@@ -106,9 +135,11 @@ func Crossover(a, b *Chromosome, r *rng.Source) (*Chromosome, *Chromosome) {
 	n := len(a.Order)
 	c1, c2 := a.Clone(), b.Clone()
 	if n >= 2 {
+		sc := getOpScratch(n)
 		cut := 1 + r.Intn(n-1)
-		reorderTail(c1.Order, cut, b.Order)
-		reorderTail(c2.Order, cut, a.Order)
+		reorderTail(c1.Order, cut, b.Order, sc.mark)
+		reorderTail(c2.Order, cut, a.Order, sc.mark)
+		putOpScratch(sc)
 		pcut := 1 + r.Intn(n-1)
 		for v := pcut; v < n; v++ {
 			c1.Proc[v], c2.Proc[v] = b.Proc[v], a.Proc[v]
@@ -118,20 +149,44 @@ func Crossover(a, b *Chromosome, r *rng.Source) (*Chromosome, *Chromosome) {
 }
 
 // reorderTail rewrites order[cut:] so its tasks appear in the relative
-// order they have in ref.
-func reorderTail(order []int, cut int, ref []int) {
-	inTail := make(map[int]bool, len(order)-cut)
+// order they have in ref. mark must be an all-false slice of at least
+// len(order) entries; it is restored to all-false before returning.
+func reorderTail(order []int, cut int, ref []int, mark []bool) {
 	for _, v := range order[cut:] {
-		inTail[v] = true
+		mark[v] = true
 	}
 	i := cut
 	for _, v := range ref {
-		if inTail[v] {
+		if mark[v] {
 			order[i] = v
 			i++
 		}
 	}
+	for _, v := range order[cut:] {
+		mark[v] = false
+	}
 }
+
+// opScratch pools the per-operator working buffers that used to be per-call
+// map allocations in Crossover and Mutate. The mark slice is kept all-false
+// between uses.
+type opScratch struct {
+	pos  []int
+	mark []bool
+}
+
+var opPool = sync.Pool{New: func() any { return new(opScratch) }}
+
+func getOpScratch(n int) *opScratch {
+	sc := opPool.Get().(*opScratch)
+	if cap(sc.pos) < n {
+		sc.pos = make([]int, n)
+		sc.mark = make([]bool, n)
+	}
+	return sc
+}
+
+func putOpScratch(sc *opScratch) { opPool.Put(sc) }
 
 // Mutate implements the paper's operator (Section 4.2.6): a random task v
 // is moved to a uniformly random position within its feasible range in the
@@ -142,7 +197,9 @@ func Mutate(w *platform.Workload, c *Chromosome, r *rng.Source) *Chromosome {
 	out := c.Clone()
 	n := len(out.Order)
 	v := r.Intn(n)
-	pos := make(map[int]int, n)
+	sc := getOpScratch(n)
+	defer putOpScratch(sc)
+	pos := sc.pos[:n]
 	for i, t := range out.Order {
 		pos[t] = i
 	}

@@ -219,7 +219,7 @@ func TestKeyDistinguishesGenotypes(t *testing.T) {
 	if a.Key() == b.Key() {
 		t.Fatal("different assignments share a key")
 	}
-	seen := map[string]int{}
+	seen := map[uint64]int{}
 	for i := 0; i < 100; i++ {
 		seen[Random(w, r).Key()]++
 	}

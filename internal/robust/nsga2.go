@@ -25,6 +25,9 @@ type ParetoOptions struct {
 	SlackMetric    SlackMetric
 	// NoHEFTSeed drops the HEFT chromosome from the initial population.
 	NoHEFTSeed bool
+	// Workers bounds the goroutines decoding each population (0 =
+	// GOMAXPROCS, 1 = serial); results are identical for every setting.
+	Workers int
 }
 
 // PaperParetoOptions mirrors the paper's GA parameters for the front solver.
@@ -64,10 +67,12 @@ func SolvePareto(w *platform.Workload, opt ParetoOptions, r *rng.Source) ([]Pare
 		return s.AvgSlack()
 	}
 	// Objectives are minimized: (makespan, -slack).
+	dec := schedule.NewDecoder(w)
 	objectives := func(pop []*Chromosome) ([][]float64, error) {
+		decodePopulation(dec, pop, opt.Workers)
 		objs := make([][]float64, len(pop))
 		for i, c := range pop {
-			s, err := c.Decode(w)
+			s, err := c.DecodeWith(dec)
 			if err != nil {
 				return nil, err
 			}

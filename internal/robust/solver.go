@@ -3,6 +3,8 @@ package robust
 import (
 	"fmt"
 	"math"
+	"runtime"
+	"sync"
 
 	"robsched/internal/ga"
 	"robsched/internal/heft"
@@ -76,6 +78,12 @@ type Options struct {
 	// NoElitism is reserved for engine-level ablation and currently unused;
 	// elitism is integral to the engine.
 
+	// Workers bounds the goroutines used to decode each population before
+	// the fitness combination (0 = GOMAXPROCS, 1 = serial). Decoding is the
+	// only parallel part; the fitness values — and therefore the whole GA
+	// trajectory — are bit-identical for every setting.
+	Workers int
+
 	// OnGeneration, if set, observes the best schedule of each generation
 	// (generation 0 is the initial population). Used to trace Figs. 2–3.
 	OnGeneration func(gen int, best *schedule.Schedule)
@@ -123,7 +131,7 @@ func Solve(w *platform.Workload, opt Options, r *rng.Source) (*Result, error) {
 	}
 	mheft := hs.Makespan()
 
-	eval := evaluator{w: w, opt: opt, mheft: mheft}
+	eval := &evaluator{w: w, opt: opt, mheft: mheft, dec: schedule.NewDecoder(w)}
 	cfg := ga.Config[*Chromosome]{
 		PopSize:        opt.PopSize,
 		CrossoverRate:  opt.CrossoverRate,
@@ -135,6 +143,16 @@ func Solve(w *platform.Workload, opt Options, r *rng.Source) (*Result, error) {
 		Mutate:         func(c *Chromosome, r *rng.Source) *Chromosome { return Mutate(w, c, r) },
 		Evaluate:       eval.evaluate,
 		Key:            (*Chromosome).Key,
+	}
+	// The two single-objective modes are population-independent, so the
+	// engine's post-elitism pass only needs the replaced slot re-scored. The
+	// ε-constraint fitness (Eqn. 8) is population-relative and keeps the
+	// full re-evaluation.
+	switch opt.Mode {
+	case MinMakespan:
+		cfg.EvaluateOne = func(c *Chromosome) float64 { return -eval.schedOf(c).Makespan() }
+	case MaxSlack:
+		cfg.EvaluateOne = func(c *Chromosome) float64 { return eval.slackOf(eval.schedOf(c)) }
 	}
 	if !opt.NoHEFTSeed {
 		cfg.Seeds = []*Chromosome{FromSchedule(hs)}
@@ -148,11 +166,7 @@ func Solve(w *platform.Workload, opt Options, r *rng.Source) (*Result, error) {
 					best = i
 				}
 			}
-			s, err := pop[best].Decode(w)
-			if err != nil {
-				panic(err) // operators guarantee validity
-			}
-			on(gen, s)
+			on(gen, eval.schedOf(pop[best]))
 		}
 	}
 	var res ga.Result[*Chromosome]
@@ -186,6 +200,14 @@ func Solve(w *platform.Workload, opt Options, r *rng.Source) (*Result, error) {
 // weighted-sum comparator; the ε-constraint path goes through Solve
 // because its fitness is population-relative.
 func runCustomFitness(w *platform.Workload, opt Options, r *rng.Source, seed *schedule.Schedule, fitness func(*schedule.Schedule) float64) (*Result, error) {
+	dec := schedule.NewDecoder(w)
+	schedOf := func(c *Chromosome) *schedule.Schedule {
+		s, err := c.DecodeWith(dec)
+		if err != nil {
+			panic(err) // operators guarantee validity
+		}
+		return s
+	}
 	cfg := ga.Config[*Chromosome]{
 		PopSize:        opt.PopSize,
 		CrossoverRate:  opt.CrossoverRate,
@@ -197,16 +219,14 @@ func runCustomFitness(w *platform.Workload, opt Options, r *rng.Source, seed *sc
 		Mutate:         func(c *Chromosome, r *rng.Source) *Chromosome { return Mutate(w, c, r) },
 		Key:            (*Chromosome).Key,
 		Evaluate: func(pop []*Chromosome) []float64 {
+			decodePopulation(dec, pop, opt.Workers)
 			fit := make([]float64, len(pop))
 			for i, c := range pop {
-				s, err := c.Decode(w)
-				if err != nil {
-					panic(err)
-				}
-				fit[i] = fitness(s)
+				fit[i] = fitness(schedOf(c))
 			}
 			return fit
 		},
+		EvaluateOne: func(c *Chromosome) float64 { return fitness(schedOf(c)) },
 	}
 	if seed != nil && !opt.NoHEFTSeed {
 		cfg.Seeds = []*Chromosome{FromSchedule(seed)}
@@ -222,42 +242,109 @@ func runCustomFitness(w *platform.Workload, opt Options, r *rng.Source, seed *sc
 	return &Result{Schedule: s, Generations: res.Generations, Stagnated: res.Stagnated}, nil
 }
 
-// evaluator computes the population fitness for each mode.
+// evaluator computes the population fitness for each mode. It is reentrant
+// — islands call evaluate concurrently — so it holds no mutable scratch;
+// per-chromosome decode state lives in the chromosomes themselves and the
+// decoder's buffer pool is concurrency-safe.
 type evaluator struct {
 	w     *platform.Workload
 	opt   Options
 	mheft float64
+	dec   *schedule.Decoder
 }
 
 // slackOf returns the configured robustness surrogate of a schedule.
-func (e evaluator) slackOf(s *schedule.Schedule) float64 {
+func (e *evaluator) slackOf(s *schedule.Schedule) float64 {
 	if e.opt.SlackMetric == MinSlack {
 		return s.MinSlack()
 	}
 	return s.AvgSlack()
 }
 
-// evaluate implements the three objectives. Decoding is memoized on the
-// chromosome, so the engine's post-elitism re-evaluation costs only the
-// O(Np) fitness recombination, not a second round of schedule builds.
-func (e evaluator) evaluate(pop []*Chromosome) []float64 {
+// schedOf returns the chromosome's memoized schedule, decoding on demand.
+func (e *evaluator) schedOf(c *Chromosome) *schedule.Schedule {
+	s, err := c.DecodeWith(e.dec)
+	if err != nil {
+		panic(err) // operators guarantee validity
+	}
+	return s
+}
+
+// decodePopulation fans the population's undecoded chromosomes out across
+// worker goroutines (0 = GOMAXPROCS) and waits for all of them. Selection
+// and elitism alias chromosomes — the same pointer can fill several slots —
+// so the pending set is deduplicated by pointer before the fan-out; the
+// barrier guarantees the fitness combination that follows sees every
+// schedule. Decode order cannot influence results: each schedule depends
+// only on its own genotype.
+func decodePopulation(dec *schedule.Decoder, pop []*Chromosome, workers int) {
+	pending := make([]*Chromosome, 0, len(pop))
+	for _, c := range pop {
+		if c.decoded != nil {
+			continue
+		}
+		dup := false
+		for _, p := range pending {
+			if p == c {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			pending = append(pending, c)
+		}
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(pending) {
+		workers = len(pending)
+	}
+	if workers <= 1 {
+		for _, c := range pending {
+			if _, err := c.DecodeWith(dec); err != nil {
+				panic(err) // operators guarantee validity
+			}
+		}
+		return
+	}
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for wk := 0; wk < workers; wk++ {
+		wg.Add(1)
+		go func(wk int) {
+			defer wg.Done()
+			for i := wk; i < len(pending); i += workers {
+				if _, err := pending[i].DecodeWith(dec); err != nil {
+					errs[wk] = err
+					return
+				}
+			}
+		}(wk)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			panic(err) // operators guarantee validity
+		}
+	}
+}
+
+// evaluate implements the three objectives. The population is decoded in
+// parallel first (memoized on each chromosome, so the engine's post-elitism
+// re-evaluation costs only the O(Np) fitness recombination); the fitness
+// combination itself is serial and deterministic.
+func (e *evaluator) evaluate(pop []*Chromosome) []float64 {
+	decodePopulation(e.dec, pop, e.opt.Workers)
 	fit := make([]float64, len(pop))
 	switch e.opt.Mode {
 	case MinMakespan:
 		for i, c := range pop {
-			s, err := c.Decode(e.w)
-			if err != nil {
-				panic(err)
-			}
-			fit[i] = -s.Makespan()
+			fit[i] = -e.schedOf(c).Makespan()
 		}
 	case MaxSlack:
 		for i, c := range pop {
-			s, err := c.Decode(e.w)
-			if err != nil {
-				panic(err)
-			}
-			fit[i] = e.slackOf(s)
+			fit[i] = e.slackOf(e.schedOf(c))
 		}
 	case EpsilonConstraint:
 		// Eqn. 8. Feasible individuals score their slack; infeasible ones
@@ -271,10 +358,7 @@ func (e evaluator) evaluate(pop []*Chromosome) []float64 {
 		}
 		ds := make([]decoded, len(pop))
 		for i, c := range pop {
-			s, err := c.Decode(e.w)
-			if err != nil {
-				panic(err)
-			}
+			s := e.schedOf(c)
 			d := decoded{m0: s.Makespan(), slack: e.slackOf(s)}
 			d.feasible = d.m0 <= bound
 			ds[i] = d

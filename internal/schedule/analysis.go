@@ -21,9 +21,9 @@ func (s *Schedule) CriticalPath() []int {
 	for {
 		rev = append(rev, v)
 		bestU := -1
-		for _, a := range s.pred[v] {
-			u := a.to
-			if s.finish[u]+a.comm >= s.start[v]-1e-9 && (bestU < 0 || u < bestU) {
+		for k := s.predOff[v]; k < s.predOff[v+1]; k++ {
+			u := int(s.predTo[k])
+			if s.finish[u]+s.predComm[k] >= s.start[v]-1e-9 && (bestU < 0 || u < bestU) {
 				bestU = u
 			}
 		}

@@ -1,0 +1,346 @@
+package schedule
+
+import (
+	"fmt"
+	"sync"
+
+	"robsched/internal/platform"
+)
+
+// Decoder is the fast path for decoding GA chromosomes (scheduling string +
+// assignment string) into schedules. It trusts the caller's invariant that
+// the order is a topological order of the task graph — the paper's operators
+// guarantee it by construction — and therefore skips the O(V+E) precedence
+// re-validation FromOrder performs. All transient construction state comes
+// from a package-level pool, so steady-state decoding costs exactly two heap
+// allocations per schedule (its int32 and float64 arenas).
+//
+// A Decoder is safe for concurrent use by multiple goroutines as long as
+// each goroutine decodes distinct Schedule targets.
+type Decoder struct {
+	w *platform.Workload
+}
+
+// NewDecoder returns a decoder for the given workload.
+func NewDecoder(w *platform.Workload) *Decoder { return &Decoder{w: w} }
+
+// Decode builds the schedule of a trusted (order, proc) chromosome.
+func (d *Decoder) Decode(order, proc []int) (*Schedule, error) {
+	s := new(Schedule)
+	if err := d.DecodeInto(s, order, proc); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// DecodeInto builds the schedule into an existing (typically embedded)
+// Schedule value, overwriting all of its state. On error the target is left
+// in an unspecified state and must not be used.
+func (d *Decoder) DecodeInto(s *Schedule, order, proc []int) error {
+	return decodeOrder(s, d.w, order, proc, true)
+}
+
+// decodeScratch holds every transient buffer one schedule construction
+// needs. Instances are pooled; ensure grows them to the workload at hand.
+type decodeScratch struct {
+	proc   []int32 // validated task -> processor copy
+	porder []int32 // tasks grouped by processor
+	dsucc  []int32 // disjunctive successor of each task, -1 if none
+	dpred  []int32 // disjunctive predecessor of each task, -1 if none
+	cursor []int32 // per-node fill cursor, then Kahn indegrees
+	pos    []int32 // position of each task in the scheduling string
+	poff   []int32 // m+1 per-processor offsets into porder
+	pcur   []int32 // per-processor fill cursors
+	plast  []int32 // last task seen on each processor, -1 if none
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(decodeScratch) }}
+
+func getScratch(n, m int) *decodeScratch {
+	sc := scratchPool.Get().(*decodeScratch)
+	if cap(sc.proc) < n {
+		sc.proc = make([]int32, n)
+		sc.porder = make([]int32, n)
+		sc.dsucc = make([]int32, n)
+		sc.dpred = make([]int32, n)
+		sc.cursor = make([]int32, n)
+		sc.pos = make([]int32, n)
+	}
+	if cap(sc.poff) < m+1 {
+		sc.poff = make([]int32, m+1)
+		sc.pcur = make([]int32, m)
+		sc.plast = make([]int32, m)
+	}
+	return sc
+}
+
+func putScratch(sc *decodeScratch) { scratchPool.Put(sc) }
+
+// decodeOrder is the shared implementation behind FromOrder, FromOrderTrusted
+// and Decoder: prepass over the scheduling string, then the CSR build.
+func decodeOrder(s *Schedule, w *platform.Workload, order, proc []int, trusted bool) error {
+	sc := getScratch(w.N(), w.M())
+	defer putScratch(sc)
+	nDisj, err := sc.prepassFromOrder(w, order, proc, trusted)
+	if err != nil {
+		return err
+	}
+	return buildInto(s, w, sc, nDisj)
+}
+
+// prepassFromOrder validates the chromosome and computes the per-processor
+// grouping and the disjunctive arcs into the scratch. It returns the number
+// of disjunctive arcs. The trusted path skips only the O(V+E) precedence
+// scan; permutation and processor-range checks are O(V) and always run.
+func (sc *decodeScratch) prepassFromOrder(w *platform.Workload, order, proc []int, trusted bool) (int, error) {
+	g := w.G
+	n, m := w.N(), w.M()
+	if len(order) != n {
+		return 0, fmt.Errorf("schedule: scheduling string has %d entries, want %d", len(order), n)
+	}
+	if len(proc) != n {
+		return 0, fmt.Errorf("schedule: proc has %d entries, want %d", len(proc), n)
+	}
+	pos := sc.pos[:n]
+	for v := range pos {
+		pos[v] = -1
+	}
+	for i, v := range order {
+		if v < 0 || v >= n || pos[v] != -1 {
+			return 0, fmt.Errorf("schedule: scheduling string is not a permutation of the tasks")
+		}
+		pos[v] = int32(i)
+	}
+	if !trusted {
+		for u := 0; u < n; u++ {
+			for _, a := range g.Successors(u) {
+				if pos[u] > pos[a.To] {
+					return 0, fmt.Errorf("schedule: scheduling string is not a topological order of the task graph")
+				}
+			}
+		}
+	}
+	sproc := sc.proc[:n]
+	pcount := sc.poff[:m+1]
+	for p := range pcount {
+		pcount[p] = 0
+	}
+	for v, p := range proc {
+		if p < 0 || p >= m {
+			return 0, fmt.Errorf("schedule: task %d assigned to processor %d out of range [0,%d)", v, p, m)
+		}
+		sproc[v] = int32(p)
+		pcount[p+1]++
+	}
+	for p := 1; p <= m; p++ {
+		pcount[p] += pcount[p-1]
+	}
+	// Fill the per-processor grouping in scheduling-string order and detect
+	// the disjunctive arcs between consecutive same-processor tasks that are
+	// not already data edges.
+	pcur := sc.pcur[:m]
+	plast := sc.plast[:m]
+	for p := 0; p < m; p++ {
+		pcur[p] = pcount[p]
+		plast[p] = -1
+	}
+	dsucc := sc.dsucc[:n]
+	dpred := sc.dpred[:n]
+	for v := range dsucc {
+		dsucc[v] = -1
+		dpred[v] = -1
+	}
+	porder := sc.porder[:n]
+	nDisj := 0
+	for _, v := range order {
+		p := proc[v]
+		porder[pcur[p]] = int32(v)
+		pcur[p]++
+		if u := plast[p]; u >= 0 && !g.HasEdge(int(u), v) {
+			dsucc[u] = int32(v)
+			dpred[v] = u
+			nDisj++
+		}
+		plast[p] = int32(v)
+	}
+	return nDisj, nil
+}
+
+// prepassFromLists is prepassFromOrder for explicit, already-validated
+// per-processor orders (the New constructor).
+func (sc *decodeScratch) prepassFromLists(w *platform.Workload, proc []int, procOrder [][]int) int {
+	g := w.G
+	n, m := w.N(), w.M()
+	sproc := sc.proc[:n]
+	for v, p := range proc {
+		sproc[v] = int32(p)
+	}
+	dsucc := sc.dsucc[:n]
+	dpred := sc.dpred[:n]
+	for v := range dsucc {
+		dsucc[v] = -1
+		dpred[v] = -1
+	}
+	porder := sc.porder[:n]
+	poff := sc.poff[:m+1]
+	k := int32(0)
+	nDisj := 0
+	for p, list := range procOrder {
+		poff[p] = k
+		for i, v := range list {
+			porder[k] = int32(v)
+			k++
+			if i > 0 && !g.HasEdge(list[i-1], v) {
+				dsucc[list[i-1]] = int32(v)
+				dpred[v] = int32(list[i-1])
+				nDisj++
+			}
+		}
+	}
+	poff[m] = k
+	return nDisj
+}
+
+func carveI(a []int32, k int) ([]int32, []int32)       { return a[:k:k], a[k:] }
+func carveF(a []float64, k int) ([]float64, []float64) { return a[:k:k], a[k:] }
+
+// buildInto constructs the CSR disjunctive graph, its topological order and
+// the expected-duration analysis from the scratch prepass, allocating
+// exactly two arenas (one int32, one float64). The FIFO Kahn pass matches
+// the legacy slice-of-slices construction arc for arc, so topological orders
+// — and therefore every downstream result — are bit-identical to it.
+func buildInto(s *Schedule, w *platform.Workload, sc *decodeScratch, nDisj int) error {
+	g, sys := w.G, w.Sys
+	n, m := w.N(), w.M()
+	nE := g.EdgeCount() + nDisj
+
+	ints := make([]int32, 5*n+m+3+2*nE)
+	s.proc, ints = carveI(ints, n)
+	s.topo, ints = carveI(ints, n)
+	s.porder, ints = carveI(ints, n)
+	s.porderOff, ints = carveI(ints, m+1)
+	s.succOff, ints = carveI(ints, n+1)
+	s.predOff, ints = carveI(ints, n+1)
+	s.succTo, ints = carveI(ints, nE)
+	s.predTo, _ = carveI(ints, nE)
+	floats := make([]float64, 5*n+2*nE)
+	s.succComm, floats = carveF(floats, nE)
+	s.predComm, floats = carveF(floats, nE)
+	s.expDur, floats = carveF(floats, n)
+	s.start, floats = carveF(floats, n)
+	s.finish, floats = carveF(floats, n)
+	s.bl, floats = carveF(floats, n)
+	s.slack, _ = carveF(floats, n)
+
+	s.w = w
+	copy(s.proc, sc.proc[:n])
+	copy(s.porder, sc.porder[:n])
+	copy(s.porderOff, sc.poff[:m+1])
+
+	// Offsets: each node's range holds its data arcs followed by its (at
+	// most one) disjunctive arc.
+	dsucc, dpred := sc.dsucc[:n], sc.dpred[:n]
+	off := int32(0)
+	for v := 0; v < n; v++ {
+		s.succOff[v] = off
+		off += int32(g.OutDegree(v))
+		if dsucc[v] >= 0 {
+			off++
+		}
+	}
+	s.succOff[n] = off
+	off = 0
+	for v := 0; v < n; v++ {
+		s.predOff[v] = off
+		off += int32(g.InDegree(v))
+		if dpred[v] >= 0 {
+			off++
+		}
+	}
+	s.predOff[n] = off
+
+	// Data arcs, with the communication cost of each edge computed once and
+	// mirrored into both directions.
+	cur := sc.cursor[:n]
+	for v := range cur {
+		cur[v] = 0
+	}
+	for u := 0; u < n; u++ {
+		base := s.succOff[u]
+		pu := int(s.proc[u])
+		for i, a := range g.Successors(u) {
+			comm := sys.CommCost(pu, int(s.proc[a.To]), a.Data)
+			k := base + int32(i)
+			s.succTo[k] = int32(a.To)
+			s.succComm[k] = comm
+			j := s.predOff[a.To] + cur[a.To]
+			cur[a.To]++
+			s.predTo[j] = int32(u)
+			s.predComm[j] = comm
+		}
+	}
+	// Disjunctive arcs, zero cost (Eqn. 1), in the last slot of each range.
+	for u := 0; u < n; u++ {
+		if v := dsucc[u]; v >= 0 {
+			k := s.succOff[u+1] - 1
+			s.succTo[k] = v
+			s.succComm[k] = 0
+			j := s.predOff[v+1] - 1
+			s.predTo[j] = int32(u)
+			s.predComm[j] = 0
+		}
+	}
+
+	// FIFO Kahn over G_s, writing the queue directly into topo; a shortfall
+	// means the processor orders induced a cycle.
+	indeg := sc.cursor[:n] // fill cursors are spent; reuse as indegrees
+	for v := 0; v < n; v++ {
+		indeg[v] = s.predOff[v+1] - s.predOff[v]
+	}
+	qlen := 0
+	for v := 0; v < n; v++ {
+		if indeg[v] == 0 {
+			s.topo[qlen] = int32(v)
+			qlen++
+		}
+	}
+	for head := 0; head < qlen; head++ {
+		v := int(s.topo[head])
+		for k := s.succOff[v]; k < s.succOff[v+1]; k++ {
+			to := s.succTo[k]
+			indeg[to]--
+			if indeg[to] == 0 {
+				s.topo[qlen] = to
+				qlen++
+			}
+		}
+	}
+	if qlen != n {
+		return fmt.Errorf("schedule: processor orders conflict with precedence constraints (disjunctive graph is cyclic)")
+	}
+
+	// Expected-duration analysis: ASAP start/finish, makespan M0, bottom
+	// levels and slack (Definition 3.3).
+	for v := 0; v < n; v++ {
+		s.expDur[v] = w.ExpectedAt(v, int(s.proc[v]))
+	}
+	s.makespan = s.forward(s.expDur, s.start, s.finish)
+	s.backward(s.expDur, s.bl)
+	sum := 0.0
+	s.minSlack = 0
+	for v := 0; v < n; v++ {
+		sl := s.makespan - s.bl[v] - s.start[v]
+		// Clamp the tiny negative values floating-point subtraction can
+		// produce on critical-path nodes.
+		if sl < 0 && sl > -1e-9 {
+			sl = 0
+		}
+		s.slack[v] = sl
+		sum += sl
+		if v == 0 || sl < s.minSlack {
+			s.minSlack = sl
+		}
+	}
+	s.avgSlack = sum / float64(n)
+	return nil
+}

@@ -1,0 +1,188 @@
+package schedule
+
+import (
+	"runtime"
+	"testing"
+
+	"robsched/internal/dag"
+	"robsched/internal/platform"
+	"robsched/internal/rng"
+)
+
+// TestTrustedDecodeMatchesFromOrder: the trusted constructor and the pooled
+// decoder must reproduce FromOrder exactly — same topological order, same
+// analysis, bit for bit — across many random workloads and chromosomes.
+func TestTrustedDecodeMatchesFromOrder(t *testing.T) {
+	r := rng.New(41)
+	dur := []float64(nil)
+	for trial := 0; trial < 60; trial++ {
+		w := randomWorkload(t, r, 2+r.Intn(50), 1+r.Intn(5))
+		order := w.G.RandomTopologicalOrder(r)
+		proc := make([]int, w.N())
+		for i := range proc {
+			proc[i] = r.Intn(w.M())
+		}
+		ref, err := FromOrder(w, order, proc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dec := NewDecoder(w)
+		trusted, err := FromOrderTrusted(w, order, proc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pooled, err := dec.Decode(order, proc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for name, got := range map[string]*Schedule{"FromOrderTrusted": trusted, "Decoder": pooled} {
+			if got.Makespan() != ref.Makespan() {
+				t.Fatalf("%s: makespan %v != %v", name, got.Makespan(), ref.Makespan())
+			}
+			if got.AvgSlack() != ref.AvgSlack() || got.MinSlack() != ref.MinSlack() {
+				t.Fatalf("%s: slack summary differs", name)
+			}
+			gotOrder, refOrder := got.Order(), ref.Order()
+			gotProc, refProc := got.ProcAssignment(), ref.ProcAssignment()
+			for v := 0; v < w.N(); v++ {
+				if gotOrder[v] != refOrder[v] || gotProc[v] != refProc[v] {
+					t.Fatalf("%s: order/proc differ at %d", name, v)
+				}
+				if got.Start(v) != ref.Start(v) || got.Finish(v) != ref.Finish(v) ||
+					got.Slack(v) != ref.Slack(v) || got.BottomLevel(v) != ref.BottomLevel(v) {
+					t.Fatalf("%s: analysis differs at task %d", name, v)
+				}
+			}
+			ge, re := got.DisjunctiveEdges(), ref.DisjunctiveEdges()
+			if len(ge) != len(re) {
+				t.Fatalf("%s: %d disjunctive edges, want %d", name, len(ge), len(re))
+			}
+			for i := range ge {
+				if ge[i] != re[i] {
+					t.Fatalf("%s: disjunctive edge %d differs", name, i)
+				}
+			}
+			if got.String() != ref.String() {
+				t.Fatalf("%s: String() differs", name)
+			}
+			// A second forward pass under perturbed durations exercises the
+			// CSR arcs directly.
+			dur = append(dur[:0], ref.ExpectedDurations()...)
+			for v := range dur {
+				dur[v] *= 1.25
+			}
+			if got.MakespanWith(dur) != ref.MakespanWith(dur) {
+				t.Fatalf("%s: MakespanWith differs", name)
+			}
+		}
+	}
+}
+
+// TestTrustedDecodeRejectsInvalid: the trusted path skips only the
+// precedence scan; every other malformation is still rejected, and
+// same-processor precedence inversions surface as disjunctive-graph cycles.
+func TestTrustedDecodeRejectsInvalid(t *testing.T) {
+	b := dag.NewBuilder(2)
+	b.MustAddEdge(0, 1, 1)
+	w := twoTaskWorkload(t, b.MustBuild())
+
+	if _, err := FromOrderTrusted(w, []int{0}, []int{0, 0}); err == nil {
+		t.Fatal("short order accepted")
+	}
+	if _, err := FromOrderTrusted(w, []int{0, 0}, []int{0, 0}); err == nil {
+		t.Fatal("duplicate entry accepted")
+	}
+	if _, err := FromOrderTrusted(w, []int{0, 2}, []int{0, 0}); err == nil {
+		t.Fatal("out-of-range task accepted")
+	}
+	if _, err := FromOrderTrusted(w, []int{0, 1}, []int{0, 2}); err == nil {
+		t.Fatal("out-of-range processor accepted")
+	}
+	// Same-processor inversion: order says 1 before 0 but 0→1 is an edge;
+	// the disjunctive arc 1→0 closes a cycle with it.
+	if _, err := FromOrderTrusted(w, []int{1, 0}, []int{0, 0}); err == nil {
+		t.Fatal("same-processor precedence inversion accepted")
+	}
+	// The untrusted path catches the inversion even across processors.
+	if _, err := FromOrder(w, []int{1, 0}, []int{0, 1}); err == nil {
+		t.Fatal("FromOrder missed a cross-processor inversion")
+	}
+}
+
+func twoTaskWorkload(t *testing.T, g *dag.Graph) *platform.Workload {
+	t.Helper()
+	exec, err := platform.MatrixFromRows([][]float64{{2, 3}, {3, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := platform.DeterministicWorkload(g, platform.UniformSystem(2, 1), exec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+// TestDecodeSteadyStateAllocs locks in the fast path's allocation budget:
+// once the pool is warm, one decode costs exactly the schedule's two arenas.
+func TestDecodeSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation changes allocation counts")
+	}
+	r := rng.New(43)
+	w := randomWorkload(t, r, 40, 4)
+	order := w.G.RandomTopologicalOrder(r)
+	proc := make([]int, w.N())
+	for i := range proc {
+		proc[i] = r.Intn(w.M())
+	}
+	dec := NewDecoder(w)
+	var s Schedule
+	if err := dec.DecodeInto(&s, order, proc); err != nil { // warm the pool
+		t.Fatal(err)
+	}
+	runtime.GC()
+	avg := testing.AllocsPerRun(200, func() {
+		if err := dec.DecodeInto(&s, order, proc); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg > 2 {
+		t.Fatalf("steady-state decode costs %.1f allocs, want <= 2", avg)
+	}
+}
+
+func BenchmarkDecode(b *testing.B) {
+	r := rng.New(1)
+	w := benchWorkload(b, r, 100, 8)
+	order := w.G.RandomTopologicalOrder(r)
+	proc := make([]int, w.N())
+	for i := range proc {
+		proc[i] = r.Intn(w.M())
+	}
+	dec := NewDecoder(w)
+	var s Schedule
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := dec.DecodeInto(&s, order, proc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFromOrder(b *testing.B) {
+	r := rng.New(1)
+	w := benchWorkload(b, r, 100, 8)
+	order := w.G.RandomTopologicalOrder(r)
+	proc := make([]int, w.N())
+	for i := range proc {
+		proc[i] = r.Intn(w.M())
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := FromOrder(w, order, proc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

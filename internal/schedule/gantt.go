@@ -17,12 +17,12 @@ func (s *Schedule) Gantt(width int) string {
 	}
 	scale := float64(width) / s.makespan
 	var b strings.Builder
-	for p, list := range s.procOrder {
+	for p := 0; p+1 < len(s.porderOff); p++ {
 		row := make([]byte, width)
 		for i := range row {
 			row[i] = '.'
 		}
-		for _, v := range list {
+		for _, v := range s.porder[s.porderOff[p]:s.porderOff[p+1]] {
 			lo := int(s.start[v] * scale)
 			hi := int(s.finish[v] * scale)
 			if hi > width {

@@ -8,6 +8,14 @@
 // cost of every arc, so that each Monte-Carlo realization costs a single
 // O(V+E) longest-path pass with no allocation — the property that makes the
 // paper's 100 graphs × 1000 realizations evaluation tractable.
+//
+// The disjunctive graph is stored in CSR (compressed sparse row) form: one
+// flat arc arena per direction plus per-node offset slices, instead of
+// per-node slices-of-slices. All integer state of a schedule lives in one
+// int32 arena and all float state in one float64 arena, so building a
+// schedule costs exactly two heap allocations beyond its struct and the
+// longest-path passes walk contiguous memory. See Decoder (decoder.go) for
+// the pooled fast path used by the GA's chromosome decoding.
 package schedule
 
 import (
@@ -18,24 +26,31 @@ import (
 	"robsched/internal/platform"
 )
 
-// arc is one edge of the disjunctive graph with its fixed communication
-// cost. Disjunctive (same-processor ordering) arcs and same-processor data
-// edges cost zero.
-type arc struct {
-	to   int
-	comm float64
-}
-
 // Schedule is an immutable assignment of tasks to processors plus an
 // execution order on each processor, together with the analysis of the
 // schedule under expected task durations.
+//
+// Layout: proc, topo, porder/porderOff and the four CSR slices are carved
+// from a single int32 arena; the comm costs and the analysis vectors from a
+// single float64 arena.
 type Schedule struct {
-	w         *platform.Workload
-	proc      []int   // task -> processor
-	procOrder [][]int // per-processor ordered task lists
-	topo      []int   // topological order of the disjunctive graph
-	succ      [][]arc // disjunctive-graph adjacency with comm costs
-	pred      [][]arc
+	w *platform.Workload
+
+	proc      []int32 // task -> processor
+	topo      []int32 // topological order of the disjunctive graph
+	porder    []int32 // tasks grouped by processor, in execution order
+	porderOff []int32 // m+1 offsets into porder
+
+	// CSR adjacency of G_s with per-arc communication costs. Arcs of node v
+	// occupy [succOff[v], succOff[v+1]) of succTo/succComm (and the mirror
+	// for predecessors). Disjunctive (same-processor ordering) arcs carry
+	// zero cost and sit last in each node's range.
+	succOff  []int32
+	succTo   []int32
+	succComm []float64
+	predOff  []int32
+	predTo   []int32
+	predComm []float64
 
 	// Analysis under expected durations.
 	expDur   []float64 // expected duration of each task on its processor
@@ -86,18 +101,14 @@ func New(w *platform.Workload, proc []int, procOrder [][]int) (*Schedule, error)
 			return nil, fmt.Errorf("schedule: task %d assigned to processor %d out of range [0,%d)", v, p, m)
 		}
 	}
-	s := &Schedule{
-		w:         w,
-		proc:      append([]int(nil), proc...),
-		procOrder: make([][]int, m),
-	}
-	for p := range procOrder {
-		s.procOrder[p] = append([]int(nil), procOrder[p]...)
-	}
-	if err := s.buildDisjunctive(); err != nil {
+	s := new(Schedule)
+	sc := getScratch(n, m)
+	defer putScratch(sc)
+	nDisj := sc.prepassFromLists(w, proc, procOrder)
+	err := buildInto(s, w, sc, nDisj)
+	if err != nil {
 		return nil, err
 	}
-	s.analyze()
 	return s, nil
 }
 
@@ -106,137 +117,66 @@ func New(w *platform.Workload, proc []int, procOrder [][]int) (*Schedule, error)
 // its tasks in their relative order within the scheduling string. This is
 // exactly the decoding of the paper's GA chromosome (Section 4.2.1).
 func FromOrder(w *platform.Workload, order []int, proc []int) (*Schedule, error) {
-	if !w.G.IsTopologicalOrder(order) {
-		return nil, fmt.Errorf("schedule: scheduling string is not a topological order of the task graph")
+	s := new(Schedule)
+	if err := decodeOrder(s, w, order, proc, false); err != nil {
+		return nil, err
 	}
-	m := w.M()
-	procOrder := make([][]int, m)
-	for _, v := range order {
-		p := proc[v]
-		if p < 0 || p >= m {
-			return nil, fmt.Errorf("schedule: task %d assigned to processor %d out of range [0,%d)", v, p, m)
-		}
-		procOrder[p] = append(procOrder[p], v)
-	}
-	return New(w, proc, procOrder)
+	return s, nil
 }
 
-// buildDisjunctive constructs the adjacency of G_s = (V, E ∪ E'):
-// the original data edges (with comm cost depending on the processors of the
-// endpoints) plus zero-cost disjunctive arcs between consecutive tasks on
-// the same processor that are not already connected. It also fixes one
-// topological order of G_s, failing if the processor orders contradict the
-// precedence constraints.
-func (s *Schedule) buildDisjunctive() error {
-	g, sys := s.w.G, s.w.Sys
-	n := g.N()
-	s.succ = make([][]arc, n)
-	s.pred = make([][]arc, n)
-	indeg := make([]int, n)
-	addArc := func(u, v int, comm float64) {
-		s.succ[u] = append(s.succ[u], arc{v, comm})
-		s.pred[v] = append(s.pred[v], arc{u, comm})
-		indeg[v]++
+// FromOrderTrusted is FromOrder without the O(V+E) precedence re-validation
+// of the scheduling string: the caller guarantees order is a topological
+// order of the task graph, as the GA's operators do by construction
+// (Section 4.2.5/4.2.6). It still rejects non-permutations and out-of-range
+// processors, and a same-processor precedence inversion is still caught as
+// a disjunctive-graph cycle; a cross-processor inversion in a trusted order
+// is undetectable and yields the schedule of the per-processor projections.
+func FromOrderTrusted(w *platform.Workload, order []int, proc []int) (*Schedule, error) {
+	s := new(Schedule)
+	if err := decodeOrder(s, w, order, proc, true); err != nil {
+		return nil, err
 	}
-	for _, e := range g.Edges() {
-		addArc(e.From, e.To, sys.CommCost(s.proc[e.From], s.proc[e.To], e.Data))
-	}
-	for _, list := range s.procOrder {
-		for i := 1; i < len(list); i++ {
-			u, v := list[i-1], list[i]
-			if !g.HasEdge(u, v) {
-				addArc(u, v, 0) // disjunctive edge, zero data (Eqn. 1)
-			}
-		}
-	}
-	// Kahn over G_s; a shortfall means the processor orders induced a cycle.
-	s.topo = make([]int, 0, n)
-	queue := make([]int, 0, n)
-	for v := 0; v < n; v++ {
-		if indeg[v] == 0 {
-			queue = append(queue, v)
-		}
-	}
-	for len(queue) > 0 {
-		v := queue[0]
-		queue = queue[1:]
-		s.topo = append(s.topo, v)
-		for _, a := range s.succ[v] {
-			indeg[a.to]--
-			if indeg[a.to] == 0 {
-				queue = append(queue, a.to)
-			}
-		}
-	}
-	if len(s.topo) != n {
-		return fmt.Errorf("schedule: processor orders conflict with precedence constraints (disjunctive graph is cyclic)")
-	}
-	return nil
-}
-
-// analyze computes the expected-duration analysis: ASAP start/finish times,
-// makespan M0, top/bottom levels and slack.
-func (s *Schedule) analyze() {
-	n := s.w.N()
-	s.expDur = make([]float64, n)
-	for v := 0; v < n; v++ {
-		s.expDur[v] = s.w.ExpectedAt(v, s.proc[v])
-	}
-	s.start = make([]float64, n)
-	s.finish = make([]float64, n)
-	s.makespan = s.forward(s.expDur, s.start, s.finish)
-
-	// Bottom levels over G_s: Bl(v) = dur(v) + max over successors of
-	// (comm(v,u) + Bl(u)). Top level equals the ASAP start time.
-	s.bl = make([]float64, n)
-	for i := n - 1; i >= 0; i-- {
-		v := s.topo[i]
-		best := 0.0
-		for _, a := range s.succ[v] {
-			if c := a.comm + s.bl[a.to]; c > best {
-				best = c
-			}
-		}
-		s.bl[v] = s.expDur[v] + best
-	}
-	s.slack = make([]float64, n)
-	sum := 0.0
-	s.minSlack = 0
-	for v := 0; v < n; v++ {
-		sl := s.makespan - s.bl[v] - s.start[v]
-		// Clamp the tiny negative values floating-point subtraction can
-		// produce on critical-path nodes.
-		if sl < 0 && sl > -1e-9 {
-			sl = 0
-		}
-		s.slack[v] = sl
-		sum += sl
-		if v == 0 || sl < s.minSlack {
-			s.minSlack = sl
-		}
-	}
-	s.avgSlack = sum / float64(n)
+	return s, nil
 }
 
 // forward runs one ASAP longest-path pass over the disjunctive graph with
 // the given durations, filling start and finish, and returns the makespan.
 // start and finish must have length N.
 func (s *Schedule) forward(dur, start, finish []float64) float64 {
+	predOff, predTo, predComm := s.predOff, s.predTo, s.predComm
 	makespan := 0.0
-	for _, v := range s.topo {
+	for _, v32 := range s.topo {
+		v := int(v32)
 		st := 0.0
-		for _, a := range s.pred[v] {
-			if t := finish[a.to] + a.comm; t > st {
+		for k := predOff[v]; k < predOff[v+1]; k++ {
+			if t := finish[predTo[k]] + predComm[k]; t > st {
 				st = t
 			}
 		}
 		start[v] = st
-		finish[v] = st + dur[v]
-		if finish[v] > makespan {
-			makespan = finish[v]
+		f := st + dur[v]
+		finish[v] = f
+		if f > makespan {
+			makespan = f
 		}
 	}
 	return makespan
+}
+
+// backward fills bl with the bottom level of every task under the given
+// durations: Bl(v) = dur(v) + max over successors of (comm(v,u) + Bl(u)).
+func (s *Schedule) backward(dur, bl []float64) {
+	succOff, succTo, succComm := s.succOff, s.succTo, s.succComm
+	for i := len(s.topo) - 1; i >= 0; i-- {
+		v := int(s.topo[i])
+		best := 0.0
+		for k := succOff[v]; k < succOff[v+1]; k++ {
+			if c := succComm[k] + bl[succTo[k]]; c > best {
+				best = c
+			}
+		}
+		bl[v] = dur[v] + best
+	}
 }
 
 // MakespanWith returns the makespan of the schedule when task v takes
@@ -265,16 +205,7 @@ func (s *Schedule) SlackWith(dur []float64) (slack []float64, makespan float64) 
 	finish := make([]float64, n)
 	makespan = s.forward(dur, start, finish)
 	bl := make([]float64, n)
-	for i := n - 1; i >= 0; i-- {
-		v := s.topo[i]
-		best := 0.0
-		for _, a := range s.succ[v] {
-			if c := a.comm + bl[a.to]; c > best {
-				best = c
-			}
-		}
-		bl[v] = dur[v] + best
-	}
+	s.backward(dur, bl)
 	slack = make([]float64, n)
 	for v := 0; v < n; v++ {
 		sl := makespan - bl[v] - start[v]
@@ -290,17 +221,36 @@ func (s *Schedule) SlackWith(dur []float64) (slack []float64, makespan float64) 
 func (s *Schedule) Workload() *platform.Workload { return s.w }
 
 // Proc returns the processor assigned to task v.
-func (s *Schedule) Proc(v int) int { return s.proc[v] }
+func (s *Schedule) Proc(v int) int { return int(s.proc[v]) }
 
 // ProcAssignment returns a copy of the task→processor map.
-func (s *Schedule) ProcAssignment() []int { return append([]int(nil), s.proc...) }
+func (s *Schedule) ProcAssignment() []int {
+	out := make([]int, len(s.proc))
+	for v, p := range s.proc {
+		out[v] = int(p)
+	}
+	return out
+}
 
 // ProcOrder returns a copy of the ordered task list of processor p.
-func (s *Schedule) ProcOrder(p int) []int { return append([]int(nil), s.procOrder[p]...) }
+func (s *Schedule) ProcOrder(p int) []int {
+	list := s.porder[s.porderOff[p]:s.porderOff[p+1]]
+	out := make([]int, len(list))
+	for i, v := range list {
+		out[i] = int(v)
+	}
+	return out
+}
 
 // Order returns the global execution order (the topological order of G_s
 // used by the analysis).
-func (s *Schedule) Order() []int { return append([]int(nil), s.topo...) }
+func (s *Schedule) Order() []int {
+	out := make([]int, len(s.topo))
+	for i, v := range s.topo {
+		out[i] = int(v)
+	}
+	return out
+}
 
 // Makespan returns the expected makespan M0(s).
 func (s *Schedule) Makespan() float64 { return s.makespan }
@@ -338,13 +288,15 @@ func (s *Schedule) MinSlack() float64 { return s.minSlack }
 func (s *Schedule) ExpectedDurations() []float64 { return append([]float64(nil), s.expDur...) }
 
 // DisjunctiveEdges returns the extra (E') edges of G_s, i.e. the
-// same-processor ordering arcs that are not data edges.
+// same-processor ordering arcs that are not data edges, read from the CSR
+// per-processor order.
 func (s *Schedule) DisjunctiveEdges() []dag.Edge {
 	var out []dag.Edge
 	g := s.w.G
-	for _, list := range s.procOrder {
+	for p := 0; p+1 < len(s.porderOff); p++ {
+		list := s.porder[s.porderOff[p]:s.porderOff[p+1]]
 		for i := 1; i < len(list); i++ {
-			u, v := list[i-1], list[i]
+			u, v := int(list[i-1]), int(list[i])
 			if !g.HasEdge(u, v) {
 				out = append(out, dag.Edge{From: u, To: v, Data: 0})
 			}
@@ -391,7 +343,8 @@ func (s *Schedule) CriticalTasks() []int {
 func (s *Schedule) String() string {
 	var b strings.Builder
 	b.WriteByte('{')
-	for p, list := range s.procOrder {
+	for p := 0; p+1 < len(s.porderOff); p++ {
+		list := s.porder[s.porderOff[p]:s.porderOff[p+1]]
 		if p > 0 {
 			b.WriteString(", ")
 		}

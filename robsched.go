@@ -188,6 +188,21 @@ func ScheduleFromOrder(w *Workload, order, proc []int) (*Schedule, error) {
 	return schedule.FromOrder(w, order, proc)
 }
 
+// ScheduleFromOrderTrusted is ScheduleFromOrder without the O(V+E)
+// precedence re-validation, for orders known to be topological by
+// construction (e.g. produced by the GA operators). Non-permutations and
+// out-of-range processors are still rejected.
+func ScheduleFromOrderTrusted(w *Workload, order, proc []int) (*Schedule, error) {
+	return schedule.FromOrderTrusted(w, order, proc)
+}
+
+// ScheduleDecoder is the pooled fast path for decoding many trusted
+// (order, proc) pairs against one workload with minimal allocation.
+type ScheduleDecoder = schedule.Decoder
+
+// NewScheduleDecoder returns a decoder for the workload.
+func NewScheduleDecoder(w *Workload) *ScheduleDecoder { return schedule.NewDecoder(w) }
+
 // HEFT schedules the workload with the Heterogeneous Earliest Finish Time
 // heuristic (Topcuoglu et al.), the paper's baseline and GA seed.
 func HEFT(w *Workload) (*Schedule, error) { return heft.HEFT(w, heft.Options{}) }
