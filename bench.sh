@@ -1,7 +1,9 @@
 #!/bin/sh
-# bench.sh — run the decode-path benchmarks with allocation stats and append
-# the results to the BENCH_decode.json trajectory file. Run from the repo
-# root; pass extra `go test` flags (e.g. -benchtime 10x) as arguments.
+# bench.sh — run the hot-path benchmarks with allocation stats and append
+# the results to the per-area trajectory files: the decode path goes to
+# BENCH_decode.json, the Monte-Carlo simulation path (batched realization
+# kernel + full evaluation) to BENCH_sim.json. Run from the repo root; pass
+# extra `go test` flags (e.g. -benchtime 10x) as arguments.
 set -eu
 cd "$(dirname "$0")"
 
@@ -10,3 +12,9 @@ go test -run '^$' \
     -benchmem "$@" ./internal/schedule ./internal/robust . \
   | tee /dev/stderr \
   | go run ./cmd/benchjson -o BENCH_decode.json
+
+go test -run '^$' \
+    -bench 'BenchmarkEvaluateAll$|BenchmarkRealizeBatch$|BenchmarkRealizeScalar$' \
+    -benchmem "$@" ./internal/sim ./internal/schedule \
+  | tee /dev/stderr \
+  | go run ./cmd/benchjson -o BENCH_sim.json

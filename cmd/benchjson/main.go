@@ -1,7 +1,9 @@
 // Command benchjson converts `go test -bench` output on stdin into a JSON
 // trajectory file: each invocation appends one timestamped run (with every
 // parsed benchmark line) to the JSON array in the output file, so successive
-// runs of bench.sh accumulate a before/after history.
+// runs of bench.sh accumulate a before/after history. bench.sh maintains one
+// trajectory per hot path: BENCH_decode.json for the chromosome-decode
+// benchmarks and BENCH_sim.json for the Monte-Carlo realization benchmarks.
 package main
 
 import (

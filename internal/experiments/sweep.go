@@ -51,50 +51,55 @@ func (c Config) RunSweep() (*Sweep, error) {
 		}
 		sw.HEFT[u] = make([]Point, c.Graphs)
 	}
-	for u, ul := range c.ULs {
-		err := c.parallelFor(c.Graphs, func(g int) error {
-			w, err := c.workload(u, g, ul)
-			if err != nil {
-				return err
-			}
-			// One GA run per ε; all schedules (plus HEFT) evaluated on the
-			// same realizations.
-			schedules := make([]*schedule.Schedule, 0, len(c.Eps)+1)
-			var heftSched *schedule.Schedule
-			for e, eps := range c.Eps {
-				opt := base
-				opt.Mode = robust.EpsilonConstraint
-				opt.Eps = eps
-				res, err := robust.Solve(w, opt, rng.New(c.graphSeed(u, g)^uint64(0x1111*(e+1))))
-				if err != nil {
-					return err
-				}
-				schedules = append(schedules, res.Schedule)
-				heftSched = res.HEFT
-			}
-			schedules = append(schedules, heftSched)
-			ms, err := sim.EvaluateAll(schedules, sim.Options{Realizations: c.Realizations}, rng.New(c.graphSeed(u, g)^0x7777))
-			if err != nil {
-				return err
-			}
-			for e := range c.Eps {
-				sw.GA[u][e][g] = Point{
-					M0:       schedules[e].Makespan(),
-					AvgSlack: schedules[e].AvgSlack(),
-					Sim:      ms[e],
-				}
-			}
-			h := len(c.Eps)
-			sw.HEFT[u][g] = Point{
-				M0:       heftSched.Makespan(),
-				AvgSlack: heftSched.AvgSlack(),
-				Sim:      ms[h],
-			}
-			return nil
-		})
+	// One flat UL × graph job list: a single parallelFor with no barrier
+	// between uncertainty levels, so workers that finish one level's graphs
+	// early immediately start on the next level instead of idling at a
+	// per-UL join. Every job writes only its own sw.GA[u][·][g] and
+	// sw.HEFT[u][g] cells, so the flattening cannot change any result.
+	err := c.parallelFor(len(c.ULs)*c.Graphs, func(idx int) error {
+		u, g := idx/c.Graphs, idx%c.Graphs
+		ul := c.ULs[u]
+		w, err := c.workload(u, g, ul)
 		if err != nil {
-			return nil, err
+			return err
 		}
+		// One GA run per ε; all schedules (plus HEFT) evaluated on the
+		// same realizations.
+		schedules := make([]*schedule.Schedule, 0, len(c.Eps)+1)
+		var heftSched *schedule.Schedule
+		for e, eps := range c.Eps {
+			opt := base
+			opt.Mode = robust.EpsilonConstraint
+			opt.Eps = eps
+			res, err := robust.Solve(w, opt, rng.New(c.graphSeed(u, g)^uint64(0x1111*(e+1))))
+			if err != nil {
+				return err
+			}
+			schedules = append(schedules, res.Schedule)
+			heftSched = res.HEFT
+		}
+		schedules = append(schedules, heftSched)
+		ms, err := sim.EvaluateAll(schedules, sim.Options{Realizations: c.Realizations}, rng.New(c.graphSeed(u, g)^0x7777))
+		if err != nil {
+			return err
+		}
+		for e := range c.Eps {
+			sw.GA[u][e][g] = Point{
+				M0:       schedules[e].Makespan(),
+				AvgSlack: schedules[e].AvgSlack(),
+				Sim:      ms[e],
+			}
+		}
+		h := len(c.Eps)
+		sw.HEFT[u][g] = Point{
+			M0:       heftSched.Makespan(),
+			AvgSlack: heftSched.AvgSlack(),
+			Sim:      ms[h],
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return sw, nil
 }

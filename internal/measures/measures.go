@@ -138,24 +138,18 @@ func KSDistance(a, b []float64) (float64, error) {
 }
 
 // SampleMakespans draws n realized makespans of the schedule, the raw
-// material for distributional measures.
+// material for distributional measures. It runs on sim.RealizeAll, the same
+// batched kernel behind sim.Evaluate, so the sample is produced at batched
+// throughput and ordered by realization index.
 func SampleMakespans(s *schedule.Schedule, n int, root *rng.Source) ([]float64, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("measures: n=%d must be >= 1", n)
 	}
-	w := s.Workload()
-	out := make([]float64, n)
-	dur := make([]float64, w.N())
-	startBuf := make([]float64, w.N())
-	finishBuf := make([]float64, w.N())
-	for k := range out {
-		r := rng.New(root.Uint64())
-		for v := range dur {
-			dur[v] = w.SampleDuration(v, s.Proc(v), r)
-		}
-		out[k] = s.MakespanInto(dur, startBuf, finishBuf)
+	mks, err := sim.RealizeAll([]*schedule.Schedule{s}, sim.Options{Realizations: n}, root)
+	if err != nil {
+		return nil, err
 	}
-	return out, nil
+	return mks[0], nil
 }
 
 // Report bundles every related-work measure for one schedule.

@@ -107,6 +107,29 @@ func (r *Source) Float64() float64 {
 	return float64(r.Uint64()>>11) / (1 << 53)
 }
 
+// Float64s fills dst with uniform float64s in [0, 1), advancing the stream
+// exactly len(dst) draws. The sequence is identical to len(dst) successive
+// Float64 calls; the block form exists because the Monte-Carlo sampling hot
+// loop draws hundreds of thousands of variates per evaluation, and keeping
+// the xoshiro256++ state in locals across the loop (instead of re-loading it
+// through the receiver on every non-inlined Uint64 call) measurably reduces
+// the per-draw cost.
+func (r *Source) Float64s(dst []float64) {
+	s0, s1, s2, s3 := r.s[0], r.s[1], r.s[2], r.s[3]
+	for i := range dst {
+		x := bits.RotateLeft64(s0+s3, 23) + s0
+		t := s1 << 17
+		s2 ^= s0
+		s3 ^= s1
+		s1 ^= s2
+		s0 ^= s3
+		s2 ^= t
+		s3 = bits.RotateLeft64(s3, 45)
+		dst[i] = float64(x>>11) / (1 << 53)
+	}
+	r.s[0], r.s[1], r.s[2], r.s[3] = s0, s1, s2, s3
+}
+
 // Float64Open returns a uniform float64 in (0, 1), never exactly zero.
 // Samplers that take a logarithm use this to avoid -Inf.
 func (r *Source) Float64Open() float64 {

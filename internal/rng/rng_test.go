@@ -75,6 +75,25 @@ func TestFloat64Range(t *testing.T) {
 	}
 }
 
+func TestFloat64sMatchesFloat64(t *testing.T) {
+	// The block fill must advance the stream exactly like successive
+	// Float64 calls and leave both sources in the same state, for every
+	// block length including zero.
+	a, b := New(17), New(17)
+	for _, n := range []int{0, 1, 7, 64, 1000} {
+		block := make([]float64, n)
+		a.Float64s(block)
+		for i, x := range block {
+			if want := b.Float64(); x != want {
+				t.Fatalf("len %d: block[%d] = %v, Float64 = %v", n, i, x, want)
+			}
+		}
+	}
+	if a.Uint64() != b.Uint64() {
+		t.Fatal("states diverged after block fills")
+	}
+}
+
 func TestFloat64OpenNonZero(t *testing.T) {
 	r := New(3)
 	for i := 0; i < 100000; i++ {

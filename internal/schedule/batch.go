@@ -1,0 +1,127 @@
+package schedule
+
+// MakespanBatchInto computes the realized makespans of `lanes` duration
+// realizations in a single structure-of-arrays forward longest-path sweep
+// over the schedule's CSR disjunctive graph. The graph topology (topological
+// order, arc targets, communication costs) is loaded once per batch and each
+// arc updates all lanes, instead of re-walking the graph once per
+// realization as MakespanInto does — the batching that makes the paper's
+// 1000-realization evaluations cheap.
+//
+// dur and finishBuf are lane-major with stride `lanes`: index [v*lanes+l]
+// holds task v's value in lane l, so the per-arc inner loop walks contiguous
+// memory. dur and finishBuf must have length >= N*lanes, stBuf (the current
+// node's start-time scratch) length >= lanes, and out (which receives the
+// makespans) length >= lanes.
+//
+// Every lane's floating-point operations are performed in exactly the order
+// of the scalar forward pass, so out[l] is bit-identical to
+// MakespanInto(dur-of-lane-l, ...) for any lane count.
+func (s *Schedule) MakespanBatchInto(lanes int, dur, stBuf, finishBuf, out []float64) {
+	L := lanes
+	n := len(s.proc)
+	dur = dur[: n*L : n*L]
+	finish := finishBuf[: n*L : n*L]
+	if L == batchLanes {
+		s.makespanBatch8(n, dur, finish, out)
+		return
+	}
+	st := stBuf[:L:L]
+	out = out[:L:L]
+	for l := range out {
+		out[l] = 0
+	}
+	predOff, predTo, predComm := s.predOff, s.predTo, s.predComm
+	for _, v32 := range s.topo {
+		v := int(v32)
+		for l := range st {
+			st[l] = 0
+		}
+		for k := predOff[v]; k < predOff[v+1]; k++ {
+			fin := finish[int(predTo[k])*L:]
+			fin = fin[:L:L]
+			c := predComm[k]
+			for l, f := range fin {
+				if t := f + c; t > st[l] {
+					st[l] = t
+				}
+			}
+		}
+		dv := dur[v*L : v*L+L]
+		fv := finish[v*L : v*L+L]
+		for l, d := range dv {
+			f := st[l] + d
+			fv[l] = f
+			if f > out[l] {
+				out[l] = f
+			}
+		}
+	}
+}
+
+// batchLanes is the lane width the specialized sweep below is compiled for;
+// sim.DefaultBatchSize matches it so the common path takes the fast kernel.
+const batchLanes = 8
+
+// makespanBatch8 is MakespanBatchInto specialized to the default lane width.
+// Converting the per-node slices to fixed-size array pointers lets the
+// compiler drop the per-element bounds checks in the arc inner loop, which
+// dominate the generic sweep's cost at small lane counts. The per-lane
+// floating-point operations and their order are exactly those of the generic
+// path, so results remain bit-identical.
+func (s *Schedule) makespanBatch8(n int, dur, finish, out []float64) {
+	const L = batchLanes
+	o := (*[L]float64)(out)
+	*o = [L]float64{}
+	predOff, predTo, predComm := s.predOff, s.predTo, s.predComm
+	for _, v32 := range s.topo {
+		v := int(v32)
+		// The eight lane start times are held in named locals so they stay
+		// in floating-point registers across the arc loop instead of being
+		// re-loaded from a stack array on every max update.
+		var st0, st1, st2, st3, st4, st5, st6, st7 float64
+		for k := predOff[v]; k < predOff[v+1]; k++ {
+			fin := (*[L]float64)(finish[int(predTo[k])*L:])
+			c := predComm[k]
+			if t := fin[0] + c; t > st0 {
+				st0 = t
+			}
+			if t := fin[1] + c; t > st1 {
+				st1 = t
+			}
+			if t := fin[2] + c; t > st2 {
+				st2 = t
+			}
+			if t := fin[3] + c; t > st3 {
+				st3 = t
+			}
+			if t := fin[4] + c; t > st4 {
+				st4 = t
+			}
+			if t := fin[5] + c; t > st5 {
+				st5 = t
+			}
+			if t := fin[6] + c; t > st6 {
+				st6 = t
+			}
+			if t := fin[7] + c; t > st7 {
+				st7 = t
+			}
+		}
+		dv := (*[L]float64)(dur[v*L:])
+		fv := (*[L]float64)(finish[v*L:])
+		fv[0] = st0 + dv[0]
+		fv[1] = st1 + dv[1]
+		fv[2] = st2 + dv[2]
+		fv[3] = st3 + dv[3]
+		fv[4] = st4 + dv[4]
+		fv[5] = st5 + dv[5]
+		fv[6] = st6 + dv[6]
+		fv[7] = st7 + dv[7]
+		for l := 0; l < L; l++ {
+			if f := fv[l]; f > o[l] {
+				o[l] = f
+			}
+		}
+	}
+}

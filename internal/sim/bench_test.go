@@ -1,0 +1,46 @@
+package sim
+
+import (
+	"testing"
+
+	"robsched/internal/platform"
+	"robsched/internal/rng"
+	"robsched/internal/schedule"
+)
+
+// benchSchedules builds `count` distinct valid schedules of one workload:
+// the HEFT baseline plus deterministic round-robin variants, mirroring how
+// EvaluateAll is used by the sweeps (a family of GA schedules plus HEFT
+// under common random numbers).
+func benchSchedules(tb testing.TB, w *platform.Workload, count int) []*schedule.Schedule {
+	tb.Helper()
+	ss := []*schedule.Schedule{heftSchedule(tb, w)}
+	order := w.G.TopologicalOrder()
+	for k := 1; len(ss) < count; k++ {
+		proc := make([]int, w.N())
+		for i, v := range order {
+			proc[v] = (i*k + k) % w.M()
+		}
+		s, err := schedule.FromOrder(w, order, proc)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		ss = append(ss, s)
+	}
+	return ss
+}
+
+// BenchmarkEvaluateAll is the paper-scale Monte-Carlo hot path: 1000
+// realizations of an n=100, m=8 workload applied to 7 schedules under
+// common random numbers. Tracked in BENCH_sim.json via bench.sh.
+func BenchmarkEvaluateAll(b *testing.B) {
+	w := testWorkload(b, 1, 100, 8, 4)
+	ss := benchSchedules(b, w, 7)
+	opt := PaperOptions()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := EvaluateAll(ss, opt, rng.New(1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

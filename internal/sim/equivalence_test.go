@@ -1,0 +1,176 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+
+	"robsched/internal/platform"
+	"robsched/internal/rng"
+	"robsched/internal/schedule"
+)
+
+// refMirrored reflects every uniform draw of the wrapped source across its
+// interval midpoint — the antithetic counterpart stream, as the pre-batching
+// scalar engine implemented it.
+type refMirrored struct {
+	src *rng.Source
+}
+
+func (m refMirrored) Uniform(a, b float64) float64 {
+	return a + b - m.src.Uniform(a, b)
+}
+
+// refMakespans is an independent reimplementation of the pre-batching scalar
+// engine: one realization at a time, full n×m matrix sampled through
+// Workload.SampleDuration, one MakespanInto pass per schedule. The batched
+// engine must reproduce it bit for bit for every worker count and batch
+// width.
+func refMakespans(tb testing.TB, ss []*schedule.Schedule, opt Options, root *rng.Source) [][]float64 {
+	tb.Helper()
+	w := ss[0].Workload()
+	n, m := w.N(), w.M()
+	seeds := make([]uint64, opt.Realizations)
+	for i := range seeds {
+		if opt.Antithetic && i%2 == 1 {
+			seeds[i] = seeds[i-1]
+		} else {
+			seeds[i] = root.Uint64()
+		}
+	}
+	out := make([][]float64, len(ss))
+	for j := range out {
+		out[j] = make([]float64, opt.Realizations)
+	}
+	durs := make([]float64, n*m)
+	dur := make([]float64, n)
+	startBuf := make([]float64, n)
+	finishBuf := make([]float64, n)
+	for i := 0; i < opt.Realizations; i++ {
+		r := rng.New(seeds[i])
+		var src interface{ Uniform(a, b float64) float64 } = r
+		if opt.Antithetic && i%2 == 1 {
+			src = refMirrored{r}
+		}
+		for t := 0; t < n; t++ {
+			for p := 0; p < m; p++ {
+				durs[t*m+p] = w.SampleDuration(t, p, src)
+			}
+		}
+		for j, s := range ss {
+			for t := 0; t < n; t++ {
+				dur[t] = durs[t*m+s.Proc(t)]
+			}
+			out[j][i] = s.MakespanInto(dur, startBuf, finishBuf)
+		}
+	}
+	return out
+}
+
+// equivSchedules builds a small family of schedules over one workload: HEFT
+// plus deterministic round-robin variants.
+func equivSchedules(tb testing.TB, w *platform.Workload, count int) []*schedule.Schedule {
+	return benchSchedules(tb, w, count)
+}
+
+// TestBatchedMatchesScalar is the batched-vs-scalar equivalence property:
+// over random workloads (including a fully deterministic one, which
+// exercises the no-draw degenerate sampling path), batch widths 1, 3, 8 and
+// 17, several worker counts and antithetic on/off, every per-realization
+// makespan and every metric field must be bit-identical to the scalar
+// reference pass.
+func TestBatchedMatchesScalar(t *testing.T) {
+	workloads := []*platform.Workload{
+		testWorkload(t, 101, 30, 4, 4),
+		testWorkload(t, 103, 57, 3, 2),
+		testWorkload(t, 105, 100, 8, 6),
+		testWorkload(t, 107, 23, 5, 1), // UL == 1: degenerate distributions
+	}
+	const realizations = 101 // odd: tail batch + an unpaired antithetic draw
+	for wi, w := range workloads {
+		ss := equivSchedules(t, w, 3)
+		for _, anti := range []bool{false, true} {
+			base := Options{Realizations: realizations, Antithetic: anti}
+			ref := refMakespans(t, ss, base, rng.New(uint64(900+wi)))
+			refMetrics, err := EvaluateAll(ss, Options{Realizations: realizations, Antithetic: anti, Workers: 1, BatchSize: 1}, rng.New(uint64(900+wi)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, batch := range []int{1, 3, 8, 17} {
+				for _, workers := range []int{1, 2, 5} {
+					opt := Options{
+						Realizations: realizations,
+						Workers:      workers,
+						Antithetic:   anti,
+						BatchSize:    batch,
+					}
+					label := fmt.Sprintf("workload=%d anti=%v batch=%d workers=%d", wi, anti, batch, workers)
+					mks, err := RealizeAll(ss, opt, rng.New(uint64(900+wi)))
+					if err != nil {
+						t.Fatal(err)
+					}
+					for j := range ss {
+						for i := range mks[j] {
+							if mks[j][i] != ref[j][i] {
+								t.Fatalf("%s: schedule %d realization %d: batched %v != scalar %v",
+									label, j, i, mks[j][i], ref[j][i])
+							}
+						}
+					}
+					ms, err := EvaluateAll(ss, opt, rng.New(uint64(900+wi)))
+					if err != nil {
+						t.Fatal(err)
+					}
+					for j := range ss {
+						if !metricsIdentical(ms[j], refMetrics[j]) {
+							t.Fatalf("%s: schedule %d metrics diverged:\n%+v\n%+v",
+								label, j, ms[j], refMetrics[j])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSharedEngineViews: CVaR and DeadlineForConfidence are views over the
+// same batched engine, so with equal Options and root seed they must be
+// exactly consistent with Evaluate's sample — the 95% confidence deadline
+// IS the P95 order statistic, and CVaR at q is at least the q-quantile —
+// for every worker count, batch width and antithetic setting.
+func TestSharedEngineViews(t *testing.T) {
+	w := testWorkload(t, 111, 40, 4, 4)
+	s := heftSchedule(t, w)
+	for _, workers := range []int{1, 4} {
+		for _, anti := range []bool{false, true} {
+			opt := Options{Realizations: 400, Workers: workers, Antithetic: anti, BatchSize: 8}
+			m, err := Evaluate(s, opt, rng.New(13))
+			if err != nil {
+				t.Fatal(err)
+			}
+			d95, err := DeadlineForConfidence(s, 0.95, opt, rng.New(13))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if d95 != m.P95 {
+				t.Errorf("workers=%d anti=%v: DeadlineForConfidence(0.95) %v != P95 %v",
+					workers, anti, d95, m.P95)
+			}
+			cvar95, err := CVaR(s, 0.95, opt, rng.New(13))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if cvar95 < m.P95 || cvar95 > m.MaxMakespan {
+				t.Errorf("workers=%d anti=%v: CVaR95 %v outside [P95 %v, max %v]",
+					workers, anti, cvar95, m.P95, m.MaxMakespan)
+			}
+			// Worker-independence of the derived views themselves.
+			d95Serial, err := DeadlineForConfidence(s, 0.95, Options{Realizations: 400, Workers: 1, Antithetic: anti, BatchSize: 3}, rng.New(13))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if d95 != d95Serial {
+				t.Errorf("anti=%v: deadline varies with workers/batch: %v vs %v", anti, d95, d95Serial)
+			}
+		}
+	}
+}

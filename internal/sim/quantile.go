@@ -7,10 +7,13 @@ import (
 )
 
 // P2Quantile is the Jain & Chlamtac P² algorithm: an online estimator of a
-// single quantile using five markers and O(1) memory, so the Monte-Carlo
-// engine can report makespan tails (p95/p99) without retaining the full
-// sample. Estimates are exact until five observations arrive and converge
-// with O(1/sqrt(n)) error afterwards.
+// single quantile using five markers and O(1) memory, for streaming
+// consumers that cannot retain their sample. Estimates are exact until five
+// observations arrive and converge with O(1/sqrt(n)) error afterwards.
+//
+// The Monte-Carlo engine no longer uses it: Metrics.P50/P95/P99 are exact
+// order statistics of the retained per-realization makespan vector (the
+// former per-worker P² estimates silently varied with Options.Workers).
 type P2Quantile struct {
 	p       float64
 	n       int
@@ -129,20 +132,6 @@ func (q *P2Quantile) Value() float64 {
 	return q.heights[2]
 }
 
-// Merge is intentionally absent: P² markers cannot be merged exactly.
-// Parallel workers therefore feed disjoint realization indices into
-// per-worker estimators and the engine reports the median of the worker
-// estimates, which keeps the error within the estimator's own noise for
-// the realization counts used here.
-func medianOf(xs []float64) float64 {
-	if len(xs) == 0 {
-		return math.NaN()
-	}
-	s := append([]float64(nil), xs...)
-	sort.Float64s(s)
-	mid := len(s) / 2
-	if len(s)%2 == 1 {
-		return s[mid]
-	}
-	return (s[mid-1] + s[mid]) / 2
-}
+// Merge is intentionally absent: P² markers cannot be merged exactly,
+// which is precisely why the engine switched to exact order statistics
+// over the retained makespan vector.

@@ -123,15 +123,18 @@ func TestP2QuantileConstantInput(t *testing.T) {
 	}
 }
 
-func TestMedianOf(t *testing.T) {
-	if got := medianOf([]float64{3, 1, 2}); got != 2 {
-		t.Errorf("odd median = %g", got)
+func TestQuantileSortedConvention(t *testing.T) {
+	sorted := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	// sorted[ceil(p*n)-1]: the smallest sample covering a p fraction.
+	for _, c := range []struct{ p, want float64 }{
+		{0.50, 5}, {0.95, 10}, {0.99, 10}, {0.10, 1}, {1.0, 10}, {0.001, 1},
+	} {
+		if got := quantileSorted(sorted, c.p); got != c.want {
+			t.Errorf("quantileSorted(p=%g) = %g, want %g", c.p, got, c.want)
+		}
 	}
-	if got := medianOf([]float64{4, 1, 2, 3}); got != 2.5 {
-		t.Errorf("even median = %g", got)
-	}
-	if !math.IsNaN(medianOf(nil)) {
-		t.Error("empty median not NaN")
+	if got := quantileSorted([]float64{42}, 0.5); got != 42 {
+		t.Errorf("single-sample quantile = %g", got)
 	}
 }
 
@@ -190,9 +193,9 @@ func TestDeadlineMissRate(t *testing.T) {
 }
 
 func TestQuantileStableAcrossWorkerCounts(t *testing.T) {
-	// Quantiles come from per-worker estimators and are only approximately
-	// worker-count independent; require agreement within a small relative
-	// band.
+	// Quantiles are exact order statistics of the full makespan sample and
+	// must therefore be bit-identical across worker counts (they were only
+	// approximately stable under the former per-worker P² estimators).
 	w := testWorkload(t, 55, 60, 4, 4)
 	s := heftSchedule(t, w)
 	a, err := Evaluate(s, Options{Realizations: 2000, Workers: 1}, rng.New(9))
@@ -203,9 +206,7 @@ func TestQuantileStableAcrossWorkerCounts(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, pair := range [][2]float64{{a.P50, b.P50}, {a.P95, b.P95}} {
-		if math.Abs(pair[0]-pair[1])/pair[0] > 0.03 {
-			t.Errorf("quantile unstable across worker counts: %g vs %g", pair[0], pair[1])
-		}
+	if a.P50 != b.P50 || a.P95 != b.P95 || a.P99 != b.P99 {
+		t.Errorf("quantiles differ across worker counts: %+v vs %+v", a, b)
 	}
 }

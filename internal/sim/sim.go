@@ -4,10 +4,21 @@
 // metrics computed from them — R1, the inverse expected relative tardiness
 // (Definition 3.6), and R2, the inverse schedule miss rate (Definition 3.7).
 //
-// Each realization is a single allocation-free longest-path pass over the
-// schedule's precomputed disjunctive graph, and realizations fan out across
-// GOMAXPROCS workers with per-realization deterministic RNG streams, so
-// results are bit-identical regardless of parallelism.
+// Realizations are processed in lane-batched groups: a worker samples
+// Options.BatchSize duration matrices up front, gathers each schedule's
+// assigned durations into lane-major buffers, and runs one
+// structure-of-arrays forward longest-path sweep over the schedule's
+// precomputed CSR disjunctive graph that advances all lanes per arc
+// (schedule.MakespanBatchInto). Batches fan out across Options.Workers
+// goroutines with per-realization deterministic RNG streams.
+//
+// Every metric — including the P50/P95/P99 quantiles, which are exact order
+// statistics of the retained per-realization makespan vector — is computed
+// from the makespans in realization order, so all results are bit-identical
+// regardless of worker count and batch width. (Before the batched engine,
+// P50/P95/P99 were the median of per-worker P² estimates and the
+// mean/std/tardiness accumulator was merged per worker, so those fields
+// varied in the last bits — quantiles by far more — with Options.Workers.)
 package sim
 
 import (
@@ -16,10 +27,17 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
+	"robsched/internal/platform"
 	"robsched/internal/rng"
 	"robsched/internal/schedule"
 )
+
+// DefaultBatchSize is the number of realizations a worker processes per
+// kernel batch when Options.BatchSize is zero. Eight lanes of float64 fill
+// one cache line, which measures fastest for the paper-scale workloads.
+const DefaultBatchSize = 8
 
 // Options configures a Monte-Carlo evaluation.
 type Options struct {
@@ -38,6 +56,10 @@ type Options struct {
 	// classic antithetic-variates variance reduction. Odd realization
 	// counts leave the last sample unpaired.
 	Antithetic bool
+	// BatchSize is the number of realizations evaluated per batched kernel
+	// sweep; 0 means DefaultBatchSize. Any width yields bit-identical
+	// results — this is purely a throughput knob.
+	BatchSize int
 }
 
 // PaperOptions returns the paper's evaluation settings (1000 realizations).
@@ -50,6 +72,9 @@ func (o Options) validate() error {
 	if o.Workers < 0 {
 		return fmt.Errorf("sim: Workers=%d must be >= 0", o.Workers)
 	}
+	if o.BatchSize < 0 {
+		return fmt.Errorf("sim: BatchSize=%d must be >= 0", o.BatchSize)
+	}
 	return nil
 }
 
@@ -58,10 +83,18 @@ func (o Options) workers() int {
 	if w == 0 {
 		w = runtime.GOMAXPROCS(0)
 	}
-	if w > o.Realizations {
-		w = o.Realizations
-	}
 	return w
+}
+
+func (o Options) batch() int {
+	b := o.BatchSize
+	if b == 0 {
+		b = DefaultBatchSize
+	}
+	if b > o.Realizations {
+		b = o.Realizations
+	}
+	return b
 }
 
 // Metrics summarizes the realized behaviour of one schedule.
@@ -87,18 +120,21 @@ type Metrics struct {
 	// R2 = 1/α (Eqn. 6); +Inf when no realization misses.
 	R2 float64
 
-	// P50, P95 and P99 are online P²-estimated quantiles of the realized
-	// makespan distribution (tail behaviour the mean hides).
+	// P50, P95 and P99 are exact order statistics of the realized makespan
+	// distribution (tail behaviour the mean hides): the smallest sampled
+	// makespan not exceeded by at least the given fraction of realizations,
+	// the same convention as DeadlineForConfidence.
 	P50, P95, P99 float64
 	// DeadlineMissRate is the fraction of realizations whose makespan
 	// exceeded Options.Deadline; NaN when no deadline was set.
 	DeadlineMissRate float64
 }
 
-// accum is one worker's partial statistics. Mean and variance use
-// Welford's online algorithm (and Chan's pairwise merge) — the naive
-// sum-of-squares form cancels catastrophically when the makespan spread is
-// tiny relative to its magnitude (e.g. deterministic workloads).
+// accum folds one makespan vector into the scalar statistics. Mean and
+// variance use Welford's online algorithm — the naive sum-of-squares form
+// cancels catastrophically when the makespan spread is tiny relative to its
+// magnitude (e.g. deterministic workloads). Realizations are always fed in
+// realization order, so the accumulation is worker-independent.
 type accum struct {
 	n         int
 	meanM     float64
@@ -110,22 +146,13 @@ type accum struct {
 
 	deadline       float64 // 0 disables
 	deadlineMisses int
-	q50, q95, q99  *P2Quantile
 }
 
 func newAccum() accum {
-	return accum{
-		minM: math.Inf(1), maxM: math.Inf(-1),
-		q50: NewP2Quantile(0.50),
-		q95: NewP2Quantile(0.95),
-		q99: NewP2Quantile(0.99),
-	}
+	return accum{minM: math.Inf(1), maxM: math.Inf(-1)}
 }
 
 func (a *accum) add(m, m0 float64) {
-	a.q50.Add(m)
-	a.q95.Add(m)
-	a.q99.Add(m)
 	if a.deadline > 0 && m > a.deadline {
 		a.deadlineMisses++
 	}
@@ -143,30 +170,6 @@ func (a *accum) add(m, m0 float64) {
 		a.missCount++
 		a.sumDelta += (m - m0) / m0
 	}
-}
-
-func (a *accum) merge(b accum) {
-	if b.n == 0 {
-		return
-	}
-	if a.n == 0 {
-		*a = b
-		return
-	}
-	na, nb := float64(a.n), float64(b.n)
-	delta := b.meanM - a.meanM
-	a.m2 += b.m2 + delta*delta*na*nb/(na+nb)
-	a.meanM += delta * nb / (na + nb)
-	a.n += b.n
-	if b.minM < a.minM {
-		a.minM = b.minM
-	}
-	if b.maxM > a.maxM {
-		a.maxM = b.maxM
-	}
-	a.sumDelta += b.sumDelta
-	a.missCount += b.missCount
-	a.deadlineMisses += b.deadlineMisses
 }
 
 func (a accum) metrics(m0 float64) Metrics {
@@ -202,10 +205,179 @@ func (a accum) metrics(m0 float64) Metrics {
 		R1:               r1,
 		R2:               r2,
 		DeadlineMissRate: deadlineMiss,
-		// Quantiles are filled by EvaluateAll from the per-worker
-		// estimators (P² markers cannot be merged exactly).
+		// Quantiles are filled by the callers from the sorted sample.
 		P50: math.NaN(), P95: math.NaN(), P99: math.NaN(),
 	}
+}
+
+// sampler precomputes the per-(task, processor) constants of the duration
+// distributions U(b, (2·UL−1)·b), so the per-realization sampling loop is
+// pure RNG and multiply-add work with no matrix lookups. A non-positive
+// width marks a degenerate pair (UL == 1), which consumes no random draw —
+// exactly like Workload.SampleDuration, so the streams stay bit-identical.
+type sampler struct {
+	lo    []float64 // b_ij (row-major n×m)
+	width []float64 // hi − b, hi = (2·UL−1)·b
+	sum   []float64 // b + hi, the antithetic mirror constant
+	draws int       // non-degenerate pairs == uniforms consumed per realization
+}
+
+func newSampler(w *platform.Workload) sampler {
+	n, m := w.N(), w.M()
+	sp := sampler{
+		lo:    make([]float64, n*m),
+		width: make([]float64, n*m),
+		sum:   make([]float64, n*m),
+	}
+	for t := 0; t < n; t++ {
+		for p := 0; p < m; p++ {
+			b := w.BCET.At(t, p)
+			hi := (2*w.UL.At(t, p) - 1) * b
+			k := t*m + p
+			sp.lo[k] = b
+			sp.width[k] = hi - b
+			sp.sum[k] = b + hi
+			if hi > b {
+				sp.draws++
+			}
+		}
+	}
+	return sp
+}
+
+// sampleInto draws one full duration matrix into lane `lane` of dst, which
+// is (task, processor)-major with the given lane stride: entry (t, p) of
+// the realization lands at dst[(t*m+p)*stride+lane]. The draw per pair is
+// lo + width·U[0,1), the same floating-point expression as
+// Workload.SampleDuration / rng.Uniform. The realization's sp.draws uniforms
+// are generated as one rng.Float64s block into the scratch u and consumed in
+// pair order — the identical draw sequence, minus a function call per draw.
+func (sp *sampler) sampleInto(dst []float64, stride, lane int, r *rng.Source, u []float64) {
+	u = u[:sp.draws]
+	r.Float64s(u)
+	j := 0
+	for k, w := range sp.width {
+		if w <= 0 {
+			dst[k*stride+lane] = sp.lo[k]
+			continue
+		}
+		dst[k*stride+lane] = sp.lo[k] + w*u[j]
+		j++
+	}
+}
+
+// sampleMirroredInto is sampleInto with every non-degenerate draw reflected
+// across its interval midpoint: (b + hi) − (b + width·U), the antithetic
+// counterpart stream, operation for operation the expression the scalar
+// engine's mirrored wrapper evaluated.
+func (sp *sampler) sampleMirroredInto(dst []float64, stride, lane int, r *rng.Source, u []float64) {
+	u = u[:sp.draws]
+	r.Float64s(u)
+	j := 0
+	for k, w := range sp.width {
+		if w <= 0 {
+			dst[k*stride+lane] = sp.lo[k]
+			continue
+		}
+		dst[k*stride+lane] = sp.sum[k] - (sp.lo[k] + w*u[j])
+		j++
+	}
+}
+
+// RealizeAll is the shared Monte-Carlo engine: it runs opt.Realizations
+// sampled executions of every schedule (all of the same workload, under
+// common random numbers — each realization samples the full n×m duration
+// matrix once and applies it to every schedule) and returns the realized
+// makespans indexed [schedule][realization]. Evaluate, EvaluateAll, CVaR
+// and DeadlineForConfidence are all views over this one engine.
+//
+// The root source seeds one independent stream per realization, and each
+// lane's floating-point operations follow the scalar order, so the returned
+// vectors are bit-identical for every Workers and BatchSize setting.
+func RealizeAll(ss []*schedule.Schedule, opt Options, root *rng.Source) ([][]float64, error) {
+	if err := opt.validate(); err != nil {
+		return nil, err
+	}
+	if len(ss) == 0 {
+		return nil, fmt.Errorf("sim: no schedules to evaluate")
+	}
+	w := ss[0].Workload()
+	for _, s := range ss[1:] {
+		if s.Workload() != w {
+			return nil, fmt.Errorf("sim: schedules must share one workload for common random numbers")
+		}
+	}
+	n, m := w.N(), w.M()
+	R := opt.Realizations
+	// One deterministic seed per realization, independent of parallelism.
+	// With antithetic pairing, realizations 2k and 2k+1 share a seed; the
+	// odd one mirrors every uniform draw.
+	seeds := make([]uint64, R)
+	for i := range seeds {
+		if opt.Antithetic && i%2 == 1 {
+			seeds[i] = seeds[i-1]
+		} else {
+			seeds[i] = root.Uint64()
+		}
+	}
+	B := opt.batch()
+	sp := newSampler(w)
+	mks := make([][]float64, len(ss))
+	arena := make([]float64, len(ss)*R)
+	for j := range mks {
+		mks[j], arena = arena[:R:R], arena[R:]
+	}
+	nBatches := (R + B - 1) / B
+	nw := opt.workers()
+	if nw > nBatches {
+		nw = nBatches
+	}
+	// Workers claim whole batches off a shared cursor; since every batch
+	// writes a disjoint [lo, lo+b) realization range, the assignment of
+	// batches to workers cannot affect the result.
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	for k := 0; k < nw; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			durs := make([]float64, n*m*B) // sampled matrices, lane-minor
+			lane := make([]float64, n*B)   // one schedule's assigned durations
+			st := make([]float64, B)
+			finish := make([]float64, n*B)
+			out := make([]float64, B)
+			u := make([]float64, sp.draws) // one realization's uniform block
+			for {
+				lo := int(cursor.Add(int64(B))) - B
+				if lo >= R {
+					return
+				}
+				b := B
+				if lo+b > R {
+					b = R - lo
+				}
+				for l := 0; l < b; l++ {
+					i := lo + l
+					r := rng.New(seeds[i])
+					if opt.Antithetic && i%2 == 1 {
+						sp.sampleMirroredInto(durs, b, l, r, u)
+					} else {
+						sp.sampleInto(durs, b, l, r, u)
+					}
+				}
+				for j, s := range ss {
+					for t := 0; t < n; t++ {
+						base := (t*m + s.Proc(t)) * b
+						copy(lane[t*b:t*b+b], durs[base:base+b])
+					}
+					s.MakespanBatchInto(b, lane[:n*b], st[:b], finish[:n*b], out[:b])
+					copy(mks[j][lo:lo+b], out[:b])
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return mks, nil
 }
 
 // Evaluate runs opt.Realizations Monte-Carlo executions of the schedule and
@@ -224,108 +396,42 @@ func Evaluate(s *schedule.Schedule, opt Options, root *rng.Source) (Metrics, err
 // matrix once and applies it to every schedule, which is how the paper
 // compares the GA's schedules against HEFT's on identical environments
 // (and is the variance-reduction friendly way to estimate improvements).
+//
+// All metric fields, quantiles included, are computed from the full
+// per-realization makespan vector in realization order and are therefore
+// bit-identical for every Workers and BatchSize setting.
 func EvaluateAll(ss []*schedule.Schedule, opt Options, root *rng.Source) ([]Metrics, error) {
-	if err := opt.validate(); err != nil {
+	mks, err := RealizeAll(ss, opt, root)
+	if err != nil {
 		return nil, err
 	}
-	if len(ss) == 0 {
-		return nil, fmt.Errorf("sim: no schedules to evaluate")
-	}
-	w := ss[0].Workload()
-	for _, s := range ss[1:] {
-		if s.Workload() != w {
-			return nil, fmt.Errorf("sim: schedules must share one workload for common random numbers")
-		}
-	}
-	n, m := w.N(), w.M()
-	// One deterministic seed per realization, independent of parallelism.
-	// With antithetic pairing, realizations 2k and 2k+1 share a seed; the
-	// odd one mirrors every uniform draw.
-	seeds := make([]uint64, opt.Realizations)
-	for i := range seeds {
-		if opt.Antithetic && i%2 == 1 {
-			seeds[i] = seeds[i-1]
-		} else {
-			seeds[i] = root.Uint64()
-		}
-	}
-	nw := opt.workers()
-	partials := make([][]accum, nw)
-	var wg sync.WaitGroup
-	for k := 0; k < nw; k++ {
-		partials[k] = make([]accum, len(ss))
-		for j := range partials[k] {
-			partials[k][j] = newAccum()
-			partials[k][j].deadline = opt.Deadline
-		}
-		wg.Add(1)
-		go func(k int) {
-			defer wg.Done()
-			acc := partials[k]
-			durs := make([]float64, n*m) // sampled duration matrix, row-major
-			dur := make([]float64, n)
-			startBuf := make([]float64, n)
-			finishBuf := make([]float64, n)
-			for i := k; i < opt.Realizations; i += nw {
-				r := rng.New(seeds[i])
-				var src uniformSource = r
-				if opt.Antithetic && i%2 == 1 {
-					src = mirrored{r}
-				}
-				for t := 0; t < n; t++ {
-					for p := 0; p < m; p++ {
-						durs[t*m+p] = w.SampleDuration(t, p, src)
-					}
-				}
-				for j, s := range ss {
-					for t := 0; t < n; t++ {
-						dur[t] = durs[t*m+s.Proc(t)]
-					}
-					mk := s.MakespanInto(dur, startBuf, finishBuf)
-					acc[j].add(mk, s.Makespan())
-				}
-			}
-		}(k)
-	}
-	wg.Wait()
 	out := make([]Metrics, len(ss))
 	for j, s := range ss {
-		total := newAccum()
-		total.deadline = opt.Deadline
-		var q50s, q95s, q99s []float64
-		for k := 0; k < nw; k++ {
-			total.merge(partials[k][j])
-			q50s = append(q50s, partials[k][j].q50.Value())
-			q95s = append(q95s, partials[k][j].q95.Value())
-			q99s = append(q99s, partials[k][j].q99.Value())
-		}
-		out[j] = total.metrics(s.Makespan())
-		out[j].P50 = medianOf(q50s)
-		out[j].P95 = medianOf(q95s)
-		out[j].P99 = medianOf(q99s)
+		out[j] = MetricsFromSamples(s.Makespan(), mks[j], opt.Deadline)
 	}
 	return out, nil
 }
 
-// uniformSource is the sampling capability Workload.SampleDuration needs.
-type uniformSource interface {
-	Uniform(a, b float64) float64
-}
-
-// mirrored reflects every uniform draw of the wrapped source across its
-// interval midpoint: the antithetic counterpart stream.
-type mirrored struct {
-	src *rng.Source
-}
-
-func (m mirrored) Uniform(a, b float64) float64 {
-	return a + b - m.src.Uniform(a, b)
+// quantileSorted returns the exact empirical p-quantile of a sorted sample:
+// the smallest sampled value x such that at least a p fraction of the
+// samples are <= x (i.e. sorted[ceil(p·n)−1]).
+func quantileSorted(sorted []float64, p float64) float64 {
+	idx := int(math.Ceil(p*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
 }
 
 // MetricsFromSamples assembles the full metric set from an explicit slice
-// of realized makespans against the planned makespan m0. Other simulators
-// (e.g. the dynamic online baseline) use this to report results comparable
-// to Evaluate's. deadline <= 0 disables the deadline miss rate.
+// of realized makespans against the planned makespan m0. The quantiles are
+// exact order statistics of the sample. Other simulators (e.g. the dynamic
+// online baseline and the runtime-repair comparator) use this to report
+// results comparable to Evaluate's. deadline <= 0 disables the deadline
+// miss rate.
 func MetricsFromSamples(m0 float64, makespans []float64, deadline float64) Metrics {
 	a := newAccum()
 	a.deadline = deadline
@@ -333,9 +439,13 @@ func MetricsFromSamples(m0 float64, makespans []float64, deadline float64) Metri
 		a.add(m, m0)
 	}
 	out := a.metrics(m0)
-	out.P50 = a.q50.Value()
-	out.P95 = a.q95.Value()
-	out.P99 = a.q99.Value()
+	sorted := append([]float64(nil), makespans...)
+	sort.Float64s(sorted)
+	if len(sorted) > 0 {
+		out.P50 = quantileSorted(sorted, 0.50)
+		out.P95 = quantileSorted(sorted, 0.95)
+		out.P99 = quantileSorted(sorted, 0.99)
+	}
 	return out
 }
 
@@ -343,59 +453,37 @@ func MetricsFromSamples(m0 float64, makespans []float64, deadline float64) Metri
 // schedule meets D in at least the given fraction of sampled realizations:
 // the empirical `confidence`-quantile of the realized makespan. This is
 // the planning question robustness ultimately answers — "what completion
-// time can I promise with 95% confidence?".
+// time can I promise with 95% confidence?". It runs on the same batched
+// parallel engine as Evaluate and honours Options.Workers, Antithetic and
+// BatchSize; with equal Options and root seed it returns exactly the
+// corresponding order statistic of Evaluate's makespan sample.
 func DeadlineForConfidence(s *schedule.Schedule, confidence float64, opt Options, root *rng.Source) (float64, error) {
 	if confidence <= 0 || confidence > 1 {
 		return 0, fmt.Errorf("sim: confidence %g out of (0, 1]", confidence)
 	}
-	if err := opt.validate(); err != nil {
+	mks, err := RealizeAll([]*schedule.Schedule{s}, opt, root)
+	if err != nil {
 		return 0, err
 	}
-	w := s.Workload()
-	n := w.N()
-	makespans := make([]float64, opt.Realizations)
-	dur := make([]float64, n)
-	startBuf := make([]float64, n)
-	finishBuf := make([]float64, n)
-	for k := range makespans {
-		r := rng.New(root.Uint64())
-		for t := 0; t < n; t++ {
-			dur[t] = w.SampleDuration(t, s.Proc(t), r)
-		}
-		makespans[k] = s.MakespanInto(dur, startBuf, finishBuf)
-	}
+	makespans := mks[0]
 	sort.Float64s(makespans)
-	idx := int(math.Ceil(confidence*float64(len(makespans)))) - 1
-	if idx < 0 {
-		idx = 0
-	}
-	return makespans[idx], nil
+	return quantileSorted(makespans, confidence), nil
 }
 
 // CVaR returns the conditional value at risk of the schedule's makespan at
 // level q: the mean of the worst (1−q) fraction of sampled realizations —
 // what "bad days" cost on average, the risk measure conservative planners
-// optimize for.
+// optimize for. Like DeadlineForConfidence it is a view over the shared
+// batched engine and honours Options.Workers, Antithetic and BatchSize.
 func CVaR(s *schedule.Schedule, q float64, opt Options, root *rng.Source) (float64, error) {
 	if q <= 0 || q >= 1 {
 		return 0, fmt.Errorf("sim: CVaR level %g out of (0, 1)", q)
 	}
-	if err := opt.validate(); err != nil {
+	mks, err := RealizeAll([]*schedule.Schedule{s}, opt, root)
+	if err != nil {
 		return 0, err
 	}
-	w := s.Workload()
-	n := w.N()
-	makespans := make([]float64, opt.Realizations)
-	dur := make([]float64, n)
-	startBuf := make([]float64, n)
-	finishBuf := make([]float64, n)
-	for k := range makespans {
-		r := rng.New(root.Uint64())
-		for t := 0; t < n; t++ {
-			dur[t] = w.SampleDuration(t, s.Proc(t), r)
-		}
-		makespans[k] = s.MakespanInto(dur, startBuf, finishBuf)
-	}
+	makespans := mks[0]
 	sort.Float64s(makespans)
 	cut := int(math.Floor(q * float64(len(makespans))))
 	if cut >= len(makespans) {

@@ -343,6 +343,16 @@ func EvaluateAll(ss []*Schedule, opt SimOptions, r *RNG) ([]SimMetrics, error) {
 	return sim.EvaluateAll(ss, opt, r)
 }
 
+// RealizeAll exposes the Monte-Carlo engine's raw output: the realized
+// makespans of every schedule, indexed [schedule][realization], under common
+// random numbers. Evaluate, EvaluateAll, CVaR and DeadlineForConfidence are
+// views over this sample; it is the input for custom risk measures and
+// distributional comparisons (e.g. KSDistance). Results are bit-identical
+// for every Workers and BatchSize setting.
+func RealizeAll(ss []*Schedule, opt SimOptions, r *RNG) ([][]float64, error) {
+	return sim.RealizeAll(ss, opt, r)
+}
+
 // OverallPerformance computes the paper's combined score P(s) (Eqn. 9):
 // r·ln(M_HEFT/M) + (1−r)·ln(R/R_HEFT).
 func OverallPerformance(r, makespan, makespanHEFT, robustness, robustnessHEFT float64) float64 {

@@ -202,6 +202,56 @@ func TestPublicScheduleAnalysis(t *testing.T) {
 	}
 }
 
+func TestPublicRealizeAll(t *testing.T) {
+	w := extWorkload(t, 17, 25, 3, 4)
+	heft, err := robsched.HEFT(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpop, err := robsched.CPOP(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := robsched.SimOptions{Realizations: 300}
+	mks, err := robsched.RealizeAll([]*robsched.Schedule{heft, cpop}, opt, robsched.NewRNG(18))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mks) != 2 || len(mks[0]) != 300 || len(mks[1]) != 300 {
+		t.Fatalf("bad sample shape: %d schedules", len(mks))
+	}
+	// The raw sample is the exact substrate of the metric views (same seed,
+	// same realizations), and it must be independent of the parallel fan-out.
+	m, err := robsched.Evaluate(heft, opt, robsched.NewRNG(18))
+	if err != nil {
+		t.Fatal(err)
+	}
+	above := 0
+	for _, x := range mks[0] {
+		if x <= 0 {
+			t.Fatalf("non-positive makespan %g", x)
+		}
+		if x > m.P95 {
+			above++
+		}
+	}
+	if got := float64(above) / 300; got > 0.05+1e-12 {
+		t.Errorf("%.3f of the sample exceeds its own P95", got)
+	}
+	par, err := robsched.RealizeAll([]*robsched.Schedule{heft, cpop},
+		robsched.SimOptions{Realizations: 300, Workers: 4, BatchSize: 3}, robsched.NewRNG(18))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range mks {
+		for i := range mks[j] {
+			if mks[j][i] != par[j][i] {
+				t.Fatalf("schedule %d realization %d varies with workers/batch", j, i)
+			}
+		}
+	}
+}
+
 func TestPublicAntithetic(t *testing.T) {
 	w := extWorkload(t, 15, 20, 3, 3)
 	s, err := robsched.HEFT(w)
