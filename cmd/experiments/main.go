@@ -42,6 +42,10 @@ func run() error {
 		fig          = flag.String("fig", "all", "figure to regenerate: 1..8 or all (empty with -ablation set)")
 		ablation     = flag.String("ablation", "", "ablation to run instead/in addition: seed, slackmetric, risk, policies, or all")
 		sensitivity  = flag.String("sensitivity", "", "sensitivity sweep to run: ccr, shape, procs")
+		faultExp     = flag.Bool("faults", false, "run the slack-vs-fault-resilience experiment")
+		mtbf         = flag.Float64("mtbf", 2.0, "fault experiment: MTBF per processor in multiples of the HEFT makespan")
+		retries      = flag.Int("retries", 2, "fault experiment: max retries per killed task")
+		drop         = flag.Float64("drop", 4.0, "fault experiment: drop non-critical tasks starting past this multiple of M0 (0 disables)")
 		scale        = flag.String("scale", "quick", "experiment scale: quick or paper")
 		seed         = flag.Uint64("seed", 1, "root random seed")
 		graphs       = flag.Int("graphs", 0, "override: graphs per data point")
@@ -84,7 +88,7 @@ func run() error {
 
 	want := map[string]bool{}
 	switch {
-	case *fig == "all" && (*ablation != "" || *sensitivity != ""):
+	case *fig == "all" && (*ablation != "" || *sensitivity != "" || *faultExp):
 		// -ablation alone runs only the ablations unless figures are also
 		// requested explicitly.
 	case *fig == "all":
@@ -279,6 +283,20 @@ func run() error {
 		if err := emit("sens_"+*sensitivity, title, param.String(), s); err != nil {
 			return err
 		}
+	}
+	if *faultExp {
+		fc := experiments.DefaultFaultConfig()
+		fc.MTBFFactor = *mtbf
+		fc.Policy.Retry.MaxRetries = *retries
+		fc.Policy.DropFactor = *drop
+		fmt.Fprintf(os.Stderr, "experiments: running fault-resilience experiment (%d graphs, mtbf %g·M0)...\n",
+			cfg.Graphs, *mtbf)
+		res, err := cfg.FaultResilience(fc)
+		if err != nil {
+			return err
+		}
+		fmt.Print(res.String())
+		fmt.Println()
 	}
 	fmt.Fprintf(os.Stderr, "experiments: done in %v (seed %d, %d graphs, %d realizations, %d tasks, %d processors)\n",
 		time.Since(start).Round(time.Millisecond), cfg.Seed, cfg.Graphs, cfg.Realizations, cfg.Gen.N, cfg.Gen.M)

@@ -23,6 +23,7 @@ import (
 	"os"
 
 	"robsched/internal/clark"
+	"robsched/internal/fault"
 	"robsched/internal/gen"
 	"robsched/internal/heft"
 	"robsched/internal/platform"
@@ -68,6 +69,10 @@ func run() error {
 		quiet        = flag.Bool("q", false, "print only the summary line")
 		paretoFront  = flag.Bool("pareto", false, "print the NSGA-II makespan–slack front instead of a single schedule")
 		repairTheta  = flag.Float64("repair", 0, "also evaluate runtime repair of the schedule at this threshold (0 disables)")
+		faults       = flag.String("faults", "", "evaluate under processor faults: 'auto' samples failures/outages from -mtbf, anything else is a scenario JSON file (empty disables)")
+		mtbf         = flag.Float64("mtbf", 2.0, "mean time between permanent failures per processor, in multiples of the HEFT makespan (with -faults auto)")
+		retries      = flag.Int("retries", 2, "max retries per killed task under -faults (with EFT migration)")
+		drop         = flag.Float64("drop", 0, "graceful degradation: drop non-critical tasks starting past this multiple of M0 (0 disables)")
 		clarkEst     = flag.Bool("clark", false, "also print Clark's analytic makespan estimate")
 		svgPath      = flag.String("svg", "", "write an SVG Gantt chart (with slack windows) to this file")
 	)
@@ -211,6 +216,72 @@ func run() error {
 		}
 		fmt.Printf("repair θ=%.3g: realized mean %.4g (vs %.4g rigid), p95 %.4g, %.2f reschedules/run\n",
 			*repairTheta, rm.MeanMakespan, ms[0].MeanMakespan, rm.P95, rm.MeanReschedules)
+	}
+
+	if *faults != "" {
+		var src fault.Sampler
+		switch *faults {
+		case "auto":
+			mo := fault.Model{
+				MTBF:        *mtbf * baseline.Makespan(),
+				OutageEvery: 2 * baseline.Makespan(),
+				OutageMean:  0.05 * baseline.Makespan(),
+				KeepOne:     true,
+			}
+			if err := mo.Validate(); err != nil {
+				return err
+			}
+			src = mo
+		default:
+			f, err := os.Open(*faults)
+			if err != nil {
+				return err
+			}
+			sc, err := wio.ReadScenario(f)
+			f.Close()
+			if err != nil {
+				return err
+			}
+			src = fault.Fixed{S: sc}
+		}
+		pol := repair.FaultPolicy{
+			Policy:     repair.NeverReschedule(),
+			Retry:      repair.RetryPolicy{MaxRetries: *retries, Migrate: true},
+			DropFactor: *drop,
+		}
+		if *repairTheta > 0 {
+			pol.Threshold = *repairTheta
+		}
+		// Both schedules face the same fault and duration streams (common
+		// random numbers) over a shared horizon.
+		horizon := 4 * baseline.Makespan()
+		opt := sim.Options{Realizations: *realizations, Deadline: *deadline}
+		fm, err := repair.EvaluateFaults(s, pol, src, horizon, opt, rng.New(*seed^0xdead))
+		if err != nil {
+			return err
+		}
+		fb, err := repair.EvaluateFaults(baseline, pol, src, horizon, opt, rng.New(*seed^0xdead))
+		if err != nil {
+			return err
+		}
+		if !*quiet {
+			fmt.Printf("\nfaults (%s, retries=%d, drop=%.3g):\n", *faults, *retries, *drop)
+			fmt.Printf("%-22s %12s %12s\n", "", *scheduler, "heft")
+			row := func(name string, a, b float64) {
+				fmt.Printf("%-22s %12.4g %12.4g\n", name, a, b)
+			}
+			row("fault realized mean", fm.MeanMakespan, fb.MeanMakespan)
+			row("fault realized p95", fm.P95, fb.P95)
+			row("fault robustness R1", fm.R1, fb.R1)
+			row("completion %", 100*fm.MeanCompletion, 100*fb.MeanCompletion)
+			row("retries/run", fm.MeanRetries, fb.MeanRetries)
+			row("migrations/run", fm.MeanMigrations, fb.MeanMigrations)
+			row("drops/run", fm.MeanDropped, fb.MeanDropped)
+			row("failed runs %", 100*fm.FailRate, 100*fb.FailRate)
+			fmt.Println()
+		}
+		fmt.Printf("faults: mean=%.4g completion=%.1f%% retries=%.2f drops=%.2f (HEFT mean=%.4g)\n",
+			fm.MeanMakespan, 100*fm.MeanCompletion, fm.MeanRetries, fm.MeanDropped, fb.MeanMakespan)
 	}
 
 	if *gantt {

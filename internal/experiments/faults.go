@@ -1,0 +1,212 @@
+package experiments
+
+// Fault-resilience experiment: does the paper's slack-based robustness —
+// engineered against duration noise — also buy resilience against
+// processor failures? For every graph, three schedulers of increasing
+// slack (HEFT, simulated annealing, the ε-constraint GA) are evaluated
+// twice under common random numbers: once with duration noise only and
+// once with fault injection on top, and the per-schedule slack is
+// correlated with the fault-induced makespan inflation.
+
+import (
+	"fmt"
+	"strings"
+
+	"robsched/internal/fault"
+	"robsched/internal/heft"
+	"robsched/internal/repair"
+	"robsched/internal/rng"
+	"robsched/internal/robust"
+	"robsched/internal/schedule"
+	"robsched/internal/sim"
+	"robsched/internal/stats"
+)
+
+// FaultConfig parameterizes the fault-resilience experiment on top of the
+// shared experiment Config.
+type FaultConfig struct {
+	// MTBFFactor scales the per-processor mean time between failures in
+	// multiples of the HEFT makespan of each instance (2 means a processor
+	// fails on average once per two baseline makespans).
+	MTBFFactor float64
+	// Policy is the fault-aware execution policy (retry/migration/drop).
+	Policy repair.FaultPolicy
+	// UL is the mean uncertainty level of the generated workloads; 0
+	// defaults to the middle of the config's UL grid.
+	UL float64
+	// Eps relaxes the makespan constraint M0 ≤ ε·M_HEFT for the SA and GA
+	// schedulers; 0 defaults to 1.4. At ε = 1.0 there is no makespan
+	// budget to buy slack with and all three schedulers collapse onto
+	// near-HEFT schedules, which makes the correlation vacuous.
+	Eps float64
+}
+
+// DefaultFaultConfig pairs a 2·M0 MTBF with two migrating retries — enough
+// failures to differentiate schedules without overwhelming them.
+func DefaultFaultConfig() FaultConfig {
+	return FaultConfig{MTBFFactor: 2, Policy: repair.DefaultFaultPolicy()}
+}
+
+// FaultResilienceRow aggregates one scheduler across all graphs.
+type FaultResilienceRow struct {
+	Scheduler string
+	// NormSlack is the schedule's average slack divided by its own
+	// makespan (the paper's robustness surrogate, scale-free).
+	NormSlack float64
+	// NoFaultMean and FaultMean are mean makespans relative to the HEFT
+	// baseline M0 of each instance; Inflation is their ratio — how much
+	// the faults alone cost.
+	NoFaultMean float64
+	FaultMean   float64
+	Inflation   float64
+	// Completion, Retries, Migrations and Drops are per-realization means
+	// under faults.
+	Completion float64
+	Retries    float64
+	Migrations float64
+	Drops      float64
+}
+
+// FaultResilienceResult is the experiment outcome.
+type FaultResilienceResult struct {
+	Rows []FaultResilienceRow
+	// SlackCorr is the Pearson correlation between normalized slack and
+	// fault inflation across every (graph, scheduler) point: negative
+	// means slack buys fault resilience too.
+	SlackCorr float64
+	Graphs    int
+	Points    int
+}
+
+// String renders the result as an aligned text table.
+func (r *FaultResilienceResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# Slack vs fault resilience (%d graphs, %d points)\n", r.Graphs, r.Points)
+	fmt.Fprintf(&b, "%-10s %10s %12s %12s %10s %8s %8s %8s %8s\n",
+		"scheduler", "slack/M0", "nofault/MH", "fault/MH", "inflation", "compl", "retries", "migr", "drops")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-10s %10.4f %12.4f %12.4f %10.4f %8.4f %8.3f %8.3f %8.3f\n",
+			row.Scheduler, row.NormSlack, row.NoFaultMean, row.FaultMean, row.Inflation,
+			row.Completion, row.Retries, row.Migrations, row.Drops)
+	}
+	fmt.Fprintf(&b, "Pearson(slack/M0, inflation) = %+.4f\n", r.SlackCorr)
+	return b.String()
+}
+
+// FaultResilience runs the experiment. Schedules per graph: HEFT, SA and
+// the ε-constraint GA at a comparable search budget; both evaluations of a
+// graph share the instance, the duration seed and the fault-scenario
+// stream (common random numbers), so differences are attributable to the
+// schedules alone.
+func (c Config) FaultResilience(fc FaultConfig) (*FaultResilienceResult, error) {
+	if err := c.validate(); err != nil {
+		return nil, err
+	}
+	if fc.MTBFFactor <= 0 {
+		return nil, fmt.Errorf("experiments: MTBFFactor=%g must be > 0", fc.MTBFFactor)
+	}
+	if err := fc.Policy.Validate(); err != nil {
+		return nil, err
+	}
+	ul := fc.UL
+	if ul == 0 {
+		ul = c.ULs[len(c.ULs)/2]
+	}
+	gaOpt := c.gaOptions()
+	gaOpt.Mode = robust.EpsilonConstraint
+	gaOpt.Eps = fc.Eps
+	if gaOpt.Eps == 0 {
+		gaOpt.Eps = 1.4
+	}
+	saOpt := robust.PaperishAnnealOptions(gaOpt.Eps)
+	saOpt.Steps = gaOpt.PopSize * gaOpt.MaxGenerations // comparable budget
+
+	names := []string{"heft", "anneal", "ga"}
+	type point struct {
+		slack, noFault, faultMean, inflation float64
+		completion, retries, migr, drops     float64
+	}
+	points := make([][]point, c.Graphs) // [graph][scheduler]
+	err := c.parallelFor(c.Graphs, func(g int) error {
+		w, err := c.workload(0, g, ul)
+		if err != nil {
+			return err
+		}
+		hs, err := heft.HEFT(w, heft.Options{})
+		if err != nil {
+			return err
+		}
+		sa, err := robust.SolveAnneal(w, saOpt, rng.New(c.graphSeed(0, g)^0xfa1))
+		if err != nil {
+			return err
+		}
+		ga, err := robust.Solve(w, gaOpt, rng.New(c.graphSeed(0, g)^0xfa2))
+		if err != nil {
+			return err
+		}
+		ss := []*schedule.Schedule{hs, sa.Schedule, ga.Schedule}
+		opt := sim.Options{Realizations: c.Realizations}
+		noFault, err := sim.EvaluateAll(ss, opt, rng.New(c.graphSeed(0, g)^0xfa3))
+		if err != nil {
+			return err
+		}
+		// Fault lane: every schedule of this graph sees the same duration
+		// and scenario streams (same seed), model and horizon.
+		m0 := hs.Makespan()
+		mo := fault.Model{MTBF: fc.MTBFFactor * m0, KeepOne: true}
+		horizon := 4 * m0
+		points[g] = make([]point, len(ss))
+		for i, s := range ss {
+			fm, err := repair.EvaluateFaults(s, fc.Policy, mo, horizon, opt, rng.New(c.graphSeed(0, g)^0xfa4))
+			if err != nil {
+				return err
+			}
+			points[g][i] = point{
+				slack:      s.AvgSlack() / s.Makespan(),
+				noFault:    noFault[i].MeanMakespan / m0,
+				faultMean:  fm.MeanMakespan / m0,
+				inflation:  fm.MeanMakespan / noFault[i].MeanMakespan,
+				completion: fm.MeanCompletion,
+				retries:    fm.MeanRetries,
+				migr:       fm.MeanMigrations,
+				drops:      fm.MeanDropped,
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	res := &FaultResilienceResult{Graphs: c.Graphs}
+	var slacks, inflations []float64
+	for i, name := range names {
+		row := FaultResilienceRow{Scheduler: name}
+		for g := 0; g < c.Graphs; g++ {
+			pt := points[g][i]
+			row.NormSlack += pt.slack
+			row.NoFaultMean += pt.noFault
+			row.FaultMean += pt.faultMean
+			row.Inflation += pt.inflation
+			row.Completion += pt.completion
+			row.Retries += pt.retries
+			row.Migrations += pt.migr
+			row.Drops += pt.drops
+			slacks = append(slacks, pt.slack)
+			inflations = append(inflations, pt.inflation)
+		}
+		gf := float64(c.Graphs)
+		row.NormSlack /= gf
+		row.NoFaultMean /= gf
+		row.FaultMean /= gf
+		row.Inflation /= gf
+		row.Completion /= gf
+		row.Retries /= gf
+		row.Migrations /= gf
+		row.Drops /= gf
+		res.Rows = append(res.Rows, row)
+	}
+	res.Points = len(slacks)
+	res.SlackCorr = stats.Pearson(slacks, inflations)
+	return res, nil
+}

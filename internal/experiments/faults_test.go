@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"robsched/internal/repair"
+)
+
+// tinyFaultConfig shrinks the experiment to seconds.
+func tinyFaultConfig(t *testing.T) (Config, FaultConfig) {
+	t.Helper()
+	c := Default()
+	c.Graphs = 3
+	c.Realizations = 60
+	c.Gen.N = 25
+	c.GA.PopSize = 8
+	c.GA.MaxGenerations = 20
+	fc := DefaultFaultConfig()
+	fc.Policy.DropFactor = 4 // keep total-death realizations from failing
+	return c, fc
+}
+
+func TestFaultResilience(t *testing.T) {
+	c, fc := tinyFaultConfig(t)
+	res, err := c.FaultResilience(fc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("expected heft/anneal/ga rows, got %d", len(res.Rows))
+	}
+	if res.Points != 3*c.Graphs {
+		t.Fatalf("points %d != %d", res.Points, 3*c.Graphs)
+	}
+	for _, row := range res.Rows {
+		if row.NoFaultMean <= 0 || row.FaultMean <= 0 {
+			t.Fatalf("%s: non-positive means: %+v", row.Scheduler, row)
+		}
+		// Injecting faults on top of the same noise can only inflate the
+		// expected makespan.
+		if row.Inflation < 1 {
+			t.Fatalf("%s: fault inflation %g < 1", row.Scheduler, row.Inflation)
+		}
+		if row.Completion <= 0 || row.Completion > 1 {
+			t.Fatalf("%s: completion %g", row.Scheduler, row.Completion)
+		}
+	}
+	if math.IsNaN(res.SlackCorr) || res.SlackCorr < -1 || res.SlackCorr > 1 {
+		t.Fatalf("slack correlation %g out of range", res.SlackCorr)
+	}
+	out := res.String()
+	for _, want := range []string{"heft", "anneal", "ga", "Pearson"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table missing %q:\n%s", want, out)
+		}
+	}
+
+	// Deterministic: same config, same table.
+	again, err := c.FaultResilience(fc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.String() != out {
+		t.Fatal("fault resilience experiment not reproducible")
+	}
+}
+
+func TestFaultResilienceValidation(t *testing.T) {
+	c, fc := tinyFaultConfig(t)
+	bad := fc
+	bad.MTBFFactor = 0
+	if _, err := c.FaultResilience(bad); err == nil {
+		t.Error("MTBFFactor=0 accepted")
+	}
+	bad = fc
+	bad.Policy = repair.FaultPolicy{Policy: repair.Policy{Threshold: -1}}
+	if _, err := c.FaultResilience(bad); err == nil {
+		t.Error("invalid policy accepted")
+	}
+	cbad := c
+	cbad.Graphs = 0
+	if _, err := cbad.FaultResilience(fc); err == nil {
+		t.Error("zero graphs accepted")
+	}
+}

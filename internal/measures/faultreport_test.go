@@ -1,0 +1,65 @@
+package measures
+
+import (
+	"testing"
+
+	"robsched/internal/fault"
+	"robsched/internal/gen"
+	"robsched/internal/heft"
+	"robsched/internal/repair"
+	"robsched/internal/rng"
+)
+
+func TestMeasureFaults(t *testing.T) {
+	p := gen.PaperParams()
+	p.N, p.M, p.MeanUL = 30, 4, 3
+	w, err := gen.Random(p, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := heft.HEFT(w, heft.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mo := fault.Model{MTBF: 3 * s.Makespan(), KeepOne: true}
+	pol := repair.FaultPolicy{
+		Policy:     repair.NeverReschedule(),
+		Retry:      repair.RetryPolicy{MaxRetries: 2, Migrate: true},
+		DropFactor: 3,
+	}
+	rep, err := MeasureFaults(s, pol, mo, 0, 60, 2, rng.New(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.NoFault.MeanMakespan < s.Makespan() {
+		t.Fatalf("no-fault mean %g below M0 %g", rep.NoFault.MeanMakespan, s.Makespan())
+	}
+	// Faults can only hurt the expected makespan relative to pure noise.
+	if rep.Fault.MeanMakespan < rep.NoFault.MeanMakespan {
+		t.Fatalf("faulted mean %g below no-fault mean %g", rep.Fault.MeanMakespan, rep.NoFault.MeanMakespan)
+	}
+	if rep.Fault.R1 <= 0 || rep.Fault.R2 <= 0 {
+		t.Fatalf("fault-conditional robustness not computed: %+v", rep.Fault.Metrics)
+	}
+	if len(rep.Degradation) != 3 {
+		t.Fatalf("degradation curve has %d lanes, want 3", len(rep.Degradation))
+	}
+	if rep.Degradation[0].MeanCompletion != 1 {
+		t.Fatalf("no-failure lane completion %g", rep.Degradation[0].MeanCompletion)
+	}
+
+	// Reproducible from the seed.
+	again, err := MeasureFaults(s, pol, mo, 0, 60, 2, rng.New(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Fault.MeanMakespan != rep.Fault.MeanMakespan ||
+		again.Fault.MeanRetries != rep.Fault.MeanRetries ||
+		again.NoFault.MeanMakespan != rep.NoFault.MeanMakespan {
+		t.Fatal("fault report not reproducible from seed")
+	}
+
+	if _, err := MeasureFaults(s, pol, mo, 0, 0, 2, rng.New(1)); err == nil {
+		t.Error("zero realizations accepted")
+	}
+}

@@ -1,0 +1,550 @@
+// Fault-aware execution: this file extends the event-driven executor to
+// play a static schedule against a realized duration matrix *and* a fault
+// scenario (internal/fault). Tasks running on a processor that fails
+// permanently or suffers a transient outage are killed and retried under a
+// bounded RetryPolicy with deterministic backoff in simulated time,
+// optionally migrating via the same EFT re-planner the reactive policy
+// uses (never placing work on dead processors); an optional graceful-
+// degradation mode drops non-critical tasks whose start slips past
+// DropFactor·M0 (à la Mokhtari et al.'s autonomous task dropping) and the
+// run reports a completion fraction instead of failing.
+//
+// Under an empty scenario ExecuteFaults performs exactly the floating-
+// point operations of Execute, so its results are bit-identical to plain
+// right-shift / reactive execution — the property test in fault_test.go
+// pins this down.
+package repair
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"robsched/internal/fault"
+	"robsched/internal/heft"
+	"robsched/internal/platform"
+	"robsched/internal/rng"
+	"robsched/internal/schedule"
+	"robsched/internal/sim"
+)
+
+// RetryPolicy bounds how killed tasks are re-attempted.
+type RetryPolicy struct {
+	// MaxRetries is the number of re-attempts a task may consume after
+	// kills; once exceeded the task is abandoned (dropped under graceful
+	// degradation, otherwise the run is marked failed).
+	MaxRetries int
+	// Backoff is the simulated-time wait before retry k, growing
+	// exponentially: Backoff·2^(k−1). Zero retries immediately.
+	Backoff float64
+	// Migrate re-plans every unstarted task (EFT over expected durations,
+	// alive processors only) after each kill, letting the killed task move
+	// off the faulty processor. Without it a killed task retries on its
+	// originally planned processor.
+	Migrate bool
+}
+
+// FaultPolicy configures fault-aware execution: the embedded reactive-
+// reschedule Policy (use NeverReschedule for pure right-shift), the retry
+// behaviour, and graceful degradation.
+type FaultPolicy struct {
+	Policy
+	Retry RetryPolicy
+	// DropFactor d > 0 enables graceful degradation: a non-critical task
+	// (planned slack > 0) whose earliest feasible start exceeds d·M0 is
+	// dropped rather than executed, and abandoned tasks count as drops
+	// instead of failing the run. 0 disables dropping.
+	DropFactor float64
+}
+
+// DefaultFaultPolicy is right-shift execution with two migrating retries
+// and no dropping — the configuration the CLI starts from.
+func DefaultFaultPolicy() FaultPolicy {
+	return FaultPolicy{
+		Policy: NeverReschedule(),
+		Retry:  RetryPolicy{MaxRetries: 2, Backoff: 0, Migrate: true},
+	}
+}
+
+// Validate checks the policy, reporting *PolicyError.
+func (pol FaultPolicy) Validate() error {
+	if pol.Threshold < 0 || math.IsNaN(pol.Threshold) {
+		return &PolicyError{"Threshold", fmt.Sprintf("%g must be >= 0", pol.Threshold)}
+	}
+	if pol.Retry.MaxRetries < 0 {
+		return &PolicyError{"Retry.MaxRetries", fmt.Sprintf("%d must be >= 0", pol.Retry.MaxRetries)}
+	}
+	if pol.Retry.Backoff < 0 || math.IsNaN(pol.Retry.Backoff) || math.IsInf(pol.Retry.Backoff, 0) {
+		return &PolicyError{"Retry.Backoff", fmt.Sprintf("%g must be finite and >= 0", pol.Retry.Backoff)}
+	}
+	if pol.DropFactor < 0 || math.IsNaN(pol.DropFactor) || math.IsInf(pol.DropFactor, 0) {
+		return &PolicyError{"DropFactor", fmt.Sprintf("%g must be finite and >= 0", pol.DropFactor)}
+	}
+	return nil
+}
+
+// FaultOutcome is one simulated execution under faults. Start/Finish/Proc
+// are meaningful for completed tasks only; Makespan is the latest finish
+// among completed tasks.
+type FaultOutcome struct {
+	Outcome
+	// Completed marks the tasks that ran to completion.
+	Completed []bool
+	// Dropped lists tasks abandoned under graceful degradation (their
+	// descendants cascade here too); Unfinished lists tasks abandoned
+	// without degradation enabled, in which case Failed is set.
+	Dropped    []int
+	Unfinished []int
+	Failed     bool
+	// Kills counts work-losing fault hits; Retries the re-attempts they
+	// triggered; Migrations the retry attempts that started on a different
+	// processor than the previous attempt.
+	Kills      int
+	Retries    int
+	Migrations int
+	// CompletionFraction is completed tasks / n.
+	CompletionFraction float64
+}
+
+// ExecuteFaults plays the realized duration matrix against the schedule
+// under the fault scenario and policy. With fault.None() it degenerates to
+// Execute bit-for-bit.
+func ExecuteFaults(s *schedule.Schedule, durs platform.Matrix, sc fault.Scenario, pol FaultPolicy) (FaultOutcome, error) {
+	w := s.Workload()
+	n, m := w.N(), w.M()
+	if durs.Rows() != n || durs.Cols() != m {
+		return FaultOutcome{}, fmt.Errorf("repair: duration matrix is %dx%d, want %dx%d", durs.Rows(), durs.Cols(), n, m)
+	}
+	if err := pol.Validate(); err != nil {
+		return FaultOutcome{}, err
+	}
+	if err := sc.Validate(); err != nil {
+		return FaultOutcome{}, err
+	}
+	if sc.M != 0 && sc.M != m {
+		return FaultOutcome{}, &fault.ValidationError{Field: "M", Reason: fmt.Sprintf("scenario is for %d processors, platform has %d", sc.M, m)}
+	}
+	window := pol.Threshold * s.Makespan()
+	dropAfter := pol.DropFactor * s.Makespan()
+	critTol := 1e-9 * (1 + s.Makespan())
+
+	out := FaultOutcome{
+		Outcome: Outcome{
+			Proc:   s.ProcAssignment(),
+			Start:  make([]float64, n),
+			Finish: make([]float64, n),
+		},
+		Completed: make([]bool, n),
+	}
+	queues := make([][]int, m)
+	for p := 0; p < m; p++ {
+		queues[p] = s.ProcOrder(p)
+	}
+	planned := make([]float64, n)
+	for v := 0; v < n; v++ {
+		planned[v] = s.Finish(v)
+	}
+	completed := out.Completed
+	remainingPreds := make([]int, n)
+	for v := 0; v < n; v++ {
+		remainingPreds[v] = w.G.InDegree(v)
+	}
+	procFree := make([]float64, m)
+	ranks := heft.UpwardRanks(w)
+	notBefore := make([]float64, n)
+	attempts := make([]int, n)
+	lastProc := make([]int, n)
+	for v := range lastProc {
+		lastProc[v] = out.Proc[v]
+	}
+	abandoned := make([]bool, n)
+	nAbandoned := 0
+
+	// abandon removes v (and, transitively, every descendant that can now
+	// never become ready) from the run.
+	var abandon func(v int)
+	abandon = func(v int) {
+		if abandoned[v] || completed[v] {
+			return
+		}
+		abandoned[v] = true
+		nAbandoned++
+		if pol.DropFactor > 0 {
+			out.Dropped = append(out.Dropped, v)
+		} else {
+			out.Unfinished = append(out.Unfinished, v)
+			out.Failed = true
+		}
+		for _, a := range w.G.Successors(v) {
+			abandon(a.To)
+		}
+	}
+	// aliveAt masks the processors that have not permanently failed by t.
+	aliveAt := func(t float64) ([]bool, bool) {
+		alive := make([]bool, m)
+		any := false
+		for p := 0; p < m; p++ {
+			if sc.Alive(p, t) {
+				alive[p] = true
+				any = true
+			}
+		}
+		return alive, any
+	}
+	replanFault := func(now float64) bool {
+		alive, any := aliveAt(now)
+		if !any {
+			return false
+		}
+		replanWith(w, ranks, completed, abandoned, alive, notBefore, out.Outcome, procFree, queues, planned)
+		return true
+	}
+
+	done := 0
+	stalled := false // one migration re-plan already spent on the current stall
+	for done+nAbandoned < n {
+		// Drop abandoned tasks off the queue heads so the scan below only
+		// sees live work.
+		for p := 0; p < m; p++ {
+			for len(queues[p]) > 0 && abandoned[queues[p][0]] {
+				queues[p] = queues[p][1:]
+			}
+		}
+		// Among processor-queue heads whose predecessors are all completed,
+		// execute the one with the earliest feasible start. Heads whose
+		// processor can never run them again (dead by their earliest start)
+		// are collected as stuck.
+		bestProc, bestStart := -1, math.Inf(1)
+		var stuck []int
+		for p := 0; p < m; p++ {
+			if len(queues[p]) == 0 {
+				continue
+			}
+			v := queues[p][0]
+			if remainingPreds[v] > 0 {
+				continue
+			}
+			start := procFree[p]
+			for _, a := range w.G.Predecessors(v) {
+				u := a.To
+				if t := out.Finish[u] + w.Sys.CommCost(out.Proc[u], p, a.Data); t > start {
+					start = t
+				}
+			}
+			if nb := notBefore[v]; nb > start {
+				start = nb
+			}
+			start = sc.NextStart(p, start)
+			if math.IsInf(start, 1) {
+				stuck = append(stuck, p)
+				continue
+			}
+			if start < bestStart {
+				bestProc, bestStart = p, start
+			}
+		}
+		if bestProc < 0 {
+			if len(stuck) == 0 {
+				return FaultOutcome{}, fmt.Errorf("repair: execution stalled with %d tasks left (plan inconsistency)", n-done-nAbandoned)
+			}
+			// Every runnable head sits on a processor that is dead by the
+			// time the task could start. Give migration one re-plan per
+			// stall; if that does not unstick the run (or migration is
+			// off), abandon the stuck heads — they have nowhere to go.
+			if pol.Retry.Migrate && !stalled {
+				now := 0.0
+				for p := 0; p < m; p++ {
+					if sc.Alive(p, procFree[p]) && procFree[p] > now {
+						now = procFree[p]
+					}
+				}
+				if replanFault(now) {
+					stalled = true
+					continue
+				}
+			}
+			for _, p := range stuck {
+				abandon(queues[p][0])
+			}
+			stalled = false
+			continue
+		}
+		stalled = false
+		v := queues[bestProc][0]
+		// Graceful degradation: a non-critical task whose feasible start
+		// slipped past d·M0 is dropped instead of executed.
+		if pol.DropFactor > 0 && bestStart > dropAfter && s.Slack(v) > critTol {
+			abandon(v)
+			continue
+		}
+		queues[bestProc] = queues[bestProc][1:]
+		if attempts[v] > 0 && bestProc != lastProc[v] {
+			out.Migrations++
+		}
+		lastProc[v] = bestProc
+		fin, killed, killTime := sc.Run(bestProc, bestStart, durs.At(v, bestProc))
+		if killed {
+			out.Kills++
+			procFree[bestProc] = killTime
+			attempts[v]++
+			if attempts[v] > pol.Retry.MaxRetries {
+				abandon(v)
+				continue
+			}
+			out.Retries++
+			notBefore[v] = killTime + pol.Retry.Backoff*math.Pow(2, float64(attempts[v]-1))
+			if pol.Retry.Migrate {
+				if !replanFault(killTime) {
+					abandon(v) // no processor left alive
+				}
+			} else {
+				queues[bestProc] = append([]int{v}, queues[bestProc]...)
+			}
+			continue
+		}
+		out.Start[v] = bestStart
+		out.Finish[v] = fin
+		out.Proc[v] = bestProc
+		procFree[bestProc] = fin
+		completed[v] = true
+		done++
+		for _, a := range w.G.Successors(v) {
+			remainingPreds[a.To]--
+		}
+		if fin > out.Makespan {
+			out.Makespan = fin
+		}
+		// Repair trigger: the observed finish ran past the plan by more
+		// than the window.
+		if !math.IsInf(pol.Threshold, 1) && fin-planned[v] > window && done+nAbandoned < n {
+			replanWith(w, ranks, completed, abandoned, aliveMaskOrNil(&sc, m, fin), notBefore, out.Outcome, procFree, queues, planned)
+			out.Reschedules++
+		}
+	}
+	out.CompletionFraction = float64(done) / float64(n)
+	return out, nil
+}
+
+// aliveMaskOrNil returns the alive mask at time t, or nil when every
+// processor is alive (the mask-free path keeps the re-planner on the exact
+// instruction sequence of the fault-oblivious executor).
+func aliveMaskOrNil(sc *fault.Scenario, m int, t float64) []bool {
+	alive := make([]bool, m)
+	all := true
+	for p := 0; p < m; p++ {
+		alive[p] = sc.Alive(p, t)
+		all = all && alive[p]
+	}
+	if all {
+		return nil
+	}
+	return alive
+}
+
+// FaultMetrics extends the repair metrics with fault statistics averaged
+// over the realizations.
+type FaultMetrics struct {
+	Metrics
+	MeanKills      float64
+	MeanRetries    float64
+	MeanMigrations float64
+	MeanDropped    float64
+	// MeanCompletion is the average completion fraction; FailRate the
+	// fraction of realizations that ended with unfinished tasks (always 0
+	// when graceful degradation is on).
+	MeanCompletion float64
+	FailRate       float64
+}
+
+// EvaluateFaults Monte-Carlo evaluates the schedule under the fault policy:
+// each realization samples a fresh duration matrix and draws a scenario
+// from the sampler over the given horizon of simulated time (<= 0 defaults
+// to 4·M0). Realizations fan out across opt.Workers goroutines, but every
+// per-realization stream is seeded from the root sequentially and results
+// are folded in realization order, so all outputs — retries, migrations,
+// drops and the makespan distribution — are identical for every worker
+// count.
+//
+// Makespans of partially completed runs cover the completed tasks only;
+// MeanCompletion and FailRate report how much work those runs shed.
+func EvaluateFaults(s *schedule.Schedule, pol FaultPolicy, src fault.Sampler, horizon float64, opt sim.Options, root *rng.Source) (FaultMetrics, error) {
+	if err := opt.Validate(); err != nil {
+		return FaultMetrics{}, err
+	}
+	if err := pol.Validate(); err != nil {
+		return FaultMetrics{}, err
+	}
+	if math.IsNaN(horizon) || math.IsInf(horizon, 0) {
+		return FaultMetrics{}, &PolicyError{"horizon", fmt.Sprintf("%g must be finite", horizon)}
+	}
+	if horizon <= 0 {
+		horizon = 4 * s.Makespan()
+	}
+	w := s.Workload()
+	n, m := w.N(), w.M()
+	R := opt.Realizations
+	durSeeds := make([]uint64, R)
+	scenSeeds := make([]uint64, R)
+	for k := 0; k < R; k++ {
+		durSeeds[k] = root.Uint64()
+		scenSeeds[k] = root.Uint64()
+	}
+	type result struct {
+		out FaultOutcome
+		err error
+	}
+	results := make([]result, R)
+	nw := opt.Workers
+	if nw == 0 {
+		nw = runtime.GOMAXPROCS(0)
+	}
+	if nw > R {
+		nw = R
+	}
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < nw; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			durs := platform.NewMatrix(n, m)
+			for {
+				k := int(cursor.Add(1)) - 1
+				if k >= R {
+					return
+				}
+				r := rng.New(durSeeds[k])
+				for i := 0; i < n; i++ {
+					for p := 0; p < m; p++ {
+						durs.Set(i, p, w.SampleDuration(i, p, r))
+					}
+				}
+				sc, err := src.Scenario(m, horizon, rng.New(scenSeeds[k]))
+				if err != nil {
+					results[k] = result{err: err}
+					continue
+				}
+				o, err := ExecuteFaults(s, durs, sc, pol)
+				results[k] = result{out: o, err: err}
+			}
+		}()
+	}
+	wg.Wait()
+	makespans := make([]float64, R)
+	var fm FaultMetrics
+	totalResched := 0
+	for k, res := range results {
+		if res.err != nil {
+			return FaultMetrics{}, res.err
+		}
+		o := res.out
+		makespans[k] = o.Makespan
+		totalResched += o.Reschedules
+		fm.MeanKills += float64(o.Kills)
+		fm.MeanRetries += float64(o.Retries)
+		fm.MeanMigrations += float64(o.Migrations)
+		fm.MeanDropped += float64(len(o.Dropped))
+		fm.MeanCompletion += o.CompletionFraction
+		if o.Failed {
+			fm.FailRate++
+		}
+	}
+	rf := float64(R)
+	fm.MeanKills /= rf
+	fm.MeanRetries /= rf
+	fm.MeanMigrations /= rf
+	fm.MeanDropped /= rf
+	fm.MeanCompletion /= rf
+	fm.FailRate /= rf
+	fm.Metrics = Metrics{
+		Metrics:         sim.MetricsFromSamples(s.Makespan(), makespans, opt.Deadline),
+		MeanReschedules: float64(totalResched) / rf,
+	}
+	return fm, nil
+}
+
+// DegradationPoint is one lane of a degradation curve: the expected
+// behaviour of a schedule when exactly Failures processors fail
+// permanently at uniformly random instants within the planned makespan.
+type DegradationPoint struct {
+	Failures       int
+	MeanMakespan   float64
+	MeanCompletion float64
+	FailRate       float64
+}
+
+// DegradationCurve maps out graceful degradation: expected makespan and
+// completion versus the number of permanent processor failures, from 0 to
+// maxFailures (capped at m). The 0-failure lane reuses the batched
+// sim.RealizeAll engine; faulted lanes sample which processors fail (a
+// deterministic draw per realization) and run the fault-aware executor.
+func DegradationCurve(s *schedule.Schedule, pol FaultPolicy, maxFailures int, opt sim.Options, root *rng.Source) ([]DegradationPoint, error) {
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
+	if err := pol.Validate(); err != nil {
+		return nil, err
+	}
+	if maxFailures < 0 {
+		return nil, &PolicyError{"maxFailures", fmt.Sprintf("%d must be >= 0", maxFailures)}
+	}
+	w := s.Workload()
+	m := w.M()
+	if maxFailures > m {
+		maxFailures = m
+	}
+	curve := make([]DegradationPoint, 0, maxFailures+1)
+	// No-fault lane: the batched Monte-Carlo kernel.
+	mks, err := sim.RealizeAll([]*schedule.Schedule{s}, opt, rng.New(root.Uint64()))
+	if err != nil {
+		return nil, err
+	}
+	mean := 0.0
+	for _, mk := range mks[0] {
+		mean += mk
+	}
+	curve = append(curve, DegradationPoint{
+		Failures:       0,
+		MeanMakespan:   mean / float64(len(mks[0])),
+		MeanCompletion: 1,
+	})
+	for f := 1; f <= maxFailures; f++ {
+		src := failureCountSampler{count: f, m0: s.Makespan()}
+		fm, err := EvaluateFaults(s, pol, src, 0, opt, rng.New(root.Uint64()))
+		if err != nil {
+			return nil, err
+		}
+		curve = append(curve, DegradationPoint{
+			Failures:       f,
+			MeanMakespan:   fm.MeanMakespan,
+			MeanCompletion: fm.MeanCompletion,
+			FailRate:       fm.FailRate,
+		})
+	}
+	return curve, nil
+}
+
+// failureCountSampler draws scenarios with exactly count permanent
+// failures at uniform instants in (0, m0), hitting a uniformly random
+// processor subset.
+type failureCountSampler struct {
+	count int
+	m0    float64
+}
+
+func (fs failureCountSampler) Scenario(m int, _ float64, r *rng.Source) (fault.Scenario, error) {
+	count := fs.count
+	if count > m {
+		count = m
+	}
+	sc := fault.Scenario{M: m, FailAt: make([]float64, m)}
+	for p := range sc.FailAt {
+		sc.FailAt[p] = math.Inf(1)
+	}
+	for _, p := range r.Perm(m)[:count] {
+		sc.FailAt[p] = r.Uniform(0, fs.m0)
+	}
+	return sc, nil
+}

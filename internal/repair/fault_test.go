@@ -1,0 +1,414 @@
+package repair
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"robsched/internal/dynamic"
+	"robsched/internal/fault"
+	"robsched/internal/heft"
+	"robsched/internal/rng"
+	"robsched/internal/schedule"
+	"robsched/internal/sim"
+)
+
+// TestEmptyScenarioBitIdentical is the acceptance criterion of the fault
+// engine: with no faults, ExecuteFaults must perform exactly the same
+// floating-point operations as Execute — every start, finish, assignment
+// and reschedule count identical bit for bit, across repair thresholds.
+func TestEmptyScenarioBitIdentical(t *testing.T) {
+	r := rng.New(42)
+	for _, threshold := range []float64{math.Inf(1), 0.05, 0} {
+		for trial := 0; trial < 15; trial++ {
+			w := testWorkload(t, uint64(500+trial), 35, 4, 5)
+			s, err := heft.HEFT(w, heft.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			durs := dynamic.RealizeMatrix(w, r)
+			base, err := Execute(s, durs, Policy{Threshold: threshold})
+			if err != nil {
+				t.Fatal(err)
+			}
+			fo, err := ExecuteFaults(s, durs, fault.None(), FaultPolicy{
+				Policy: Policy{Threshold: threshold},
+				Retry:  RetryPolicy{MaxRetries: 3, Backoff: 0.5, Migrate: true},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fo.Makespan != base.Makespan {
+				t.Fatalf("θ=%g trial %d: makespan %v != %v", threshold, trial, fo.Makespan, base.Makespan)
+			}
+			if fo.Reschedules != base.Reschedules {
+				t.Fatalf("θ=%g trial %d: reschedules %d != %d", threshold, trial, fo.Reschedules, base.Reschedules)
+			}
+			for v := 0; v < w.N(); v++ {
+				if fo.Start[v] != base.Start[v] || fo.Finish[v] != base.Finish[v] || fo.Proc[v] != base.Proc[v] {
+					t.Fatalf("θ=%g trial %d task %d: (%v,%v,p%d) != (%v,%v,p%d)", threshold, trial, v,
+						fo.Start[v], fo.Finish[v], fo.Proc[v], base.Start[v], base.Finish[v], base.Proc[v])
+				}
+			}
+			if fo.Kills != 0 || fo.Retries != 0 || fo.Migrations != 0 || len(fo.Dropped) != 0 ||
+				fo.Failed || fo.CompletionFraction != 1 {
+				t.Fatalf("θ=%g trial %d: fault counters nonzero on empty scenario: %+v", threshold, trial, fo)
+			}
+		}
+	}
+}
+
+// checkValidFaultExecution verifies the fault-execution invariants:
+// completed tasks obey precedence/communication/no-overlap among
+// themselves, never run inside an outage, and never touch a processor at
+// or past its failure time.
+func checkValidFaultExecution(t *testing.T, s *schedule.Schedule, sc fault.Scenario, o FaultOutcome) {
+	t.Helper()
+	w := s.Workload()
+	type iv struct{ s, f float64 }
+	perProc := map[int][]iv{}
+	for v := 0; v < w.N(); v++ {
+		if !o.Completed[v] {
+			continue
+		}
+		p := o.Proc[v]
+		if o.Finish[v] < o.Start[v] {
+			t.Fatalf("task %d finishes before start", v)
+		}
+		if !sc.Alive(p, o.Start[v]) {
+			t.Fatalf("task %d started on dead processor %d at %g", v, p, o.Start[v])
+		}
+		if got := sc.NextStart(p, o.Start[v]); got != o.Start[v] {
+			t.Fatalf("task %d started inside an outage on %d at %g (feasible %g)", v, p, o.Start[v], got)
+		}
+		perProc[p] = append(perProc[p], iv{o.Start[v], o.Finish[v]})
+		for _, a := range w.G.Predecessors(v) {
+			u := a.To
+			if !o.Completed[u] {
+				t.Fatalf("task %d completed but predecessor %d did not", v, u)
+			}
+			need := o.Finish[u] + w.Sys.CommCost(o.Proc[u], p, a.Data)
+			if o.Start[v] < need-1e-9 {
+				t.Fatalf("task %d starts before its data arrives (%g < %g)", v, o.Start[v], need)
+			}
+		}
+	}
+	for p, ivs := range perProc {
+		for i := range ivs {
+			for j := i + 1; j < len(ivs); j++ {
+				a, b := ivs[i], ivs[j]
+				if a.s < b.f-1e-9 && b.s < a.f-1e-9 {
+					t.Fatalf("processor %d overlap: [%g,%g] and [%g,%g]", p, a.s, a.f, b.s, b.f)
+				}
+			}
+		}
+	}
+	if o.CompletionFraction < 0 || o.CompletionFraction > 1 {
+		t.Fatalf("completion fraction %g out of range", o.CompletionFraction)
+	}
+}
+
+func TestRetryRecoversFromTransientOutage(t *testing.T) {
+	// A blanket outage early in the run kills whatever is executing; with
+	// retries the run must still complete everything.
+	w := testWorkload(t, 21, 30, 3, 3)
+	s, err := heft.HEFT(w, heft.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m0 := s.Makespan()
+	sc := fault.Scenario{
+		M: 3,
+		Outages: [][]fault.Interval{
+			{{Start: 0.2 * m0, End: 0.3 * m0}},
+			{{Start: 0.25 * m0, End: 0.35 * m0}},
+			nil,
+		},
+	}
+	if err := sc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	durs := dynamic.RealizeMatrix(w, rng.New(22))
+	for _, migrate := range []bool{false, true} {
+		o, err := ExecuteFaults(s, durs, sc, FaultPolicy{
+			Policy: NeverReschedule(),
+			Retry:  RetryPolicy{MaxRetries: 5, Backoff: 0, Migrate: migrate},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkValidFaultExecution(t, s, sc, o)
+		if o.CompletionFraction != 1 || o.Failed {
+			t.Fatalf("migrate=%v: run did not complete: %+v", migrate, o)
+		}
+		if o.Kills > 0 && o.Retries == 0 {
+			t.Fatalf("migrate=%v: kills without retries", migrate)
+		}
+		if o.Makespan < m0*0.5 {
+			t.Fatalf("migrate=%v: implausible makespan %g (M0=%g)", migrate, o.Makespan, m0)
+		}
+	}
+}
+
+func TestPermanentFailureMigratesWork(t *testing.T) {
+	// Processor 0 dies early. With migration the run completes on the
+	// survivors and no completed task ever ran on 0 past its death.
+	w := testWorkload(t, 31, 40, 4, 3)
+	s, err := heft.HEFT(w, heft.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m0 := s.Makespan()
+	sc := fault.Scenario{M: 4, FailAt: []float64{0.3 * m0, math.Inf(1), math.Inf(1), math.Inf(1)}}
+	if err := sc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	durs := dynamic.RealizeMatrix(w, rng.New(32))
+	o, err := ExecuteFaults(s, durs, sc, FaultPolicy{
+		Policy: NeverReschedule(),
+		Retry:  RetryPolicy{MaxRetries: 3, Backoff: 0.01 * m0, Migrate: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkValidFaultExecution(t, s, sc, o)
+	if o.CompletionFraction != 1 || o.Failed {
+		t.Fatalf("migrating run did not complete: completion=%g failed=%v unfinished=%v",
+			o.CompletionFraction, o.Failed, o.Unfinished)
+	}
+	// The dead processor had planned work (overwhelmingly likely on this
+	// instance); losing it must move something.
+	plannedOn0 := len(s.ProcOrder(0))
+	if plannedOn0 > 1 && o.Migrations == 0 && o.Kills == 0 {
+		t.Fatalf("processor 0 had %d planned tasks but nothing was killed or migrated", plannedOn0)
+	}
+}
+
+func TestNoMigrationAbandonsDeadProcessorWork(t *testing.T) {
+	// Without migration, work planned on a processor that dies at t=0 can
+	// never run: it must be abandoned, not spin forever.
+	w := testWorkload(t, 41, 25, 3, 2)
+	s, err := heft.HEFT(w, heft.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := fault.Scenario{M: 3, FailAt: []float64{0, math.Inf(1), math.Inf(1)}}
+	durs := dynamic.RealizeMatrix(w, rng.New(42))
+	o, err := ExecuteFaults(s, durs, sc, FaultPolicy{
+		Policy: NeverReschedule(),
+		Retry:  RetryPolicy{MaxRetries: 2, Backoff: 0, Migrate: false},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkValidFaultExecution(t, s, sc, o)
+	if len(s.ProcOrder(0)) > 0 {
+		if !o.Failed || len(o.Unfinished) == 0 {
+			t.Fatalf("dead-processor work not abandoned: %+v", o)
+		}
+		if o.CompletionFraction >= 1 {
+			t.Fatal("completion fraction 1 despite abandoned work")
+		}
+	}
+}
+
+func TestGracefulDegradationDropsNonCritical(t *testing.T) {
+	// All processors die mid-run and nothing can migrate anywhere: with
+	// DropFactor set, the run must not be marked Failed — abandoned tasks
+	// count as drops.
+	w := testWorkload(t, 51, 30, 3, 3)
+	s, err := heft.HEFT(w, heft.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m0 := s.Makespan()
+	sc := fault.Scenario{M: 3, FailAt: []float64{0.5 * m0, 0.5 * m0, 0.5 * m0}}
+	durs := dynamic.RealizeMatrix(w, rng.New(52))
+	o, err := ExecuteFaults(s, durs, sc, FaultPolicy{
+		Policy:     NeverReschedule(),
+		Retry:      RetryPolicy{MaxRetries: 2, Backoff: 0, Migrate: true},
+		DropFactor: 1.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkValidFaultExecution(t, s, sc, o)
+	if o.Failed {
+		t.Fatalf("graceful-degradation run marked failed: %+v", o)
+	}
+	if len(o.Dropped) == 0 {
+		t.Fatal("total platform death dropped nothing")
+	}
+	if o.CompletionFraction >= 1 {
+		t.Fatal("completion fraction 1 despite drops")
+	}
+	// Without degradation the same scenario is a failure.
+	o2, err := ExecuteFaults(s, durs, sc, FaultPolicy{
+		Policy: NeverReschedule(),
+		Retry:  RetryPolicy{MaxRetries: 2, Backoff: 0, Migrate: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !o2.Failed || len(o2.Unfinished) == 0 {
+		t.Fatalf("hard policy did not fail on total platform death: %+v", o2)
+	}
+}
+
+func TestFaultPolicyValidation(t *testing.T) {
+	w := testWorkload(t, 61, 10, 2, 2)
+	s, err := heft.HEFT(w, heft.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	durs := dynamic.RealizeMatrix(w, rng.New(62))
+	bad := []FaultPolicy{
+		{Policy: Policy{Threshold: -1}},
+		{Policy: Policy{Threshold: math.NaN()}},
+		{Policy: NeverReschedule(), Retry: RetryPolicy{MaxRetries: -1}},
+		{Policy: NeverReschedule(), Retry: RetryPolicy{Backoff: -0.5}},
+		{Policy: NeverReschedule(), Retry: RetryPolicy{Backoff: math.Inf(1)}},
+		{Policy: NeverReschedule(), DropFactor: -2},
+		{Policy: NeverReschedule(), DropFactor: math.NaN()},
+	}
+	for i, pol := range bad {
+		_, err := ExecuteFaults(s, durs, fault.None(), pol)
+		if err == nil {
+			t.Errorf("policy %d accepted: %+v", i, pol)
+			continue
+		}
+		var pe *PolicyError
+		if !errors.As(err, &pe) {
+			t.Errorf("policy %d: error %v is not a *PolicyError", i, err)
+		}
+	}
+	// Scenario sized for the wrong platform.
+	sc := fault.Scenario{M: 5, FailAt: []float64{1, 1, 1, 1, 1}}
+	if _, err := ExecuteFaults(s, durs, sc, DefaultFaultPolicy()); err == nil {
+		t.Error("mismatched scenario size accepted")
+	} else {
+		var ve *fault.ValidationError
+		if !errors.As(err, &ve) {
+			t.Errorf("size mismatch error %v is not a *fault.ValidationError", err)
+		}
+	}
+}
+
+func TestEvaluateFaultsReproducibleAcrossWorkers(t *testing.T) {
+	// The second acceptance criterion: fault runs are reproducible from
+	// (seed, sampler) for any worker count.
+	w := testWorkload(t, 71, 30, 4, 4)
+	s, err := heft.HEFT(w, heft.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mo := fault.Model{MTBF: 3 * s.Makespan(), OutageEvery: 2 * s.Makespan(), OutageMean: 0.1 * s.Makespan(), KeepOne: true}
+	if err := mo.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	pol := FaultPolicy{
+		Policy:     Policy{Threshold: 0.1},
+		Retry:      RetryPolicy{MaxRetries: 2, Backoff: 0.01 * s.Makespan(), Migrate: true},
+		DropFactor: 3,
+	}
+	var ref FaultMetrics
+	for i, workers := range []int{1, 2, 7} {
+		// A positive deadline keeps DeadlineMissRate a number, so the whole
+		// metrics struct stays ==-comparable.
+		fm, err := EvaluateFaults(s, pol, mo, 0,
+			sim.Options{Realizations: 60, Workers: workers, Deadline: 2 * s.Makespan()}, rng.New(777))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			ref = fm
+			if fm.MeanKills == 0 {
+				t.Fatal("fault model never killed anything — test is vacuous")
+			}
+			continue
+		}
+		if fm != ref {
+			t.Fatalf("workers=%d: metrics differ from single-worker run:\n%+v\n%+v", workers, fm, ref)
+		}
+	}
+}
+
+func TestEvaluateFaultsValidation(t *testing.T) {
+	w := testWorkload(t, 81, 10, 2, 2)
+	s, err := heft.HEFT(w, heft.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := EvaluateFaults(s, DefaultFaultPolicy(), fault.Fixed{}, 0,
+		sim.Options{Realizations: 0}, rng.New(1)); err == nil {
+		t.Error("zero realizations accepted")
+	} else {
+		var oe *sim.OptionError
+		if !errors.As(err, &oe) {
+			t.Errorf("error %v is not a *sim.OptionError", err)
+		}
+	}
+	if _, err := EvaluateFaults(s, DefaultFaultPolicy(), fault.Fixed{}, math.Inf(1),
+		sim.Options{Realizations: 5}, rng.New(1)); err == nil {
+		t.Error("infinite horizon accepted")
+	}
+	bad := FaultPolicy{Policy: Policy{Threshold: -1}}
+	if _, err := EvaluateFaults(s, bad, fault.Fixed{}, 0, sim.Options{Realizations: 5}, rng.New(1)); err == nil {
+		t.Error("invalid policy accepted")
+	}
+}
+
+func TestDegradationCurve(t *testing.T) {
+	w := testWorkload(t, 91, 30, 4, 3)
+	s, err := heft.HEFT(w, heft.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol := FaultPolicy{
+		Policy:     NeverReschedule(),
+		Retry:      RetryPolicy{MaxRetries: 2, Backoff: 0, Migrate: true},
+		DropFactor: 4,
+	}
+	curve, err := DegradationCurve(s, pol, 4, sim.Options{Realizations: 40}, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(curve) != 5 {
+		t.Fatalf("expected lanes 0..4, got %d points", len(curve))
+	}
+	if curve[0].Failures != 0 || curve[0].MeanCompletion != 1 || curve[0].FailRate != 0 {
+		t.Fatalf("no-fault lane wrong: %+v", curve[0])
+	}
+	if curve[0].MeanMakespan < s.Makespan() {
+		t.Fatalf("no-fault mean makespan %g below M0 %g", curve[0].MeanMakespan, s.Makespan())
+	}
+	for i, pt := range curve {
+		if pt.Failures != i {
+			t.Fatalf("lane %d labelled %d", i, pt.Failures)
+		}
+		if pt.MeanCompletion <= 0 || pt.MeanCompletion > 1 {
+			t.Fatalf("lane %d completion %g", i, pt.MeanCompletion)
+		}
+		if pt.FailRate != 0 {
+			t.Fatalf("lane %d failed despite graceful degradation: %+v", i, pt)
+		}
+	}
+	// Losing every processor must hurt completion relative to losing none.
+	last := curve[len(curve)-1]
+	if last.MeanCompletion >= 1 {
+		t.Fatalf("all-processors-fail lane completed everything: %+v", last)
+	}
+	// Deterministic under the same root seed.
+	again, err := DegradationCurve(s, pol, 4, sim.Options{Realizations: 40}, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range curve {
+		if curve[i] != again[i] {
+			t.Fatalf("curve not reproducible at lane %d: %+v vs %+v", i, curve[i], again[i])
+		}
+	}
+	if _, err := DegradationCurve(s, pol, -1, sim.Options{Realizations: 5}, rng.New(1)); err == nil {
+		t.Error("negative maxFailures accepted")
+	}
+}

@@ -35,6 +35,17 @@ import (
 	"robsched/internal/sim"
 )
 
+// PolicyError reports an invalid policy field. It is the typed error
+// returned by every policy validation path of this package.
+type PolicyError struct {
+	Field  string
+	Reason string
+}
+
+func (e *PolicyError) Error() string {
+	return fmt.Sprintf("repair: %s: %s", e.Field, e.Reason)
+}
+
 // Policy selects the repair behaviour.
 type Policy struct {
 	// Threshold is the relative delay (fraction of the plan's M0) of a
@@ -66,8 +77,8 @@ func Execute(s *schedule.Schedule, durs platform.Matrix, pol Policy) (Outcome, e
 	if durs.Rows() != n || durs.Cols() != m {
 		return Outcome{}, fmt.Errorf("repair: duration matrix is %dx%d, want %dx%d", durs.Rows(), durs.Cols(), n, m)
 	}
-	if pol.Threshold < 0 {
-		return Outcome{}, fmt.Errorf("repair: threshold %g must be >= 0", pol.Threshold)
+	if pol.Threshold < 0 || math.IsNaN(pol.Threshold) {
+		return Outcome{}, &PolicyError{"Threshold", fmt.Sprintf("%g must be >= 0", pol.Threshold)}
 	}
 	window := pol.Threshold * s.Makespan()
 
@@ -149,10 +160,22 @@ func Execute(s *schedule.Schedule, durs platform.Matrix, pol Policy) (Outcome, e
 // the observed completions and processor availability.
 func replan(w *platform.Workload, ranks []float64, completed []bool, out Outcome,
 	procFree []float64, queues [][]int, planned []float64) {
+	replanWith(w, ranks, completed, nil, nil, nil, out, procFree, queues, planned)
+}
+
+// replanWith is the general re-planner behind both the reactive-reschedule
+// policy and the fault-aware executor. skip marks tasks excluded from the
+// plan (dropped/abandoned), alive masks the processors eligible for new
+// work (nil = all), and notBefore holds per-task earliest-start bounds
+// (retry backoff; nil = none). With all three nil it performs exactly the
+// floating-point operations of the original reactive re-planner. At least
+// one processor must be alive.
+func replanWith(w *platform.Workload, ranks []float64, completed, skip, alive []bool,
+	notBefore []float64, out Outcome, procFree []float64, queues [][]int, planned []float64) {
 	n, m := w.N(), w.M()
 	var remaining []int
 	for v := 0; v < n; v++ {
-		if !completed[v] {
+		if !completed[v] && (skip == nil || !skip[v]) {
 			remaining = append(remaining, v)
 		}
 	}
@@ -179,12 +202,18 @@ func replan(w *platform.Workload, ranks []float64, completed []bool, out Outcome
 	for _, v := range remaining {
 		bestProc, bestFinish := -1, math.Inf(1)
 		for p := 0; p < m; p++ {
+			if alive != nil && !alive[p] {
+				continue
+			}
 			start := estFree[p]
 			for _, a := range w.G.Predecessors(v) {
 				u := a.To
 				if t := estFinish[u] + w.Sys.CommCost(estProc[u], p, a.Data); t > start {
 					start = t
 				}
+			}
+			if notBefore != nil && notBefore[v] > start {
+				start = notBefore[v]
 			}
 			if f := start + w.ExpectedAt(v, p); f < bestFinish {
 				bestProc, bestFinish = p, f
@@ -210,8 +239,8 @@ type Metrics struct {
 // M0 is the schedule's planned makespan, so tardiness and miss rate are
 // directly comparable with the static (right-shift) evaluation.
 func Evaluate(s *schedule.Schedule, pol Policy, opt sim.Options, root *rng.Source) (Metrics, error) {
-	if opt.Realizations < 1 {
-		return Metrics{}, fmt.Errorf("repair: Realizations=%d must be >= 1", opt.Realizations)
+	if err := opt.Validate(); err != nil {
+		return Metrics{}, err
 	}
 	w := s.Workload()
 	n, m := w.N(), w.M()

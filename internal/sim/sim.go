@@ -65,18 +65,39 @@ type Options struct {
 // PaperOptions returns the paper's evaluation settings (1000 realizations).
 func PaperOptions() Options { return Options{Realizations: 1000} }
 
-func (o Options) validate() error {
+// OptionError reports an invalid Options field. It is the typed error
+// returned by Validate, so callers can tell a misconfigured evaluation
+// apart from an execution failure and report which knob is wrong.
+type OptionError struct {
+	Field  string
+	Value  float64
+	Reason string
+}
+
+func (e *OptionError) Error() string {
+	return fmt.Sprintf("sim: Options.%s=%g %s", e.Field, e.Value, e.Reason)
+}
+
+// Validate checks the option set without clamping anything: every consumer
+// of Options (here and in the repair/fault evaluators) rejects bad values
+// with an *OptionError instead of silently correcting them.
+func (o Options) Validate() error {
 	if o.Realizations < 1 {
-		return fmt.Errorf("sim: Realizations=%d must be >= 1", o.Realizations)
+		return &OptionError{"Realizations", float64(o.Realizations), "must be >= 1"}
 	}
 	if o.Workers < 0 {
-		return fmt.Errorf("sim: Workers=%d must be >= 0", o.Workers)
+		return &OptionError{"Workers", float64(o.Workers), "must be >= 0"}
 	}
 	if o.BatchSize < 0 {
-		return fmt.Errorf("sim: BatchSize=%d must be >= 0", o.BatchSize)
+		return &OptionError{"BatchSize", float64(o.BatchSize), "must be >= 0"}
+	}
+	if math.IsNaN(o.Deadline) || math.IsInf(o.Deadline, 0) {
+		return &OptionError{"Deadline", o.Deadline, "must be finite"}
 	}
 	return nil
 }
+
+func (o Options) validate() error { return o.Validate() }
 
 func (o Options) workers() int {
 	w := o.Workers

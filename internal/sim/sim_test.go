@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"errors"
 	"math"
 	"testing"
 
@@ -50,6 +51,52 @@ func TestOptionsValidate(t *testing.T) {
 	}
 	if _, err := RealizeAll(nil, PaperOptions(), rng.New(1)); err == nil {
 		t.Error("empty schedule list accepted by RealizeAll")
+	}
+}
+
+// TestOptionsValidateTyped pins down the typed-error contract: every
+// invalid field yields an *OptionError naming the field, instead of a
+// silent clamp or an anonymous error.
+func TestOptionsValidateTyped(t *testing.T) {
+	cases := []struct {
+		opt   Options
+		field string
+	}{
+		{Options{Realizations: 0}, "Realizations"},
+		{Options{Realizations: -5}, "Realizations"},
+		{Options{Realizations: 10, Workers: -1}, "Workers"},
+		{Options{Realizations: 10, BatchSize: -3}, "BatchSize"},
+		{Options{Realizations: 10, Deadline: math.NaN()}, "Deadline"},
+		{Options{Realizations: 10, Deadline: math.Inf(1)}, "Deadline"},
+		{Options{Realizations: 10, Deadline: math.Inf(-1)}, "Deadline"},
+	}
+	for i, c := range cases {
+		err := c.opt.Validate()
+		if err == nil {
+			t.Errorf("case %d accepted: %+v", i, c.opt)
+			continue
+		}
+		var oe *OptionError
+		if !errors.As(err, &oe) {
+			t.Errorf("case %d: error %v is not an *OptionError", i, err)
+			continue
+		}
+		if oe.Field != c.field {
+			t.Errorf("case %d: error names field %q, want %q", i, oe.Field, c.field)
+		}
+		if oe.Error() == "" {
+			t.Errorf("case %d: empty error text", i)
+		}
+	}
+	good := []Options{
+		{Realizations: 1},
+		{Realizations: 1000, Workers: 8, BatchSize: 64, Deadline: 123.5},
+		PaperOptions(),
+	}
+	for i, opt := range good {
+		if err := opt.Validate(); err != nil {
+			t.Errorf("valid options %d rejected: %v", i, err)
+		}
 	}
 }
 

@@ -1,0 +1,141 @@
+package wio
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"robsched/internal/fault"
+)
+
+// ScenarioJSON is the on-disk form of a fault scenario. Events are listed
+// flat (one record per event, tagged with its processor) rather than as
+// per-processor arrays: the list form keeps never-failing processors out
+// of the file entirely and avoids encoding +Inf, which JSON cannot carry.
+type ScenarioJSON struct {
+	// Procs is the number of processors the scenario is sized for; 0 means
+	// "fits any platform" and is only valid for an event-free scenario.
+	Procs     int            `json:"procs"`
+	Failures  []FailureJSON  `json:"failures,omitempty"`
+	Outages   []OutageJSON   `json:"outages,omitempty"`
+	Slowdowns []SlowdownJSON `json:"slowdowns,omitempty"`
+}
+
+// FailureJSON is a permanent fail-stop failure of one processor.
+type FailureJSON struct {
+	Proc int     `json:"proc"`
+	At   float64 `json:"at"`
+}
+
+// OutageJSON is a transient outage interval on one processor.
+type OutageJSON struct {
+	Proc  int     `json:"proc"`
+	Start float64 `json:"start"`
+	End   float64 `json:"end"`
+}
+
+// SlowdownJSON is a degraded-performance interval on one processor.
+type SlowdownJSON struct {
+	Proc   int     `json:"proc"`
+	Start  float64 `json:"start"`
+	End    float64 `json:"end"`
+	Factor float64 `json:"factor"`
+}
+
+// WriteScenario serializes sc as indented JSON.
+func WriteScenario(out io.Writer, sc fault.Scenario) error {
+	if err := sc.Validate(); err != nil {
+		return fmt.Errorf("wio: %w", err)
+	}
+	doc := ScenarioJSON{Procs: sc.M}
+	for p, at := range sc.FailAt {
+		if !math.IsInf(at, 1) {
+			doc.Failures = append(doc.Failures, FailureJSON{Proc: p, At: at})
+		}
+	}
+	for p, ivs := range sc.Outages {
+		for _, iv := range ivs {
+			doc.Outages = append(doc.Outages, OutageJSON{Proc: p, Start: iv.Start, End: iv.End})
+		}
+	}
+	for p, sls := range sc.Slowdowns {
+		for _, sl := range sls {
+			doc.Slowdowns = append(doc.Slowdowns, SlowdownJSON{Proc: p, Start: sl.Start, End: sl.End, Factor: sl.Factor})
+		}
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// ReadScenario parses and validates a fault-scenario document.
+func ReadScenario(in io.Reader) (fault.Scenario, error) {
+	var doc ScenarioJSON
+	dec := json.NewDecoder(in)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&doc); err != nil {
+		return fault.Scenario{}, fmt.Errorf("wio: decoding scenario: %w", err)
+	}
+	return doc.Build()
+}
+
+// Build validates the document into a live scenario. Per-processor event
+// lists are sorted by start time; overlapping events are rejected by the
+// scenario's own validation.
+func (doc ScenarioJSON) Build() (fault.Scenario, error) {
+	if doc.Procs < 0 {
+		return fault.Scenario{}, fmt.Errorf("wio: scenario has %d processors", doc.Procs)
+	}
+	sc := fault.Scenario{M: doc.Procs}
+	checkProc := func(kind string, p int) error {
+		if p < 0 || p >= doc.Procs {
+			return fmt.Errorf("wio: %s on processor %d, scenario has %d", kind, p, doc.Procs)
+		}
+		return nil
+	}
+	if len(doc.Failures) > 0 {
+		sc.FailAt = make([]float64, doc.Procs)
+		for p := range sc.FailAt {
+			sc.FailAt[p] = math.Inf(1)
+		}
+		for _, f := range doc.Failures {
+			if err := checkProc("failure", f.Proc); err != nil {
+				return fault.Scenario{}, err
+			}
+			if sc.FailAt[f.Proc] < math.Inf(1) {
+				return fault.Scenario{}, fmt.Errorf("wio: processor %d fails twice", f.Proc)
+			}
+			sc.FailAt[f.Proc] = f.At
+		}
+	}
+	if len(doc.Outages) > 0 {
+		sc.Outages = make([][]fault.Interval, doc.Procs)
+		for _, o := range doc.Outages {
+			if err := checkProc("outage", o.Proc); err != nil {
+				return fault.Scenario{}, err
+			}
+			sc.Outages[o.Proc] = append(sc.Outages[o.Proc], fault.Interval{Start: o.Start, End: o.End})
+		}
+		for p := range sc.Outages {
+			sort.Slice(sc.Outages[p], func(a, b int) bool { return sc.Outages[p][a].Start < sc.Outages[p][b].Start })
+		}
+	}
+	if len(doc.Slowdowns) > 0 {
+		sc.Slowdowns = make([][]fault.Slowdown, doc.Procs)
+		for _, s := range doc.Slowdowns {
+			if err := checkProc("slowdown", s.Proc); err != nil {
+				return fault.Scenario{}, err
+			}
+			sc.Slowdowns[s.Proc] = append(sc.Slowdowns[s.Proc], fault.Slowdown{Start: s.Start, End: s.End, Factor: s.Factor})
+		}
+		for p := range sc.Slowdowns {
+			sort.Slice(sc.Slowdowns[p], func(a, b int) bool { return sc.Slowdowns[p][a].Start < sc.Slowdowns[p][b].Start })
+		}
+	}
+	if err := sc.Validate(); err != nil {
+		return fault.Scenario{}, fmt.Errorf("wio: %w", err)
+	}
+	return sc, nil
+}
