@@ -2,8 +2,10 @@
 # bench.sh — run the hot-path benchmarks with allocation stats and append
 # the results to the per-area trajectory files: the decode path goes to
 # BENCH_decode.json, the Monte-Carlo simulation path (batched realization
-# kernel + full evaluation) to BENCH_sim.json. Run from the repo root; pass
-# extra `go test` flags (e.g. -benchtime 10x) as arguments.
+# kernel + full evaluation) to BENCH_sim.json, and the end-to-end GA solve
+# path (paper-scale ε-constraint run, cache on/off) to BENCH_ga.json. Run
+# from the repo root; pass extra `go test` flags (e.g. -benchtime 10x) as
+# arguments.
 set -eu
 cd "$(dirname "$0")"
 
@@ -18,3 +20,9 @@ go test -run '^$' \
     -benchmem "$@" ./internal/sim ./internal/schedule \
   | tee /dev/stderr \
   | go run ./cmd/benchjson -o BENCH_sim.json
+
+go test -run '^$' \
+    -bench 'BenchmarkSolvePaper' \
+    -benchmem "$@" . \
+  | tee /dev/stderr \
+  | go run ./cmd/benchjson -o BENCH_ga.json

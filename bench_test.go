@@ -333,3 +333,28 @@ func BenchmarkAblationSlackMetric(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkSolvePaper times the full paper-scale ε-constraint solve (100
+// tasks, 8 processors, Np=20, the full 1000-generation horizon with the
+// stagnation window disabled so every run does identical work). This is the
+// headline number of the BENCH_ga.json lane; the nocache variant isolates
+// what the genotype→metrics cache is worth on top of the engine arenas.
+// Workers=1 keeps the number a single-core figure.
+func BenchmarkSolvePaper(b *testing.B) {
+	w := benchWorkload(b, 100, 8, 4)
+	run := func(b *testing.B, noCache bool) {
+		opt := robsched.PaperSolveOptions(robsched.EpsilonConstraint, 1.4)
+		opt.MaxGenerations = 1000
+		opt.Stagnation = 0
+		opt.Workers = 1
+		opt.NoMetricsCache = noCache
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := robsched.Solve(w, opt, robsched.NewRNG(7)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("cache", func(b *testing.B) { run(b, false) })
+	b.Run("nocache", func(b *testing.B) { run(b, true) })
+}

@@ -63,20 +63,32 @@ func (c Config) RunSweep() (*Sweep, error) {
 		if err != nil {
 			return err
 		}
+		// The HEFT baseline is ε-independent, so it is computed once per
+		// graph and threaded through Options.HEFT instead of re-derived by
+		// every Solve on the ε grid; likewise one genotype→metrics cache is
+		// shared across the grid — the metrics are ε-independent, so a
+		// genotype decoded for one ε is free for every other. Neither
+		// sharing changes any number: HEFT is deterministic and cache hits
+		// return the exact floats a decode would.
+		heftSched, err := robust.HEFTBaseline(w)
+		if err != nil {
+			return err
+		}
+		cache := robust.NewMetricsCache()
 		// One GA run per ε; all schedules (plus HEFT) evaluated on the
 		// same realizations.
 		schedules := make([]*schedule.Schedule, 0, len(c.Eps)+1)
-		var heftSched *schedule.Schedule
 		for e, eps := range c.Eps {
 			opt := base
 			opt.Mode = robust.EpsilonConstraint
 			opt.Eps = eps
+			opt.HEFT = heftSched
+			opt.Cache = cache
 			res, err := robust.Solve(w, opt, rng.New(c.graphSeed(u, g)^uint64(0x1111*(e+1))))
 			if err != nil {
 				return err
 			}
 			schedules = append(schedules, res.Schedule)
-			heftSched = res.HEFT
 		}
 		schedules = append(schedules, heftSched)
 		ms, err := sim.EvaluateAll(schedules, sim.Options{Realizations: c.Realizations}, rng.New(c.graphSeed(u, g)^0x7777))

@@ -48,6 +48,13 @@ type Config[T any] struct {
 	// The engine relies on this — elitism may evaluate a population twice
 	// per generation.
 	Evaluate func(pop []T) []float64
+	// EvaluateInto, if non-nil, is preferred over Evaluate on the steady-
+	// state path: it writes the fitness of pop into fit (len(fit) ==
+	// len(pop)), letting the engine reuse one fitness arena across
+	// generations instead of allocating a fresh slice per evaluation. It
+	// must agree exactly with Evaluate and obey the same purity contract.
+	// At least one of Evaluate and EvaluateInto is required.
+	EvaluateInto func(pop []T, fit []float64)
 	// EvaluateOne returns the fitness of a single individual. Optional: set
 	// it only when fitness is population-independent (each individual's
 	// value does not depend on its peers), and it must agree exactly with
@@ -67,7 +74,9 @@ type Config[T any] struct {
 
 	// OnGeneration, if non-nil, observes every generation after evaluation:
 	// the generation index (0 = initial population), the population and its
-	// fitness values. Used by the Fig. 2/3 evolution-trace experiments.
+	// fitness values. Both slices are engine-owned arenas reused across
+	// generations — observers that retain them past the callback must copy.
+	// Used by the Fig. 2/3 evolution-trace experiments.
 	OnGeneration func(gen int, pop []T, fit []float64)
 }
 
@@ -94,8 +103,9 @@ func (c *Config[T]) validate() error {
 		return fmt.Errorf("ga: MaxGenerations=%d must be >= 1", c.MaxGenerations)
 	case c.Stagnation < 0:
 		return fmt.Errorf("ga: Stagnation=%d must be >= 0", c.Stagnation)
-	case c.Random == nil || c.Crossover == nil || c.Mutate == nil || c.Evaluate == nil:
-		return fmt.Errorf("ga: Random, Crossover, Mutate and Evaluate hooks are required")
+	case c.Random == nil || c.Crossover == nil || c.Mutate == nil ||
+		(c.Evaluate == nil && c.EvaluateInto == nil):
+		return fmt.Errorf("ga: Random, Crossover, Mutate and Evaluate (or EvaluateInto) hooks are required")
 	case len(c.Seeds) > c.PopSize:
 		return fmt.Errorf("ga: %d seeds exceed population size %d", len(c.Seeds), c.PopSize)
 	}
@@ -116,6 +126,78 @@ type Result[T any] struct {
 	Stagnated bool
 }
 
+// genArena holds the engine-owned buffers one population reuses across
+// generations: the tournament output, the recombination target (ping-ponged
+// with the live population slice), a spare fitness slice and the Fisher–
+// Yates permutation scratch. With EvaluateInto set and non-allocating hooks,
+// a steady-state generation performs zero slice allocations beyond what the
+// operators themselves require.
+type genArena[T any] struct {
+	inter []T
+	spare []T
+	fit   []float64
+	perm  []int
+}
+
+func newArena[T any](np int) *genArena[T] {
+	return &genArena[T]{
+		inter: make([]T, np),
+		spare: make([]T, np),
+		fit:   make([]float64, np),
+		perm:  make([]int, np),
+	}
+}
+
+// evalInto evaluates pop, writing into fit when EvaluateInto is configured
+// and falling back to the allocating Evaluate hook otherwise. The returned
+// slice is the population's fitness either way.
+func (c Config[T]) evalInto(pop []T, fit []float64) ([]float64, error) {
+	if c.EvaluateInto != nil {
+		c.EvaluateInto(pop, fit)
+		return fit, nil
+	}
+	out := c.Evaluate(pop)
+	if len(out) != len(pop) {
+		return nil, fmt.Errorf("ga: Evaluate returned %d values for %d individuals", len(out), len(pop))
+	}
+	return out, nil
+}
+
+// advance runs one generation step — tournament, recombination, evaluation,
+// elitism (the worst of the new population is replaced by elite, then
+// re-scored) — using ar's buffers, and returns the new population and its
+// fitness. The buffers previously holding pop and fit are recycled into ar
+// for the next call, so the steady state allocates nothing. The trajectory
+// is bit-identical to the historical allocate-per-generation loop.
+func (c Config[T]) advance(pop []T, fit []float64, elite T, ar *genArena[T], r *rng.Source) ([]T, []float64, error) {
+	c.tournamentInto(ar.inter, pop, fit, ar.perm, r)
+	next := ar.spare
+	c.recombineInto(next, ar.inter, r)
+	nextFit, err := c.evalInto(next, ar.fit)
+	if err != nil {
+		return nil, nil, err
+	}
+	// Elitism: the worst of the new population is replaced by the best
+	// of the current one (Section 4.2.3), then re-scored within the new
+	// population. With a population-relative fitness (ε-constraint,
+	// Eqn. 8) the whole population must be re-evaluated — the
+	// carried-over individual is valued against its new peers — but a
+	// population-independent fitness only needs the one replaced slot
+	// re-scored via EvaluateOne.
+	worst := argmin(nextFit)
+	next[worst] = elite
+	if c.EvaluateOne != nil {
+		nextFit[worst] = c.EvaluateOne(elite)
+	} else {
+		nextFit, err = c.evalInto(next, nextFit)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	ar.spare, ar.fit = pop, fit
+	return next, nextFit, nil
+}
+
 // Run evolves a population and returns the best individual found.
 func Run[T any](c Config[T], r *rng.Source) (Result[T], error) {
 	var zero Result[T]
@@ -123,9 +205,10 @@ func Run[T any](c Config[T], r *rng.Source) (Result[T], error) {
 		return zero, err
 	}
 	pop := c.initialPopulation(r)
-	fit := c.Evaluate(pop)
-	if len(fit) != len(pop) {
-		return zero, fmt.Errorf("ga: Evaluate returned %d values for %d individuals", len(fit), len(pop))
+	ar := newArena[T](c.PopSize)
+	fit, err := c.evalInto(pop, make([]float64, c.PopSize))
+	if err != nil {
+		return zero, err
 	}
 	bestIdx := argmax(fit)
 	best, bestFit := pop[bestIdx], fit[bestIdx]
@@ -135,30 +218,10 @@ func Run[T any](c Config[T], r *rng.Source) (Result[T], error) {
 	sinceImprove := 0
 	gen := 0
 	for gen = 1; gen <= c.MaxGenerations; gen++ {
-		inter := c.tournament(pop, fit, r)
-		next := c.recombine(inter, r)
-		nextFit := c.Evaluate(next)
-		if len(nextFit) != len(next) {
-			return zero, fmt.Errorf("ga: Evaluate returned %d values for %d individuals", len(nextFit), len(next))
+		pop, fit, err = c.advance(pop, fit, best, ar, r)
+		if err != nil {
+			return zero, err
 		}
-		// Elitism: the worst of the new population is replaced by the best
-		// of the current one (Section 4.2.3), then re-scored within the new
-		// population. With a population-relative fitness (ε-constraint,
-		// Eqn. 8) the whole population must be re-evaluated — the
-		// carried-over individual is valued against its new peers — but a
-		// population-independent fitness only needs the one replaced slot
-		// re-scored via EvaluateOne.
-		worst := argmin(nextFit)
-		next[worst] = best
-		if c.EvaluateOne != nil {
-			nextFit[worst] = c.EvaluateOne(best)
-		} else {
-			nextFit = c.Evaluate(next)
-			if len(nextFit) != len(next) {
-				return zero, fmt.Errorf("ga: Evaluate returned %d values for %d individuals", len(nextFit), len(next))
-			}
-		}
-		pop, fit = next, nextFit
 		bestIdx = argmax(fit)
 		if c.OnGeneration != nil {
 			c.OnGeneration(gen, pop, fit)
@@ -221,55 +284,79 @@ func (c Config[T]) initialPopulation(r *rng.Source) []T {
 	return pop
 }
 
-// tournament runs the systematic binary tournament: the population is
-// shuffled twice and adjacent pairs compete, so every individual
-// participates in exactly two tournaments; the best individual always wins
-// both (two copies), the worst always loses both (eliminated).
-func (c Config[T]) tournament(pop []T, fit []float64, r *rng.Source) []T {
+// tournamentInto runs the systematic binary tournament into dst (len(pop)):
+// the population is shuffled twice and adjacent pairs compete, so every
+// individual participates in exactly two tournaments; the best individual
+// always wins both (two copies), the worst always loses both (eliminated).
+// perm is the engine-owned Fisher–Yates scratch (len(pop)); the RNG draw
+// sequence — including the odd-population leftover bout whose second-round
+// winner is discarded to keep size Np — matches the historical allocating
+// implementation exactly.
+func (c Config[T]) tournamentInto(dst, pop []T, fit []float64, perm []int, r *rng.Source) {
 	np := len(pop)
-	out := make([]T, 0, np)
+	k := 0
 	for round := 0; round < 2; round++ {
-		perm := r.Perm(np)
+		r.PermInto(perm)
 		for i := 0; i+1 < np; i += 2 {
 			a, b := perm[i], perm[i+1]
 			if fit[a] >= fit[b] {
-				out = append(out, pop[a])
+				dst[k] = pop[a]
 			} else {
-				out = append(out, pop[b])
+				dst[k] = pop[b]
 			}
+			k++
 		}
 		if np%2 == 1 {
 			// Odd population: the leftover individual fights a random
-			// opponent so the intermediate population keeps size Np.
+			// opponent so the intermediate population keeps size Np. The
+			// second round's leftover winner falls past Np and is dropped,
+			// but its opponent draw is still consumed.
 			a := perm[np-1]
 			b := perm[r.Intn(np-1)]
-			if fit[a] >= fit[b] {
-				out = append(out, pop[a])
-			} else {
-				out = append(out, pop[b])
+			w := pop[a]
+			if !(fit[a] >= fit[b]) {
+				w = pop[b]
+			}
+			if k < np {
+				dst[k] = w
+				k++
 			}
 		}
 	}
-	return out[:np]
 }
 
-// recombine applies crossover to a pc fraction of the intermediate
+// tournament is the allocating form of tournamentInto, kept for tests and
+// one-off callers.
+func (c Config[T]) tournament(pop []T, fit []float64, r *rng.Source) []T {
+	out := make([]T, len(pop))
+	c.tournamentInto(out, pop, fit, make([]int, len(pop)), r)
+	return out
+}
+
+// recombineInto applies crossover to a pc fraction of the intermediate
 // population (pairing adjacent individuals, which the tournament already
-// shuffled) and mutation with probability pm per individual.
-func (c Config[T]) recombine(inter []T, r *rng.Source) []T {
+// shuffled) and mutation with probability pm per individual, writing the
+// offspring into dst (len(inter), disjoint from inter).
+func (c Config[T]) recombineInto(dst, inter []T, r *rng.Source) {
 	np := len(inter)
-	next := make([]T, np)
-	copy(next, inter)
+	copy(dst, inter)
 	for i := 0; i+1 < np; i += 2 {
 		if r.Float64() < c.CrossoverRate {
-			next[i], next[i+1] = c.Crossover(inter[i], inter[i+1], r)
+			dst[i], dst[i+1] = c.Crossover(inter[i], inter[i+1], r)
 		}
 	}
-	for i := range next {
+	for i := range dst {
 		if r.Float64() < c.MutationRate {
-			next[i] = c.Mutate(next[i], r)
+			dst[i] = c.Mutate(dst[i], r)
 		}
 	}
+}
+
+// recombine is the allocating form of recombineInto, kept for tests and
+// one-off callers.
+func (c Config[T]) recombine(inter []T, r *rng.Source) []T {
+	next := make([]T, len(inter))
+	c.recombineInto(next, inter, r)
 	return next
 }
 

@@ -332,3 +332,81 @@ func TestEvaluateOneElitismMatchesFullReevaluation(t *testing.T) {
 		}
 	}
 }
+
+// TestConstantKeyOnlyAffectsInitialDedup: the Key hook is consulted only
+// while building the initial population. A constant (maximally colliding)
+// Key makes every random candidate look like a duplicate, so the engine's
+// bounded-miss fallback must kick in, fill the population to Np anyway, and
+// the run must complete with fitness untouched by the hook.
+func TestConstantKeyOnlyAffectsInitialDedup(t *testing.T) {
+	c := oneMaxConfig(16)
+	c.MaxGenerations = 30
+	c.Stagnation = 0
+	c.Key = func(bits) uint64 { return 42 }
+	popSizes := map[int]bool{}
+	c.OnGeneration = func(gen int, pop []bits, fit []float64) {
+		popSizes[len(pop)] = true
+	}
+	res, err := Run(c, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(popSizes) != 1 || !popSizes[c.PopSize] {
+		t.Fatalf("population size not constant at %d: %v", c.PopSize, popSizes)
+	}
+	if res.Generations != 30 {
+		t.Fatalf("run did not complete: %d generations", res.Generations)
+	}
+	// The fallback accepts genotype duplicates; evolution still improves.
+	if res.BestFitness < 12 {
+		t.Fatalf("best fitness %g implausibly low for oneMax(16)", res.BestFitness)
+	}
+}
+
+// TestRunSteadyStateAllocationFree: with EvaluateInto and non-allocating
+// hooks, the per-generation cost of Run must be constant — the engine's
+// arenas are reused, so 16x more generations may not allocate measurably
+// more than the baseline run. This pins the tentpole property that the
+// steady-state loop performs no per-generation slice allocations. The
+// chromosome is a value type (a 16-bit mask in an int) so the hooks
+// themselves cannot allocate; every allocation belongs to the engine.
+func TestRunSteadyStateAllocationFree(t *testing.T) {
+	newConfig := func(gens int) Config[int] {
+		return Config[int]{
+			PopSize: 20, CrossoverRate: 0.9, MutationRate: 0.1,
+			MaxGenerations: gens, Stagnation: 0,
+			Random: func(r *rng.Source) int { return r.Intn(1 << 16) },
+			Crossover: func(a, b int, r *rng.Source) (int, int) {
+				mask := (1 << (1 + r.Intn(15))) - 1
+				return a&mask | b&^mask, b&mask | a&^mask
+			},
+			Mutate: func(ind int, r *rng.Source) int { return ind ^ (1 << r.Intn(16)) },
+			EvaluateInto: func(pop []int, fit []float64) {
+				for i, ind := range pop {
+					fit[i] = float64(bitCount(ind))
+				}
+			},
+		}
+	}
+	measure := func(gens int) float64 {
+		return testing.AllocsPerRun(5, func() {
+			if _, err := Run(newConfig(gens), rng.New(1)); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	short, long := measure(8), measure(128)
+	// Fixed setup cost (initial population, arenas) plus a small slop; the
+	// 120 extra generations must not contribute ~per-generation allocations.
+	if long > short+8 {
+		t.Fatalf("steady state allocates per generation: 8 gens → %.0f allocs, 128 gens → %.0f", short, long)
+	}
+}
+
+func bitCount(v int) int {
+	n := 0
+	for ; v != 0; v &= v - 1 {
+		n++
+	}
+	return n
+}

@@ -60,12 +60,15 @@ func RunIslands[T any](c IslandConfig[T], root *rng.Source) (Result[T], error) {
 			cfg.Seeds = nil // the paper's heuristic seed goes to island 0
 		}
 		pop := cfg.initialPopulation(r)
-		fit := cfg.Evaluate(pop)
-		if len(fit) != len(pop) {
-			return zero, fmt.Errorf("ga: Evaluate returned %d values for %d individuals", len(fit), len(pop))
+		fit, err := cfg.evalInto(pop, make([]float64, cfg.PopSize))
+		if err != nil {
+			return zero, err
 		}
 		bi := argmax(fit)
-		states[i] = &islandState[T]{pop: pop, fit: fit, rng: r, best: pop[bi], bf: fit[bi]}
+		states[i] = &islandState[T]{
+			pop: pop, fit: fit, rng: r, best: pop[bi], bf: fit[bi],
+			ar: newArena[T](cfg.PopSize),
+		}
 	}
 
 	totalGens := c.Base.MaxGenerations
@@ -77,21 +80,17 @@ func RunIslands[T any](c IslandConfig[T], root *rng.Source) (Result[T], error) {
 			epoch = totalGens - gen
 		}
 		var wg sync.WaitGroup
+		errs := make([]error, c.Islands)
 		for i := range states {
 			wg.Add(1)
 			go func(st *islandState[T], idx int) {
 				defer wg.Done()
 				cfg := c.Base
 				for e := 0; e < epoch; e++ {
-					inter := cfg.tournament(st.pop, st.fit, st.rng)
-					next := cfg.recombine(inter, st.rng)
-					fit := cfg.Evaluate(next)
-					worst := argmin(fit)
-					next[worst] = st.best
-					if cfg.EvaluateOne != nil {
-						fit[worst] = cfg.EvaluateOne(st.best)
-					} else {
-						fit = cfg.Evaluate(next)
+					next, fit, err := cfg.advance(st.pop, st.fit, st.best, st.ar, st.rng)
+					if err != nil {
+						errs[idx] = err
+						return
 					}
 					st.pop, st.fit = next, fit
 					bi := argmax(fit)
@@ -105,6 +104,11 @@ func RunIslands[T any](c IslandConfig[T], root *rng.Source) (Result[T], error) {
 			}(states[i], i)
 		}
 		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return zero, err
+			}
+		}
 		gen += epoch
 		// Ring migration: island i's worst is replaced by island (i-1)'s
 		// best, then fitness is refreshed.
@@ -120,7 +124,11 @@ func RunIslands[T any](c IslandConfig[T], root *rng.Source) (Result[T], error) {
 				if c.Base.EvaluateOne != nil {
 					st.fit[worst] = c.Base.EvaluateOne(bests[from])
 				} else {
-					st.fit = c.Base.Evaluate(st.pop)
+					fit, err := c.Base.evalInto(st.pop, st.fit)
+					if err != nil {
+						return zero, err
+					}
+					st.fit = fit
 				}
 				bi := argmax(st.fit)
 				st.best, st.bf = st.pop[bi], st.fit[bi]
@@ -145,13 +153,15 @@ func RunIslands[T any](c IslandConfig[T], root *rng.Source) (Result[T], error) {
 	return Result[T]{Best: best.best, BestFitness: best.bf, Generations: totalGens}, nil
 }
 
-// islandState is one population's live state.
+// islandState is one population's live state, including the generation
+// arena its epochs reuse.
 type islandState[T any] struct {
 	pop  []T
 	fit  []float64
 	rng  *rng.Source
 	best T
 	bf   float64
+	ar   *genArena[T]
 }
 
 func pickBest[T any](states []*islandState[T]) *islandState[T] {

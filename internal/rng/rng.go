@@ -152,11 +152,19 @@ func (r *Source) Uniform(a, b float64) float64 {
 // Perm returns a uniformly random permutation of [0, n) (Fisher–Yates).
 func (r *Source) Perm(n int) []int {
 	p := make([]int, n)
+	r.PermInto(p)
+	return p
+}
+
+// PermInto fills p with a uniformly random permutation of [0, len(p)),
+// consuming exactly the same stream as Perm(len(p)). It exists so steady-
+// state loops (the GA's per-generation tournament) can reuse one scratch
+// slice instead of allocating a fresh permutation every call.
+func (r *Source) PermInto(p []int) {
 	for i := range p {
 		p[i] = i
 	}
 	r.Shuffle(p)
-	return p
 }
 
 // Shuffle permutes p uniformly at random in place.

@@ -1,0 +1,138 @@
+package robust
+
+import (
+	"sync"
+
+	"robsched/internal/schedule"
+)
+
+// schedMetrics is the genotype-deterministic triple every GA fitness in this
+// package is combined from. Caching it per genotype is sound because a
+// chromosome's schedule — and hence its expected makespan and slack — is a
+// pure function of (Order, Proc) for a fixed workload.
+type schedMetrics struct {
+	m0       float64
+	avgSlack float64
+	minSlack float64
+}
+
+func metricsFromSchedule(s *schedule.Schedule) schedMetrics {
+	return schedMetrics{m0: s.Makespan(), avgSlack: s.AvgSlack(), minSlack: s.MinSlack()}
+}
+
+const (
+	// cacheShardCount stripes the cache so concurrent islands (and the
+	// parallel population decoders) rarely contend on the same mutex.
+	cacheShardCount = 16
+	// cacheShardCap bounds the entries per shard; a full shard is reset
+	// wholesale. At the paper's n=100 this caps the cache near 26 MB —
+	// an eviction can only cost a redundant decode, never correctness.
+	cacheShardCap = 1024
+)
+
+// MetricsCache memoizes schedule metrics by genotype fingerprint, so the GA
+// only pays the O(V+E) decode for genuinely novel genotypes: elitism copies,
+// tournament-duplicated winners, crossovers of converged parents and no-op
+// mutations all produce fresh *Chromosome pointers with already-seen
+// genotypes. Every hit is confirmed by full genotype equality, so an FNV-1a
+// collision degrades to a decode instead of corrupting a run.
+//
+// A MetricsCache is safe for concurrent use and MAY be shared across Solve
+// calls — the metrics are independent of Mode, ε and the slack metric — but
+// only on the same workload: entries from a different workload would alias
+// genotypes with different schedules. experiments.RunSweep shares one cache
+// across its whole ε grid per graph.
+type MetricsCache struct {
+	// keyFn overrides the genotype fingerprint, letting tests inject
+	// colliding keys; nil means (*Chromosome).Key.
+	keyFn  func(*Chromosome) uint64
+	shards [cacheShardCount]cacheShard
+}
+
+type cacheShard struct {
+	mu sync.Mutex
+	m  map[uint64][]cacheEntry
+	n  int
+}
+
+// cacheEntry keeps the full genotype (order then proc, packed as int32)
+// alongside the metrics so hits can be verified exactly.
+type cacheEntry struct {
+	geno []int32
+	met  schedMetrics
+}
+
+// NewMetricsCache returns an empty cache ready for concurrent use.
+func NewMetricsCache() *MetricsCache { return &MetricsCache{} }
+
+func (mc *MetricsCache) key(c *Chromosome) uint64 {
+	if mc.keyFn != nil {
+		return mc.keyFn(c)
+	}
+	return c.Key()
+}
+
+// lookup returns the metrics recorded for c's genotype, if any. k must be
+// mc.key(c); callers pass it in so the hot path hashes the genotype once.
+func (mc *MetricsCache) lookup(k uint64, c *Chromosome) (schedMetrics, bool) {
+	sh := &mc.shards[k%cacheShardCount]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	for _, e := range sh.m[k] {
+		if genoEqual(e.geno, c.Order, c.Proc) {
+			return e.met, true
+		}
+	}
+	return schedMetrics{}, false
+}
+
+// insert records the metrics of c's genotype under key k (= mc.key(c)),
+// copying the genotype so later mutations of the caller's slices cannot
+// corrupt the entry. Duplicate concurrent inserts of the same genotype
+// (two workers decoding different pointers with equal genotypes) collapse
+// to one entry.
+func (mc *MetricsCache) insert(k uint64, c *Chromosome, met schedMetrics) {
+	geno := make([]int32, 0, len(c.Order)+len(c.Proc))
+	for _, v := range c.Order {
+		geno = append(geno, int32(v))
+	}
+	for _, v := range c.Proc {
+		geno = append(geno, int32(v))
+	}
+	sh := &mc.shards[k%cacheShardCount]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if sh.n >= cacheShardCap {
+		sh.m = nil
+		sh.n = 0
+	}
+	if sh.m == nil {
+		sh.m = make(map[uint64][]cacheEntry, 64)
+	}
+	for _, e := range sh.m[k] {
+		if genoEqual(e.geno, c.Order, c.Proc) {
+			return
+		}
+	}
+	sh.m[k] = append(sh.m[k], cacheEntry{geno: geno, met: met})
+	sh.n++
+}
+
+// genoEqual reports whether the packed genotype equals (order, proc).
+func genoEqual(geno []int32, order, proc []int) bool {
+	if len(geno) != len(order)+len(proc) {
+		return false
+	}
+	for i, v := range order {
+		if geno[i] != int32(v) {
+			return false
+		}
+	}
+	off := len(order)
+	for i, v := range proc {
+		if geno[off+i] != int32(v) {
+			return false
+		}
+	}
+	return true
+}

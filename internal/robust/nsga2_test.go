@@ -119,6 +119,37 @@ func TestSolveWeightedSumExtremes(t *testing.T) {
 	}
 }
 
+// TestSolveWeightedSumWorkersIdentical pins the runCustomFitness contract:
+// opt.Workers only parallelizes population decoding, so Workers=4 and
+// Workers=1 must produce identical schedules and results for every weight.
+func TestSolveWeightedSumWorkersIdentical(t *testing.T) {
+	w := testWorkload(t, 1010, 30, 4)
+	opt := quickOptions(EpsilonConstraint, 1)
+	for _, weight := range []float64{0, 0.5, 1} {
+		serial := opt
+		serial.Workers = 1
+		want, err := SolveWeightedSum(w, weight, serial, rng.New(9))
+		if err != nil {
+			t.Fatal(err)
+		}
+		par := opt
+		par.Workers = 4
+		got, err := SolveWeightedSum(w, weight, par, rng.New(9))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !eqInts(want.Schedule.Order(), got.Schedule.Order()) ||
+			!eqInts(want.Schedule.ProcAssignment(), got.Schedule.ProcAssignment()) {
+			t.Fatalf("weight=%g: Workers=4 schedule differs from Workers=1", weight)
+		}
+		if want.Schedule.Makespan() != got.Schedule.Makespan() ||
+			want.Schedule.AvgSlack() != got.Schedule.AvgSlack() ||
+			want.Generations != got.Generations || want.Stagnated != got.Stagnated {
+			t.Fatalf("weight=%g: Workers=4 result differs from Workers=1", weight)
+		}
+	}
+}
+
 func TestSolveWeightedSumDefaults(t *testing.T) {
 	w := testWorkload(t, 1005, 8, 2)
 	res, err := SolveWeightedSum(w, 0.5, Options{}, rng.New(6))

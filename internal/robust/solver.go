@@ -84,6 +84,24 @@ type Options struct {
 	// trajectory — are bit-identical for every setting.
 	Workers int
 
+	// HEFT supplies a precomputed baseline schedule for this exact
+	// workload; nil makes Solve compute it. Threading the baseline through
+	// lets experiments.RunSweep run HEFT once per graph instead of once per
+	// (graph, ε) — the result is identical because HEFT is deterministic.
+	HEFT *schedule.Schedule
+
+	// Cache, if non-nil, is the genotype→metrics cache consulted before any
+	// chromosome decode and filled after it. It may be shared across Solve
+	// calls on the same workload (metrics are independent of Mode, ε and
+	// SlackMetric) but never across workloads. Nil gives the run a private
+	// cache; sharing only changes speed, never any result.
+	Cache *MetricsCache
+
+	// NoMetricsCache disables the metrics cache entirely (ablation and
+	// property tests). The GA trajectory is bit-identical either way — the
+	// cache only skips redundant decodes.
+	NoMetricsCache bool
+
 	// OnGeneration, if set, observes the best schedule of each generation
 	// (generation 0 is the initial population). Used to trace Figs. 2–3.
 	OnGeneration func(gen int, best *schedule.Schedule)
@@ -112,6 +130,18 @@ type Result struct {
 	Stagnated   bool
 }
 
+// HEFTBaseline computes the deterministic HEFT baseline schedule that
+// anchors the ε-constraint and seeds the GA. Callers running several solves
+// on the same workload (e.g. an ε grid) compute it once and thread it
+// through Options.HEFT.
+func HEFTBaseline(w *platform.Workload) (*schedule.Schedule, error) {
+	hs, err := heft.HEFT(w, heft.Options{})
+	if err != nil {
+		return nil, fmt.Errorf("robust: HEFT baseline failed: %w", err)
+	}
+	return hs, nil
+}
+
 // Solve runs the bi-objective GA on the workload and returns the best
 // schedule under the selected objective.
 func Solve(w *platform.Workload, opt Options, r *rng.Source) (*Result, error) {
@@ -120,18 +150,32 @@ func Solve(w *platform.Workload, opt Options, r *rng.Source) (*Result, error) {
 		def.SlackMetric = opt.SlackMetric
 		def.NoHEFTSeed = opt.NoHEFTSeed
 		def.OnGeneration = opt.OnGeneration
+		def.Workers = opt.Workers
+		def.HEFT = opt.HEFT
+		def.Cache = opt.Cache
+		def.NoMetricsCache = opt.NoMetricsCache
 		opt = def
 	}
 	if opt.Mode == EpsilonConstraint && opt.Eps <= 0 {
 		return nil, fmt.Errorf("robust: epsilon-constraint mode needs Eps > 0, got %g", opt.Eps)
 	}
-	hs, err := heft.HEFT(w, heft.Options{})
-	if err != nil {
-		return nil, fmt.Errorf("robust: HEFT baseline failed: %w", err)
+	hs := opt.HEFT
+	if hs == nil {
+		var err error
+		hs, err = HEFTBaseline(w)
+		if err != nil {
+			return nil, err
+		}
 	}
 	mheft := hs.Makespan()
 
 	eval := &evaluator{w: w, opt: opt, mheft: mheft, dec: schedule.NewDecoder(w)}
+	if !opt.NoMetricsCache {
+		eval.cache = opt.Cache
+		if eval.cache == nil {
+			eval.cache = NewMetricsCache()
+		}
+	}
 	cfg := ga.Config[*Chromosome]{
 		PopSize:        opt.PopSize,
 		CrossoverRate:  opt.CrossoverRate,
@@ -142,17 +186,19 @@ func Solve(w *platform.Workload, opt Options, r *rng.Source) (*Result, error) {
 		Crossover:      Crossover,
 		Mutate:         func(c *Chromosome, r *rng.Source) *Chromosome { return Mutate(w, c, r) },
 		Evaluate:       eval.evaluate,
+		EvaluateInto:   eval.evaluateInto,
 		Key:            (*Chromosome).Key,
 	}
 	// The two single-objective modes are population-independent, so the
 	// engine's post-elitism pass only needs the replaced slot re-scored. The
 	// ε-constraint fitness (Eqn. 8) is population-relative and keeps the
-	// full re-evaluation.
+	// full re-evaluation — which the metrics cache turns into a pure
+	// recombination over already-known metrics.
 	switch opt.Mode {
 	case MinMakespan:
-		cfg.EvaluateOne = func(c *Chromosome) float64 { return -eval.schedOf(c).Makespan() }
+		cfg.EvaluateOne = func(c *Chromosome) float64 { return -eval.metricsOf(c).m0 }
 	case MaxSlack:
-		cfg.EvaluateOne = func(c *Chromosome) float64 { return eval.slackOf(eval.schedOf(c)) }
+		cfg.EvaluateOne = func(c *Chromosome) float64 { return eval.slackMet(eval.metricsOf(c)) }
 	}
 	if !opt.NoHEFTSeed {
 		cfg.Seeds = []*Chromosome{FromSchedule(hs)}
@@ -170,6 +216,7 @@ func Solve(w *platform.Workload, opt Options, r *rng.Source) (*Result, error) {
 		}
 	}
 	var res ga.Result[*Chromosome]
+	var err error
 	if opt.Islands > 1 {
 		res, err = ga.RunIslands(ga.IslandConfig[*Chromosome]{
 			Base:           cfg,
@@ -199,6 +246,17 @@ func Solve(w *platform.Workload, opt Options, r *rng.Source) (*Result, error) {
 // per-schedule fitness function (larger is better). Used by the
 // weighted-sum comparator; the ε-constraint path goes through Solve
 // because its fitness is population-relative.
+//
+// Of the engine-level options it honors opt.Workers — each population's
+// undecoded chromosomes fan out across that many goroutines, with results
+// (and the whole trajectory) bit-identical for every setting — but NOT
+// opt.Islands: the fitness is an opaque hook, so the run is always a single
+// population (unlike Solve, which spawns islands). The post-elitism
+// EvaluateOne path re-scores exactly one chromosome and therefore decodes
+// serially on the calling goroutine; its value is the same fitness function,
+// so EvaluateOne and Evaluate agree by construction. The genotype metrics
+// cache does not apply here — the custom fitness needs the full schedule,
+// which the per-chromosome decode memo already makes single-decode.
 func runCustomFitness(w *platform.Workload, opt Options, r *rng.Source, seed *schedule.Schedule, fitness func(*schedule.Schedule) float64) (*Result, error) {
 	dec := schedule.NewDecoder(w)
 	schedOf := func(c *Chromosome) *schedule.Schedule {
@@ -207,6 +265,12 @@ func runCustomFitness(w *platform.Workload, opt Options, r *rng.Source, seed *sc
 			panic(err) // operators guarantee validity
 		}
 		return s
+	}
+	evaluateInto := func(pop []*Chromosome, fit []float64) {
+		decodePopulation(dec, pop, opt.Workers)
+		for i, c := range pop {
+			fit[i] = fitness(schedOf(c))
+		}
 	}
 	cfg := ga.Config[*Chromosome]{
 		PopSize:        opt.PopSize,
@@ -219,14 +283,12 @@ func runCustomFitness(w *platform.Workload, opt Options, r *rng.Source, seed *sc
 		Mutate:         func(c *Chromosome, r *rng.Source) *Chromosome { return Mutate(w, c, r) },
 		Key:            (*Chromosome).Key,
 		Evaluate: func(pop []*Chromosome) []float64 {
-			decodePopulation(dec, pop, opt.Workers)
 			fit := make([]float64, len(pop))
-			for i, c := range pop {
-				fit[i] = fitness(schedOf(c))
-			}
+			evaluateInto(pop, fit)
 			return fit
 		},
-		EvaluateOne: func(c *Chromosome) float64 { return fitness(schedOf(c)) },
+		EvaluateInto: evaluateInto,
+		EvaluateOne:  func(c *Chromosome) float64 { return fitness(schedOf(c)) },
 	}
 	if seed != nil && !opt.NoHEFTSeed {
 		cfg.Seeds = []*Chromosome{FromSchedule(seed)}
@@ -244,13 +306,17 @@ func runCustomFitness(w *platform.Workload, opt Options, r *rng.Source, seed *sc
 
 // evaluator computes the population fitness for each mode. It is reentrant
 // — islands call evaluate concurrently — so it holds no mutable scratch;
-// per-chromosome decode state lives in the chromosomes themselves and the
-// decoder's buffer pool is concurrency-safe.
+// per-chromosome decode/metrics state lives in the chromosomes themselves,
+// the decoder's buffer pool is concurrency-safe and the metrics cache is
+// mutex-striped.
 type evaluator struct {
 	w     *platform.Workload
 	opt   Options
 	mheft float64
 	dec   *schedule.Decoder
+	// cache is the genotype→metrics cache; nil when Options.NoMetricsCache
+	// disabled it.
+	cache *MetricsCache
 }
 
 // slackOf returns the configured robustness surrogate of a schedule.
@@ -259,6 +325,14 @@ func (e *evaluator) slackOf(s *schedule.Schedule) float64 {
 		return s.MinSlack()
 	}
 	return s.AvgSlack()
+}
+
+// slackMet is slackOf over the cached metrics triple.
+func (e *evaluator) slackMet(m schedMetrics) float64 {
+	if e.opt.SlackMetric == MinSlack {
+		return m.minSlack
+	}
+	return m.avgSlack
 }
 
 // schedOf returns the chromosome's memoized schedule, decoding on demand.
@@ -270,30 +344,55 @@ func (e *evaluator) schedOf(c *Chromosome) *schedule.Schedule {
 	return s
 }
 
-// decodePopulation fans the population's undecoded chromosomes out across
-// worker goroutines (0 = GOMAXPROCS) and waits for all of them. Selection
-// and elitism alias chromosomes — the same pointer can fill several slots —
-// so the pending set is deduplicated by pointer before the fan-out; the
-// barrier guarantees the fitness combination that follows sees every
-// schedule. Decode order cannot influence results: each schedule depends
-// only on its own genotype.
-func decodePopulation(dec *schedule.Decoder, pop []*Chromosome, workers int) {
+// metricsOf returns the chromosome's metrics triple, consulting the cache
+// and falling back to a decode. Not safe for concurrent calls on the same
+// chromosome; the GA's evaluation paths only reach it serially.
+func (e *evaluator) metricsOf(c *Chromosome) schedMetrics {
+	if c.hasMetr {
+		return c.metr
+	}
+	if c.decoded == nil && e.cache != nil {
+		k := e.cache.key(c)
+		if met, ok := e.cache.lookup(k, c); ok {
+			c.metr, c.hasMetr = met, true
+			return c.metr
+		}
+		c.metr = metricsFromSchedule(e.schedOf(c))
+		c.hasMetr = true
+		e.cache.insert(k, c, c.metr)
+		return c.metr
+	}
+	c.metr = metricsFromSchedule(e.schedOf(c))
+	c.hasMetr = true
+	return c.metr
+}
+
+// dedupPending collects pop's entries that still need work (no memoized
+// metrics and no decoded schedule), deduplicated by pointer — selection and
+// elitism alias chromosomes, so the same pointer can fill several slots.
+// The map replaces a historical O(Np²) scan; it matters once PopSize rises
+// above the paper's 20.
+func dedupPending(pop []*Chromosome, needsWork func(*Chromosome) bool) []*Chromosome {
 	pending := make([]*Chromosome, 0, len(pop))
+	seen := make(map[*Chromosome]struct{}, len(pop))
 	for _, c := range pop {
-		if c.decoded != nil {
+		if !needsWork(c) {
 			continue
 		}
-		dup := false
-		for _, p := range pending {
-			if p == c {
-				dup = true
-				break
-			}
+		if _, dup := seen[c]; dup {
+			continue
 		}
-		if !dup {
-			pending = append(pending, c)
-		}
+		seen[c] = struct{}{}
+		pending = append(pending, c)
 	}
+	return pending
+}
+
+// decodeAll fans the pending chromosomes out across worker goroutines
+// (0 = GOMAXPROCS) and waits for all of them; each finished chromosome runs
+// the optional done hook on its worker. Decode order cannot influence
+// results: each schedule depends only on its own genotype.
+func decodeAll(dec *schedule.Decoder, pending []*Chromosome, workers int, done func(i int, c *Chromosome)) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -301,9 +400,12 @@ func decodePopulation(dec *schedule.Decoder, pop []*Chromosome, workers int) {
 		workers = len(pending)
 	}
 	if workers <= 1 {
-		for _, c := range pending {
+		for i, c := range pending {
 			if _, err := c.DecodeWith(dec); err != nil {
 				panic(err) // operators guarantee validity
+			}
+			if done != nil {
+				done(i, c)
 			}
 		}
 		return
@@ -319,6 +421,9 @@ func decodePopulation(dec *schedule.Decoder, pop []*Chromosome, workers int) {
 					errs[wk] = err
 					return
 				}
+				if done != nil {
+					done(i, pending[i])
+				}
 			}
 		}(wk)
 	}
@@ -330,21 +435,76 @@ func decodePopulation(dec *schedule.Decoder, pop []*Chromosome, workers int) {
 	}
 }
 
-// evaluate implements the three objectives. The population is decoded in
-// parallel first (memoized on each chromosome, so the engine's post-elitism
-// re-evaluation costs only the O(Np) fitness recombination); the fitness
-// combination itself is serial and deterministic.
-func (e *evaluator) evaluate(pop []*Chromosome) []float64 {
-	decodePopulation(e.dec, pop, e.opt.Workers)
-	fit := make([]float64, len(pop))
+// decodePopulation decodes every not-yet-decoded chromosome of pop (used by
+// the custom-fitness and NSGA-II paths, which need full schedules rather
+// than the metrics triple).
+func decodePopulation(dec *schedule.Decoder, pop []*Chromosome, workers int) {
+	pending := dedupPending(pop, func(c *Chromosome) bool { return c.decoded == nil })
+	decodeAll(dec, pending, workers, nil)
+}
+
+// ensureMetrics guarantees every chromosome of pop carries its metrics
+// triple, decoding only genuinely novel genotypes: already-memoized and
+// already-decoded chromosomes are free, cache hits (genotype-equal to any
+// previously decoded individual, across generations, islands and — via a
+// shared Options.Cache — sibling Solve runs) skip the decode entirely, and
+// only the misses fan out across the worker goroutines, inserting their
+// metrics into the cache as they finish. The barrier guarantees the serial
+// fitness combination that follows sees every metric.
+func (e *evaluator) ensureMetrics(pop []*Chromosome) {
+	pending := dedupPending(pop, func(c *Chromosome) bool {
+		if c.hasMetr {
+			return false
+		}
+		if c.decoded != nil {
+			c.metr = metricsFromSchedule(c.decoded)
+			c.hasMetr = true
+			return false
+		}
+		return true
+	})
+	if e.cache == nil {
+		decodeAll(e.dec, pending, e.opt.Workers, func(_ int, c *Chromosome) {
+			c.metr = metricsFromSchedule(c.decoded)
+			c.hasMetr = true
+		})
+		return
+	}
+	// Serial cache pass: hashing is cheap next to a decode, and resolving
+	// hits up front keeps the parallel section to pure decode work.
+	misses := pending[:0]
+	keys := make([]uint64, 0, len(pending))
+	for _, c := range pending {
+		k := e.cache.key(c)
+		if met, ok := e.cache.lookup(k, c); ok {
+			c.metr, c.hasMetr = met, true
+			continue
+		}
+		misses = append(misses, c)
+		keys = append(keys, k)
+	}
+	decodeAll(e.dec, misses, e.opt.Workers, func(i int, c *Chromosome) {
+		c.metr = metricsFromSchedule(c.decoded)
+		c.hasMetr = true
+		e.cache.insert(keys[i], c, c.metr)
+	})
+}
+
+// evaluateInto implements the three objectives over the metrics triples,
+// writing the fitness into fit (the GA engine's reusable arena). The novel
+// genotypes are decoded in parallel first; the fitness combination itself
+// is serial and deterministic, so the values — and the whole GA trajectory
+// — are bit-identical for every Workers count and with the cache on or off.
+func (e *evaluator) evaluateInto(pop []*Chromosome, fit []float64) {
+	e.ensureMetrics(pop)
 	switch e.opt.Mode {
 	case MinMakespan:
 		for i, c := range pop {
-			fit[i] = -e.schedOf(c).Makespan()
+			fit[i] = -e.metricsOf(c).m0
 		}
 	case MaxSlack:
 		for i, c := range pop {
-			fit[i] = e.slackOf(e.schedOf(c))
+			fit[i] = e.slackMet(e.metricsOf(c))
 		}
 	case EpsilonConstraint:
 		// Eqn. 8. Feasible individuals score their slack; infeasible ones
@@ -352,36 +512,36 @@ func (e *evaluator) evaluate(pop []*Chromosome) []float64 {
 		// below every feasible score and decreases with the violation.
 		bound := e.opt.Eps * e.mheft
 		minFeasible := math.Inf(1)
-		type decoded struct {
-			m0, slack float64
-			feasible  bool
-		}
-		ds := make([]decoded, len(pop))
-		for i, c := range pop {
-			s := e.schedOf(c)
-			d := decoded{m0: s.Makespan(), slack: e.slackOf(s)}
-			d.feasible = d.m0 <= bound
-			ds[i] = d
-			if d.feasible && d.slack < minFeasible {
-				minFeasible = d.slack
+		for _, c := range pop {
+			m := e.metricsOf(c)
+			if slack := e.slackMet(m); m.m0 <= bound && slack < minFeasible {
+				minFeasible = slack
 			}
 		}
-		for i, d := range ds {
+		for i, c := range pop {
+			m := e.metricsOf(c)
 			switch {
-			case d.feasible:
-				fit[i] = d.slack
+			case m.m0 <= bound:
+				fit[i] = e.slackMet(m)
 			case math.IsInf(minFeasible, 1):
 				// No feasible individual this generation — a case the
 				// paper leaves unspecified. Rank purely by (inverse)
 				// constraint violation, shifted below any plausible
 				// feasible score.
-				fit[i] = -d.m0 / bound
+				fit[i] = -m.m0 / bound
 			default:
-				fit[i] = minFeasible * bound / d.m0
+				fit[i] = minFeasible * bound / m.m0
 			}
 		}
 	default:
 		panic(fmt.Sprintf("robust: unknown mode %d", e.opt.Mode))
 	}
+}
+
+// evaluate is the allocating form of evaluateInto, kept for the ga.Config
+// Evaluate hook and direct tests.
+func (e *evaluator) evaluate(pop []*Chromosome) []float64 {
+	fit := make([]float64, len(pop))
+	e.evaluateInto(pop, fit)
 	return fit
 }
