@@ -2,10 +2,12 @@
 # bench.sh — run the hot-path benchmarks with allocation stats and append
 # the results to the per-area trajectory files: the decode path goes to
 # BENCH_decode.json, the Monte-Carlo simulation path (batched realization
-# kernel + full evaluation) to BENCH_sim.json, and the end-to-end GA solve
-# path (paper-scale ε-constraint run, cache on/off) to BENCH_ga.json. Run
-# from the repo root; pass extra `go test` flags (e.g. -benchtime 10x) as
-# arguments.
+# kernel + full evaluation) to BENCH_sim.json, the end-to-end GA solve
+# path (paper-scale ε-constraint run, cache on/off) to BENCH_ga.json, and
+# the observability overhead lane (solve and Monte-Carlo with telemetry on
+# vs off, plus the no-op instrument microbenchmarks) to BENCH_obs.json.
+# Run from the repo root; pass extra `go test` flags (e.g. -benchtime 10x)
+# as arguments.
 set -eu
 cd "$(dirname "$0")"
 
@@ -26,3 +28,9 @@ go test -run '^$' \
     -benchmem "$@" . \
   | tee /dev/stderr \
   | go run ./cmd/benchjson -o BENCH_ga.json
+
+go test -run '^$' \
+    -bench 'BenchmarkSolveObs|BenchmarkEvaluateAllObs|BenchmarkDisabledCounter|BenchmarkEnabledCounter|BenchmarkEnabledHistogram|BenchmarkTracerEvent' \
+    -benchmem "$@" . ./internal/sim ./internal/obs \
+  | tee /dev/stderr \
+  | go run ./cmd/benchjson -o BENCH_obs.json

@@ -8,9 +8,11 @@ package robsched_test
 
 import (
 	"fmt"
+	"io"
 	"testing"
 
 	"robsched"
+	"robsched/internal/obs"
 )
 
 // benchConfig is the reduced scale used by the figure benchmarks.
@@ -357,4 +359,31 @@ func BenchmarkSolvePaper(b *testing.B) {
 	}
 	b.Run("cache", func(b *testing.B) { run(b, false) })
 	b.Run("nocache", func(b *testing.B) { run(b, true) })
+}
+
+// BenchmarkSolveObs measures the end-to-end observability overhead on a
+// reduced solve (100 generations): "off" is the plain run — its ns/op and
+// allocs/op must stay within noise of a build without the obs package at
+// all — and "on" attaches the registry plus a JSONL tracer writing to
+// io.Discard. Tracked in BENCH_obs.json via bench.sh.
+func BenchmarkSolveObs(b *testing.B) {
+	w := benchWorkload(b, 100, 8, 4)
+	run := func(b *testing.B, instrument bool) {
+		opt := robsched.PaperSolveOptions(robsched.EpsilonConstraint, 1.4)
+		opt.MaxGenerations = 100
+		opt.Stagnation = 0
+		opt.Workers = 1
+		if instrument {
+			opt.Obs = obs.NewRegistry()
+			opt.Trace = obs.NewTracer(io.Discard, 64)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := robsched.Solve(w, opt, robsched.NewRNG(7)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("off", func(b *testing.B) { run(b, false) })
+	b.Run("on", func(b *testing.B) { run(b, true) })
 }

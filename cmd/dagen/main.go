@@ -13,6 +13,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"robsched/internal/dag"
@@ -23,32 +24,38 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "dagen:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
+// run parses flags from args into a private FlagSet and writes the workload
+// to stdout (or -out), keeping the command testable end to end.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("dagen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		kind   = flag.String("kind", "random", "graph kind: random, gauss, fft, forkjoin, stencil, outtree, intree, seriesparallel, paper-example")
-		n      = flag.Int("n", 100, "tasks (random kind)")
-		m      = flag.Int("m", 8, "processors")
-		k      = flag.Int("k", 6, "matrix size (gauss kind)")
-		stages = flag.Int("stages", 3, "stages (fft / forkjoin kinds)")
-		width  = flag.Int("width", 4, "width (forkjoin / stencil kinds)")
-		depth  = flag.Int("depth", 4, "depth (stencil kind)")
-		seed   = flag.Uint64("seed", 1, "random seed")
-		meanUL = flag.Float64("ul", 2.0, "mean uncertainty level")
-		cc     = flag.Float64("cc", 20, "average computation cost")
-		ccr    = flag.Float64("ccr", 0.1, "communication-to-computation ratio")
-		shape  = flag.Float64("shape", 1.0, "graph shape α (random kind)")
-		vtask  = flag.Float64("vtask", 0.5, "task heterogeneity COV")
-		vmach  = flag.Float64("vmach", 0.5, "machine heterogeneity COV")
-		outP   = flag.String("out", "", "output workload JSON path (stdout when empty)")
-		dotP   = flag.String("dot", "", "also write the graph as Graphviz DOT to this path")
+		kind   = fs.String("kind", "random", "graph kind: random, gauss, fft, forkjoin, stencil, outtree, intree, seriesparallel, paper-example")
+		n      = fs.Int("n", 100, "tasks (random kind)")
+		m      = fs.Int("m", 8, "processors")
+		k      = fs.Int("k", 6, "matrix size (gauss kind)")
+		stages = fs.Int("stages", 3, "stages (fft / forkjoin kinds)")
+		width  = fs.Int("width", 4, "width (forkjoin / stencil kinds)")
+		depth  = fs.Int("depth", 4, "depth (stencil kind)")
+		seed   = fs.Uint64("seed", 1, "random seed")
+		meanUL = fs.Float64("ul", 2.0, "mean uncertainty level")
+		cc     = fs.Float64("cc", 20, "average computation cost")
+		ccr    = fs.Float64("ccr", 0.1, "communication-to-computation ratio")
+		shape  = fs.Float64("shape", 1.0, "graph shape α (random kind)")
+		vtask  = fs.Float64("vtask", 0.5, "task heterogeneity COV")
+		vmach  = fs.Float64("vmach", 0.5, "machine heterogeneity COV")
+		outP   = fs.String("out", "", "output workload JSON path (stdout when empty)")
+		dotP   = fs.String("dot", "", "also write the graph as Graphviz DOT to this path")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	r := rng.New(*seed)
 	var (
@@ -93,7 +100,7 @@ func run() error {
 		return err
 	}
 
-	out := os.Stdout
+	out := stdout
 	if *outP != "" {
 		f, err := os.Create(*outP)
 		if err != nil {
@@ -106,7 +113,7 @@ func run() error {
 		return err
 	}
 	if *outP != "" {
-		fmt.Fprintf(os.Stderr, "dagen: %s workload with %d tasks, %d edges, %d processors -> %s\n",
+		fmt.Fprintf(stderr, "dagen: %s workload with %d tasks, %d edges, %d processors -> %s\n",
 			*kind, g.N(), g.EdgeCount(), *m, *outP)
 	}
 	if *dotP != "" {

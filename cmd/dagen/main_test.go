@@ -1,0 +1,116 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"robsched/internal/wio"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestGoldenWorkloads pins the exact JSON dagen emits for one random and
+// one structured graph at fixed seeds. Refresh with:
+// go test ./cmd/dagen -update
+func TestGoldenWorkloads(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"random", []string{"-kind", "random", "-n", "15", "-m", "3", "-seed", "3"}},
+		{"gauss", []string{"-kind", "gauss", "-k", "4", "-m", "3", "-seed", "7"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var out, errb bytes.Buffer
+			if err := run(tc.args, &out, &errb); err != nil {
+				t.Fatalf("run: %v\nstderr:\n%s", err, errb.String())
+			}
+			golden := filepath.Join("testdata", tc.name+".golden")
+			if *update {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(golden, out.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("%v (run with -update to create)", err)
+			}
+			if !bytes.Equal(out.Bytes(), want) {
+				t.Errorf("output differs from %s (refresh with -update)", golden)
+			}
+			// The golden bytes must round-trip as a loadable workload.
+			w, err := wio.ReadWorkload(bytes.NewReader(out.Bytes()))
+			if err != nil {
+				t.Fatalf("emitted workload does not parse: %v", err)
+			}
+			if w.N() == 0 || w.M() != 3 {
+				t.Errorf("parsed workload has %d tasks, %d processors", w.N(), w.M())
+			}
+		})
+	}
+}
+
+// TestDagenDeterministic re-runs a generation and requires identical bytes.
+func TestDagenDeterministic(t *testing.T) {
+	gen := func() string {
+		var out, errb bytes.Buffer
+		if err := run([]string{"-kind", "fft", "-stages", "3", "-m", "4", "-seed", "11"}, &out, &errb); err != nil {
+			t.Fatalf("run: %v", err)
+		}
+		return out.String()
+	}
+	if a, b := gen(), gen(); a != b {
+		t.Error("two identical invocations produced different workloads")
+	}
+}
+
+// TestDagenOutAndDot checks the file outputs: -out writes the workload
+// (with a note on stderr) and -dot writes a Graphviz file.
+func TestDagenOutAndDot(t *testing.T) {
+	dir := t.TempDir()
+	outPath := filepath.Join(dir, "w.json")
+	dotPath := filepath.Join(dir, "w.dot")
+	var out, errb bytes.Buffer
+	err := run([]string{"-kind", "forkjoin", "-width", "3", "-stages", "2", "-m", "2", "-seed", "5",
+		"-out", outPath, "-dot", dotPath}, &out, &errb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 0 {
+		t.Errorf("stdout not empty with -out: %q", out.String())
+	}
+	f, err := os.Open(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := wio.ReadWorkload(f); err != nil {
+		t.Fatalf("-out file does not parse: %v", err)
+	}
+	dot, err := os.ReadFile(dotPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(dot, []byte("digraph")) {
+		t.Error("-dot file is not a Graphviz digraph")
+	}
+}
+
+func TestDagenBadKind(t *testing.T) {
+	var out, errb bytes.Buffer
+	err := run([]string{"-kind", "nope"}, &out, &errb)
+	if err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+	if want := fmt.Sprintf("unknown -kind %q", "nope"); err.Error() != want {
+		t.Errorf("error %q, want %q", err, want)
+	}
+}

@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"robsched/internal/experiments"
+	"robsched/internal/obs"
 	"robsched/internal/robust"
 	"robsched/internal/viz"
 )
@@ -54,10 +55,39 @@ func run() error {
 		nTasks       = flag.Int("n", 0, "override: tasks per graph")
 		mProcs       = flag.Int("m", 0, "override: processors")
 		workers      = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
-		csvDir       = flag.String("csv", "", "also write figN.csv files into this directory")
+		csvDir       = flag.String("csv", "", "also write figN.csv files into this directory (plus a manifest.json run record)")
 		svgDir       = flag.String("svg", "", "also write figN.svg line charts into this directory")
+		obsPath      = flag.String("obs", "", "enable observability: write a JSONL trace to this file and print a telemetry summary")
+		pprofAddr    = flag.String("pprof", "", "serve net/http/pprof, expvar and /debug/obs on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
+
+	var (
+		reg       *obs.Registry
+		tracer    *obs.Tracer
+		traceFile *os.File
+	)
+	if *obsPath != "" {
+		f, err := os.Create(*obsPath)
+		if err != nil {
+			return err
+		}
+		traceFile = f
+		reg = obs.NewRegistry()
+		tracer = obs.NewTracer(f, 256)
+	}
+	if *pprofAddr != "" {
+		if reg == nil {
+			reg = obs.NewRegistry()
+		}
+		addr, stop, err := obs.Serve(*pprofAddr, reg)
+		if err != nil {
+			return err
+		}
+		defer stop()
+		obs.PublishExpvar(reg)
+		fmt.Fprintf(os.Stderr, "experiments: pprof serving on http://%s/debug/pprof/\n", addr)
+	}
 
 	var cfg experiments.Config
 	switch *scale {
@@ -70,6 +100,8 @@ func run() error {
 	}
 	cfg.Seed = *seed
 	cfg.Workers = *workers
+	cfg.Obs = reg
+	cfg.Trace = tracer
 	if *graphs > 0 {
 		cfg.Graphs = *graphs
 	}
@@ -297,6 +329,32 @@ func run() error {
 		}
 		fmt.Print(res.String())
 		fmt.Println()
+	}
+	if *csvDir != "" {
+		// Every CSV-producing run leaves its provenance next to the data:
+		// effective config, seed, source revision and (when observability is
+		// on) the final metric snapshot.
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			return err
+		}
+		if err := experiments.WriteManifest(filepath.Join(*csvDir, "manifest.json"), cfg.Manifest(reg)); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "experiments: manifest written to %s\n", filepath.Join(*csvDir, "manifest.json"))
+	}
+	if *obsPath != "" {
+		tracer.SnapshotRegistry("final", reg)
+		if err := tracer.Err(); err != nil {
+			return fmt.Errorf("trace: %w", err)
+		}
+		if err := traceFile.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("\n--- observability ---\n")
+		if err := reg.Snapshot().WriteSummary(os.Stdout); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "experiments: trace written to %s\n", *obsPath)
 	}
 	fmt.Fprintf(os.Stderr, "experiments: done in %v (seed %d, %d graphs, %d realizations, %d tasks, %d processors)\n",
 		time.Since(start).Round(time.Millisecond), cfg.Seed, cfg.Graphs, cfg.Realizations, cfg.Gen.N, cfg.Gen.M)

@@ -20,12 +20,14 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"robsched/internal/clark"
 	"robsched/internal/fault"
 	"robsched/internal/gen"
 	"robsched/internal/heft"
+	"robsched/internal/obs"
 	"robsched/internal/platform"
 	"robsched/internal/repair"
 	"robsched/internal/rng"
@@ -38,45 +40,83 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "robsched:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
+// run is the whole command behind a testable seam: flags are parsed from
+// args into a private FlagSet and all human-readable output goes to stdout
+// (golden-tested) while operational notes (trace path, pprof address) go to
+// stderr.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("robsched", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		workloadPath = flag.String("workload", "", "JSON workload file (generated randomly when empty)")
-		n            = flag.Int("n", 100, "tasks in the generated workload")
-		m            = flag.Int("m", 8, "processors in the generated workload")
-		seed         = flag.Uint64("seed", 1, "random seed for generation and search")
-		meanUL       = flag.Float64("ul", 2.0, "mean uncertainty level of the generated workload")
-		cc           = flag.Float64("cc", 20, "average computation cost")
-		ccr          = flag.Float64("ccr", 0.1, "communication-to-computation ratio")
-		shape        = flag.Float64("shape", 1.0, "graph shape parameter α")
-		scheduler    = flag.String("scheduler", "ga", "scheduler: heft, heft-noins, risk-heft, cpop, peft, minmin, maxmin, random, ga, weighted, anneal")
-		risk         = flag.Float64("risk", 1.0, "risk factor k of risk-heft (durations E[c]+k·σ)")
-		weight       = flag.Float64("weight", 0.5, "makespan weight of the weighted-sum scheduler")
-		deadline     = flag.Float64("deadline", 0, "also report the miss rate against this deadline (0 disables)")
-		mode         = flag.String("mode", "eps", "GA objective: eps, minmakespan, maxslack")
-		eps          = flag.Float64("eps", 1.2, "ε of the constraint M0 ≤ ε·M_HEFT")
-		pop          = flag.Int("pop", 20, "GA population size")
-		gens         = flag.Int("generations", 1000, "GA generation cap")
-		stagnation   = flag.Int("stagnation", 100, "GA stagnation window (0 disables)")
-		realizations = flag.Int("realizations", 1000, "Monte-Carlo realizations")
-		outPath      = flag.String("out", "", "write the resulting schedule as JSON to this file")
-		gantt        = flag.Bool("gantt", false, "print a text Gantt chart")
-		quiet        = flag.Bool("q", false, "print only the summary line")
-		paretoFront  = flag.Bool("pareto", false, "print the NSGA-II makespan–slack front instead of a single schedule")
-		repairTheta  = flag.Float64("repair", 0, "also evaluate runtime repair of the schedule at this threshold (0 disables)")
-		faults       = flag.String("faults", "", "evaluate under processor faults: 'auto' samples failures/outages from -mtbf, anything else is a scenario JSON file (empty disables)")
-		mtbf         = flag.Float64("mtbf", 2.0, "mean time between permanent failures per processor, in multiples of the HEFT makespan (with -faults auto)")
-		retries      = flag.Int("retries", 2, "max retries per killed task under -faults (with EFT migration)")
-		drop         = flag.Float64("drop", 0, "graceful degradation: drop non-critical tasks starting past this multiple of M0 (0 disables)")
-		clarkEst     = flag.Bool("clark", false, "also print Clark's analytic makespan estimate")
-		svgPath      = flag.String("svg", "", "write an SVG Gantt chart (with slack windows) to this file")
+		workloadPath = fs.String("workload", "", "JSON workload file (generated randomly when empty)")
+		n            = fs.Int("n", 100, "tasks in the generated workload")
+		m            = fs.Int("m", 8, "processors in the generated workload")
+		seed         = fs.Uint64("seed", 1, "random seed for generation and search")
+		meanUL       = fs.Float64("ul", 2.0, "mean uncertainty level of the generated workload")
+		cc           = fs.Float64("cc", 20, "average computation cost")
+		ccr          = fs.Float64("ccr", 0.1, "communication-to-computation ratio")
+		shape        = fs.Float64("shape", 1.0, "graph shape parameter α")
+		scheduler    = fs.String("scheduler", "ga", "scheduler: heft, heft-noins, risk-heft, cpop, peft, minmin, maxmin, random, ga, weighted, anneal")
+		risk         = fs.Float64("risk", 1.0, "risk factor k of risk-heft (durations E[c]+k·σ)")
+		weight       = fs.Float64("weight", 0.5, "makespan weight of the weighted-sum scheduler")
+		deadline     = fs.Float64("deadline", 0, "also report the miss rate against this deadline (0 disables)")
+		mode         = fs.String("mode", "eps", "GA objective: eps, minmakespan, maxslack")
+		eps          = fs.Float64("eps", 1.2, "ε of the constraint M0 ≤ ε·M_HEFT")
+		pop          = fs.Int("pop", 20, "GA population size")
+		gens         = fs.Int("generations", 1000, "GA generation cap")
+		stagnation   = fs.Int("stagnation", 100, "GA stagnation window (0 disables)")
+		realizations = fs.Int("realizations", 1000, "Monte-Carlo realizations")
+		outPath      = fs.String("out", "", "write the resulting schedule as JSON to this file")
+		gantt        = fs.Bool("gantt", false, "print a text Gantt chart")
+		quiet        = fs.Bool("q", false, "print only the summary line")
+		paretoFront  = fs.Bool("pareto", false, "print the NSGA-II makespan–slack front instead of a single schedule")
+		repairTheta  = fs.Float64("repair", 0, "also evaluate runtime repair of the schedule at this threshold (0 disables)")
+		faults       = fs.String("faults", "", "evaluate under processor faults: 'auto' samples failures/outages from -mtbf, anything else is a scenario JSON file (empty disables)")
+		mtbf         = fs.Float64("mtbf", 2.0, "mean time between permanent failures per processor, in multiples of the HEFT makespan (with -faults auto)")
+		retries      = fs.Int("retries", 2, "max retries per killed task under -faults (with EFT migration)")
+		drop         = fs.Float64("drop", 0, "graceful degradation: drop non-critical tasks starting past this multiple of M0 (0 disables)")
+		clarkEst     = fs.Bool("clark", false, "also print Clark's analytic makespan estimate")
+		svgPath      = fs.String("svg", "", "write an SVG Gantt chart (with slack windows) to this file")
+		workers      = fs.Int("workers", 0, "worker goroutines for population decoding and Monte-Carlo batches (0 = all cores)")
+		obsPath      = fs.String("obs", "", "enable observability: write a JSONL trace to this file and print a telemetry summary")
+		pprofAddr    = fs.String("pprof", "", "serve net/http/pprof, expvar and /debug/obs on this address (e.g. localhost:6060)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var (
+		reg       *obs.Registry
+		tracer    *obs.Tracer
+		traceFile *os.File
+	)
+	if *obsPath != "" {
+		f, err := os.Create(*obsPath)
+		if err != nil {
+			return err
+		}
+		traceFile = f
+		reg = obs.NewRegistry()
+		tracer = obs.NewTracer(f, 256)
+	}
+	if *pprofAddr != "" {
+		if reg == nil {
+			reg = obs.NewRegistry()
+		}
+		addr, stop, err := obs.Serve(*pprofAddr, reg)
+		if err != nil {
+			return err
+		}
+		defer stop()
+		obs.PublishExpvar(reg)
+		fmt.Fprintf(stderr, "pprof serving on http://%s/debug/pprof/\n", addr)
+	}
 
 	w, err := loadOrGenerate(*workloadPath, *n, *m, *seed, *meanUL, *cc, *ccr, *shape)
 	if err != nil {
@@ -98,11 +138,11 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		fmt.Printf("NSGA-II front: %d non-dominated schedules (HEFT: M0 %.4g, slack %.4g)\n",
+		fmt.Fprintf(stdout, "NSGA-II front: %d non-dominated schedules (HEFT: M0 %.4g, slack %.4g)\n",
 			len(front), baseline.Makespan(), baseline.AvgSlack())
-		fmt.Printf("%-6s %12s %12s\n", "#", "makespan", "avg slack")
+		fmt.Fprintf(stdout, "%-6s %12s %12s\n", "#", "makespan", "avg slack")
 		for i, p := range front {
-			fmt.Printf("%-6d %12.4g %12.4g\n", i, p.Makespan, p.Slack)
+			fmt.Fprintf(stdout, "%-6d %12.4g %12.4g\n", i, p.Makespan, p.Slack)
 		}
 		return nil
 	}
@@ -119,6 +159,7 @@ func run() error {
 		res, err = robust.SolveWeightedSum(w, *weight, robust.Options{
 			PopSize: *pop, CrossoverRate: 0.9, MutationRate: 0.1,
 			MaxGenerations: *gens, Stagnation: *stagnation,
+			Workers: *workers,
 		}, r)
 		if err == nil {
 			s = res.Schedule
@@ -147,6 +188,9 @@ func run() error {
 			MutationRate:   0.1,
 			MaxGenerations: *gens,
 			Stagnation:     *stagnation,
+			Workers:        *workers,
+			Obs:            reg,
+			Trace:          tracer,
 		}
 		switch *mode {
 		case "eps":
@@ -163,7 +207,7 @@ func run() error {
 		if err == nil {
 			s = res.Schedule
 			if !*quiet {
-				fmt.Printf("GA: %d generations (stagnated=%v)\n", res.Generations, res.Stagnated)
+				fmt.Fprintf(stdout, "GA: %d generations (stagnated=%v)\n", res.Generations, res.Stagnated)
 			}
 		}
 	default:
@@ -174,16 +218,17 @@ func run() error {
 	}
 
 	ms, err := sim.EvaluateAll([]*schedule.Schedule{s, baseline},
-		sim.Options{Realizations: *realizations, Deadline: *deadline}, rng.New(*seed^0xbeef))
+		sim.Options{Realizations: *realizations, Deadline: *deadline, Workers: *workers, Obs: reg, Trace: tracer},
+		rng.New(*seed^0xbeef))
 	if err != nil {
 		return err
 	}
 	if !*quiet {
-		fmt.Printf("workload: %d tasks, %d processors, %d edges, CCR %.3g\n",
+		fmt.Fprintf(stdout, "workload: %d tasks, %d processors, %d edges, CCR %.3g\n",
 			w.N(), w.M(), w.G.EdgeCount(), w.CCR())
-		fmt.Printf("\n%-22s %12s %12s\n", "", *scheduler, "heft")
+		fmt.Fprintf(stdout, "\n%-22s %12s %12s\n", "", *scheduler, "heft")
 		row := func(name string, a, b float64) {
-			fmt.Printf("%-22s %12.4g %12.4g\n", name, a, b)
+			fmt.Fprintf(stdout, "%-22s %12.4g %12.4g\n", name, a, b)
 		}
 		row("expected makespan M0", s.Makespan(), baseline.Makespan())
 		row("avg slack", s.AvgSlack(), baseline.AvgSlack())
@@ -198,23 +243,23 @@ func run() error {
 		if *deadline > 0 {
 			row(fmt.Sprintf("P(M > %.4g)", *deadline), ms[0].DeadlineMissRate, ms[1].DeadlineMissRate)
 		}
-		fmt.Println()
+		fmt.Fprintln(stdout)
 	}
-	fmt.Printf("%s: M0=%.4g slack=%.4g R1=%.4g R2=%.4g (HEFT M0=%.4g)\n",
+	fmt.Fprintf(stdout, "%s: M0=%.4g slack=%.4g R1=%.4g R2=%.4g (HEFT M0=%.4g)\n",
 		*scheduler, s.Makespan(), s.AvgSlack(), ms[0].R1, ms[0].R2, baseline.Makespan())
 
 	if *clarkEst {
 		a := clark.Analyze(s)
-		fmt.Printf("clark: E[M]=%.4g std=%.4g p95=%.4g (analytic; biased high on the mean)\n",
+		fmt.Fprintf(stdout, "clark: E[M]=%.4g std=%.4g p95=%.4g (analytic; biased high on the mean)\n",
 			a.Makespan.Mean, a.Makespan.Std(), a.Quantile(0.95))
 	}
 	if *repairTheta > 0 {
 		rm, err := repair.Evaluate(s, repair.Policy{Threshold: *repairTheta},
-			sim.Options{Realizations: *realizations}, rng.New(*seed^0xcafe))
+			sim.Options{Realizations: *realizations, Workers: *workers}, rng.New(*seed^0xcafe))
 		if err != nil {
 			return err
 		}
-		fmt.Printf("repair θ=%.3g: realized mean %.4g (vs %.4g rigid), p95 %.4g, %.2f reschedules/run\n",
+		fmt.Fprintf(stdout, "repair θ=%.3g: realized mean %.4g (vs %.4g rigid), p95 %.4g, %.2f reschedules/run\n",
 			*repairTheta, rm.MeanMakespan, ms[0].MeanMakespan, rm.P95, rm.MeanReschedules)
 	}
 
@@ -248,6 +293,8 @@ func run() error {
 			Policy:     repair.NeverReschedule(),
 			Retry:      repair.RetryPolicy{MaxRetries: *retries, Migrate: true},
 			DropFactor: *drop,
+			Obs:        reg,
+			Trace:      tracer,
 		}
 		if *repairTheta > 0 {
 			pol.Threshold = *repairTheta
@@ -255,7 +302,7 @@ func run() error {
 		// Both schedules face the same fault and duration streams (common
 		// random numbers) over a shared horizon.
 		horizon := 4 * baseline.Makespan()
-		opt := sim.Options{Realizations: *realizations, Deadline: *deadline}
+		opt := sim.Options{Realizations: *realizations, Deadline: *deadline, Workers: *workers}
 		fm, err := repair.EvaluateFaults(s, pol, src, horizon, opt, rng.New(*seed^0xdead))
 		if err != nil {
 			return err
@@ -265,10 +312,10 @@ func run() error {
 			return err
 		}
 		if !*quiet {
-			fmt.Printf("\nfaults (%s, retries=%d, drop=%.3g):\n", *faults, *retries, *drop)
-			fmt.Printf("%-22s %12s %12s\n", "", *scheduler, "heft")
+			fmt.Fprintf(stdout, "\nfaults (%s, retries=%d, drop=%.3g):\n", *faults, *retries, *drop)
+			fmt.Fprintf(stdout, "%-22s %12s %12s\n", "", *scheduler, "heft")
 			row := func(name string, a, b float64) {
-				fmt.Printf("%-22s %12.4g %12.4g\n", name, a, b)
+				fmt.Fprintf(stdout, "%-22s %12.4g %12.4g\n", name, a, b)
 			}
 			row("fault realized mean", fm.MeanMakespan, fb.MeanMakespan)
 			row("fault realized p95", fm.P95, fb.P95)
@@ -278,15 +325,15 @@ func run() error {
 			row("migrations/run", fm.MeanMigrations, fb.MeanMigrations)
 			row("drops/run", fm.MeanDropped, fb.MeanDropped)
 			row("failed runs %", 100*fm.FailRate, 100*fb.FailRate)
-			fmt.Println()
+			fmt.Fprintln(stdout)
 		}
-		fmt.Printf("faults: mean=%.4g completion=%.1f%% retries=%.2f drops=%.2f (HEFT mean=%.4g)\n",
+		fmt.Fprintf(stdout, "faults: mean=%.4g completion=%.1f%% retries=%.2f drops=%.2f (HEFT mean=%.4g)\n",
 			fm.MeanMakespan, 100*fm.MeanCompletion, fm.MeanRetries, fm.MeanDropped, fb.MeanMakespan)
 	}
 
 	if *gantt {
-		fmt.Println()
-		fmt.Print(s.Gantt(96))
+		fmt.Fprintln(stdout)
+		fmt.Fprint(stdout, s.Gantt(96))
 	}
 	if *svgPath != "" {
 		title := fmt.Sprintf("%s on %d tasks / %d processors", *scheduler, w.N(), w.M())
@@ -295,7 +342,7 @@ func run() error {
 			return err
 		}
 		if !*quiet {
-			fmt.Printf("SVG Gantt written to %s\n", *svgPath)
+			fmt.Fprintf(stdout, "SVG Gantt written to %s\n", *svgPath)
 		}
 	}
 	if *outPath != "" {
@@ -308,8 +355,25 @@ func run() error {
 			return err
 		}
 		if !*quiet {
-			fmt.Printf("schedule written to %s\n", *outPath)
+			fmt.Fprintf(stdout, "schedule written to %s\n", *outPath)
 		}
+	}
+	if *obsPath != "" {
+		// The summary block prints only registry contents — deterministic
+		// counts, never wall-clock — so it is stable across runs and pinned
+		// by the golden test. Timings live in the JSONL trace.
+		tracer.SnapshotRegistry("final", reg)
+		if err := tracer.Err(); err != nil {
+			return fmt.Errorf("trace: %w", err)
+		}
+		if err := traceFile.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "\n--- observability ---\n")
+		if err := reg.Snapshot().WriteSummary(stdout); err != nil {
+			return err
+		}
+		fmt.Fprintf(stderr, "trace written to %s\n", *obsPath)
 	}
 	return nil
 }

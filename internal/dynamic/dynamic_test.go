@@ -8,6 +8,7 @@ import (
 	"robsched/internal/heft"
 	"robsched/internal/platform"
 	"robsched/internal/rng"
+	"robsched/internal/schedule"
 	"robsched/internal/sim"
 )
 
@@ -23,38 +24,13 @@ func testWorkload(t testing.TB, seed uint64, n, m int, ul float64) *platform.Wor
 }
 
 // checkValidExecution verifies the physical consistency of a simulated
-// run: no overlap on any processor, and every task starts only after each
-// predecessor's actual finish plus the communication delay.
+// run — no overlap on any processor, every task starts only after each
+// predecessor's actual finish plus the communication delay — via the
+// shared schedule.ValidateExecution.
 func checkValidExecution(t *testing.T, w *platform.Workload, res Result) {
 	t.Helper()
-	n := w.N()
-	type iv struct{ s, f float64 }
-	perProc := make(map[int][]iv)
-	for v := 0; v < n; v++ {
-		if res.Proc[v] < 0 || res.Proc[v] >= w.M() {
-			t.Fatalf("task %d on processor %d", v, res.Proc[v])
-		}
-		if res.Finish[v] < res.Start[v] {
-			t.Fatalf("task %d finishes before it starts", v)
-		}
-		perProc[res.Proc[v]] = append(perProc[res.Proc[v]], iv{res.Start[v], res.Finish[v]})
-		for _, a := range w.G.Predecessors(v) {
-			u := a.To
-			need := res.Finish[u] + w.Sys.CommCost(res.Proc[u], res.Proc[v], a.Data)
-			if res.Start[v] < need-1e-9 {
-				t.Fatalf("task %d starts at %g before its data arrives at %g", v, res.Start[v], need)
-			}
-		}
-	}
-	for p, ivs := range perProc {
-		for i := range ivs {
-			for j := i + 1; j < len(ivs); j++ {
-				a, b := ivs[i], ivs[j]
-				if a.s < b.f-1e-9 && b.s < a.f-1e-9 {
-					t.Fatalf("processor %d has overlapping tasks [%g,%g] and [%g,%g]", p, a.s, a.f, b.s, b.f)
-				}
-			}
-		}
+	if err := schedule.ValidateExecution(w, res.Proc, res.Start, res.Finish); err != nil {
+		t.Fatal(err)
 	}
 }
 

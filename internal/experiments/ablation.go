@@ -113,7 +113,7 @@ func (c Config) AblationSlackMetric() ([]Series, error) {
 				if err != nil {
 					return err
 				}
-				m, err := sim.Evaluate(res.Schedule, sim.Options{Realizations: c.Realizations}, rng.New(c.graphSeed(u, g)^0xab3))
+				m, err := sim.Evaluate(res.Schedule, c.simOptions(), rng.New(c.graphSeed(u, g)^0xab3))
 				if err != nil {
 					return err
 				}
@@ -172,7 +172,7 @@ func (c Config) AblationRiskFactor(ks []float64) ([]Series, error) {
 				}
 				schedules = append(schedules, s)
 			}
-			ms, err := sim.EvaluateAll(schedules, sim.Options{Realizations: c.Realizations}, rng.New(c.graphSeed(u, g)^0xab4))
+			ms, err := sim.EvaluateAll(schedules, c.simOptions(), rng.New(c.graphSeed(u, g)^0xab4))
 			if err != nil {
 				return err
 			}
@@ -317,7 +317,7 @@ func (c Config) PolicyComparison(eps, repairThreshold float64) ([]Series, error)
 			if err != nil {
 				return err
 			}
-			simOpt := sim.Options{Realizations: c.Realizations}
+			simOpt := c.simOptions()
 			seed := c.graphSeed(u, g) ^ 0xab6
 			static, err := sim.EvaluateAll([]*schedule.Schedule{hs, res.Schedule}, simOpt, rng.New(seed))
 			if err != nil {

@@ -27,6 +27,7 @@ import (
 	"sync"
 
 	"robsched/internal/gen"
+	"robsched/internal/obs"
 	"robsched/internal/platform"
 	"robsched/internal/rng"
 	"robsched/internal/robust"
@@ -60,6 +61,13 @@ type Config struct {
 	TraceEvery int
 	// Workers caps experiment-level parallelism; 0 means GOMAXPROCS.
 	Workers int
+	// Obs and Trace, when non-nil, are threaded into every solver, fault
+	// executor and Monte-Carlo engine call the runners make, aggregating
+	// the whole experiment's telemetry into one registry/trace. Counter
+	// totals stay deterministic — graphs run in parallel but each graph's
+	// counts are fixed and counter addition commutes.
+	Obs   *obs.Registry
+	Trace *obs.Tracer
 }
 
 // Default returns a configuration that reproduces every figure's shape in
@@ -143,7 +151,15 @@ func (c Config) gaOptions() robust.Options {
 	if opt.MaxGenerations == 0 {
 		opt.MaxGenerations = def.MaxGenerations
 	}
+	opt.Obs = c.Obs
+	opt.Trace = c.Trace
 	return opt
+}
+
+// simOptions returns the Monte-Carlo options every runner evaluates with,
+// carrying the experiment-wide telemetry sinks.
+func (c Config) simOptions() sim.Options {
+	return sim.Options{Realizations: c.Realizations, Obs: c.Obs, Trace: c.Trace}
 }
 
 // graphSeed derives the deterministic workload seed for graph g at

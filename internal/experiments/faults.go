@@ -145,7 +145,7 @@ func (c Config) FaultResilience(fc FaultConfig) (*FaultResilienceResult, error) 
 			return err
 		}
 		ss := []*schedule.Schedule{hs, sa.Schedule, ga.Schedule}
-		opt := sim.Options{Realizations: c.Realizations}
+		opt := c.simOptions()
 		noFault, err := sim.EvaluateAll(ss, opt, rng.New(c.graphSeed(0, g)^0xfa3))
 		if err != nil {
 			return err
@@ -155,9 +155,11 @@ func (c Config) FaultResilience(fc FaultConfig) (*FaultResilienceResult, error) 
 		m0 := hs.Makespan()
 		mo := fault.Model{MTBF: fc.MTBFFactor * m0, KeepOne: true}
 		horizon := 4 * m0
+		pol := fc.Policy
+		pol.Obs, pol.Trace = c.Obs, c.Trace
 		points[g] = make([]point, len(ss))
 		for i, s := range ss {
-			fm, err := repair.EvaluateFaults(s, fc.Policy, mo, horizon, opt, rng.New(c.graphSeed(0, g)^0xfa4))
+			fm, err := repair.EvaluateFaults(s, pol, mo, horizon, opt, rng.New(c.graphSeed(0, g)^0xfa4))
 			if err != nil {
 				return err
 			}

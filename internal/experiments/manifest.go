@@ -1,0 +1,104 @@
+package experiments
+
+import (
+	"encoding/json"
+	"os"
+	"os/exec"
+	"strings"
+	"time"
+
+	"robsched/internal/obs"
+)
+
+// Manifest records everything needed to reproduce (and audit) one
+// experiments run: the effective configuration, the root seed, the source
+// revision and a final telemetry snapshot. It is written as manifest.json
+// next to the CSV outputs, so every archived result set carries its own
+// provenance.
+type Manifest struct {
+	// CreatedAt is the wall-clock timestamp of the run (RFC 3339, UTC).
+	CreatedAt string `json:"created_at"`
+	// GitDescribe identifies the source tree (git describe --always
+	// --dirty); empty when the binary runs outside a git checkout.
+	GitDescribe string `json:"git_describe,omitempty"`
+	// Seed is the root seed every table derives from.
+	Seed uint64 `json:"seed"`
+	// Config is the flattened effective configuration — robust.Options
+	// carries function-valued hooks, so the manifest keeps only the plain
+	// scalar knobs that determine results.
+	Config ManifestConfig `json:"config"`
+	// Metrics is the final registry snapshot (nil when observability was
+	// off): GA generation totals, cache traffic, Monte-Carlo realization
+	// counts and fault-executor decision counters.
+	Metrics *obs.Snapshot `json:"metrics,omitempty"`
+}
+
+// ManifestConfig is the JSON-marshalable projection of Config.
+type ManifestConfig struct {
+	Graphs         int       `json:"graphs"`
+	Realizations   int       `json:"realizations"`
+	Tasks          int       `json:"tasks"`
+	Processors     int       `json:"processors"`
+	ULs            []float64 `json:"uls"`
+	Eps            []float64 `json:"eps"`
+	RGrid          []float64 `json:"r_grid,omitempty"`
+	PopSize        int       `json:"pop_size"`
+	CrossoverRate  float64   `json:"crossover_rate"`
+	MutationRate   float64   `json:"mutation_rate"`
+	MaxGenerations int       `json:"max_generations"`
+	Stagnation     int       `json:"stagnation"`
+	TraceEvery     int       `json:"trace_every"`
+	Workers        int       `json:"workers"`
+}
+
+// Manifest assembles the run manifest for this configuration. The registry
+// may be nil; pass the one the run populated to embed its final snapshot.
+func (c Config) Manifest(reg *obs.Registry) Manifest {
+	ga := c.gaOptions()
+	m := Manifest{
+		CreatedAt:   time.Now().UTC().Format(time.RFC3339),
+		GitDescribe: gitDescribe(),
+		Seed:        c.Seed,
+		Config: ManifestConfig{
+			Graphs:         c.Graphs,
+			Realizations:   c.Realizations,
+			Tasks:          c.Gen.N,
+			Processors:     c.Gen.M,
+			ULs:            c.ULs,
+			Eps:            c.Eps,
+			RGrid:          c.RGrid,
+			PopSize:        ga.PopSize,
+			CrossoverRate:  ga.CrossoverRate,
+			MutationRate:   ga.MutationRate,
+			MaxGenerations: ga.MaxGenerations,
+			Stagnation:     ga.Stagnation,
+			TraceEvery:     c.TraceEvery,
+			Workers:        c.Workers,
+		},
+	}
+	if reg != nil {
+		snap := reg.Snapshot()
+		m.Metrics = &snap
+	}
+	return m
+}
+
+// WriteManifest writes the manifest as indented JSON to path.
+func WriteManifest(path string, m Manifest) error {
+	b, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// gitDescribe best-effort identifies the working tree's revision. Any
+// failure (no git binary, not a checkout) degrades to an empty string —
+// provenance is advisory, never a reason to fail a run.
+func gitDescribe() string {
+	out, err := exec.Command("git", "describe", "--always", "--dirty").Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
+}

@@ -90,7 +90,7 @@ func (c Config) Sensitivity(param SensitivityParam, grid []float64, eps float64)
 			}
 			ms, err := sim.EvaluateAll(
 				[]*schedule.Schedule{res.Schedule, res.HEFT},
-				sim.Options{Realizations: cfg.Realizations},
+				cfg.simOptions(),
 				rng.New(cfg.graphSeed(gi+100, g)^0x5e52))
 			if err != nil {
 				return err

@@ -75,7 +75,7 @@ func (c Config) EvolutionTrace(mode robust.Mode) (*Trace, error) {
 				return err
 			}
 			// Evaluate every snapshot under common random numbers.
-			ms, err := sim.EvaluateAll(snapshots, sim.Options{Realizations: c.Realizations}, rng.New(c.graphSeed(u, g)^0x5555))
+			ms, err := sim.EvaluateAll(snapshots, c.simOptions(), rng.New(c.graphSeed(u, g)^0x5555))
 			if err != nil {
 				return err
 			}

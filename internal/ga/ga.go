@@ -78,6 +78,14 @@ type Config[T any] struct {
 	// generations — observers that retain them past the callback must copy.
 	// Used by the Fig. 2/3 evolution-trace experiments.
 	OnGeneration func(gen int, pop []T, fit []float64)
+
+	// Observer, if non-nil, receives per-generation telemetry (GenStats):
+	// best/mean fitness, genotype diversity and operator counts. Unlike
+	// OnGeneration it is also supported by RunIslands, which buffers each
+	// island's stats and emits them deterministically at the epoch
+	// barriers. The trajectory is bit-identical for every evaluation-hook
+	// parallelism; with no Observer the engine skips all stats work.
+	Observer Observer
 }
 
 // PaperDefaults sets the GA parameters of Section 5 (Np=20, pc=0.9, pm=0.1,
@@ -169,13 +177,13 @@ func (c Config[T]) evalInto(pop []T, fit []float64) ([]float64, error) {
 // fitness. The buffers previously holding pop and fit are recycled into ar
 // for the next call, so the steady state allocates nothing. The trajectory
 // is bit-identical to the historical allocate-per-generation loop.
-func (c Config[T]) advance(pop []T, fit []float64, elite T, ar *genArena[T], r *rng.Source) ([]T, []float64, error) {
+func (c Config[T]) advance(pop []T, fit []float64, elite T, ar *genArena[T], r *rng.Source) ([]T, []float64, opCounts, error) {
 	c.tournamentInto(ar.inter, pop, fit, ar.perm, r)
 	next := ar.spare
-	c.recombineInto(next, ar.inter, r)
+	oc := c.recombineInto(next, ar.inter, r)
 	nextFit, err := c.evalInto(next, ar.fit)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, oc, err
 	}
 	// Elitism: the worst of the new population is replaced by the best
 	// of the current one (Section 4.2.3), then re-scored within the new
@@ -191,11 +199,11 @@ func (c Config[T]) advance(pop []T, fit []float64, elite T, ar *genArena[T], r *
 	} else {
 		nextFit, err = c.evalInto(next, nextFit)
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, oc, err
 		}
 	}
 	ar.spare, ar.fit = pop, fit
-	return next, nextFit, nil
+	return next, nextFit, oc, nil
 }
 
 // Run evolves a population and returns the best individual found.
@@ -215,16 +223,23 @@ func Run[T any](c Config[T], r *rng.Source) (Result[T], error) {
 	if c.OnGeneration != nil {
 		c.OnGeneration(0, pop, fit)
 	}
+	if c.Observer != nil {
+		c.Observer.ObserveGeneration(c.genStats(0, 0, pop, fit, opCounts{}))
+	}
 	sinceImprove := 0
 	gen := 0
 	for gen = 1; gen <= c.MaxGenerations; gen++ {
-		pop, fit, err = c.advance(pop, fit, best, ar, r)
+		var oc opCounts
+		pop, fit, oc, err = c.advance(pop, fit, best, ar, r)
 		if err != nil {
 			return zero, err
 		}
 		bestIdx = argmax(fit)
 		if c.OnGeneration != nil {
 			c.OnGeneration(gen, pop, fit)
+		}
+		if c.Observer != nil {
+			c.Observer.ObserveGeneration(c.genStats(0, gen, pop, fit, oc))
 		}
 		if fit[bestIdx] > bestFit+1e-12 {
 			best, bestFit = pop[bestIdx], fit[bestIdx]
@@ -336,20 +351,25 @@ func (c Config[T]) tournament(pop []T, fit []float64, r *rng.Source) []T {
 // recombineInto applies crossover to a pc fraction of the intermediate
 // population (pairing adjacent individuals, which the tournament already
 // shuffled) and mutation with probability pm per individual, writing the
-// offspring into dst (len(inter), disjoint from inter).
-func (c Config[T]) recombineInto(dst, inter []T, r *rng.Source) {
+// offspring into dst (len(inter), disjoint from inter). The returned
+// operator counts feed the Observer; tallying them costs no allocation.
+func (c Config[T]) recombineInto(dst, inter []T, r *rng.Source) opCounts {
 	np := len(inter)
+	var oc opCounts
 	copy(dst, inter)
 	for i := 0; i+1 < np; i += 2 {
 		if r.Float64() < c.CrossoverRate {
 			dst[i], dst[i+1] = c.Crossover(inter[i], inter[i+1], r)
+			oc.crossovers++
 		}
 	}
 	for i := range dst {
 		if r.Float64() < c.MutationRate {
 			dst[i] = c.Mutate(dst[i], r)
+			oc.mutations++
 		}
 	}
+	return oc
 }
 
 // recombine is the allocating form of recombineInto, kept for tests and

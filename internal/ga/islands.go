@@ -70,6 +70,15 @@ func RunIslands[T any](c IslandConfig[T], root *rng.Source) (Result[T], error) {
 			ar: newArena[T](cfg.PopSize),
 		}
 	}
+	// Observer: island stats are buffered per island while the goroutines
+	// run and emitted only here on the calling goroutine, in (generation,
+	// island) order — a deterministic interleaving no matter how the epochs
+	// are scheduled. Generation 0 covers the initial populations.
+	if c.Base.Observer != nil {
+		for i, st := range states {
+			c.Base.Observer.ObserveGeneration(c.Base.genStats(i, 0, st.pop, st.fit, opCounts{}))
+		}
+	}
 
 	totalGens := c.Base.MaxGenerations
 	sinceImprove := make([]int, c.Islands)
@@ -87,12 +96,15 @@ func RunIslands[T any](c IslandConfig[T], root *rng.Source) (Result[T], error) {
 				defer wg.Done()
 				cfg := c.Base
 				for e := 0; e < epoch; e++ {
-					next, fit, err := cfg.advance(st.pop, st.fit, st.best, st.ar, st.rng)
+					next, fit, oc, err := cfg.advance(st.pop, st.fit, st.best, st.ar, st.rng)
 					if err != nil {
 						errs[idx] = err
 						return
 					}
 					st.pop, st.fit = next, fit
+					if cfg.Observer != nil {
+						st.stats = append(st.stats, cfg.genStats(idx, gen+e+1, st.pop, st.fit, oc))
+					}
 					bi := argmax(fit)
 					if fit[bi] > st.bf+1e-12 {
 						sinceImprove[idx] = 0
@@ -107,6 +119,16 @@ func RunIslands[T any](c IslandConfig[T], root *rng.Source) (Result[T], error) {
 		for _, err := range errs {
 			if err != nil {
 				return zero, err
+			}
+		}
+		if c.Base.Observer != nil {
+			for e := 0; e < epoch; e++ {
+				for _, st := range states {
+					c.Base.Observer.ObserveGeneration(st.stats[e])
+				}
+			}
+			for _, st := range states {
+				st.stats = st.stats[:0]
 			}
 		}
 		gen += epoch
@@ -162,6 +184,9 @@ type islandState[T any] struct {
 	best T
 	bf   float64
 	ar   *genArena[T]
+	// stats buffers the epoch's GenStats for deterministic emission at the
+	// barrier (only filled when an Observer is configured).
+	stats []GenStats
 }
 
 func pickBest[T any](states []*islandState[T]) *islandState[T] {

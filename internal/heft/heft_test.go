@@ -7,7 +7,18 @@ import (
 	"robsched/internal/dag"
 	"robsched/internal/platform"
 	"robsched/internal/rng"
+	"robsched/internal/schedule"
 )
+
+// mustValidate pins every schedule a heuristic emits against the shared
+// feasibility invariants (placement partition, precedence with
+// communication, no processor overlap, analysis consistency).
+func mustValidate(t *testing.T, s *schedule.Schedule) {
+	t.Helper()
+	if err := schedule.Validate(s); err != nil {
+		t.Fatal(err)
+	}
+}
 
 // topcuogluExample builds the canonical 10-task, 3-processor example from
 // the HEFT paper (Topcuoglu et al., IEEE TPDS 2002, Fig. 2 / Table 1),
@@ -147,6 +158,7 @@ func TestHEFTValidAndCompetitiveOnRandom(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
+		mustValidate(t, s)
 		// HEFT should beat the average random schedule comfortably.
 		var sum float64
 		const k = 10
@@ -172,6 +184,7 @@ func TestCPOPValidOnRandom(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
+		mustValidate(t, s)
 		if s.Makespan() <= 0 {
 			t.Fatal("non-positive makespan")
 		}
@@ -234,6 +247,7 @@ func TestRandomScheduleValidity(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
+		mustValidate(t, s)
 		count := 0
 		for p := 0; p < w.M(); p++ {
 			count += len(s.ProcOrder(p))
@@ -332,6 +346,7 @@ func TestBatchMinMinValid(t *testing.T) {
 			if err != nil {
 				t.Fatalf("%v: %v", rule, err)
 			}
+			mustValidate(t, s)
 			if s.Makespan() <= 0 {
 				t.Fatalf("%v: bad makespan", rule)
 			}
@@ -419,6 +434,7 @@ func TestPEFTValidAndCompetitive(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
+		mustValidate(t, ps)
 		hs, err := HEFT(w, Options{})
 		if err != nil {
 			t.Fatal(err)

@@ -1,0 +1,56 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"sync/atomic"
+)
+
+var (
+	expvarOnce sync.Once
+	expvarReg  atomic.Pointer[Registry]
+)
+
+// PublishExpvar exposes the registry's snapshot as the expvar variable
+// "robsched.obs" (served under /debug/vars). expvar names are global and
+// publish-once, so later calls re-point the variable at the new registry
+// instead of publishing again.
+func PublishExpvar(reg *Registry) {
+	expvarReg.Store(reg)
+	expvarOnce.Do(func() {
+		expvar.Publish("robsched.obs", expvar.Func(func() any {
+			return expvarReg.Load().Snapshot()
+		}))
+	})
+}
+
+// Serve starts an HTTP server on addr (host:port; port 0 picks a free one)
+// exposing the Go runtime profiles under /debug/pprof/, expvar — including
+// the published registry — under /debug/vars, and the registry snapshot
+// alone as JSON under /debug/obs. It returns the bound address and a
+// function that shuts the server down.
+func Serve(addr string, reg *Registry) (string, func() error, error) {
+	PublishExpvar(reg)
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/obs", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(reg.Snapshot())
+	})
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	srv := &http.Server{Handler: mux}
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr().String(), srv.Close, nil
+}

@@ -24,6 +24,7 @@ import (
 
 	"robsched/internal/fault"
 	"robsched/internal/heft"
+	"robsched/internal/obs"
 	"robsched/internal/platform"
 	"robsched/internal/rng"
 	"robsched/internal/schedule"
@@ -57,6 +58,20 @@ type FaultPolicy struct {
 	// dropped rather than executed, and abandoned tasks count as drops
 	// instead of failing the run. 0 disables dropping.
 	DropFactor float64
+
+	// Obs, if non-nil, receives executor telemetry: the counters
+	// repair.executions, repair.kills, repair.retries, repair.migrations,
+	// repair.drops, repair.abandons and repair.reschedules. The totals are
+	// deterministic for a fixed evaluation (per-realization streams are
+	// seeded sequentially), independent of worker count. Nil disables with
+	// zero overhead.
+	Obs *obs.Registry
+	// Trace, if non-nil, receives one structured event per fault-handling
+	// decision — repair/kill, repair/retry, repair/migrate, repair/drop,
+	// repair/abandon and repair/reschedule — each carrying task, processor
+	// and simulated-time attribution. Events from concurrently evaluated
+	// realizations interleave in wall-clock order.
+	Trace *obs.Tracer
 }
 
 // DefaultFaultPolicy is right-shift execution with two migrating retries
@@ -130,6 +145,19 @@ func ExecuteFaults(s *schedule.Schedule, durs platform.Matrix, sc fault.Scenario
 	dropAfter := pol.DropFactor * s.Makespan()
 	critTol := 1e-9 * (1 + s.Makespan())
 
+	// Telemetry handles (nil-safe no-ops when observability is off). The
+	// instrumentation only records decisions already taken — it cannot
+	// perturb the executor's floating-point sequence, so the bit-identity
+	// with Execute under an empty scenario is preserved.
+	tsc := pol.Trace.Scope("repair")
+	cKills := pol.Obs.Counter("repair.kills")
+	cRetries := pol.Obs.Counter("repair.retries")
+	cMigrations := pol.Obs.Counter("repair.migrations")
+	cDrops := pol.Obs.Counter("repair.drops")
+	cAbandons := pol.Obs.Counter("repair.abandons")
+	cResched := pol.Obs.Counter("repair.reschedules")
+	pol.Obs.Counter("repair.executions").Inc()
+
 	out := FaultOutcome{
 		Outcome: Outcome{
 			Proc:   s.ProcAssignment(),
@@ -173,9 +201,13 @@ func ExecuteFaults(s *schedule.Schedule, durs platform.Matrix, sc fault.Scenario
 		nAbandoned++
 		if pol.DropFactor > 0 {
 			out.Dropped = append(out.Dropped, v)
+			cDrops.Inc()
+			tsc.Event("drop", obs.F("task", float64(v)))
 		} else {
 			out.Unfinished = append(out.Unfinished, v)
 			out.Failed = true
+			cAbandons.Inc()
+			tsc.Event("abandon", obs.F("task", float64(v)))
 		}
 		for _, a := range w.G.Successors(v) {
 			abandon(a.To)
@@ -282,11 +314,24 @@ func ExecuteFaults(s *schedule.Schedule, durs platform.Matrix, sc fault.Scenario
 		queues[bestProc] = queues[bestProc][1:]
 		if attempts[v] > 0 && bestProc != lastProc[v] {
 			out.Migrations++
+			cMigrations.Inc()
+			tsc.Event("migrate",
+				obs.F("task", float64(v)),
+				obs.F("from", float64(lastProc[v])),
+				obs.F("to", float64(bestProc)),
+				obs.F("time", bestStart),
+			)
 		}
 		lastProc[v] = bestProc
 		fin, killed, killTime := sc.Run(bestProc, bestStart, durs.At(v, bestProc))
 		if killed {
 			out.Kills++
+			cKills.Inc()
+			tsc.Event("kill",
+				obs.F("task", float64(v)),
+				obs.F("proc", float64(bestProc)),
+				obs.F("time", killTime),
+			)
 			procFree[bestProc] = killTime
 			attempts[v]++
 			if attempts[v] > pol.Retry.MaxRetries {
@@ -295,6 +340,12 @@ func ExecuteFaults(s *schedule.Schedule, durs platform.Matrix, sc fault.Scenario
 			}
 			out.Retries++
 			notBefore[v] = killTime + pol.Retry.Backoff*math.Pow(2, float64(attempts[v]-1))
+			cRetries.Inc()
+			tsc.Event("retry",
+				obs.F("task", float64(v)),
+				obs.F("attempt", float64(attempts[v])),
+				obs.F("not_before", notBefore[v]),
+			)
 			if pol.Retry.Migrate {
 				if !replanFault(killTime) {
 					abandon(v) // no processor left alive
@@ -321,6 +372,12 @@ func ExecuteFaults(s *schedule.Schedule, durs platform.Matrix, sc fault.Scenario
 		if !math.IsInf(pol.Threshold, 1) && fin-planned[v] > window && done+nAbandoned < n {
 			replanWith(w, ranks, completed, abandoned, aliveMaskOrNil(&sc, m, fin), notBefore, out.Outcome, procFree, queues, planned)
 			out.Reschedules++
+			cResched.Inc()
+			tsc.Event("reschedule",
+				obs.F("task", float64(v)),
+				obs.F("time", fin),
+				obs.F("overrun", fin-planned[v]),
+			)
 		}
 	}
 	out.CompletionFraction = float64(done) / float64(n)
@@ -381,6 +438,12 @@ func EvaluateFaults(s *schedule.Schedule, pol FaultPolicy, src fault.Sampler, ho
 	}
 	if horizon <= 0 {
 		horizon = 4 * s.Makespan()
+	}
+	if pol.Trace != nil {
+		defer pol.Trace.Scope("repair").Span("evaluate_faults",
+			obs.F("realizations", float64(opt.Realizations)),
+			obs.F("horizon", horizon),
+		)()
 	}
 	w := s.Workload()
 	n, m := w.N(), w.M()

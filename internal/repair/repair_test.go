@@ -9,6 +9,7 @@ import (
 	"robsched/internal/heft"
 	"robsched/internal/platform"
 	"robsched/internal/rng"
+	"robsched/internal/schedule"
 	"robsched/internal/sim"
 )
 
@@ -74,34 +75,12 @@ func TestExecuteValidation(t *testing.T) {
 	}
 }
 
-// checkValidExecution verifies precedence, communication and
-// no-overlap invariants of an outcome.
+// checkValidExecution verifies precedence, communication and no-overlap
+// invariants of an outcome via the shared schedule.ValidateExecution.
 func checkValidExecution(t *testing.T, w *platform.Workload, o Outcome) {
 	t.Helper()
-	type iv struct{ s, f float64 }
-	perProc := map[int][]iv{}
-	for v := 0; v < w.N(); v++ {
-		if o.Finish[v] < o.Start[v] {
-			t.Fatalf("task %d finishes before start", v)
-		}
-		perProc[o.Proc[v]] = append(perProc[o.Proc[v]], iv{o.Start[v], o.Finish[v]})
-		for _, a := range w.G.Predecessors(v) {
-			u := a.To
-			need := o.Finish[u] + w.Sys.CommCost(o.Proc[u], o.Proc[v], a.Data)
-			if o.Start[v] < need-1e-9 {
-				t.Fatalf("task %d starts before its data arrives (%g < %g)", v, o.Start[v], need)
-			}
-		}
-	}
-	for p, ivs := range perProc {
-		for i := range ivs {
-			for j := i + 1; j < len(ivs); j++ {
-				a, b := ivs[i], ivs[j]
-				if a.s < b.f-1e-9 && b.s < a.f-1e-9 {
-					t.Fatalf("processor %d overlap: [%g,%g] and [%g,%g]", p, a.s, a.f, b.s, b.f)
-				}
-			}
-		}
+	if err := schedule.ValidateExecution(w, o.Proc, o.Start, o.Finish); err != nil {
+		t.Fatal(err)
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"robsched/internal/rng"
+	"robsched/internal/schedule"
 )
 
 func TestSolveAnnealValidation(t *testing.T) {
@@ -26,6 +27,9 @@ func TestSolveAnnealFeasibleAndImproving(t *testing.T) {
 	opt.Steps = 4000
 	res, err := SolveAnneal(w, opt, rng.New(2))
 	if err != nil {
+		t.Fatal(err)
+	}
+	if err := schedule.Validate(res.Schedule); err != nil {
 		t.Fatal(err)
 	}
 	if res.Schedule.Makespan() > 1.4*res.MHEFT+1e-9 {

@@ -2,6 +2,7 @@ package robust
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"robsched/internal/schedule"
 )
@@ -47,6 +48,54 @@ type MetricsCache struct {
 	// colliding keys; nil means (*Chromosome).Key.
 	keyFn  func(*Chromosome) uint64
 	shards [cacheShardCount]cacheShard
+
+	// Traffic counters (atomic; see Stats). The counts are deterministic
+	// for a fixed GA trajectory: every lookup happens either in the serial
+	// cache pass of ensureMetrics or on the serial EvaluateOne path, so
+	// they cannot depend on Workers or scheduling.
+	hits       atomic.Int64
+	misses     atomic.Int64
+	collisions atomic.Int64
+	evictions  atomic.Int64
+}
+
+// CacheStats is a monotonic snapshot of a MetricsCache's traffic counters.
+type CacheStats struct {
+	// Hits and Misses partition every lookup.
+	Hits   int64
+	Misses int64
+	// Collisions counts the misses that found entries under the same
+	// fingerprint but failed the full genotype comparison — the FNV-1a
+	// collision fallback degrading to a decode instead of a wrong metric.
+	Collisions int64
+	// Evictions counts wholesale shard resets (capacity pressure).
+	Evictions int64
+}
+
+// Stats returns the cache's traffic counters; nil-safe (a nil cache reads
+// all-zero). Callers observing a single run on a shared cache subtract a
+// before-snapshot with Sub.
+func (mc *MetricsCache) Stats() CacheStats {
+	if mc == nil {
+		return CacheStats{}
+	}
+	return CacheStats{
+		Hits:       mc.hits.Load(),
+		Misses:     mc.misses.Load(),
+		Collisions: mc.collisions.Load(),
+		Evictions:  mc.evictions.Load(),
+	}
+}
+
+// Sub returns the per-field difference s - prev, turning two monotonic
+// snapshots into the traffic of the interval between them.
+func (s CacheStats) Sub(prev CacheStats) CacheStats {
+	return CacheStats{
+		Hits:       s.Hits - prev.Hits,
+		Misses:     s.Misses - prev.Misses,
+		Collisions: s.Collisions - prev.Collisions,
+		Evictions:  s.Evictions - prev.Evictions,
+	}
 }
 
 type cacheShard struct {
@@ -77,11 +126,18 @@ func (mc *MetricsCache) key(c *Chromosome) uint64 {
 func (mc *MetricsCache) lookup(k uint64, c *Chromosome) (schedMetrics, bool) {
 	sh := &mc.shards[k%cacheShardCount]
 	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	for _, e := range sh.m[k] {
+	entries := sh.m[k]
+	for _, e := range entries {
 		if genoEqual(e.geno, c.Order, c.Proc) {
+			sh.mu.Unlock()
+			mc.hits.Add(1)
 			return e.met, true
 		}
+	}
+	sh.mu.Unlock()
+	mc.misses.Add(1)
+	if len(entries) > 0 {
+		mc.collisions.Add(1)
 	}
 	return schedMetrics{}, false
 }
@@ -105,6 +161,7 @@ func (mc *MetricsCache) insert(k uint64, c *Chromosome, met schedMetrics) {
 	if sh.n >= cacheShardCap {
 		sh.m = nil
 		sh.n = 0
+		mc.evictions.Add(1)
 	}
 	if sh.m == nil {
 		sh.m = make(map[uint64][]cacheEntry, 64)

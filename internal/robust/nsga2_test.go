@@ -5,6 +5,7 @@ import (
 
 	"robsched/internal/heft"
 	"robsched/internal/rng"
+	"robsched/internal/schedule"
 )
 
 func paretoOpts() ParetoOptions {
@@ -53,6 +54,9 @@ func TestSolveParetoFrontProperties(t *testing.T) {
 	for _, p := range front {
 		if p.Schedule.Makespan() != p.Makespan {
 			t.Fatal("point metadata inconsistent with schedule")
+		}
+		if err := schedule.Validate(p.Schedule); err != nil {
+			t.Fatal(err)
 		}
 	}
 }

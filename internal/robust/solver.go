@@ -8,6 +8,7 @@ import (
 
 	"robsched/internal/ga"
 	"robsched/internal/heft"
+	"robsched/internal/obs"
 	"robsched/internal/platform"
 	"robsched/internal/rng"
 	"robsched/internal/schedule"
@@ -105,6 +106,25 @@ type Options struct {
 	// OnGeneration, if set, observes the best schedule of each generation
 	// (generation 0 is the initial population). Used to trace Figs. 2–3.
 	OnGeneration func(gen int, best *schedule.Schedule)
+
+	// Obs, if non-nil, receives solver telemetry: per-generation engine
+	// counters/gauges (ga.generations, ga.crossovers, ga.mutations,
+	// ga.best_fitness, ga.mean_fitness, ga.diversity) and the metrics-cache
+	// traffic of this run (cache.hits/misses/collisions/evictions). Every
+	// registry value is a deterministic count over the GA trajectory —
+	// independent of Workers and wall-clock — so snapshots reproduce across
+	// runs. Nil disables with zero overhead.
+	Obs *obs.Registry
+	// Trace, if non-nil, receives structured records: one "ga/generation"
+	// event per evaluated generation, a "cache/stats" event, and a
+	// "robust/solve" span. Span durations are wall-clock and therefore not
+	// reproducible (unlike Obs).
+	Trace *obs.Tracer
+	// Observer, if non-nil, receives the raw per-generation ga.GenStats.
+	// Composes with Obs/Trace; supported with Islands (unlike OnGeneration),
+	// with a trajectory that is bit-identical and identically ordered for
+	// every Workers setting.
+	Observer ga.Observer
 }
 
 // PaperOptions returns the paper's GA configuration for the given mode and ε.
@@ -154,6 +174,11 @@ func Solve(w *platform.Workload, opt Options, r *rng.Source) (*Result, error) {
 		def.HEFT = opt.HEFT
 		def.Cache = opt.Cache
 		def.NoMetricsCache = opt.NoMetricsCache
+		def.Islands = opt.Islands
+		def.MigrationEvery = opt.MigrationEvery
+		def.Obs = opt.Obs
+		def.Trace = opt.Trace
+		def.Observer = opt.Observer
 		opt = def
 	}
 	if opt.Mode == EpsilonConstraint && opt.Eps <= 0 {
@@ -188,6 +213,7 @@ func Solve(w *platform.Workload, opt Options, r *rng.Source) (*Result, error) {
 		Evaluate:       eval.evaluate,
 		EvaluateInto:   eval.evaluateInto,
 		Key:            (*Chromosome).Key,
+		Observer:       ga.MultiObserver(opt.Observer, telemetryObserver(opt.Obs, opt.Trace)),
 	}
 	// The two single-objective modes are population-independent, so the
 	// engine's post-elitism pass only needs the replaced slot re-scored. The
@@ -215,6 +241,14 @@ func Solve(w *platform.Workload, opt Options, r *rng.Source) (*Result, error) {
 			on(gen, eval.schedOf(pop[best]))
 		}
 	}
+	if opt.Trace != nil {
+		defer opt.Trace.Scope("robust").Span("solve",
+			obs.F("mode", float64(opt.Mode)),
+			obs.F("pop", float64(opt.PopSize)),
+			obs.F("max_generations", float64(opt.MaxGenerations)),
+		)()
+	}
+	cachePre := eval.cache.Stats()
 	var res ga.Result[*Chromosome]
 	var err error
 	if opt.Islands > 1 {
@@ -228,6 +262,9 @@ func Solve(w *platform.Workload, opt Options, r *rng.Source) (*Result, error) {
 	}
 	if err != nil {
 		return nil, err
+	}
+	if eval.cache != nil && (opt.Obs != nil || opt.Trace != nil) {
+		recordCacheStats(opt.Obs, opt.Trace, eval.cache.Stats().Sub(cachePre))
 	}
 	s, err := res.Best.Decode(w)
 	if err != nil {

@@ -27,6 +27,9 @@ func TestSolveMinMakespanNeverWorseThanHEFT(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
+		if err := schedule.Validate(res.Schedule); err != nil {
+			t.Fatal(err)
+		}
 		if res.Schedule.Makespan() > res.MHEFT+1e-9 {
 			t.Fatalf("seed %d: GA makespan %g worse than HEFT %g",
 				seed, res.Schedule.Makespan(), res.MHEFT)
@@ -77,6 +80,9 @@ func TestSolveEpsilonConstraintFeasible(t *testing.T) {
 		w := testWorkload(t, 400, 30, 4)
 		res, err := Solve(w, quickOptions(EpsilonConstraint, eps), rng.New(4))
 		if err != nil {
+			t.Fatal(err)
+		}
+		if err := schedule.Validate(res.Schedule); err != nil {
 			t.Fatal(err)
 		}
 		bound := eps * res.MHEFT

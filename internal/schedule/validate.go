@@ -1,0 +1,205 @@
+package schedule
+
+// Shared invariant checkers, promoted from what used to be per-package
+// test helpers so that every layer (HEFT, the GA, the repair executors,
+// the dynamic dispatcher) validates schedules and execution traces against
+// one definition of feasibility.
+
+import (
+	"fmt"
+	"sort"
+
+	"robsched/internal/platform"
+)
+
+// validateEps absorbs the floating-point slop of longest-path arithmetic;
+// it matches the tolerance the analysis itself uses for slack clamping.
+const validateEps = 1e-9
+
+// Validate checks the full feasibility of a schedule together with its
+// expected-duration analysis:
+//
+//   - every task is assigned to exactly one in-range processor and appears
+//     exactly once in that processor's execution order;
+//   - precedence with communication: no task starts before each
+//     predecessor's finish plus the (Eqn. 1) communication delay;
+//   - no two tasks overlap on any processor, and each processor runs its
+//     tasks in its stated order;
+//   - start/finish/makespan are consistent with the expected durations
+//     (finish = start + duration, makespan = max finish).
+//
+// Construction already enforces most of this, so Validate is cheap
+// insurance against internal-state corruption: tests call it on every
+// schedule a solver emits, making "the GA produced an infeasible schedule"
+// a structured error instead of a silently wrong makespan.
+func Validate(s *Schedule) error {
+	if s == nil {
+		return fmt.Errorf("schedule: nil schedule")
+	}
+	w := s.w
+	n, m := w.N(), w.M()
+	if len(s.proc) != n || len(s.start) != n || len(s.finish) != n {
+		return fmt.Errorf("schedule: analysis vectors have wrong length")
+	}
+
+	// Placement: partition of tasks over processor orders, consistent with
+	// the proc map.
+	seen := make([]bool, n)
+	for p := 0; p+1 < len(s.porderOff); p++ {
+		for _, v32 := range s.porder[s.porderOff[p]:s.porderOff[p+1]] {
+			v := int(v32)
+			if v < 0 || v >= n {
+				return fmt.Errorf("schedule: processor %d lists task %d out of range", p, v)
+			}
+			if seen[v] {
+				return fmt.Errorf("schedule: task %d appears on more than one processor slot", v)
+			}
+			seen[v] = true
+			if int(s.proc[v]) != p {
+				return fmt.Errorf("schedule: task %d listed on processor %d but assigned to %d", v, p, s.proc[v])
+			}
+		}
+	}
+	for v, ok := range seen {
+		if !ok {
+			return fmt.Errorf("schedule: task %d is not placed on any processor", v)
+		}
+	}
+	for v := 0; v < n; v++ {
+		if p := int(s.proc[v]); p < 0 || p >= m {
+			return fmt.Errorf("schedule: task %d assigned to processor %d out of range [0,%d)", v, p, m)
+		}
+	}
+
+	// Expected-duration consistency.
+	maxFinish := 0.0
+	for v := 0; v < n; v++ {
+		if s.finish[v] < s.start[v]-validateEps {
+			return fmt.Errorf("schedule: task %d finishes at %g before its start %g", v, s.finish[v], s.start[v])
+		}
+		if d := s.finish[v] - s.start[v]; absDiff(d, s.expDur[v]) > validateEps {
+			return fmt.Errorf("schedule: task %d runs for %g, expected duration is %g", v, d, s.expDur[v])
+		}
+		if s.finish[v] > maxFinish {
+			maxFinish = s.finish[v]
+		}
+	}
+	if absDiff(maxFinish, s.makespan) > validateEps {
+		return fmt.Errorf("schedule: makespan %g != max finish %g", s.makespan, maxFinish)
+	}
+
+	// Same-processor order: each processor executes its list back-to-back
+	// without overlap, in the stated order.
+	for p := 0; p+1 < len(s.porderOff); p++ {
+		list := s.porder[s.porderOff[p]:s.porderOff[p+1]]
+		for i := 1; i < len(list); i++ {
+			u, v := int(list[i-1]), int(list[i])
+			if s.start[v] < s.finish[u]-validateEps {
+				return fmt.Errorf("schedule: processor %d runs task %d at %g before task %d finishes at %g",
+					p, v, s.start[v], u, s.finish[u])
+			}
+		}
+	}
+
+	// Precedence with communication, against the task graph itself.
+	procs := make([]int, n)
+	for v := range procs {
+		procs[v] = int(s.proc[v])
+	}
+	return validatePrecedence(w, procs, s.start, s.finish, func(int) bool { return true })
+}
+
+// ValidateExecution checks the physical consistency of an executed (or
+// simulated) trace: proc/start/finish as reported by the dynamic
+// dispatcher or a repair executor. It enforces
+//
+//   - every task ran on exactly one in-range processor with finish >= start;
+//   - precedence with communication: no task starts before each
+//     predecessor's finish plus the communication delay between their
+//     processors;
+//   - no two tasks overlap on any processor.
+//
+// Unlike Validate it takes raw vectors, because executed traces carry
+// realized times that no Schedule object describes.
+func ValidateExecution(w *platform.Workload, proc []int, start, finish []float64) error {
+	return ValidateExecutionSubset(w, proc, start, finish, nil)
+}
+
+// ValidateExecutionSubset is ValidateExecution restricted to the tasks
+// with completed[v] true — the shape fault-tolerant executions produce,
+// where dropped tasks carry no meaningful times. It additionally requires
+// every predecessor of a completed task to be completed (a task cannot
+// finish without its inputs). completed == nil means all tasks.
+func ValidateExecutionSubset(w *platform.Workload, proc []int, start, finish []float64, completed []bool) error {
+	n, m := w.N(), w.M()
+	if len(proc) != n || len(start) != n || len(finish) != n {
+		return fmt.Errorf("schedule: execution trace has %d/%d/%d entries, want %d",
+			len(proc), len(start), len(finish), n)
+	}
+	if completed != nil && len(completed) != n {
+		return fmt.Errorf("schedule: completed mask has %d entries, want %d", len(completed), n)
+	}
+	done := func(v int) bool { return completed == nil || completed[v] }
+	type iv struct {
+		s, f float64
+		v    int
+	}
+	perProc := make([][]iv, m)
+	for v := 0; v < n; v++ {
+		if !done(v) {
+			continue
+		}
+		if proc[v] < 0 || proc[v] >= m {
+			return fmt.Errorf("schedule: task %d ran on processor %d out of range [0,%d)", v, proc[v], m)
+		}
+		if finish[v] < start[v]-validateEps {
+			return fmt.Errorf("schedule: task %d finishes at %g before its start %g", v, finish[v], start[v])
+		}
+		perProc[proc[v]] = append(perProc[proc[v]], iv{start[v], finish[v], v})
+	}
+	if err := validatePrecedence(w, proc, start, finish, done); err != nil {
+		return err
+	}
+	for p, ivs := range perProc {
+		sort.Slice(ivs, func(i, j int) bool { return ivs[i].s < ivs[j].s })
+		for i := 1; i < len(ivs); i++ {
+			a, b := ivs[i-1], ivs[i]
+			if b.s < a.f-validateEps {
+				return fmt.Errorf("schedule: processor %d overlap: task %d [%g,%g] and task %d [%g,%g]",
+					p, a.v, a.s, a.f, b.v, b.s, b.f)
+			}
+		}
+	}
+	return nil
+}
+
+// validatePrecedence checks every data edge between done tasks: the
+// consumer must not start before the producer's finish plus the
+// communication cost between their processors, and a done consumer
+// requires every producer to be done.
+func validatePrecedence(w *platform.Workload, proc []int, start, finish []float64, done func(int) bool) error {
+	for v := 0; v < w.N(); v++ {
+		if !done(v) {
+			continue
+		}
+		for _, a := range w.G.Predecessors(v) {
+			u := a.To
+			if !done(u) {
+				return fmt.Errorf("schedule: task %d completed but its predecessor %d did not", v, u)
+			}
+			need := finish[u] + w.Sys.CommCost(proc[u], proc[v], a.Data)
+			if start[v] < need-validateEps {
+				return fmt.Errorf("schedule: task %d starts at %g before data from task %d arrives at %g",
+					v, start[v], u, need)
+			}
+		}
+	}
+	return nil
+}
+
+func absDiff(a, b float64) float64 {
+	if a > b {
+		return a - b
+	}
+	return b - a
+}

@@ -1,8 +1,10 @@
 package sim
 
 import (
+	"io"
 	"testing"
 
+	"robsched/internal/obs"
 	"robsched/internal/platform"
 	"robsched/internal/rng"
 	"robsched/internal/schedule"
@@ -43,4 +45,28 @@ func BenchmarkEvaluateAll(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkEvaluateAllObs is BenchmarkEvaluateAll with and without the
+// registry/tracer attached: the Monte-Carlo engine instruments per batch,
+// not per realization, so "on" must track "off" within noise. Tracked in
+// BENCH_obs.json via bench.sh.
+func BenchmarkEvaluateAllObs(b *testing.B) {
+	w := testWorkload(b, 1, 100, 8, 4)
+	ss := benchSchedules(b, w, 7)
+	run := func(b *testing.B, instrument bool) {
+		opt := PaperOptions()
+		if instrument {
+			opt.Obs = obs.NewRegistry()
+			opt.Trace = obs.NewTracer(io.Discard, 64)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := EvaluateAll(ss, opt, rng.New(1)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("off", func(b *testing.B) { run(b, false) })
+	b.Run("on", func(b *testing.B) { run(b, true) })
 }

@@ -29,6 +29,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"robsched/internal/obs"
 	"robsched/internal/platform"
 	"robsched/internal/rng"
 	"robsched/internal/schedule"
@@ -60,6 +61,18 @@ type Options struct {
 	// sweep; 0 means DefaultBatchSize. Any width yields bit-identical
 	// results — this is purely a throughput knob.
 	BatchSize int
+
+	// Obs, if non-nil, receives engine telemetry: the deterministic
+	// counters sim.realize_calls / sim.realizations / sim.schedules /
+	// sim.batches and the sim.batch_occupancy histogram (all independent of
+	// Workers), plus sim.worker_claims, a histogram of batches claimed per
+	// worker whose shape — unlike every other instrument — depends on the
+	// worker count and scheduling. Nil disables with zero overhead.
+	Obs *obs.Registry
+	// Trace, if non-nil, receives a "sim/realize_all" span per engine run
+	// (realizations, schedules, batches, workers attributes; wall-clock
+	// duration) and a "sim/build_sampler" span for the sample-table setup.
+	Trace *obs.Tracer
 }
 
 // PaperOptions returns the paper's evaluation settings (1000 realizations).
@@ -342,7 +355,9 @@ func RealizeAll(ss []*schedule.Schedule, opt Options, root *rng.Source) ([][]flo
 		}
 	}
 	B := opt.batch()
+	buildDone := opt.Trace.Scope("sim").Span("build_sampler")
 	sp := newSampler(w)
+	buildDone()
 	mks := make([][]float64, len(ss))
 	arena := make([]float64, len(ss)*R)
 	for j := range mks {
@@ -352,6 +367,24 @@ func RealizeAll(ss []*schedule.Schedule, opt Options, root *rng.Source) ([][]flo
 	nw := opt.workers()
 	if nw > nBatches {
 		nw = nBatches
+	}
+	// Telemetry: the counters and the occupancy histogram aggregate
+	// worker-independent facts (every run issues the same batch widths);
+	// only worker_claims reflects the actual racy batch assignment.
+	opt.Obs.Counter("sim.realize_calls").Inc()
+	opt.Obs.Counter("sim.realizations").Add(int64(R))
+	opt.Obs.Counter("sim.schedules").Add(int64(len(ss)))
+	opt.Obs.Counter("sim.batches").Add(int64(nBatches))
+	occupancy := opt.Obs.Histogram("sim.batch_occupancy", []float64{1, 2, 4, 8, 16, 32, 64})
+	claims := opt.Obs.Histogram("sim.worker_claims", []float64{1, 2, 4, 8, 16, 64, 256, 1024})
+	if opt.Trace != nil {
+		defer opt.Trace.Scope("sim").Span("realize_all",
+			obs.F("realizations", float64(R)),
+			obs.F("schedules", float64(len(ss))),
+			obs.F("batches", float64(nBatches)),
+			obs.F("batch_size", float64(B)),
+			obs.F("workers", float64(nw)),
+		)()
 	}
 	// Workers claim whole batches off a shared cursor; since every batch
 	// writes a disjoint [lo, lo+b) realization range, the assignment of
@@ -368,15 +401,19 @@ func RealizeAll(ss []*schedule.Schedule, opt Options, root *rng.Source) ([][]flo
 			finish := make([]float64, n*B)
 			out := make([]float64, B)
 			u := make([]float64, sp.draws) // one realization's uniform block
+			claimed := 0
+			defer func() { claims.Observe(float64(claimed)) }()
 			for {
 				lo := int(cursor.Add(int64(B))) - B
 				if lo >= R {
 					return
 				}
+				claimed++
 				b := B
 				if lo+b > R {
 					b = R - lo
 				}
+				occupancy.Observe(float64(b))
 				for l := 0; l < b; l++ {
 					i := lo + l
 					r := rng.New(seeds[i])
