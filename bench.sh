@@ -3,9 +3,12 @@
 # the results to the per-area trajectory files: the decode path goes to
 # BENCH_decode.json, the Monte-Carlo simulation path (batched realization
 # kernel + full evaluation) to BENCH_sim.json, the end-to-end GA solve
-# path (paper-scale ε-constraint run, cache on/off) to BENCH_ga.json, and
-# the observability overhead lane (solve and Monte-Carlo with telemetry on
-# vs off, plus the no-op instrument microbenchmarks) to BENCH_obs.json.
+# path (paper-scale ε-constraint run, cache on/off) to BENCH_ga.json, the
+# observability overhead lane (solve and Monte-Carlo with telemetry on
+# vs off, plus the no-op instrument microbenchmarks) to BENCH_obs.json,
+# and the incremental-decode lane (delta vs full decode of GA children,
+# operator microbenchmarks, paper solve with delta on vs off) to
+# BENCH_delta.json.
 # Run from the repo root; pass extra `go test` flags (e.g. -benchtime 10x)
 # as arguments.
 set -eu
@@ -34,3 +37,9 @@ go test -run '^$' \
     -benchmem "$@" . ./internal/sim ./internal/obs \
   | tee /dev/stderr \
   | go run ./cmd/benchjson -o BENCH_obs.json
+
+go test -run '^$' \
+    -bench 'BenchmarkDecodeDelta$|BenchmarkDecodeFull$|BenchmarkCrossover$|BenchmarkMutate$|BenchmarkSolvePaper/cache|BenchmarkSolvePaper/nodelta' \
+    -benchmem "$@" ./internal/schedule ./internal/robust . \
+  | tee /dev/stderr \
+  | go run ./cmd/benchjson -o BENCH_delta.json

@@ -9,6 +9,7 @@ package robust
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"robsched/internal/platform"
 	"robsched/internal/rng"
@@ -40,6 +41,30 @@ type Chromosome struct {
 	// genotype-duplicate individuals free.
 	metr    schedMetrics
 	hasMetr bool
+
+	// Parentage for delta decoding: parent, when non-nil, is a chromosome
+	// this one was derived from whose genotype agrees with ours on every
+	// scheduling-string position before firstDirty (and on the processor of
+	// every task named there). The operators record it; the evaluator
+	// resolves it — compressing chains through undecoded intermediates,
+	// composing firstDirty by minimum — into the nearest decoded ancestor
+	// for schedule.Decoder.DecodeDelta.
+	parent     *Chromosome
+	firstDirty int
+
+	// Rolling genotype hash: raw is the position-weighted polynomial
+	// Σ (gene_i+1)·base^i over the order genes (positions 0..n-1) then the
+	// proc genes (positions n..2n-1); key is its avalanched form served by
+	// Key. Operators derive a child's raw from its parent's in O(changed
+	// genes) instead of re-hashing the unchanged prefix. Lazy computation
+	// writes the memo, which is safe across islands because every consumer
+	// that keys chromosomes (initial-population dedup, the metrics cache,
+	// observer diversity) keys its whole population each generation, so a
+	// migrant is always keyed before the migration barrier — afterwards the
+	// memo is only read. Operators never write to the parents they read.
+	raw    uint64
+	key    uint64
+	hasKey bool
 }
 
 // NewChromosome wraps the given order and assignment without copying.
@@ -72,12 +97,18 @@ func FromSchedule(s *schedule.Schedule) *Chromosome {
 // share one backing array (carved with full-capacity subslices, so neither
 // can grow into the other) — the GA's operators clone every offspring, and
 // one allocation instead of two is measurable over a long run.
+//
+// A computed key memo carries over, so cloning an evaluated elite never
+// re-hashes; the operators adjust it incrementally as they edit genes.
+// Callers that edit a clone's genes directly must not rely on Key.
 func (c *Chromosome) Clone() *Chromosome {
 	n, p := len(c.Order), len(c.Proc)
 	buf := make([]int, n+p)
 	copy(buf[:n], c.Order)
 	copy(buf[n:], c.Proc)
-	return NewChromosome(buf[:n:n], buf[n:])
+	out := NewChromosome(buf[:n:n], buf[n:])
+	out.raw, out.key, out.hasKey = c.raw, c.key, c.hasKey
+	return out
 }
 
 // Decode builds (and memoizes) the schedule the chromosome represents.
@@ -94,6 +125,7 @@ func (c *Chromosome) Decode(w *platform.Workload) (*schedule.Schedule, error) {
 		return nil, fmt.Errorf("robust: invalid chromosome: %w", err)
 	}
 	c.decoded = s
+	c.parent = nil // a decoded chromosome no longer needs its ancestry
 	return s, nil
 }
 
@@ -108,31 +140,82 @@ func (c *Chromosome) DecodeWith(d *schedule.Decoder) (*schedule.Schedule, error)
 		return nil, fmt.Errorf("robust: invalid chromosome: %w", err)
 	}
 	c.decoded = &c.decodedVal
+	c.parent = nil // a decoded chromosome no longer needs its ancestry
 	return c.decoded, nil
 }
 
+// keyBase is the (odd, invertible mod 2^64) weight base of the rolling
+// genotype hash; keyGene biases every gene by one so task/processor 0
+// still contributes to its position's term.
+const keyBase = 0x9e3779b97f4a7c15
+
+func keyGene(v int) uint64 { return uint64(uint32(v)) + 1 }
+
+// keyPow serves the grow-only table of keyBase powers; readers are
+// lock-free (atomic load), growth copies under a mutex.
+var keyPow struct {
+	mu  sync.Mutex
+	tab atomic.Value // []uint64; tab[i] = keyBase^i
+}
+
+func keyPowers(k int) []uint64 {
+	if t, _ := keyPow.tab.Load().([]uint64); len(t) >= k {
+		return t
+	}
+	keyPow.mu.Lock()
+	defer keyPow.mu.Unlock()
+	t, _ := keyPow.tab.Load().([]uint64)
+	if len(t) >= k {
+		return t
+	}
+	nt := make([]uint64, k+k/2+8)
+	nt[0] = 1
+	for i := 1; i < len(nt); i++ {
+		nt[i] = nt[i-1] * keyBase
+	}
+	keyPow.tab.Store(nt)
+	return nt
+}
+
+// mixKey is the 64-bit murmur3 finalizer: the rolling raw hash is additive
+// and position-weighted, so low-entropy genotypes need the avalanche to
+// spread across the metrics-cache shards.
+func mixKey(h uint64) uint64 {
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}
+
 // Key fingerprints the genotype for the GA's initial-population uniqueness
-// check and the solver's metrics cache: a multiplicative word-wise hash
-// (one XOR-multiply per gene instead of the four byte steps of classical
-// FNV-1a — Key was the single hottest function of a cached ε-constraint
-// solve) followed by a murmur-style avalanche so low-entropy genotypes
-// still spread across the cache shards. Equal genotypes always collide by
+// check and the solver's metrics cache. It is the avalanched form of a
+// position-weighted polynomial over the genes, memoized on the chromosome:
+// the operators update the polynomial incrementally from the parent's in
+// O(changed genes), so keying a child stops re-hashing the unchanged
+// prefix (Key was the single hottest function of a cached ε-constraint
+// solve before memoization). Equal genotypes always collide by
 // construction; a collision between distinct genotypes is benign everywhere
 // it is consumed — the GA redraws one "duplicate" random individual, and
 // the metrics cache verifies full genotype equality before trusting a hit.
 func (c *Chromosome) Key() uint64 {
-	const m = 0x9e3779b97f4a7c15
-	h := uint64(14695981039346656037)
-	for _, v := range c.Order {
-		h = (h ^ uint64(uint32(v))) * m
+	if c.hasKey {
+		return c.key
 	}
-	for _, v := range c.Proc {
-		h = (h ^ uint64(uint32(v))) * m
+	n := len(c.Order)
+	pow := keyPowers(n + len(c.Proc))
+	raw := uint64(0)
+	for i, v := range c.Order {
+		raw += keyGene(v) * pow[i]
 	}
-	h ^= h >> 33
-	h *= 0xff51afd7ed558ccd
-	h ^= h >> 33
-	return h
+	for v, p := range c.Proc {
+		raw += keyGene(p) * pow[n+v]
+	}
+	c.raw = raw
+	c.key = mixKey(raw)
+	c.hasKey = true
+	return c.key
 }
 
 // Crossover implements the paper's single-point operator (Section 4.2.5).
@@ -146,21 +229,79 @@ func (c *Chromosome) Key() uint64 {
 //
 // Assignment strings: each parent's assignment is viewed as a processor
 // string indexed by task; a second random cut exchanges the right parts.
-func Crossover(a, b *Chromosome, r *rng.Source) (*Chromosome, *Chromosome) {
+//
+// Alongside the children, Crossover reports each child's first divergence
+// from its base parent (c1 from a, c2 from b): the smallest scheduling-
+// string position at which the child's (order, processor-of-ordered-task)
+// pair differs, i.e. a valid firstDirty for schedule.Decoder.DecodeDelta.
+// The proc exchange is by task id, so a reassigned task can sit anywhere
+// in the child's scheduling string; the scan below resolves its child
+// position. len(Order) means the child is genotype-identical to the parent.
+func Crossover(a, b *Chromosome, r *rng.Source) (*Chromosome, *Chromosome, int, int) {
 	n := len(a.Order)
 	c1, c2 := a.Clone(), b.Clone()
+	d1, d2 := n, n
 	if n >= 2 {
 		sc := getOpScratch(n)
 		cut := 1 + r.Intn(n-1)
 		reorderTail(c1.Order, cut, b.Order, sc.mark)
 		reorderTail(c2.Order, cut, a.Order, sc.mark)
-		putOpScratch(sc)
 		pcut := 1 + r.Intn(n-1)
 		for v := pcut; v < n; v++ {
 			c1.Proc[v], c2.Proc[v] = b.Proc[v], a.Proc[v]
 		}
+		d1 = finishChild(c1, a, cut, pcut, sc.pos)
+		d2 = finishChild(c2, b, cut, pcut, sc.pos)
+		putOpScratch(sc)
 	}
-	return c1, c2
+	c1.parent, c1.firstDirty = a, d1
+	c2.parent, c2.firstDirty = b, d2
+	return c1, c2, d1, d2
+}
+
+// finishChild computes a crossover child's first divergence from its base
+// parent and, when the parent's key memo carried over through Clone,
+// adjusts the child's rolling hash by differencing exactly the changed
+// genes. It reads the parent but never writes to it. pos must have
+// capacity n; its contents are overwritten.
+func finishChild(c, p *Chromosome, cut, pcut int, pos []int) int {
+	n := len(c.Order)
+	d := n
+	upd := c.hasKey
+	var pow []uint64
+	var delta uint64
+	if upd {
+		pow = keyPowers(2 * n)
+	}
+	for i := cut; i < n; i++ {
+		if nv, ov := c.Order[i], p.Order[i]; nv != ov {
+			if i < d {
+				d = i
+			}
+			if upd {
+				delta += (keyGene(nv) - keyGene(ov)) * pow[i]
+			}
+		}
+	}
+	pos = pos[:n]
+	for i, t := range c.Order {
+		pos[t] = i
+	}
+	for v := pcut; v < n; v++ {
+		if np, op := c.Proc[v], p.Proc[v]; np != op {
+			if pos[v] < d {
+				d = pos[v]
+			}
+			if upd {
+				delta += (keyGene(np) - keyGene(op)) * pow[n+v]
+			}
+		}
+	}
+	if upd {
+		c.raw += delta
+		c.key = mixKey(c.raw)
+	}
+	return d
 }
 
 // reorderTail rewrites order[cut:] so its tasks appear in the relative
@@ -208,7 +349,14 @@ func putOpScratch(sc *opScratch) { opPool.Put(sc) }
 // scheduling string — strictly after the last of its immediate predecessors
 // and strictly before the first of its immediate successors — and then
 // reassigned to a uniformly random processor.
-func Mutate(w *platform.Workload, c *Chromosome, r *rng.Source) *Chromosome {
+//
+// The second result is the child's first divergence from c, in the same
+// sense as Crossover's: the move rewrites every scheduling-string position
+// between the old and new index of v (a permutation shift changes all of
+// them), and the reassignment dirties v at its new position, so the
+// divergence is min(from, to) when v moved and to when only its processor
+// changed; len(Order) if the mutation was a no-op.
+func Mutate(w *platform.Workload, c *Chromosome, r *rng.Source) (*Chromosome, int) {
 	out := c.Clone()
 	n := len(out.Order)
 	v := r.Intn(n)
@@ -230,10 +378,37 @@ func Mutate(w *platform.Workload, c *Chromosome, r *rng.Source) *Chromosome {
 			hi = p
 		}
 	}
-	newPos := lo + r.Intn(hi-lo+1)
-	moveWithin(out.Order, pos[v], newPos)
-	out.Proc[v] = r.Intn(w.M())
-	return out
+	from := pos[v]
+	to := lo + r.Intn(hi-lo+1)
+	moveWithin(out.Order, from, to)
+	op := out.Proc[v]
+	np := r.Intn(w.M())
+	out.Proc[v] = np
+	d := n
+	if from != to {
+		if d = to; from < to {
+			d = from
+		}
+	} else if np != op {
+		d = to
+	}
+	if out.hasKey {
+		pow := keyPowers(2 * n)
+		var delta uint64
+		lo, hi := from, to
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		// c.Order still holds the pre-move values over the shifted span.
+		for i := lo; i <= hi; i++ {
+			delta += (keyGene(out.Order[i]) - keyGene(c.Order[i])) * pow[i]
+		}
+		delta += (keyGene(np) - keyGene(op)) * pow[n+v]
+		out.raw += delta
+		out.key = mixKey(out.raw)
+	}
+	out.parent, out.firstDirty = c, d
+	return out, d
 }
 
 // moveWithin moves the element at index from to index to, shifting the

@@ -47,7 +47,7 @@ func TestCrossoverValidityProperty(t *testing.T) {
 		a, b := Random(w, r), Random(w, r)
 		aOrder := append([]int(nil), a.Order...)
 		aProc := append([]int(nil), a.Proc...)
-		c1, c2 := Crossover(a, b, r)
+		c1, c2, _, _ := Crossover(a, b, r)
 		for _, c := range []*Chromosome{c1, c2} {
 			if !w.G.IsTopologicalOrder(c.Order) {
 				t.Fatalf("trial %d: offspring order not topological", trial)
@@ -77,7 +77,7 @@ func TestCrossoverMixesAssignments(t *testing.T) {
 			a.Proc[i] = 0
 			b.Proc[i] = 1
 		}
-		c1, _ := Crossover(a, b, r)
+		c1, _, _, _ := Crossover(a, b, r)
 		saw0, saw1 := false, false
 		for _, p := range c1.Proc {
 			if p == 0 {
@@ -119,7 +119,7 @@ func TestCrossoverPreservesLeftPart(t *testing.T) {
 	r := rng.New(8)
 	for trial := 0; trial < 100; trial++ {
 		a, b := Random(w, r), Random(w, r)
-		c1, _ := Crossover(a, b, r)
+		c1, _, _, _ := Crossover(a, b, r)
 		// Some non-empty prefix of c1.Order must equal a's prefix.
 		if c1.Order[0] != a.Order[0] {
 			t.Fatalf("trial %d: child lost parent A's first task", trial)
@@ -137,7 +137,7 @@ func TestCrossoverSingleTaskGraph(t *testing.T) {
 	}
 	r := rng.New(9)
 	a, b := Random(w, r), Random(w, r)
-	c1, c2 := Crossover(a, b, r)
+	c1, c2, _, _ := Crossover(a, b, r)
 	if len(c1.Order) != 1 || len(c2.Order) != 1 {
 		t.Fatal("single-task crossover broke")
 	}
@@ -149,7 +149,7 @@ func TestMutateValidityProperty(t *testing.T) {
 	for trial := 0; trial < 300; trial++ {
 		c := Random(w, r)
 		before := append([]int(nil), c.Order...)
-		m := Mutate(w, c, r)
+		m, _ := Mutate(w, c, r)
 		if !w.G.IsTopologicalOrder(m.Order) {
 			t.Fatalf("trial %d: mutated order not topological", trial)
 		}
@@ -172,7 +172,7 @@ func TestMutateActuallyChanges(t *testing.T) {
 	const trials = 100
 	for trial := 0; trial < trials; trial++ {
 		c := Random(w, r)
-		m := Mutate(w, c, r)
+		m, _ := Mutate(w, c, r)
 		if m.Key() != c.Key() {
 			changed++
 		}
@@ -214,7 +214,10 @@ func TestKeyDistinguishesGenotypes(t *testing.T) {
 	if a.Key() != a.Clone().Key() {
 		t.Fatal("clone has a different key")
 	}
-	b := a.Clone()
+	// Built fresh rather than via Clone: a clone carries the key memo, so
+	// editing its genes directly (which no production caller does) would
+	// serve the stale key by design.
+	b := NewChromosome(append([]int(nil), a.Order...), append([]int(nil), a.Proc...))
 	b.Proc[0] = (b.Proc[0] + 1) % w.M()
 	if a.Key() == b.Key() {
 		t.Fatal("different assignments share a key")
@@ -281,5 +284,130 @@ func TestDecodeRejectsBrokenChromosome(t *testing.T) {
 	c := NewChromosome([]int{0, 1, 2, 3, 4, 5, 6, 7, 8, 8}, make([]int, 10))
 	if _, err := c.Decode(w); err == nil {
 		t.Fatal("broken chromosome decoded")
+	}
+}
+
+// freshKey recomputes a chromosome's key from scratch, bypassing any
+// incremental memo the operators maintained.
+func freshKey(c *Chromosome) uint64 {
+	return NewChromosome(append([]int(nil), c.Order...), append([]int(nil), c.Proc...)).Key()
+}
+
+// checkDivergence verifies that d is exactly the first scheduling-string
+// position at which child diverges from parent: every earlier position
+// agrees in both task and processor-of-task, and position d (when < n)
+// disagrees in at least one of them.
+func checkDivergence(t *testing.T, trial int, parent, child *Chromosome, d int) {
+	t.Helper()
+	n := len(parent.Order)
+	for i := 0; i < d; i++ {
+		v := child.Order[i]
+		if v != parent.Order[i] || child.Proc[v] != parent.Proc[v] {
+			t.Fatalf("trial %d: position %d dirty before reported divergence %d", trial, i, d)
+		}
+	}
+	if d < n {
+		v := child.Order[d]
+		if v == parent.Order[d] && child.Proc[v] == parent.Proc[v] {
+			t.Fatalf("trial %d: reported divergence %d but position still clean", trial, d)
+		}
+	}
+}
+
+// TestOperatorDivergenceAndKeys pins the two operator-side contracts of the
+// delta-decode pipeline: the reported first-divergence index is exact (the
+// prefix before it is reusable, the position at it is genuinely dirty), the
+// parentage fields match it, and the incrementally maintained rolling key
+// equals a from-scratch rehash of the child genotype.
+func TestOperatorDivergenceAndKeys(t *testing.T) {
+	w := testWorkload(t, 33, 30, 4)
+	r := rng.New(34)
+	for trial := 0; trial < 300; trial++ {
+		a, b := Random(w, r), Random(w, r)
+		a.Key() // seed the memo so children take the incremental path
+		b.Key()
+		c1, c2, d1, d2 := Crossover(a, b, r)
+		for i, pc := range []struct {
+			p, c *Chromosome
+			d    int
+		}{{a, c1, d1}, {b, c2, d2}} {
+			checkDivergence(t, trial, pc.p, pc.c, pc.d)
+			if pc.c.parent != pc.p || pc.c.firstDirty != pc.d {
+				t.Fatalf("trial %d child %d: parentage (%p,%d) does not match (%p,%d)",
+					trial, i, pc.c.parent, pc.c.firstDirty, pc.p, pc.d)
+			}
+			if got, want := pc.c.Key(), freshKey(pc.c); got != want {
+				t.Fatalf("trial %d child %d: incremental key %x != recomputed %x", trial, i, got, want)
+			}
+		}
+		m, dm := Mutate(w, c1, r)
+		checkDivergence(t, trial, c1, m, dm)
+		if m.parent != c1 || m.firstDirty != dm {
+			t.Fatal("mutation parentage mismatch")
+		}
+		if got, want := m.Key(), freshKey(m); got != want {
+			t.Fatalf("trial %d: mutated incremental key %x != recomputed %x", trial, got, want)
+		}
+	}
+}
+
+// TestOperatorKeysWithoutMemo checks the cold path: children of unkeyed
+// parents carry no memo and hash correctly on first demand.
+func TestOperatorKeysWithoutMemo(t *testing.T) {
+	w := testWorkload(t, 35, 20, 3)
+	r := rng.New(36)
+	a, b := Random(w, r), Random(w, r)
+	c1, c2, _, _ := Crossover(a, b, r)
+	if c1.hasKey || c2.hasKey {
+		t.Fatal("children of unkeyed parents carry a key memo")
+	}
+	if c1.Key() != freshKey(c1) || c2.Key() != freshKey(c2) {
+		t.Fatal("cold-path key differs from recomputed key")
+	}
+}
+
+// TestOperatorsAllocationFree pins the operator allocation budget: after
+// scratch pools warm up, Crossover costs its two child clones (one backing
+// array each) and Mutate one — nothing else.
+func TestOperatorsAllocationFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates")
+	}
+	w := testWorkload(t, 37, 60, 4)
+	r := rng.New(38)
+	a, b := Random(w, r), Random(w, r)
+	a.Key()
+	b.Key()
+	Crossover(a, b, r) // warm the scratch pool and power table
+	if avg := testing.AllocsPerRun(200, func() { Crossover(a, b, r) }); avg > 4 {
+		t.Fatalf("Crossover allocates %.1f times per call, budget 4", avg)
+	}
+	if avg := testing.AllocsPerRun(200, func() { Mutate(w, a, r) }); avg > 2 {
+		t.Fatalf("Mutate allocates %.1f times per call, budget 2", avg)
+	}
+}
+
+func BenchmarkCrossover(b *testing.B) {
+	w := testWorkload(b, 39, 100, 8)
+	r := rng.New(40)
+	pa, pb := Random(w, r), Random(w, r)
+	pa.Key()
+	pb.Key()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Crossover(pa, pb, r)
+	}
+}
+
+func BenchmarkMutate(b *testing.B) {
+	w := testWorkload(b, 41, 100, 8)
+	r := rng.New(42)
+	c := Random(w, r)
+	c.Key()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Mutate(w, c, r)
 	}
 }

@@ -1,0 +1,5 @@
+//go:build !race
+
+package robust
+
+const raceEnabled = false

@@ -1,0 +1,7 @@
+//go:build race
+
+package robust
+
+// raceEnabled reports whether the race detector is active; its
+// instrumentation adds allocations, so allocation-budget tests skip.
+const raceEnabled = true

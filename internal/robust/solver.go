@@ -5,6 +5,7 @@ import (
 	"math"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"robsched/internal/ga"
 	"robsched/internal/heft"
@@ -103,6 +104,13 @@ type Options struct {
 	// cache only skips redundant decodes.
 	NoMetricsCache bool
 
+	// NoDeltaDecode forces every chromosome decode down the full path
+	// instead of delta-decoding against the parent it diverged from
+	// (ablation and property tests). Delta decodes are bit-identical to
+	// full decodes, so the GA trajectory — and every recorded figure — is
+	// unchanged either way; only speed differs.
+	NoDeltaDecode bool
+
 	// OnGeneration, if set, observes the best schedule of each generation
 	// (generation 0 is the initial population). Used to trace Figs. 2–3.
 	OnGeneration func(gen int, best *schedule.Schedule)
@@ -174,6 +182,7 @@ func Solve(w *platform.Workload, opt Options, r *rng.Source) (*Result, error) {
 		def.HEFT = opt.HEFT
 		def.Cache = opt.Cache
 		def.NoMetricsCache = opt.NoMetricsCache
+		def.NoDeltaDecode = opt.NoDeltaDecode
 		def.Islands = opt.Islands
 		def.MigrationEvery = opt.MigrationEvery
 		def.Obs = opt.Obs
@@ -201,6 +210,8 @@ func Solve(w *platform.Workload, opt Options, r *rng.Source) (*Result, error) {
 			eval.cache = NewMetricsCache()
 		}
 	}
+	// Nil-safe: a nil registry hands out a nil (no-op) histogram.
+	eval.frontierHist = opt.Obs.Histogram("decode.delta_frontier", deltaFrontierBounds)
 	cfg := ga.Config[*Chromosome]{
 		PopSize:        opt.PopSize,
 		CrossoverRate:  opt.CrossoverRate,
@@ -208,8 +219,8 @@ func Solve(w *platform.Workload, opt Options, r *rng.Source) (*Result, error) {
 		MaxGenerations: opt.MaxGenerations,
 		Stagnation:     opt.Stagnation,
 		Random:         func(r *rng.Source) *Chromosome { return Random(w, r) },
-		Crossover:      Crossover,
-		Mutate:         func(c *Chromosome, r *rng.Source) *Chromosome { return Mutate(w, c, r) },
+		Crossover:      crossoverGA,
+		Mutate:         func(c *Chromosome, r *rng.Source) *Chromosome { out, _ := Mutate(w, c, r); return out },
 		Evaluate:       eval.evaluate,
 		EvaluateInto:   eval.evaluateInto,
 		Key:            (*Chromosome).Key,
@@ -266,6 +277,9 @@ func Solve(w *platform.Workload, opt Options, r *rng.Source) (*Result, error) {
 	if eval.cache != nil && (opt.Obs != nil || opt.Trace != nil) {
 		recordCacheStats(opt.Obs, opt.Trace, eval.cache.Stats().Sub(cachePre))
 	}
+	if opt.Obs != nil || opt.Trace != nil {
+		recordDeltaStats(opt.Obs, opt.Trace, eval.deltaStats())
+	}
 	s, err := res.Best.Decode(w)
 	if err != nil {
 		return nil, err
@@ -316,8 +330,8 @@ func runCustomFitness(w *platform.Workload, opt Options, r *rng.Source, seed *sc
 		MaxGenerations: opt.MaxGenerations,
 		Stagnation:     opt.Stagnation,
 		Random:         func(r *rng.Source) *Chromosome { return Random(w, r) },
-		Crossover:      Crossover,
-		Mutate:         func(c *Chromosome, r *rng.Source) *Chromosome { return Mutate(w, c, r) },
+		Crossover:      crossoverGA,
+		Mutate:         func(c *Chromosome, r *rng.Source) *Chromosome { out, _ := Mutate(w, c, r); return out },
 		Key:            (*Chromosome).Key,
 		Evaluate: func(pop []*Chromosome) []float64 {
 			fit := make([]float64, len(pop))
@@ -341,6 +355,14 @@ func runCustomFitness(w *platform.Workload, opt Options, r *rng.Source, seed *sc
 	return &Result{Schedule: s, Generations: res.Generations, Stagnated: res.Stagnated}, nil
 }
 
+// crossoverGA adapts Crossover to the engine's two-result hook; the
+// divergence indices ride along inside the children (parent/firstDirty),
+// where the evaluator's delta-decode pass picks them up.
+func crossoverGA(a, b *Chromosome, r *rng.Source) (*Chromosome, *Chromosome) {
+	c1, c2, _, _ := Crossover(a, b, r)
+	return c1, c2
+}
+
 // evaluator computes the population fitness for each mode. It is reentrant
 // — islands call evaluate concurrently — so it holds no mutable scratch;
 // per-chromosome decode/metrics state lives in the chromosomes themselves,
@@ -354,6 +376,30 @@ type evaluator struct {
 	// cache is the genotype→metrics cache; nil when Options.NoMetricsCache
 	// disabled it.
 	cache *MetricsCache
+
+	// frontierHist receives one observation (the number of re-swept tasks)
+	// per successful delta decode; nil — and therefore a no-op — when
+	// telemetry is off.
+	frontierHist *obs.Histogram
+	// Delta-decode traffic, accumulated atomically across the decode
+	// workers. The totals are deterministic: which chromosomes decode, and
+	// each decode's frontier size, are pure functions of the GA trajectory,
+	// independent of Workers and scheduling.
+	deltaHits      atomic.Int64
+	deltaFallbacks atomic.Int64
+	deltaFrontier  atomic.Int64
+}
+
+// deltaFrontierBounds buckets frontier sizes (tasks re-swept per delta
+// decode); paper-scale graphs have tens to hundreds of tasks.
+var deltaFrontierBounds = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512}
+
+func (e *evaluator) deltaStats() deltaStats {
+	return deltaStats{
+		Hits:          e.deltaHits.Load(),
+		Fallbacks:     e.deltaFallbacks.Load(),
+		FrontierTasks: e.deltaFrontier.Load(),
+	}
 }
 
 // slackOf returns the configured robustness surrogate of a schedule.
@@ -392,6 +438,7 @@ func (e *evaluator) metricsOf(c *Chromosome) schedMetrics {
 		k := e.cache.key(c)
 		if met, ok := e.cache.lookup(k, c); ok {
 			c.metr, c.hasMetr = met, true
+			c.parent = nil
 			return c.metr
 		}
 		c.metr = metricsFromSchedule(e.schedOf(c))
@@ -430,6 +477,22 @@ func dedupPending(pop []*Chromosome, needsWork func(*Chromosome) bool) []*Chromo
 // the optional done hook on its worker. Decode order cannot influence
 // results: each schedule depends only on its own genotype.
 func decodeAll(dec *schedule.Decoder, pending []*Chromosome, workers int, done func(i int, c *Chromosome)) {
+	fanOut(pending, workers, func(i int, c *Chromosome) error {
+		if _, err := c.DecodeWith(dec); err != nil {
+			return err
+		}
+		if done != nil {
+			done(i, c)
+		}
+		return nil
+	})
+}
+
+// fanOut runs work(i, c) for every pending chromosome across `workers`
+// goroutines (0 = GOMAXPROCS) and waits for all of them. A work error
+// panics after the barrier — the operators guarantee genotype validity, so
+// a decode failure is a bug, not an input condition.
+func fanOut(pending []*Chromosome, workers int, work func(i int, c *Chromosome) error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -438,11 +501,8 @@ func decodeAll(dec *schedule.Decoder, pending []*Chromosome, workers int, done f
 	}
 	if workers <= 1 {
 		for i, c := range pending {
-			if _, err := c.DecodeWith(dec); err != nil {
+			if err := work(i, c); err != nil {
 				panic(err) // operators guarantee validity
-			}
-			if done != nil {
-				done(i, c)
 			}
 		}
 		return
@@ -454,12 +514,9 @@ func decodeAll(dec *schedule.Decoder, pending []*Chromosome, workers int, done f
 		go func(wk int) {
 			defer wg.Done()
 			for i := wk; i < len(pending); i += workers {
-				if _, err := pending[i].DecodeWith(dec); err != nil {
+				if err := work(i, pending[i]); err != nil {
 					errs[wk] = err
 					return
-				}
-				if done != nil {
-					done(i, pending[i])
 				}
 			}
 		}(wk)
@@ -470,6 +527,92 @@ func decodeAll(dec *schedule.Decoder, pending []*Chromosome, workers int, done f
 			panic(err) // operators guarantee validity
 		}
 	}
+}
+
+// deltaPlan is one pending chromosome's decode decision: a nil parent means
+// a full decode; otherwise DecodeDelta reuses the parent schedule's prefix
+// before position fd. Plans are resolved serially before the parallel
+// fan-out so no worker ever reads another chromosome's parentage fields.
+type deltaPlan struct {
+	parent *schedule.Schedule
+	fd     int
+}
+
+// planDeltas resolves each miss's parent chain to its nearest decoded
+// ancestor — composing the first-divergence indices by minimum, which keeps
+// the prefix-agreement invariant transitively — and decides full vs delta
+// on a cheap cost model: a clean prefix shorter than n/8 pays the delta
+// path's per-suffix-task overhead on nearly the whole graph, and more than
+// n/4 changed genes seeds the dirty sweeps so densely (each moved task
+// rewires disjunctive arcs, each reassignment re-costs its arcs) that the
+// branch-free full sweep is faster than tracking what survived. Both scans
+// are O(n) in the serial section, noise next to the decode they steer. All
+// parent links are severed afterwards so discarded generations (and their
+// schedule arenas) stay collectable.
+func (e *evaluator) planDeltas(misses []*Chromosome) []deltaPlan {
+	var plans []deltaPlan
+	if !e.opt.NoDeltaDecode {
+		plans = make([]deltaPlan, len(misses))
+		for i, c := range misses {
+			d := c.firstDirty
+			p := c.parent
+			for p != nil && p.decoded == nil {
+				if p.firstDirty < d {
+					d = p.firstDirty
+				}
+				p = p.parent
+			}
+			n := len(c.Order)
+			if p == nil || d*8 < n {
+				continue // plans[i] stays the zero full-decode plan
+			}
+			changes := 0
+			for j := d; j < n; j++ {
+				if c.Order[j] != p.Order[j] {
+					changes++
+				}
+			}
+			for v := range c.Proc {
+				if c.Proc[v] != p.Proc[v] {
+					changes++
+				}
+			}
+			if changes*4 > n {
+				continue
+			}
+			plans[i] = deltaPlan{parent: p.decoded, fd: d}
+		}
+	}
+	// Sever only after every chain is resolved: a miss's chain may pass
+	// through another miss of the same batch.
+	for _, c := range misses {
+		c.parent = nil
+	}
+	return plans
+}
+
+// decodeOne executes one plan, routing telemetry by outcome. A fallback
+// (DecodeDelta rejecting the claimed prefix) means the parentage
+// bookkeeping is wrong; it stays correct — DecodeDelta re-runs the full
+// path — but is counted separately so it can be alarmed on.
+func (e *evaluator) decodeOne(c *Chromosome, pl deltaPlan) error {
+	if pl.parent == nil {
+		_, err := c.DecodeWith(e.dec)
+		return err
+	}
+	frontier, full, err := e.dec.DecodeDelta(pl.parent, &c.decodedVal, c.Order, c.Proc, pl.fd)
+	if err != nil {
+		return fmt.Errorf("robust: invalid chromosome: %w", err)
+	}
+	c.decoded = &c.decodedVal
+	if full {
+		e.deltaFallbacks.Add(1)
+		return nil
+	}
+	e.deltaHits.Add(1)
+	e.deltaFrontier.Add(int64(frontier))
+	e.frontierHist.Observe(float64(frontier))
+	return nil
 }
 
 // decodePopulation decodes every not-yet-decoded chromosome of pop (used by
@@ -489,6 +632,9 @@ func decodePopulation(dec *schedule.Decoder, pop []*Chromosome, workers int) {
 // metrics into the cache as they finish. The barrier guarantees the serial
 // fitness combination that follows sees every metric.
 func (e *evaluator) ensureMetrics(pop []*Chromosome) {
+	// No parent severing in this closure: every path that sets hasMetr or
+	// decoded already severed, so the fields are nil here — and writing
+	// them would race between islands, which share migrant pointers.
 	pending := dedupPending(pop, func(c *Chromosome) bool {
 		if c.hasMetr {
 			return false
@@ -500,30 +646,39 @@ func (e *evaluator) ensureMetrics(pop []*Chromosome) {
 		}
 		return true
 	})
-	if e.cache == nil {
-		decodeAll(e.dec, pending, e.opt.Workers, func(_ int, c *Chromosome) {
-			c.metr = metricsFromSchedule(c.decoded)
-			c.hasMetr = true
-		})
-		return
-	}
 	// Serial cache pass: hashing is cheap next to a decode, and resolving
 	// hits up front keeps the parallel section to pure decode work.
-	misses := pending[:0]
-	keys := make([]uint64, 0, len(pending))
-	for _, c := range pending {
-		k := e.cache.key(c)
-		if met, ok := e.cache.lookup(k, c); ok {
-			c.metr, c.hasMetr = met, true
-			continue
+	misses := pending
+	var keys []uint64
+	if e.cache != nil {
+		misses = pending[:0]
+		keys = make([]uint64, 0, len(pending))
+		for _, c := range pending {
+			k := e.cache.key(c)
+			if met, ok := e.cache.lookup(k, c); ok {
+				c.metr, c.hasMetr = met, true
+				c.parent = nil
+				continue
+			}
+			misses = append(misses, c)
+			keys = append(keys, k)
 		}
-		misses = append(misses, c)
-		keys = append(keys, k)
 	}
-	decodeAll(e.dec, misses, e.opt.Workers, func(i int, c *Chromosome) {
+	plans := e.planDeltas(misses)
+	fanOut(misses, e.opt.Workers, func(i int, c *Chromosome) error {
+		var pl deltaPlan
+		if plans != nil {
+			pl = plans[i]
+		}
+		if err := e.decodeOne(c, pl); err != nil {
+			return err
+		}
 		c.metr = metricsFromSchedule(c.decoded)
 		c.hasMetr = true
-		e.cache.insert(keys[i], c, c.metr)
+		if keys != nil {
+			e.cache.insert(keys[i], c, c.metr)
+		}
+		return nil
 	})
 }
 

@@ -21,9 +21,15 @@ func (s *Schedule) CriticalPath() []int {
 	for {
 		rev = append(rev, v)
 		bestU := -1
-		for k := s.predOff[v]; k < s.predOff[v+1]; k++ {
-			u := int(s.predTo[k])
+		predOff, predTo := s.arcs.predOff, s.arcs.predTo
+		for k := predOff[v]; k < predOff[v+1]; k++ {
+			u := int(predTo[k])
 			if s.finish[u]+s.predComm[k] >= s.start[v]-1e-9 && (bestU < 0 || u < bestU) {
+				bestU = u
+			}
+		}
+		if u := int(s.dpred[v]); u >= 0 {
+			if s.finish[u] >= s.start[v]-1e-9 && (bestU < 0 || u < bestU) {
 				bestU = u
 			}
 		}

@@ -31,7 +31,8 @@ func (s *Schedule) MakespanBatchInto(lanes int, dur, stBuf, finishBuf, out []flo
 	for l := range out {
 		out[l] = 0
 	}
-	predOff, predTo, predComm := s.predOff, s.predTo, s.predComm
+	predOff, predTo, predComm := s.arcs.predOff, s.arcs.predTo, s.predComm
+	dpred := s.dpred
 	for _, v32 := range s.topo {
 		v := int(v32)
 		for l := range st {
@@ -44,6 +45,16 @@ func (s *Schedule) MakespanBatchInto(lanes int, dur, stBuf, finishBuf, out []flo
 			for l, f := range fin {
 				if t := f + c; t > st[l] {
 					st[l] = t
+				}
+			}
+		}
+		// The disjunctive predecessor costs zero communication.
+		if u := dpred[v]; u >= 0 {
+			fin := finish[int(u)*L:]
+			fin = fin[:L:L]
+			for l, f := range fin {
+				if f > st[l] {
+					st[l] = f
 				}
 			}
 		}
@@ -73,7 +84,8 @@ func (s *Schedule) makespanBatch8(n int, dur, finish, out []float64) {
 	const L = batchLanes
 	o := (*[L]float64)(out)
 	*o = [L]float64{}
-	predOff, predTo, predComm := s.predOff, s.predTo, s.predComm
+	predOff, predTo, predComm := s.arcs.predOff, s.arcs.predTo, s.predComm
+	dpred := s.dpred
 	for _, v32 := range s.topo {
 		v := int(v32)
 		// The eight lane start times are held in named locals so they stay
@@ -106,6 +118,34 @@ func (s *Schedule) makespanBatch8(n int, dur, finish, out []float64) {
 			}
 			if t := fin[7] + c; t > st7 {
 				st7 = t
+			}
+		}
+		// The disjunctive predecessor costs zero communication.
+		if u := dpred[v]; u >= 0 {
+			fin := (*[L]float64)(finish[int(u)*L:])
+			if fin[0] > st0 {
+				st0 = fin[0]
+			}
+			if fin[1] > st1 {
+				st1 = fin[1]
+			}
+			if fin[2] > st2 {
+				st2 = fin[2]
+			}
+			if fin[3] > st3 {
+				st3 = fin[3]
+			}
+			if fin[4] > st4 {
+				st4 = fin[4]
+			}
+			if fin[5] > st5 {
+				st5 = fin[5]
+			}
+			if fin[6] > st6 {
+				st6 = fin[6]
+			}
+			if fin[7] > st7 {
+				st7 = fin[7]
 			}
 		}
 		dv := (*[L]float64)(dur[v*L:])

@@ -8,21 +8,22 @@ import (
 )
 
 // Decoder is the fast path for decoding GA chromosomes (scheduling string +
-// assignment string) into schedules. It trusts the caller's invariant that
-// the order is a topological order of the task graph — the paper's operators
-// guarantee it by construction — and therefore skips the O(V+E) precedence
-// re-validation FromOrder performs. All transient construction state comes
-// from a package-level pool, so steady-state decoding costs exactly two heap
-// allocations per schedule (its int32 and float64 arenas).
+// assignment string) into schedules. All transient construction state comes
+// from a package-level pool and the data-arc CSR is shared per task graph,
+// so steady-state decoding costs exactly two heap allocations per schedule
+// (its int32 and float64 arenas).
 //
 // A Decoder is safe for concurrent use by multiple goroutines as long as
 // each goroutine decodes distinct Schedule targets.
 type Decoder struct {
-	w *platform.Workload
+	w    *platform.Workload
+	arcs *arcSet
 }
 
 // NewDecoder returns a decoder for the given workload.
-func NewDecoder(w *platform.Workload) *Decoder { return &Decoder{w: w} }
+func NewDecoder(w *platform.Workload) *Decoder {
+	return &Decoder{w: w, arcs: arcsFor(w.G)}
+}
 
 // Decode builds the schedule of a trusted (order, proc) chromosome.
 func (d *Decoder) Decode(order, proc []int) (*Schedule, error) {
@@ -37,21 +38,29 @@ func (d *Decoder) Decode(order, proc []int) (*Schedule, error) {
 // Schedule value, overwriting all of its state. On error the target is left
 // in an unspecified state and must not be used.
 func (d *Decoder) DecodeInto(s *Schedule, order, proc []int) error {
-	return decodeOrder(s, d.w, order, proc, true)
+	sc := getScratch(d.w.N(), d.w.M())
+	defer putScratch(sc)
+	if err := sc.prepassFromOrder(d.w, order, proc); err != nil {
+		return err
+	}
+	return buildWith(s, d.w, d.arcs, sc, order)
 }
 
 // decodeScratch holds every transient buffer one schedule construction
 // needs. Instances are pooled; ensure grows them to the workload at hand.
 type decodeScratch struct {
-	proc   []int32 // validated task -> processor copy
-	porder []int32 // tasks grouped by processor
-	dsucc  []int32 // disjunctive successor of each task, -1 if none
-	dpred  []int32 // disjunctive predecessor of each task, -1 if none
-	cursor []int32 // per-node fill cursor, then Kahn indegrees
-	pos    []int32 // position of each task in the scheduling string
-	poff   []int32 // m+1 per-processor offsets into porder
-	pcur   []int32 // per-processor fill cursors
-	plast  []int32 // last task seen on each processor, -1 if none
+	proc    []int32 // validated task -> processor copy
+	porder  []int32 // tasks grouped by processor
+	dsucc   []int32 // disjunctive successor of each task, -1 if none
+	dpred   []int32 // disjunctive predecessor of each task, -1 if none
+	cursor  []int32 // Kahn indegrees (explicit-list construction only)
+	pos     []int32 // position of each task in the scheduling string
+	poff    []int32 // m+1 per-processor offsets into porder
+	pcur    []int32 // per-processor fill cursors
+	plast   []int32 // last task seen on each processor, -1 if none
+	changed []bool  // delta decode: tasks with a reassigned processor
+	sdirty  []bool  // delta decode: start/finish recompute frontier
+	bdirty  []bool  // delta decode: bottom-level recompute frontier
 }
 
 var scratchPool = sync.Pool{New: func() any { return new(decodeScratch) }}
@@ -65,6 +74,9 @@ func getScratch(n, m int) *decodeScratch {
 		sc.dpred = make([]int32, n)
 		sc.cursor = make([]int32, n)
 		sc.pos = make([]int32, n)
+		sc.changed = make([]bool, n)
+		sc.sdirty = make([]bool, n)
+		sc.bdirty = make([]bool, n)
 	}
 	if cap(sc.poff) < m+1 {
 		sc.poff = make([]int32, m+1)
@@ -76,30 +88,29 @@ func getScratch(n, m int) *decodeScratch {
 
 func putScratch(sc *decodeScratch) { scratchPool.Put(sc) }
 
-// decodeOrder is the shared implementation behind FromOrder, FromOrderTrusted
-// and Decoder: prepass over the scheduling string, then the CSR build.
-func decodeOrder(s *Schedule, w *platform.Workload, order, proc []int, trusted bool) error {
+// decodeOrder is the shared implementation behind FromOrder and
+// FromOrderTrusted: prepass over the scheduling string, then the build.
+func decodeOrder(s *Schedule, w *platform.Workload, order, proc []int) error {
 	sc := getScratch(w.N(), w.M())
 	defer putScratch(sc)
-	nDisj, err := sc.prepassFromOrder(w, order, proc, trusted)
-	if err != nil {
+	if err := sc.prepassFromOrder(w, order, proc); err != nil {
 		return err
 	}
-	return buildInto(s, w, sc, nDisj)
+	return buildWith(s, w, arcsFor(w.G), sc, order)
 }
 
-// prepassFromOrder validates the chromosome and computes the per-processor
-// grouping and the disjunctive arcs into the scratch. It returns the number
-// of disjunctive arcs. The trusted path skips only the O(V+E) precedence
-// scan; permutation and processor-range checks are O(V) and always run.
-func (sc *decodeScratch) prepassFromOrder(w *platform.Workload, order, proc []int, trusted bool) (int, error) {
+// prepassFromOrder validates the chromosome shape (permutation, processor
+// range) and computes the per-processor grouping and the disjunctive arcs
+// into the scratch. Precedence validation of the order itself happens
+// arc-by-arc during the communication-cost fill in buildWith.
+func (sc *decodeScratch) prepassFromOrder(w *platform.Workload, order, proc []int) error {
 	g := w.G
 	n, m := w.N(), w.M()
 	if len(order) != n {
-		return 0, fmt.Errorf("schedule: scheduling string has %d entries, want %d", len(order), n)
+		return fmt.Errorf("schedule: scheduling string has %d entries, want %d", len(order), n)
 	}
 	if len(proc) != n {
-		return 0, fmt.Errorf("schedule: proc has %d entries, want %d", len(proc), n)
+		return fmt.Errorf("schedule: proc has %d entries, want %d", len(proc), n)
 	}
 	pos := sc.pos[:n]
 	for v := range pos {
@@ -107,18 +118,9 @@ func (sc *decodeScratch) prepassFromOrder(w *platform.Workload, order, proc []in
 	}
 	for i, v := range order {
 		if v < 0 || v >= n || pos[v] != -1 {
-			return 0, fmt.Errorf("schedule: scheduling string is not a permutation of the tasks")
+			return fmt.Errorf("schedule: scheduling string is not a permutation of the tasks")
 		}
 		pos[v] = int32(i)
-	}
-	if !trusted {
-		for u := 0; u < n; u++ {
-			for _, a := range g.Successors(u) {
-				if pos[u] > pos[a.To] {
-					return 0, fmt.Errorf("schedule: scheduling string is not a topological order of the task graph")
-				}
-			}
-		}
 	}
 	sproc := sc.proc[:n]
 	pcount := sc.poff[:m+1]
@@ -127,7 +129,7 @@ func (sc *decodeScratch) prepassFromOrder(w *platform.Workload, order, proc []in
 	}
 	for v, p := range proc {
 		if p < 0 || p >= m {
-			return 0, fmt.Errorf("schedule: task %d assigned to processor %d out of range [0,%d)", v, p, m)
+			return fmt.Errorf("schedule: task %d assigned to processor %d out of range [0,%d)", v, p, m)
 		}
 		sproc[v] = int32(p)
 		pcount[p+1]++
@@ -151,7 +153,6 @@ func (sc *decodeScratch) prepassFromOrder(w *platform.Workload, order, proc []in
 		dpred[v] = -1
 	}
 	porder := sc.porder[:n]
-	nDisj := 0
 	for _, v := range order {
 		p := proc[v]
 		porder[pcur[p]] = int32(v)
@@ -159,16 +160,15 @@ func (sc *decodeScratch) prepassFromOrder(w *platform.Workload, order, proc []in
 		if u := plast[p]; u >= 0 && !g.HasEdge(int(u), v) {
 			dsucc[u] = int32(v)
 			dpred[v] = u
-			nDisj++
 		}
 		plast[p] = int32(v)
 	}
-	return nDisj, nil
+	return nil
 }
 
 // prepassFromLists is prepassFromOrder for explicit, already-validated
 // per-processor orders (the New constructor).
-func (sc *decodeScratch) prepassFromLists(w *platform.Workload, proc []int, procOrder [][]int) int {
+func (sc *decodeScratch) prepassFromLists(w *platform.Workload, proc []int, procOrder [][]int) {
 	g := w.G
 	n, m := w.N(), w.M()
 	sproc := sc.proc[:n]
@@ -184,7 +184,6 @@ func (sc *decodeScratch) prepassFromLists(w *platform.Workload, proc []int, proc
 	porder := sc.porder[:n]
 	poff := sc.poff[:m+1]
 	k := int32(0)
-	nDisj := 0
 	for p, list := range procOrder {
 		poff[p] = k
 		for i, v := range list {
@@ -193,36 +192,35 @@ func (sc *decodeScratch) prepassFromLists(w *platform.Workload, proc []int, proc
 			if i > 0 && !g.HasEdge(list[i-1], v) {
 				dsucc[list[i-1]] = int32(v)
 				dpred[v] = int32(list[i-1])
-				nDisj++
 			}
 		}
 	}
 	poff[m] = k
-	return nDisj
 }
 
 func carveI(a []int32, k int) ([]int32, []int32)       { return a[:k:k], a[k:] }
 func carveF(a []float64, k int) ([]float64, []float64) { return a[:k:k], a[k:] }
 
-// buildInto constructs the CSR disjunctive graph, its topological order and
-// the expected-duration analysis from the scratch prepass, allocating
-// exactly two arenas (one int32, one float64). The FIFO Kahn pass matches
-// the legacy slice-of-slices construction arc for arc, so topological orders
-// — and therefore every downstream result — are bit-identical to it.
-func buildInto(s *Schedule, w *platform.Workload, sc *decodeScratch, nDisj int) error {
-	g, sys := w.G, w.Sys
+// buildWith constructs the schedule from the scratch prepass, allocating
+// exactly two arenas (one int32, one float64). When order is non-nil it
+// doubles as the topological order of G_s — validated arc-by-arc during the
+// communication-cost fill — so downstream passes iterate the scheduling
+// string itself. The explicit-list path (order nil) derives the order with
+// the same FIFO Kahn pass the legacy construction used, arc for arc, so
+// its topological orders — and therefore every downstream result — remain
+// bit-identical to it.
+func buildWith(s *Schedule, w *platform.Workload, arcs *arcSet, sc *decodeScratch, order []int) error {
+	sys := w.Sys
 	n, m := w.N(), w.M()
-	nE := g.EdgeCount() + nDisj
+	nE := len(arcs.succTo)
 
-	ints := make([]int32, 5*n+m+3+2*nE)
+	ints := make([]int32, 5*n+m+1)
 	s.proc, ints = carveI(ints, n)
 	s.topo, ints = carveI(ints, n)
 	s.porder, ints = carveI(ints, n)
 	s.porderOff, ints = carveI(ints, m+1)
-	s.succOff, ints = carveI(ints, n+1)
-	s.predOff, ints = carveI(ints, n+1)
-	s.succTo, ints = carveI(ints, nE)
-	s.predTo, _ = carveI(ints, nE)
+	s.dsucc, ints = carveI(ints, n)
+	s.dpred, _ = carveI(ints, n)
 	floats := make([]float64, 5*n+2*nE)
 	s.succComm, floats = carveF(floats, nE)
 	s.predComm, floats = carveF(floats, nE)
@@ -233,90 +231,86 @@ func buildInto(s *Schedule, w *platform.Workload, sc *decodeScratch, nDisj int) 
 	s.slack, _ = carveF(floats, n)
 
 	s.w = w
+	s.arcs = arcs
 	copy(s.proc, sc.proc[:n])
 	copy(s.porder, sc.porder[:n])
 	copy(s.porderOff, sc.poff[:m+1])
+	copy(s.dsucc, sc.dsucc[:n])
+	copy(s.dpred, sc.dpred[:n])
 
-	// Offsets: each node's range holds its data arcs followed by its (at
-	// most one) disjunctive arc.
-	dsucc, dpred := sc.dsucc[:n], sc.dpred[:n]
-	off := int32(0)
-	for v := 0; v < n; v++ {
-		s.succOff[v] = off
-		off += int32(g.OutDegree(v))
-		if dsucc[v] >= 0 {
-			off++
+	// Communication costs, computed once per arc and mirrored into the pred
+	// direction. When decoding an order the loop doubles as the precedence
+	// check: one position comparison per arc replaces both the legacy
+	// precedence scan and the Kahn cycle detection, and rejects every
+	// inversion (a same-processor one is the legacy disjunctive cycle).
+	succOff, succTo, succData := arcs.succOff, arcs.succTo, arcs.succData
+	sMirror := arcs.sMirror
+	if order != nil {
+		pos := sc.pos[:n]
+		for u := 0; u < n; u++ {
+			pu := int(s.proc[u])
+			up := pos[u]
+			for k := succOff[u]; k < succOff[u+1]; k++ {
+				to := succTo[k]
+				if pos[to] < up {
+					return fmt.Errorf("schedule: scheduling string is not a topological order of the task graph")
+				}
+				c := sys.CommCost(pu, int(s.proc[to]), succData[k])
+				s.succComm[k] = c
+				s.predComm[sMirror[k]] = c
+			}
 		}
-	}
-	s.succOff[n] = off
-	off = 0
-	for v := 0; v < n; v++ {
-		s.predOff[v] = off
-		off += int32(g.InDegree(v))
-		if dpred[v] >= 0 {
-			off++
+		for i, v := range order {
+			s.topo[i] = int32(v)
 		}
-	}
-	s.predOff[n] = off
-
-	// Data arcs, with the communication cost of each edge computed once and
-	// mirrored into both directions.
-	cur := sc.cursor[:n]
-	for v := range cur {
-		cur[v] = 0
-	}
-	for u := 0; u < n; u++ {
-		base := s.succOff[u]
-		pu := int(s.proc[u])
-		for i, a := range g.Successors(u) {
-			comm := sys.CommCost(pu, int(s.proc[a.To]), a.Data)
-			k := base + int32(i)
-			s.succTo[k] = int32(a.To)
-			s.succComm[k] = comm
-			j := s.predOff[a.To] + cur[a.To]
-			cur[a.To]++
-			s.predTo[j] = int32(u)
-			s.predComm[j] = comm
+	} else {
+		for u := 0; u < n; u++ {
+			pu := int(s.proc[u])
+			for k := succOff[u]; k < succOff[u+1]; k++ {
+				c := sys.CommCost(pu, int(s.proc[succTo[k]]), succData[k])
+				s.succComm[k] = c
+				s.predComm[sMirror[k]] = c
+			}
 		}
-	}
-	// Disjunctive arcs, zero cost (Eqn. 1), in the last slot of each range.
-	for u := 0; u < n; u++ {
-		if v := dsucc[u]; v >= 0 {
-			k := s.succOff[u+1] - 1
-			s.succTo[k] = v
-			s.succComm[k] = 0
-			j := s.predOff[v+1] - 1
-			s.predTo[j] = int32(u)
-			s.predComm[j] = 0
+		// FIFO Kahn over G_s, writing the queue directly into topo; a
+		// shortfall means the processor orders induced a cycle.
+		predOff := arcs.predOff
+		indeg := sc.cursor[:n]
+		for v := 0; v < n; v++ {
+			d := predOff[v+1] - predOff[v]
+			if s.dpred[v] >= 0 {
+				d++
+			}
+			indeg[v] = d
 		}
-	}
-
-	// FIFO Kahn over G_s, writing the queue directly into topo; a shortfall
-	// means the processor orders induced a cycle.
-	indeg := sc.cursor[:n] // fill cursors are spent; reuse as indegrees
-	for v := 0; v < n; v++ {
-		indeg[v] = s.predOff[v+1] - s.predOff[v]
-	}
-	qlen := 0
-	for v := 0; v < n; v++ {
-		if indeg[v] == 0 {
-			s.topo[qlen] = int32(v)
-			qlen++
-		}
-	}
-	for head := 0; head < qlen; head++ {
-		v := int(s.topo[head])
-		for k := s.succOff[v]; k < s.succOff[v+1]; k++ {
-			to := s.succTo[k]
-			indeg[to]--
-			if indeg[to] == 0 {
-				s.topo[qlen] = to
+		qlen := 0
+		for v := 0; v < n; v++ {
+			if indeg[v] == 0 {
+				s.topo[qlen] = int32(v)
 				qlen++
 			}
 		}
-	}
-	if qlen != n {
-		return fmt.Errorf("schedule: processor orders conflict with precedence constraints (disjunctive graph is cyclic)")
+		for head := 0; head < qlen; head++ {
+			v := int(s.topo[head])
+			for k := succOff[v]; k < succOff[v+1]; k++ {
+				to := succTo[k]
+				indeg[to]--
+				if indeg[to] == 0 {
+					s.topo[qlen] = to
+					qlen++
+				}
+			}
+			if u := s.dsucc[v]; u >= 0 {
+				indeg[u]--
+				if indeg[u] == 0 {
+					s.topo[qlen] = u
+					qlen++
+				}
+			}
+		}
+		if qlen != n {
+			return fmt.Errorf("schedule: processor orders conflict with precedence constraints (disjunctive graph is cyclic)")
+		}
 	}
 
 	// Expected-duration analysis: ASAP start/finish, makespan M0, bottom
@@ -343,4 +337,9 @@ func buildInto(s *Schedule, w *platform.Workload, sc *decodeScratch, nDisj int) 
 	}
 	s.avgSlack = sum / float64(n)
 	return nil
+}
+
+// buildInto keeps the legacy entry point used by New.
+func buildInto(s *Schedule, w *platform.Workload, sc *decodeScratch, order []int) error {
+	return buildWith(s, w, arcsFor(w.G), sc, order)
 }

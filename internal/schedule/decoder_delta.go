@@ -1,0 +1,370 @@
+package schedule
+
+import "fmt"
+
+// DecodeDelta builds the schedule of a trusted (order, proc) chromosome
+// into s by reusing a previously decoded parent: every position of the
+// scheduling string before firstDirty must match the parent's scheduling
+// string, and every task named there must keep its parent processor. The
+// parent's start/finish times, bottom levels, per-arc communication costs
+// and disjunctive arcs are inherited wholesale, and only tasks at or after
+// the dirty frontier whose longest-path inputs actually changed — bitwise —
+// are recomputed, propagating through successors and exiting early once the
+// frontier drains. The result is bit-identical to a full DecodeInto of the
+// same chromosome.
+//
+// frontier is the number of tasks whose start/finish were recomputed. full
+// reports that the call fell back to a full decode (nil or foreign parent,
+// no usable prefix, or a prefix that fails verification — the latter means
+// the caller's parentage bookkeeping is wrong, and costs only the O(V)
+// verification before the regular path runs). s must not alias parent. Like
+// DecodeInto, on error the target is left in an unspecified state.
+func (d *Decoder) DecodeDelta(parent *Schedule, s *Schedule, order, proc []int, firstDirty int) (frontier int, full bool, err error) {
+	w := d.w
+	n, m := w.N(), w.M()
+	if parent == nil || parent.w != w || firstDirty <= 0 || len(order) != n || len(proc) != n {
+		return 0, true, d.DecodeInto(s, order, proc)
+	}
+	if firstDirty > n {
+		firstDirty = n
+	}
+	for i := 0; i < firstDirty; i++ {
+		v := int(parent.topo[i])
+		if order[i] != v || proc[v] != int(parent.proc[v]) {
+			return 0, true, d.DecodeInto(s, order, proc)
+		}
+	}
+
+	g, sys := w.G, w.Sys
+	arcs := d.arcs
+	nE := len(arcs.succTo)
+	sc := getScratch(n, m)
+	defer putScratch(sc)
+
+	// Validation: permutation, processor range, and the topological-order
+	// check for arcs leaving suffix tasks. Arcs inside the prefix were
+	// validated when the parent was built, arcs from the prefix into the
+	// suffix cannot be inverted, and an arc from the suffix into the prefix
+	// always fails the position check below.
+	pos := sc.pos[:n]
+	for v := range pos {
+		pos[v] = -1
+	}
+	for i, v := range order {
+		if v < 0 || v >= n || pos[v] != -1 {
+			return 0, false, fmt.Errorf("schedule: scheduling string is not a permutation of the tasks")
+		}
+		pos[v] = int32(i)
+	}
+	for v, p := range proc {
+		if p < 0 || p >= m {
+			return 0, false, fmt.Errorf("schedule: task %d assigned to processor %d out of range [0,%d)", v, p, m)
+		}
+	}
+	succOff, succTo, succData := arcs.succOff, arcs.succTo, arcs.succData
+	predOff, predTo := arcs.predOff, arcs.predTo
+	for i := firstDirty; i < n; i++ {
+		u := order[i]
+		up := pos[u]
+		for k := succOff[u]; k < succOff[u+1]; k++ {
+			if pos[succTo[k]] < up {
+				return 0, false, fmt.Errorf("schedule: scheduling string is not a topological order of the task graph")
+			}
+		}
+	}
+
+	// Fresh arenas, filled from the parent; installed into s only at the
+	// end so a failed build never leaves s half-overwritten.
+	ints := make([]int32, 5*n+m+1)
+	var sproc, topo, porder, porderOff, dsucc, dpred []int32
+	sproc, ints = carveI(ints, n)
+	topo, ints = carveI(ints, n)
+	porder, ints = carveI(ints, n)
+	porderOff, ints = carveI(ints, m+1)
+	dsucc, ints = carveI(ints, n)
+	dpred, _ = carveI(ints, n)
+	floats := make([]float64, 5*n+2*nE)
+	var succComm, predComm, expDur, start, finish, bl, slack []float64
+	succComm, floats = carveF(floats, nE)
+	predComm, floats = carveF(floats, nE)
+	expDur, floats = carveF(floats, n)
+	start, floats = carveF(floats, n)
+	finish, floats = carveF(floats, n)
+	bl, floats = carveF(floats, n)
+	slack, _ = carveF(floats, n)
+
+	for v, p := range proc {
+		sproc[v] = int32(p)
+	}
+	for i, v := range order {
+		topo[i] = int32(v)
+	}
+	copy(dsucc, parent.dsucc)
+	copy(dpred, parent.dpred)
+	copy(succComm, parent.succComm)
+	copy(predComm, parent.predComm)
+	copy(expDur, parent.expDur)
+	copy(start, parent.start)
+	copy(finish, parent.finish)
+	copy(bl, parent.bl)
+
+	sdirty := sc.sdirty[:n]
+	bdirty := sc.bdirty[:n]
+	changed := sc.changed[:n]
+	for v := 0; v < n; v++ {
+		sdirty[v] = false
+		bdirty[v] = false
+		changed[v] = false
+	}
+	spending, bpending := 0, 0 // dirty tasks not yet re-swept, per direction
+
+	// Per-processor grouping, rebuilt in scheduling-string order; suffix
+	// appends rewire the disjunctive arcs, marking tasks dirty when the arc
+	// identity diverges from the inherited parent value.
+	pcount := sc.poff[:m+1]
+	for p := range pcount {
+		pcount[p] = 0
+	}
+	for _, p := range proc {
+		pcount[p+1]++
+	}
+	for p := 1; p <= m; p++ {
+		pcount[p] += pcount[p-1]
+	}
+	copy(porderOff, pcount)
+	pcur := sc.pcur[:m]
+	plast := sc.plast[:m]
+	for p := 0; p < m; p++ {
+		pcur[p] = pcount[p]
+		plast[p] = -1
+	}
+	for i, v := range order {
+		p := proc[v]
+		porder[pcur[p]] = int32(v)
+		pcur[p]++
+		u := plast[p]
+		plast[p] = int32(v)
+		if i < firstDirty {
+			continue // disjunctive arcs inside the prefix are inherited
+		}
+		ndp := int32(-1)
+		if u >= 0 && !g.HasEdge(int(u), v) {
+			ndp = u
+		}
+		if dpred[v] != ndp {
+			dpred[v] = ndp
+			if !sdirty[v] {
+				sdirty[v] = true
+				spending++
+			}
+		}
+		if u >= 0 {
+			nds := int32(v)
+			if ndp < 0 {
+				nds = -1 // the pair is a data edge; ordering rides on it
+			}
+			if dsucc[u] != nds {
+				dsucc[u] = nds
+				if !bdirty[u] {
+					bdirty[u] = true
+					bpending++
+				}
+			}
+		}
+	}
+	// Tasks that are now last on their processor keep no disjunctive
+	// successor; stale inherited arcs would otherwise point into the past.
+	for p := 0; p < m; p++ {
+		if t := plast[p]; t >= 0 && dsucc[t] != -1 {
+			dsucc[t] = -1
+			if !bdirty[t] {
+				bdirty[t] = true
+				bpending++
+			}
+		}
+	}
+
+	// Reassigned tasks: new expected durations, then re-costed incident
+	// arcs (both directions, deduplicated when both endpoints moved). The
+	// prefix check above guarantees reassignments live in the suffix.
+	for i := firstDirty; i < n; i++ {
+		v := order[i]
+		if sproc[v] == parent.proc[v] {
+			continue
+		}
+		changed[v] = true
+		if nd := w.ExpectedAt(v, proc[v]); nd != expDur[v] {
+			expDur[v] = nd
+			if !sdirty[v] {
+				sdirty[v] = true
+				spending++
+			}
+			if !bdirty[v] {
+				bdirty[v] = true
+				bpending++
+			}
+		}
+	}
+	sMirror, pMirror := arcs.sMirror, arcs.pMirror
+	for i := firstDirty; i < n; i++ {
+		v := order[i]
+		if !changed[v] {
+			continue
+		}
+		pv := proc[v]
+		for k := succOff[v]; k < succOff[v+1]; k++ {
+			to := int(succTo[k])
+			if c := sys.CommCost(pv, proc[to], succData[k]); c != succComm[k] {
+				succComm[k] = c
+				predComm[sMirror[k]] = c
+				if !sdirty[to] {
+					sdirty[to] = true
+					spending++
+				}
+				if !bdirty[v] {
+					bdirty[v] = true
+					bpending++
+				}
+			}
+		}
+		for j := predOff[v]; j < predOff[v+1]; j++ {
+			u := int(predTo[j])
+			if changed[u] {
+				continue // u's successor sweep re-costs this arc
+			}
+			if c := sys.CommCost(proc[u], pv, succData[pMirror[j]]); c != predComm[j] {
+				predComm[j] = c
+				succComm[pMirror[j]] = c
+				if !sdirty[v] {
+					sdirty[v] = true
+					spending++
+				}
+				if !bdirty[u] {
+					bdirty[u] = true
+					bpending++
+				}
+			}
+		}
+	}
+
+	// Forward dirty sweep: recompute start/finish of marked tasks in
+	// scheduling-string order, propagating only on a bitwise finish change
+	// and stopping as soon as the frontier drains. All marks live in the
+	// suffix (their causes do), so the sweep starts at the frontier.
+	for i := firstDirty; i < n && spending > 0; i++ {
+		v := order[i]
+		if !sdirty[v] {
+			continue
+		}
+		sdirty[v] = false
+		spending--
+		frontier++
+		st := 0.0
+		for k := predOff[v]; k < predOff[v+1]; k++ {
+			if t := finish[predTo[k]] + predComm[k]; t > st {
+				st = t
+			}
+		}
+		if u := dpred[v]; u >= 0 {
+			if t := finish[u]; t > st {
+				st = t
+			}
+		}
+		start[v] = st
+		f := st + expDur[v]
+		if f == finish[v] {
+			continue
+		}
+		finish[v] = f
+		for k := succOff[v]; k < succOff[v+1]; k++ {
+			if to := succTo[k]; !sdirty[to] {
+				sdirty[to] = true
+				spending++
+			}
+		}
+		if u := dsucc[v]; u >= 0 && !sdirty[u] {
+			sdirty[u] = true
+			spending++
+		}
+	}
+	makespan := 0.0
+	for _, f := range finish {
+		if f > makespan {
+			makespan = f
+		}
+	}
+
+	// Backward dirty sweep: bottom levels depend on successor bottom
+	// levels, durations and arc costs — not on start times — so its seeds
+	// were planted above and propagation can reach into the prefix.
+	for i := n - 1; i >= 0 && bpending > 0; i-- {
+		v := order[i]
+		if !bdirty[v] {
+			continue
+		}
+		bdirty[v] = false
+		bpending--
+		best := 0.0
+		for k := succOff[v]; k < succOff[v+1]; k++ {
+			if c := succComm[k] + bl[succTo[k]]; c > best {
+				best = c
+			}
+		}
+		if u := dsucc[v]; u >= 0 {
+			if c := bl[u]; c > best {
+				best = c
+			}
+		}
+		nb := expDur[v] + best
+		if nb == bl[v] {
+			continue
+		}
+		bl[v] = nb
+		for k := predOff[v]; k < predOff[v+1]; k++ {
+			if u := predTo[k]; !bdirty[u] {
+				bdirty[u] = true
+				bpending++
+			}
+		}
+		if u := dpred[v]; u >= 0 && !bdirty[u] {
+			bdirty[u] = true
+			bpending++
+		}
+	}
+
+	// Slack is cheap and global (it needs the makespan anyway); identical
+	// float operations to the full build keep it bit-identical.
+	sum := 0.0
+	minSlack := 0.0
+	for v := 0; v < n; v++ {
+		sl := makespan - bl[v] - start[v]
+		if sl < 0 && sl > -1e-9 {
+			sl = 0
+		}
+		slack[v] = sl
+		sum += sl
+		if v == 0 || sl < minSlack {
+			minSlack = sl
+		}
+	}
+
+	s.w = w
+	s.arcs = arcs
+	s.proc = sproc
+	s.topo = topo
+	s.porder = porder
+	s.porderOff = porderOff
+	s.dsucc = dsucc
+	s.dpred = dpred
+	s.succComm = succComm
+	s.predComm = predComm
+	s.expDur = expDur
+	s.start = start
+	s.finish = finish
+	s.bl = bl
+	s.slack = slack
+	s.makespan = makespan
+	s.avgSlack = sum / float64(n)
+	s.minSlack = minSlack
+	return frontier, false, nil
+}

@@ -1,0 +1,431 @@
+package schedule
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"robsched/internal/platform"
+	"robsched/internal/rng"
+)
+
+// sameSchedule fails the test unless every piece of state of got — exported
+// and internal, analysis and adjacency — is bit-identical to want.
+func sameSchedule(t *testing.T, ctx string, got, want *Schedule) {
+	t.Helper()
+	if got.makespan != want.makespan || got.avgSlack != want.avgSlack || got.minSlack != want.minSlack {
+		t.Fatalf("%s: summary differs: (%v %v %v) != (%v %v %v)", ctx,
+			got.makespan, got.avgSlack, got.minSlack, want.makespan, want.avgSlack, want.minSlack)
+	}
+	intSlices := [][2][]int32{
+		{got.proc, want.proc}, {got.topo, want.topo}, {got.porder, want.porder},
+		{got.porderOff, want.porderOff}, {got.dsucc, want.dsucc}, {got.dpred, want.dpred},
+	}
+	for si, pair := range intSlices {
+		if len(pair[0]) != len(pair[1]) {
+			t.Fatalf("%s: int slice %d length %d != %d", ctx, si, len(pair[0]), len(pair[1]))
+		}
+		for i := range pair[0] {
+			if pair[0][i] != pair[1][i] {
+				t.Fatalf("%s: int slice %d differs at %d: %d != %d", ctx, si, i, pair[0][i], pair[1][i])
+			}
+		}
+	}
+	floatSlices := [][2][]float64{
+		{got.succComm, want.succComm}, {got.predComm, want.predComm}, {got.expDur, want.expDur},
+		{got.start, want.start}, {got.finish, want.finish}, {got.bl, want.bl}, {got.slack, want.slack},
+	}
+	for si, pair := range floatSlices {
+		if len(pair[0]) != len(pair[1]) {
+			t.Fatalf("%s: float slice %d length %d != %d", ctx, si, len(pair[0]), len(pair[1]))
+		}
+		for i := range pair[0] {
+			if pair[0][i] != pair[1][i] {
+				t.Fatalf("%s: float slice %d differs at %d: %v != %v", ctx, si, i, pair[0][i], pair[1][i])
+			}
+		}
+	}
+}
+
+// feasibleMove relocates the task at position i of order to a random
+// position within its precedence-feasible window, like the GA's mutation
+// operator, keeping the order topological. It reports the smallest position
+// whose occupant changed (len(order) if the move was a no-op).
+func feasibleMove(r *rng.Source, w *platform.Workload, order []int, i int) int {
+	n := len(order)
+	pos := make([]int, n)
+	for p, v := range order {
+		pos[v] = p
+	}
+	v := order[i]
+	lo, hi := 0, n-1
+	for _, a := range w.G.Predecessors(v) {
+		if p := pos[a.To]; p+1 > lo {
+			lo = p + 1
+		}
+	}
+	for _, a := range w.G.Successors(v) {
+		if p := pos[a.To]; p-1 < hi {
+			hi = p - 1
+		}
+	}
+	j := lo + r.Intn(hi-lo+1)
+	if j == i {
+		return n
+	}
+	if j < i {
+		copy(order[j+1:i+1], order[j:i])
+	} else {
+		copy(order[i:j], order[i+1:j+1])
+	}
+	order[j] = v
+	if j < i {
+		return j
+	}
+	return i
+}
+
+// deriveChild perturbs a parent chromosome with GA-like edits (feasible
+// order moves plus processor reassignments constrained to the changed
+// region) and returns the child with the exact first-divergence index.
+func deriveChild(r *rng.Source, w *platform.Workload, pOrder, pProc []int) (order, proc []int, firstDirty int) {
+	n := len(pOrder)
+	order = append([]int(nil), pOrder...)
+	proc = append([]int(nil), pProc...)
+	d := n
+	for moves := r.Intn(3); moves >= 0; moves-- {
+		if m := feasibleMove(r, w, order, r.Intn(n)); m < d {
+			d = m
+		}
+	}
+	pos := make([]int, n)
+	for p, v := range order {
+		pos[v] = p
+	}
+	// Processor reassignments pull d down to the earliest reassigned
+	// position, keeping it the exact first divergence of (order, proc).
+	for changes := 1 + r.Intn(3); changes > 0; changes-- {
+		v := order[r.Intn(n)]
+		np := r.Intn(w.M())
+		if np == proc[v] {
+			continue
+		}
+		proc[v] = np
+		if pos[v] < d {
+			d = pos[v]
+		}
+	}
+	return order, proc, d
+}
+
+// TestDecodeDeltaMatchesFull: for random parent/child pairs and every legal
+// dirty-frontier claim — from the exact first divergence all the way down
+// to 1 — the delta decode must be bit-identical to a full decode of the
+// child, across every field of the schedule.
+func TestDecodeDeltaMatchesFull(t *testing.T) {
+	r := rng.New(97)
+	for trial := 0; trial < 80; trial++ {
+		w := randomWorkload(t, r, 2+r.Intn(30), 1+r.Intn(5))
+		n := w.N()
+		dec := NewDecoder(w)
+		pOrder := w.G.RandomTopologicalOrder(r)
+		pProc := make([]int, n)
+		for i := range pProc {
+			pProc[i] = r.Intn(w.M())
+		}
+		parent, err := dec.Decode(pOrder, pProc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		order, proc, d := deriveChild(r, w, pOrder, pProc)
+		want, err := dec.Decode(order, proc)
+		if err != nil {
+			t.Fatalf("trial %d: full decode of child: %v", trial, err)
+		}
+		// The exact claim plus every conservative (smaller) claim; small
+		// trials sweep all of them, larger ones sample.
+		claims := []int{d, 1, 1 + r.Intn(d+1)}
+		if n <= 16 {
+			claims = claims[:0]
+			for c := 1; c <= d; c++ {
+				claims = append(claims, c)
+			}
+		}
+		for _, claim := range claims {
+			if claim > d || claim < 1 {
+				continue
+			}
+			var got Schedule
+			frontier, full, err := dec.DecodeDelta(parent, &got, order, proc, claim)
+			if err != nil {
+				t.Fatalf("trial %d claim %d: %v", trial, claim, err)
+			}
+			if full {
+				t.Fatalf("trial %d claim %d: unexpected fallback to full decode", trial, claim)
+			}
+			if frontier < 0 || frontier > n {
+				t.Fatalf("trial %d claim %d: frontier %d out of range", trial, claim, frontier)
+			}
+			sameSchedule(t, "delta", &got, want)
+		}
+		// A claim past the true divergence must be caught by prefix
+		// verification and fall back to a bit-identical full decode. The
+		// composed d can undershoot (edits may cancel out), so compute the
+		// exact divergence here.
+		trueD := n
+		for i := 0; i < n; i++ {
+			if order[i] != pOrder[i] {
+				trueD = i
+				break
+			}
+		}
+		for i, v := range order {
+			if proc[v] != pProc[v] && i < trueD {
+				trueD = i
+			}
+		}
+		if trueD < n {
+			var got Schedule
+			_, full, err := dec.DecodeDelta(parent, &got, order, proc, trueD+1)
+			if err != nil {
+				t.Fatalf("trial %d overclaim: %v", trial, err)
+			}
+			if !full {
+				t.Fatalf("trial %d: overclaimed prefix not detected", trial)
+			}
+			sameSchedule(t, "fallback", &got, want)
+		}
+	}
+}
+
+// TestDecodeDeltaFromNewBuiltParent: delta decoding against a parent built
+// by New (the HEFT seed path) uses the parent's Kahn order as its
+// scheduling string; results must still match the full decode bit for bit.
+func TestDecodeDeltaFromNewBuiltParent(t *testing.T) {
+	r := rng.New(131)
+	for trial := 0; trial < 30; trial++ {
+		w := randomWorkload(t, r, 2+r.Intn(25), 1+r.Intn(4))
+		parent := randomSchedule(t, r, w)
+		// Rebuild the same schedule through New's explicit-list path.
+		lists := make([][]int, w.M())
+		for p := range lists {
+			lists[p] = parent.ProcOrder(p)
+		}
+		viaNew, err := New(w, parent.ProcAssignment(), lists)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dec := NewDecoder(w)
+		order, proc, d := deriveChild(r, w, viaNew.Order(), viaNew.ProcAssignment())
+		if d < 1 {
+			continue
+		}
+		want, err := dec.Decode(order, proc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got Schedule
+		_, full, err := dec.DecodeDelta(viaNew, &got, order, proc, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if full {
+			t.Fatalf("trial %d: unexpected fallback", trial)
+		}
+		sameSchedule(t, "new-built parent", &got, want)
+	}
+}
+
+// TestDecodeDeltaRejectsInvalid: malformed children are rejected exactly
+// like the full path rejects them, regardless of the claimed frontier.
+func TestDecodeDeltaRejectsInvalid(t *testing.T) {
+	r := rng.New(7)
+	w := randomWorkload(t, r, 12, 3)
+	dec := NewDecoder(w)
+	order := w.G.RandomTopologicalOrder(r)
+	proc := make([]int, w.N())
+	parent, err := dec.Decode(order, proc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := append([]int(nil), order...)
+	bad[6] = bad[5] // duplicate task
+	var s Schedule
+	if _, _, err := dec.DecodeDelta(parent, &s, bad, proc, 3); err == nil {
+		t.Fatal("duplicate entry accepted")
+	}
+	badProc := make([]int, w.N())
+	badProc[8] = w.M()
+	if _, _, err := dec.DecodeDelta(parent, &s, order, badProc, 3); err == nil {
+		t.Fatal("out-of-range processor accepted")
+	}
+	// A suffix precedence inversion must be caught by the position check.
+	inv := append([]int(nil), order...)
+	swapped := false
+	for i := 3; i+1 < len(inv); i++ {
+		if w.G.HasEdge(inv[i], inv[i+1]) {
+			inv[i], inv[i+1] = inv[i+1], inv[i]
+			swapped = true
+			break
+		}
+	}
+	if swapped {
+		if _, _, err := dec.DecodeDelta(parent, &s, inv, proc, 3); err == nil {
+			t.Fatal("suffix precedence inversion accepted")
+		}
+	}
+}
+
+// TestDecodeDeltaSteadyStateAllocs: the delta path has the same allocation
+// budget as the full path — the schedule's two arenas, nothing else.
+func TestDecodeDeltaSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation changes allocation counts")
+	}
+	r := rng.New(43)
+	w := randomWorkload(t, r, 40, 4)
+	dec := NewDecoder(w)
+	pOrder := w.G.RandomTopologicalOrder(r)
+	pProc := make([]int, w.N())
+	for i := range pProc {
+		pProc[i] = r.Intn(w.M())
+	}
+	parent, err := dec.Decode(pOrder, pProc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	order, proc, d := deriveChild(r, w, pOrder, pProc)
+	if d < 1 {
+		t.Skip("derived child identical to parent")
+	}
+	var s Schedule
+	if _, _, err := dec.DecodeDelta(parent, &s, order, proc, d); err != nil {
+		t.Fatal(err)
+	}
+	runtime.GC()
+	avg := testing.AllocsPerRun(200, func() {
+		if _, _, err := dec.DecodeDelta(parent, &s, order, proc, d); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg > 2 {
+		t.Fatalf("steady-state delta decode costs %.1f allocs, want <= 2", avg)
+	}
+}
+
+func deltaBenchSetup(b *testing.B, n, m int) (*Decoder, *Schedule, [][]int, [][]int, []int) {
+	b.Helper()
+	r := rng.New(1)
+	w := benchWorkload(b, r, n, m)
+	dec := NewDecoder(w)
+	pOrder := w.G.RandomTopologicalOrder(r)
+	pProc := make([]int, n)
+	for i := range pProc {
+		pProc[i] = r.Intn(m)
+	}
+	parent, err := dec.Decode(pOrder, pProc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const children = 64
+	orders := make([][]int, children)
+	procs := make([][]int, children)
+	dirty := make([]int, children)
+	for c := range orders {
+		var d int
+		orders[c], procs[c], d = deriveChildBench(r, w, pOrder, pProc)
+		dirty[c] = d
+	}
+	return dec, parent, orders, procs, dirty
+}
+
+// deriveChildBench mirrors deriveChild without *testing.T plumbing.
+func deriveChildBench(r *rng.Source, w *platform.Workload, pOrder, pProc []int) ([]int, []int, int) {
+	n := len(pOrder)
+	order := append([]int(nil), pOrder...)
+	proc := append([]int(nil), pProc...)
+	d := n
+	if m := feasibleMove(r, w, order, r.Intn(n)); m < d {
+		d = m
+	}
+	pos := make([]int, n)
+	for p, v := range order {
+		pos[v] = p
+	}
+	v := order[r.Intn(n)]
+	if np := r.Intn(w.M()); np != proc[v] {
+		proc[v] = np
+		if pos[v] < d {
+			d = pos[v]
+		}
+	}
+	if d < 1 {
+		d = 1
+	}
+	return order, proc, d
+}
+
+// BenchmarkDecodeDelta decodes GA-like children incrementally from their
+// parent; BenchmarkDecodeFull decodes the same children from scratch.
+func BenchmarkDecodeDelta(b *testing.B) {
+	dec, parent, orders, procs, dirty := deltaBenchSetup(b, 100, 8)
+	var s Schedule
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := i & 63
+		if _, _, err := dec.DecodeDelta(parent, &s, orders[c], procs[c], dirty[c]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecodeFull(b *testing.B) {
+	dec, _, orders, procs, _ := deltaBenchSetup(b, 100, 8)
+	var s Schedule
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := i & 63
+		if err := dec.DecodeInto(&s, orders[c], procs[c]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDecodeDeltaCut resolves the delta/full crossover point: each
+// sub-benchmark decodes children whose single edit (a processor
+// reassignment) sits at a fixed fraction of the scheduling string, so the
+// clean prefix is exactly that fraction of the graph. The evaluator's
+// full-decode threshold is calibrated against this curve.
+func BenchmarkDecodeDeltaCut(b *testing.B) {
+	const n, m = 100, 8
+	r := rng.New(1)
+	w := benchWorkload(b, r, n, m)
+	dec := NewDecoder(w)
+	pOrder := w.G.RandomTopologicalOrder(r)
+	pProc := make([]int, n)
+	for i := range pProc {
+		pProc[i] = r.Intn(m)
+	}
+	parent, err := dec.Decode(pOrder, pProc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, pct := range []int{10, 25, 50, 75, 90} {
+		b.Run(fmt.Sprintf("prefix%d", pct), func(b *testing.B) {
+			d := n * pct / 100
+			proc := append([]int(nil), pProc...)
+			v := pOrder[d]
+			proc[v] = (proc[v] + 1) % m
+			var s Schedule
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, full, err := dec.DecodeDelta(parent, &s, pOrder, proc, d); err != nil || full {
+					b.Fatalf("full=%v err=%v", full, err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,75 @@
+package schedule
+
+import (
+	"testing"
+
+	"robsched/internal/gen"
+	"robsched/internal/rng"
+)
+
+// FuzzDecodeDelta hammers the incremental decoder with arbitrary
+// workloads, GA-like parent/child derivations and arbitrary — including
+// deliberately wrong — dirty-frontier claims. The invariant is total: for
+// any claim, DecodeDelta either produces a schedule bit-identical to the
+// full decode of the same chromosome, or reports full=true and produces
+// the full decode's result; it must never panic and never return a
+// schedule that disagrees with DecodeInto.
+func FuzzDecodeDelta(f *testing.F) {
+	f.Add(uint64(1), uint64(2), 3, 0)
+	f.Add(uint64(7), uint64(11), 1, 5)
+	f.Add(uint64(42), uint64(13), 1000, 1)
+	f.Add(uint64(99), uint64(3), -4, 2)
+	f.Fuzz(func(t *testing.T, wseed, dseed uint64, claim, edits int) {
+		p := gen.PaperParams()
+		p.N = 2 + int(wseed%40)
+		p.M = 1 + int(wseed%6)
+		w, err := gen.Random(p, rng.New(wseed))
+		if err != nil {
+			return
+		}
+		n := w.N()
+		r := rng.New(dseed)
+		pOrder := w.G.RandomTopologicalOrder(r)
+		pProc := make([]int, n)
+		for i := range pProc {
+			pProc[i] = r.Intn(w.M())
+		}
+		dec := NewDecoder(w)
+		var parent Schedule
+		if err := dec.DecodeInto(&parent, pOrder, pProc); err != nil {
+			t.Fatalf("parent decode failed: %v", err)
+		}
+		// Chain up to three GA-like derivations so children can be several
+		// operator applications away from the decoded parent, like the
+		// evaluator's composed parent chains.
+		order, proc := pOrder, pProc
+		for e := 0; e < edits%4; e++ {
+			order, proc, _ = deriveChild(r, w, order, proc)
+		}
+		var want Schedule
+		if err := dec.DecodeInto(&want, order, proc); err != nil {
+			t.Fatalf("full decode of derived child failed: %v", err)
+		}
+		// The exact divergence against the *original* parent, for the
+		// overclaim assertion below.
+		trueD := n
+		for i := 0; i < n; i++ {
+			if order[i] != pOrder[i] || proc[order[i]] != pProc[order[i]] {
+				trueD = i
+				break
+			}
+		}
+		var got Schedule
+		frontier, full, err := dec.DecodeDelta(&parent, &got, order, proc, claim)
+		if err != nil {
+			t.Fatalf("DecodeDelta(claim=%d) rejected a valid child: %v", claim, err)
+		}
+		if !full && claim > trueD && trueD < n {
+			t.Fatalf("claim %d exceeds true divergence %d but the prefix verified", claim, trueD)
+		}
+		if frontier < 0 || frontier > n {
+			t.Fatalf("frontier %d out of range [0,%d]", frontier, n)
+		}
+		sameSchedule(t, "fuzz", &got, &want)
+	})
+}

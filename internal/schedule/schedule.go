@@ -9,13 +9,17 @@
 // O(V+E) longest-path pass with no allocation — the property that makes the
 // paper's 100 graphs × 1000 realizations evaluation tractable.
 //
-// The disjunctive graph is stored in CSR (compressed sparse row) form: one
-// flat arc arena per direction plus per-node offset slices, instead of
-// per-node slices-of-slices. All integer state of a schedule lives in one
-// int32 arena and all float state in one float64 arena, so building a
-// schedule costs exactly two heap allocations beyond its struct and the
+// The disjunctive graph is stored in CSR (compressed sparse row) form,
+// split into a static and a dynamic half: the data arcs (targets, offsets,
+// data sizes) are built once per task graph and shared by every schedule of
+// it (arcs.go), while each schedule carries only what the chromosome
+// determines — per-arc communication costs, the at-most-one disjunctive arc
+// per task, and the analysis vectors. All per-schedule integer state lives
+// in one int32 arena and all float state in one float64 arena, so building
+// a schedule costs exactly two heap allocations beyond its struct and the
 // longest-path passes walk contiguous memory. See Decoder (decoder.go) for
-// the pooled fast path used by the GA's chromosome decoding.
+// the pooled fast path used by the GA's chromosome decoding and for
+// DecodeDelta, the incremental path that reuses a parent schedule's prefix.
 package schedule
 
 import (
@@ -30,26 +34,30 @@ import (
 // execution order on each processor, together with the analysis of the
 // schedule under expected task durations.
 //
-// Layout: proc, topo, porder/porderOff and the four CSR slices are carved
-// from a single int32 arena; the comm costs and the analysis vectors from a
-// single float64 arena.
+// Layout: proc, topo, porder/porderOff and dsucc/dpred are carved from a
+// single int32 arena; the comm costs and the analysis vectors from a single
+// float64 arena. The data-arc adjacency itself (targets, offsets, data
+// sizes) is shared across all schedules of the same task graph via arcs.
 type Schedule struct {
-	w *platform.Workload
+	w    *platform.Workload
+	arcs *arcSet // shared static CSR of the task graph's data arcs
 
 	proc      []int32 // task -> processor
 	topo      []int32 // topological order of the disjunctive graph
 	porder    []int32 // tasks grouped by processor, in execution order
 	porderOff []int32 // m+1 offsets into porder
 
-	// CSR adjacency of G_s with per-arc communication costs. Arcs of node v
-	// occupy [succOff[v], succOff[v+1]) of succTo/succComm (and the mirror
-	// for predecessors). Disjunctive (same-processor ordering) arcs carry
-	// zero cost and sit last in each node's range.
-	succOff  []int32
-	succTo   []int32
+	// The at-most-one disjunctive (same-processor ordering) arc of each
+	// task: dsucc[v]/dpred[v] is the next/previous task on v's processor
+	// when that pair is not already a data edge, else -1. Disjunctive arcs
+	// carry zero cost (Eqn. 1) and are evaluated after each task's data
+	// arcs, matching the legacy CSR where they sat last in the row.
+	dsucc []int32
+	dpred []int32
+
+	// Communication cost of each data arc, parallel to arcs.succTo and
+	// arcs.predTo; depends on the processor assignment.
 	succComm []float64
-	predOff  []int32
-	predTo   []int32
 	predComm []float64
 
 	// Analysis under expected durations.
@@ -104,8 +112,8 @@ func New(w *platform.Workload, proc []int, procOrder [][]int) (*Schedule, error)
 	s := new(Schedule)
 	sc := getScratch(n, m)
 	defer putScratch(sc)
-	nDisj := sc.prepassFromLists(w, proc, procOrder)
-	err := buildInto(s, w, sc, nDisj)
+	sc.prepassFromLists(w, proc, procOrder)
+	err := buildInto(s, w, sc, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -118,22 +126,23 @@ func New(w *platform.Workload, proc []int, procOrder [][]int) (*Schedule, error)
 // exactly the decoding of the paper's GA chromosome (Section 4.2.1).
 func FromOrder(w *platform.Workload, order []int, proc []int) (*Schedule, error) {
 	s := new(Schedule)
-	if err := decodeOrder(s, w, order, proc, false); err != nil {
+	if err := decodeOrder(s, w, order, proc); err != nil {
 		return nil, err
 	}
 	return s, nil
 }
 
-// FromOrderTrusted is FromOrder without the O(V+E) precedence re-validation
-// of the scheduling string: the caller guarantees order is a topological
-// order of the task graph, as the GA's operators do by construction
-// (Section 4.2.5/4.2.6). It still rejects non-permutations and out-of-range
-// processors, and a same-processor precedence inversion is still caught as
-// a disjunctive-graph cycle; a cross-processor inversion in a trusted order
-// is undetectable and yields the schedule of the per-processor projections.
+// FromOrderTrusted is FromOrder for orders the caller already knows to be
+// topological, as the GA's operators guarantee by construction (Section
+// 4.2.5/4.2.6). Historically it skipped the O(V+E) precedence scan; since
+// the scheduling string became the stored topological order, precedence
+// validation is a byproduct of the communication-cost fill (one comparison
+// per arc, cheaper than the Kahn pass it replaced), so the trusted path now
+// rejects every inversion — including cross-processor ones — just like
+// FromOrder, at no extra cost.
 func FromOrderTrusted(w *platform.Workload, order []int, proc []int) (*Schedule, error) {
 	s := new(Schedule)
-	if err := decodeOrder(s, w, order, proc, true); err != nil {
+	if err := decodeOrder(s, w, order, proc); err != nil {
 		return nil, err
 	}
 	return s, nil
@@ -143,13 +152,20 @@ func FromOrderTrusted(w *platform.Workload, order []int, proc []int) (*Schedule,
 // the given durations, filling start and finish, and returns the makespan.
 // start and finish must have length N.
 func (s *Schedule) forward(dur, start, finish []float64) float64 {
-	predOff, predTo, predComm := s.predOff, s.predTo, s.predComm
+	predOff, predTo, predComm := s.arcs.predOff, s.arcs.predTo, s.predComm
+	dpred := s.dpred
 	makespan := 0.0
 	for _, v32 := range s.topo {
 		v := int(v32)
 		st := 0.0
 		for k := predOff[v]; k < predOff[v+1]; k++ {
 			if t := finish[predTo[k]] + predComm[k]; t > st {
+				st = t
+			}
+		}
+		// The disjunctive predecessor costs zero communication.
+		if u := dpred[v]; u >= 0 {
+			if t := finish[u]; t > st {
 				st = t
 			}
 		}
@@ -166,12 +182,18 @@ func (s *Schedule) forward(dur, start, finish []float64) float64 {
 // backward fills bl with the bottom level of every task under the given
 // durations: Bl(v) = dur(v) + max over successors of (comm(v,u) + Bl(u)).
 func (s *Schedule) backward(dur, bl []float64) {
-	succOff, succTo, succComm := s.succOff, s.succTo, s.succComm
+	succOff, succTo, succComm := s.arcs.succOff, s.arcs.succTo, s.succComm
+	dsucc := s.dsucc
 	for i := len(s.topo) - 1; i >= 0; i-- {
 		v := int(s.topo[i])
 		best := 0.0
 		for k := succOff[v]; k < succOff[v+1]; k++ {
 			if c := succComm[k] + bl[succTo[k]]; c > best {
+				best = c
+			}
+		}
+		if u := dsucc[v]; u >= 0 {
+			if c := bl[u]; c > best {
 				best = c
 			}
 		}
