@@ -8,9 +8,15 @@
 # vs off, plus the no-op instrument microbenchmarks) to BENCH_obs.json,
 # and the incremental-decode lane (delta vs full decode of GA children,
 # operator microbenchmarks, paper solve with delta on vs off) to
-# BENCH_delta.json.
+# BENCH_delta.json. The multi-process scatter/gather lane (Monte-Carlo
+# evaluation at 1/2/4/8 worker processes and an islands-GA solve sharded
+# across workers, each against its in-process twin) goes to
+# BENCH_dist.json; worker-side parallelism is pinned to 1 there, so the
+# shard speedup reflects the processes (expect ~min(shards, cores)× on a
+# multi-core box and pure overhead on one core).
 # Run from the repo root; pass extra `go test` flags (e.g. -benchtime 10x)
-# as arguments.
+# as arguments. Re-running on the same commit replaces that commit's entry
+# in each trajectory instead of appending a duplicate.
 set -eu
 cd "$(dirname "$0")"
 
@@ -43,3 +49,9 @@ go test -run '^$' \
     -benchmem "$@" ./internal/schedule ./internal/robust . \
   | tee /dev/stderr \
   | go run ./cmd/benchjson -o BENCH_delta.json
+
+go test -run '^$' \
+    -bench 'BenchmarkDistEvaluateAll|BenchmarkDistSolveIslands' \
+    -benchmem "$@" ./internal/dist \
+  | tee /dev/stderr \
+  | go run ./cmd/benchjson -o BENCH_dist.json -note "$(nproc) cores"

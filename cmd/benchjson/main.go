@@ -4,6 +4,11 @@
 // runs of bench.sh accumulate a before/after history. bench.sh maintains one
 // trajectory per hot path: BENCH_decode.json for the chromosome-decode
 // benchmarks and BENCH_sim.json for the Monte-Carlo realization benchmarks.
+//
+// Each run records the source commit (git rev-parse --short HEAD, or the
+// -commit flag). Re-running a lane on a commit it already recorded replaces
+// that entry in place — same (commit, note) key — so iterating on a change
+// does not pile up duplicate runs; history across commits is preserved.
 package main
 
 import (
@@ -12,6 +17,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
 	"strconv"
 	"strings"
 	"time"
@@ -28,17 +34,32 @@ type benchLine struct {
 type run struct {
 	Timestamp  string      `json:"timestamp"`
 	Note       string      `json:"note,omitempty"`
+	Commit     string      `json:"commit,omitempty"`
 	Go         string      `json:"go,omitempty"`
 	CPU        string      `json:"cpu,omitempty"`
 	Benchmarks []benchLine `json:"benchmarks"`
 }
 
+// headCommit returns the short hash of the working tree's HEAD, or "" when
+// git is unavailable (the run is then recorded without dedup).
+func headCommit() string {
+	out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
+}
+
 func main() {
 	out := flag.String("o", "BENCH_decode.json", "output trajectory file")
 	note := flag.String("note", "", "optional label stored with this run")
+	commit := flag.String("commit", "", "source commit for this run (default: git rev-parse --short HEAD)")
 	flag.Parse()
+	if *commit == "" {
+		*commit = headCommit()
+	}
 
-	cur := run{Timestamp: time.Now().UTC().Format(time.RFC3339), Note: *note}
+	cur := run{Timestamp: time.Now().UTC().Format(time.RFC3339), Note: *note, Commit: *commit}
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
 	for sc.Scan() {
@@ -69,7 +90,21 @@ func main() {
 			fatal(fmt.Errorf("existing %s is not a run array: %w", *out, err))
 		}
 	}
-	runs = append(runs, cur)
+	// Same lane (note) on the same commit: replace in place instead of
+	// duplicating, keeping the trajectory one entry per (commit, note).
+	replaced := false
+	if cur.Commit != "" {
+		for i := range runs {
+			if runs[i].Commit == cur.Commit && runs[i].Note == cur.Note {
+				runs[i] = cur
+				replaced = true
+				break
+			}
+		}
+	}
+	if !replaced {
+		runs = append(runs, cur)
+	}
 	data, err := json.MarshalIndent(runs, "", "  ")
 	if err != nil {
 		fatal(err)
@@ -77,8 +112,12 @@ func main() {
 	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
 		fatal(err)
 	}
-	fmt.Fprintf(os.Stderr, "benchjson: recorded %d benchmarks in %s (%d runs total)\n",
-		len(cur.Benchmarks), *out, len(runs))
+	verb := "recorded"
+	if replaced {
+		verb = "replaced"
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: %s %d benchmarks in %s (%d runs total)\n",
+		verb, len(cur.Benchmarks), *out, len(runs))
 }
 
 // parseBench parses one result line, e.g.

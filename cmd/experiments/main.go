@@ -15,6 +15,10 @@
 //	experiments -fig 4 -graphs 30        # more repetitions for Fig. 4
 //	experiments -fig all -scale paper    # the published scale (hours!)
 //	experiments -fig 5 -csv out/         # also write out/fig5.csv
+//	experiments -fig 4 -shards 4         # Monte-Carlo over 4 worker processes
+//
+// `experiments worker` (no flags) runs the scatter/gather worker loop on
+// stdin/stdout; -shards spawns these subprocesses automatically.
 package main
 
 import (
@@ -25,6 +29,7 @@ import (
 	"strings"
 	"time"
 
+	"robsched/internal/dist"
 	"robsched/internal/experiments"
 	"robsched/internal/obs"
 	"robsched/internal/robust"
@@ -39,6 +44,9 @@ func main() {
 }
 
 func run() error {
+	if len(os.Args) > 1 && os.Args[1] == "worker" {
+		return dist.ServeWorker(os.Stdin, os.Stdout)
+	}
 	var (
 		fig          = flag.String("fig", "all", "figure to regenerate: 1..8 or all (empty with -ablation set)")
 		ablation     = flag.String("ablation", "", "ablation to run instead/in addition: seed, slackmetric, risk, policies, or all")
@@ -55,6 +63,7 @@ func run() error {
 		nTasks       = flag.Int("n", 0, "override: tasks per graph")
 		mProcs       = flag.Int("m", 0, "override: processors")
 		workers      = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+		shards       = flag.Int("shards", 0, "shard Monte-Carlo evaluation over this many worker processes (0 = in-process); results are bit-identical")
 		csvDir       = flag.String("csv", "", "also write figN.csv files into this directory (plus a manifest.json run record)")
 		svgDir       = flag.String("svg", "", "also write figN.svg line charts into this directory")
 		obsPath      = flag.String("obs", "", "enable observability: write a JSONL trace to this file and print a telemetry summary")
@@ -116,6 +125,19 @@ func run() error {
 	}
 	if *mProcs > 0 {
 		cfg.Gen.M = *mProcs
+	}
+	if *shards > 0 {
+		exe, err := os.Executable()
+		if err != nil {
+			return fmt.Errorf("locating executable for workers: %w", err)
+		}
+		pool, err := dist.NewProcPool(*shards, exe, "worker")
+		if err != nil {
+			return err
+		}
+		defer pool.Close()
+		coord := &dist.Coordinator{Pool: pool, Obs: reg, Trace: tracer}
+		cfg.Sim = coord.EvaluateAll
 	}
 
 	want := map[string]bool{}

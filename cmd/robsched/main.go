@@ -15,6 +15,12 @@
 //	robsched -n 100 -m 8 -ul 4 -scheduler ga -eps 1.4
 //	robsched -workload w.json -scheduler heft -gantt
 //	robsched -n 50 -scheduler ga -mode maxslack -out schedule.json
+//	robsched -n 100 -scheduler ga -shards 4                 # sharded Monte-Carlo
+//	robsched -n 100 -scheduler ga -shards 4 -islands 4      # sharded GA islands
+//
+// `robsched worker` is the internal subcommand behind -shards: it speaks
+// the dist wire protocol on stdin/stdout and is spawned by the coordinator,
+// never run by hand.
 package main
 
 import (
@@ -24,6 +30,7 @@ import (
 	"os"
 
 	"robsched/internal/clark"
+	"robsched/internal/dist"
 	"robsched/internal/fault"
 	"robsched/internal/gen"
 	"robsched/internal/heft"
@@ -51,6 +58,11 @@ func main() {
 // (golden-tested) while operational notes (trace path, pprof address) go to
 // stderr.
 func run(args []string, stdout, stderr io.Writer) error {
+	if len(args) > 0 && args[0] == "worker" {
+		// The dist worker subcommand: binary frames on stdin/stdout until
+		// the coordinator closes the pipe.
+		return dist.ServeWorker(os.Stdin, os.Stdout)
+	}
 	fs := flag.NewFlagSet("robsched", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
@@ -84,6 +96,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 		clarkEst     = fs.Bool("clark", false, "also print Clark's analytic makespan estimate")
 		svgPath      = fs.String("svg", "", "write an SVG Gantt chart (with slack windows) to this file")
 		workers      = fs.Int("workers", 0, "worker goroutines for population decoding and Monte-Carlo batches (0 = all cores)")
+		shards       = fs.Int("shards", 0, "scatter work over this many `robsched worker` subprocesses (0 = in-process); shards Monte-Carlo realizations, and the GA islands when -islands > 1")
+		islands      = fs.Int("islands", 1, "GA island populations with ring migration (1 = the paper's single population)")
 		obsPath      = fs.String("obs", "", "enable observability: write a JSONL trace to this file and print a telemetry summary")
 		pprofAddr    = fs.String("pprof", "", "serve net/http/pprof, expvar and /debug/obs on this address (e.g. localhost:6060)")
 	)
@@ -121,6 +135,30 @@ func run(args []string, stdout, stderr io.Writer) error {
 	w, err := loadOrGenerate(*workloadPath, *n, *m, *seed, *meanUL, *cc, *ccr, *shape)
 	if err != nil {
 		return err
+	}
+
+	// -shards spawns a pool of `robsched worker` subprocesses and routes
+	// the Monte-Carlo evaluation (and, with -islands, the GA) through the
+	// dist coordinator. Results are bit-identical to the in-process path
+	// for every shard count.
+	var coord *dist.Coordinator
+	if *shards > 0 {
+		exe, err := os.Executable()
+		if err != nil {
+			return fmt.Errorf("locating worker binary: %w", err)
+		}
+		pool, err := dist.NewProcPool(*shards, exe, "worker")
+		if err != nil {
+			return err
+		}
+		defer pool.Close()
+		coord = &dist.Coordinator{Pool: pool, Obs: reg, Trace: tracer}
+	}
+	evalAll := func(ss []*schedule.Schedule, opt sim.Options, root *rng.Source) ([]sim.Metrics, error) {
+		if coord != nil {
+			return coord.EvaluateAll(ss, opt, root)
+		}
+		return sim.EvaluateAll(ss, opt, root)
 	}
 
 	r := rng.New(*seed ^ 0xfeed)
@@ -188,6 +226,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 			MutationRate:   0.1,
 			MaxGenerations: *gens,
 			Stagnation:     *stagnation,
+			Islands:        *islands,
 			Workers:        *workers,
 			Obs:            reg,
 			Trace:          tracer,
@@ -203,7 +242,11 @@ func run(args []string, stdout, stderr io.Writer) error {
 			return fmt.Errorf("unknown -mode %q", *mode)
 		}
 		var res *robust.Result
-		res, err = robust.Solve(w, opt, r)
+		if coord != nil && *islands > 1 {
+			res, err = coord.Solve(w, opt, r)
+		} else {
+			res, err = robust.Solve(w, opt, r)
+		}
 		if err == nil {
 			s = res.Schedule
 			if !*quiet {
@@ -217,7 +260,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return err
 	}
 
-	ms, err := sim.EvaluateAll([]*schedule.Schedule{s, baseline},
+	ms, err := evalAll([]*schedule.Schedule{s, baseline},
 		sim.Options{Realizations: *realizations, Deadline: *deadline, Workers: *workers, Obs: reg, Trace: tracer},
 		rng.New(*seed^0xbeef))
 	if err != nil {

@@ -1,0 +1,88 @@
+package dist
+
+import (
+	"fmt"
+	"os"
+	"testing"
+
+	"robsched/internal/rng"
+	"robsched/internal/robust"
+	"robsched/internal/sim"
+)
+
+// benchProcPool spawns n real worker subprocesses (the test binary re-execed
+// into ServeWorker, same shape as `robsched worker`), outside the timed loop.
+func benchProcPool(b *testing.B, n int) *Pool {
+	b.Helper()
+	exe, err := os.Executable()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Setenv("ROBSCHED_DIST_TEST_WORKER", "1")
+	pool, err := NewProcPool(n, exe)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { pool.Close() })
+	return pool
+}
+
+// BenchmarkDistEvaluateAll measures the Monte-Carlo scatter/gather against
+// the in-process engine on the same workload. Worker-side parallelism is
+// pinned to 1 so the sharding speedup is attributable to the processes: on
+// an m-core machine, shards=k should approach min(k, m)× the inproc lane;
+// on a single core the lanes expose the wire + process overhead instead.
+func BenchmarkDistEvaluateAll(b *testing.B) {
+	w := testWorkload(b, 1, 100, 4, 4)
+	ss := testSchedules(b, w)
+	opt := sim.Options{Realizations: 1000, Workers: 1}
+
+	b.Run("inproc", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := sim.EvaluateAll(ss, opt, rng.New(7)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			pool := benchProcPool(b, shards)
+			coord := &Coordinator{Pool: pool}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := coord.EvaluateAll(ss, opt, rng.New(7)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkDistSolveIslands measures an island-GA solve hosted on worker
+// processes against the same run in-process, bit-identical by construction.
+func BenchmarkDistSolveIslands(b *testing.B) {
+	w := testWorkload(b, 2, 100, 4, 4)
+	opt := robust.Options{
+		Mode: robust.EpsilonConstraint, Eps: 1.4,
+		PopSize: 20, MaxGenerations: 50, Stagnation: 0,
+		Islands: 4, MigrationEvery: 10, Workers: 1,
+	}
+
+	b.Run("inproc", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := robust.Solve(w, opt, rng.New(11)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("sharded", func(b *testing.B) {
+		pool := benchProcPool(b, 4)
+		coord := &Coordinator{Pool: pool}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := coord.Solve(w, opt, rng.New(11)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

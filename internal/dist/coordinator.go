@@ -1,0 +1,414 @@
+package dist
+
+import (
+	"fmt"
+	"sync"
+
+	"robsched/internal/ga"
+	"robsched/internal/obs"
+	"robsched/internal/platform"
+	"robsched/internal/rng"
+	"robsched/internal/robust"
+	"robsched/internal/schedule"
+	"robsched/internal/sim"
+	"robsched/internal/wio"
+)
+
+// Coordinator scatters work over a worker pool and gathers the results.
+// All fields may be shared across concurrent calls; Obs and Trace are
+// optional (nil disables telemetry). Per-worker counters are published as
+// dist.worker<id>.* so a skewed or dying worker is visible in a snapshot.
+type Coordinator struct {
+	Pool  *Pool
+	Obs   *obs.Registry
+	Trace *obs.Tracer
+}
+
+// counter bumps both the aggregate and the per-worker form of a counter.
+func (c *Coordinator) counter(name string, worker int) {
+	c.Obs.Counter("dist." + name).Inc()
+	c.Obs.Counter(fmt.Sprintf("dist.worker%d.%s", worker, name)).Inc()
+}
+
+// shardRange is one contiguous realization window.
+type shardRange struct{ base, width int }
+
+// partition cuts r realizations into at most n contiguous near-equal
+// windows in index order: the first r%n windows carry one extra
+// realization. With r < n the trailing empty windows are dropped.
+func partition(r, n int) []shardRange {
+	if n > r {
+		n = r
+	}
+	out := make([]shardRange, 0, n)
+	base := 0
+	for i := 0; i < n; i++ {
+		width := r / n
+		if i < r%n {
+			width++
+		}
+		out = append(out, shardRange{base, width})
+		base += width
+	}
+	return out
+}
+
+// RealizeAll is the scatter/gather form of sim.RealizeAll: the realization
+// range is partitioned into one contiguous window per pool worker, each
+// worker realizes its window from the coordinator-derived seed slice, and
+// the vectors are reassembled in range order. The returned makespans — and
+// every metric computed from them — are bit-identical to the single-process
+// sim.RealizeAll for any shard count, because the seed vector (and the root
+// stream advance) is computed exactly as the single-process run computes it
+// and the concatenation preserves realization order.
+//
+// A worker that dies mid-range is discarded and its window reassigned to a
+// live worker; with no live workers left the window is realized in-process.
+// Either way the window's seeds and base are unchanged, so the results are
+// too.
+func (c *Coordinator) RealizeAll(ss []*schedule.Schedule, opt sim.Options, root *rng.Source) ([][]float64, error) {
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
+	if len(ss) == 0 {
+		return nil, fmt.Errorf("dist: no schedules to realize")
+	}
+	if c.Trace != nil {
+		defer c.Trace.Scope("dist").Span("realize_all",
+			obs.F("realizations", float64(opt.Realizations)),
+			obs.F("schedules", float64(len(ss))),
+			obs.F("shards", float64(c.Pool.Size())),
+		)()
+	}
+	seeds := sim.SeedVector(opt.Realizations, opt.Antithetic, root)
+	wlDoc := wio.NewWorkloadJSON(ss[0].Workload())
+	sDocs := make([]wio.ScheduleJSON, len(ss))
+	for i, s := range ss {
+		sDocs[i] = wio.NewScheduleJSON(s)
+	}
+	out := make([][]float64, len(ss))
+	for j := range out {
+		out[j] = make([]float64, opt.Realizations)
+	}
+	nshards := c.Pool.Size()
+	if nshards < 1 {
+		nshards = 1 // no workers: one window, realized via the inline fallback
+	}
+	shards := partition(opt.Realizations, nshards)
+	errs := make([]error, len(shards))
+	var wg sync.WaitGroup
+	for si, sh := range shards {
+		wg.Add(1)
+		go func(si int, sh shardRange) {
+			defer wg.Done()
+			job := SimJob{
+				Workload:   wlDoc,
+				Schedules:  sDocs,
+				Base:       sh.base,
+				Seeds:      seeds[sh.base : sh.base+sh.width],
+				Antithetic: opt.Antithetic,
+				BatchSize:  opt.BatchSize,
+				Workers:    opt.Workers,
+			}
+			mks, err := c.runSimJob(job, ss, opt)
+			if err != nil {
+				errs[si] = err
+				return
+			}
+			for j := range out {
+				copy(out[j][sh.base:sh.base+sh.width], mks[j])
+			}
+		}(si, sh)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// runSimJob executes one window: check a worker out, ship the job, stream
+// the vectors back. A transport failure discards the worker and retries on
+// another; once the pool is exhausted the window falls back to an in-process
+// sim.RealizeSeeded, which produces the identical vectors by construction.
+func (c *Coordinator) runSimJob(job SimJob, ss []*schedule.Schedule, opt sim.Options) ([][]float64, error) {
+	for {
+		conn, err := c.Pool.get()
+		if err != nil {
+			break // pool closed or every worker dead: compute locally
+		}
+		mks, err := dispatchSim(conn, job, len(ss))
+		if err == nil {
+			c.counter("sim_jobs", conn.id)
+			c.Pool.put(conn)
+			return mks, nil
+		}
+		if we, ok := err.(*WorkerError); ok {
+			// The job itself is bad; the worker is fine.
+			c.Pool.put(conn)
+			return nil, we
+		}
+		c.counter("worker_deaths", conn.id)
+		c.Pool.discard(conn)
+	}
+	c.Obs.Counter("dist.inline_ranges").Inc()
+	wOpt := sim.Options{Antithetic: job.Antithetic, BatchSize: job.BatchSize, Workers: job.Workers}
+	return sim.RealizeSeeded(ss, wOpt, job.Seeds, job.Base)
+}
+
+// dispatchSim runs the KSimJob exchange on one connection.
+func dispatchSim(conn *Conn, job SimJob, schedules int) ([][]float64, error) {
+	if err := conn.send(KSimJob, job); err != nil {
+		return nil, err
+	}
+	out := make([][]float64, schedules)
+	for j := 0; j < schedules; j++ {
+		kind, payload, err := conn.recv()
+		if err != nil {
+			return nil, err
+		}
+		if kind != KSimVec {
+			return nil, fmt.Errorf("dist: frame kind %d, want sim vector", kind)
+		}
+		out[j] = make([]float64, len(job.Seeds))
+		if err := decodeVecInto(out[j], payload); err != nil {
+			return nil, err
+		}
+	}
+	kind, _, err := conn.recv()
+	if err != nil {
+		return nil, err
+	}
+	if kind != KSimDone {
+		return nil, fmt.Errorf("dist: frame kind %d, want sim done", kind)
+	}
+	return out, nil
+}
+
+// EvaluateAll is the scatter/gather form of sim.EvaluateAll: metrics
+// assembled from the sharded realization vectors, bit-identical to the
+// single-process call for any shard count.
+func (c *Coordinator) EvaluateAll(ss []*schedule.Schedule, opt sim.Options, root *rng.Source) ([]sim.Metrics, error) {
+	mks, err := c.RealizeAll(ss, opt, root)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]sim.Metrics, len(ss))
+	for j, s := range ss {
+		out[j] = sim.MetricsFromSamples(s.Makespan(), mks[j], opt.Deadline)
+	}
+	return out, nil
+}
+
+// Solve is the island-sharded form of robust.Solve: the GA islands are
+// hosted by worker processes (round-robin when there are more islands than
+// workers) and the coordinator drives the epoch barriers, routes the ring
+// migrants in island order, applies the global stagnation rule and picks
+// the final best — the exact control flow of the in-process ga.RunIslands,
+// so the trajectory and the returned schedule are bit-identical for any
+// worker count.
+//
+// Telemetry (Options.Obs/Trace/Observer) and OnGeneration stay in the
+// coordinator process and are not forwarded to workers; Solve rejects the
+// hooks that would require cross-process streaming. Worker death during an
+// island run is an error: unlike a stateless realization window, an
+// island's population cannot be reconstructed without replaying it.
+// Concurrent Solve calls sharing one pool are not supported (each checks
+// out several workers for its whole run and could deadlock another).
+func (c *Coordinator) Solve(w *platform.Workload, opt robust.Options, root *rng.Source) (*robust.Result, error) {
+	eng, err := robust.NewEngine(w, opt)
+	if err != nil {
+		return nil, err
+	}
+	opt = eng.Opt
+	if opt.Islands < 2 {
+		return nil, fmt.Errorf("dist: island solve needs Options.Islands >= 2, got %d", opt.Islands)
+	}
+	if opt.OnGeneration != nil || opt.Observer != nil {
+		return nil, fmt.Errorf("dist: per-generation hooks are not supported across processes")
+	}
+	if c.Trace != nil {
+		defer c.Trace.Scope("dist").Span("solve_islands",
+			obs.F("islands", float64(opt.Islands)),
+			obs.F("workers", float64(c.Pool.Size())),
+		)()
+	}
+	k := opt.Islands
+	// Island seeds, derived in island order: rng.New(seeds[i]) in a worker
+	// is exactly the root.Split() fan-out of the in-process run, and root
+	// advances identically.
+	seeds := make([]uint64, k)
+	for i := range seeds {
+		seeds[i] = root.SplitSeed()
+	}
+	nw := c.Pool.Size()
+	if nw > k {
+		nw = k
+	}
+	conns := make([]*Conn, 0, nw)
+	release := func() {
+		for _, conn := range conns {
+			if err := conn.sendEmpty(KIslandFinish); err == nil {
+				if kind, _, err := conn.recv(); err == nil && kind == KOK {
+					c.Pool.put(conn)
+					continue
+				}
+			}
+			c.counter("worker_deaths", conn.id)
+			c.Pool.discard(conn)
+		}
+	}
+	defer release()
+	for len(conns) < nw {
+		conn, err := c.Pool.get()
+		if err != nil {
+			return nil, err
+		}
+		conns = append(conns, conn)
+	}
+
+	// Round-robin hosting: worker j hosts islands {i : i mod nw == j}.
+	owner := func(island int) *Conn { return conns[island%nw] }
+	inits := make([]IslandInit, nw)
+	wlDoc := wio.NewWorkloadJSON(w)
+	sopt := SolverOptions{
+		Mode:           int(opt.Mode),
+		Eps:            opt.Eps,
+		SlackMetric:    int(opt.SlackMetric),
+		PopSize:        opt.PopSize,
+		CrossoverRate:  opt.CrossoverRate,
+		MutationRate:   opt.MutationRate,
+		MaxGenerations: opt.MaxGenerations,
+		Stagnation:     opt.Stagnation,
+		NoHEFTSeed:     opt.NoHEFTSeed,
+		NoMetricsCache: opt.NoMetricsCache,
+		NoDeltaDecode:  opt.NoDeltaDecode,
+		Workers:        opt.Workers,
+	}
+	for j := range inits {
+		inits[j] = IslandInit{Workload: wlDoc, Opt: sopt}
+	}
+	for i := 0; i < k; i++ {
+		j := i % nw
+		inits[j].Islands = append(inits[j].Islands, IslandSeed{Island: i, Seed: seeds[i]})
+	}
+
+	bests := make([]IslandState, k)
+	// exchange runs one request/response round against every worker in
+	// parallel and folds the returned island states into bests.
+	exchange := func(round string, req func(conn *Conn, j int) error) error {
+		errs := make([]error, nw)
+		var wg sync.WaitGroup
+		for j, conn := range conns {
+			wg.Add(1)
+			go func(j int, conn *Conn) {
+				defer wg.Done()
+				errs[j] = func() error {
+					if err := req(conn, j); err != nil {
+						return err
+					}
+					kind, payload, err := conn.recv()
+					if err != nil {
+						return err
+					}
+					if kind != KIslandState {
+						return fmt.Errorf("dist: frame kind %d, want island state", kind)
+					}
+					var states IslandStates
+					if err := parseJSON(payload, &states); err != nil {
+						return err
+					}
+					for _, st := range states.States {
+						if st.Island < 0 || st.Island >= k || owner(st.Island) != conn {
+							return fmt.Errorf("dist: worker %d reported foreign island %d", conn.id, st.Island)
+						}
+						bests[st.Island] = st
+					}
+					c.counter(round, conn.id)
+					return nil
+				}()
+			}(j, conn)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return fmt.Errorf("dist: island %s failed: %w", round, err)
+			}
+		}
+		return nil
+	}
+
+	if err := exchange("island_inits", func(conn *Conn, j int) error {
+		return conn.send(KIslandInit, inits[j])
+	}); err != nil {
+		return nil, err
+	}
+
+	every := opt.MigrationEvery
+	if every <= 0 {
+		every = ga.DefaultMigrationEvery
+	}
+	totalGens := opt.MaxGenerations
+	gen := 0
+	stagnated := false
+	for gen < totalGens {
+		epoch := every
+		if gen+epoch > totalGens {
+			epoch = totalGens - gen
+		}
+		req := EpochReq{StartGen: gen, Gens: epoch}
+		if err := exchange("epochs", func(conn *Conn, j int) error {
+			return conn.send(KEpoch, req)
+		}); err != nil {
+			return nil, err
+		}
+		gen += epoch
+		if gen < totalGens {
+			// Ring migration, snapshot first: island i receives the
+			// pre-migration best of island i-1, exactly like the in-process
+			// barrier.
+			reqs := make([]MigrateReq, nw)
+			for i := 0; i < k; i++ {
+				from := (i - 1 + k) % k
+				j := i % nw
+				reqs[j].Migrants = append(reqs[j].Migrants, Migrant{Island: i, Genotype: bests[from].Best})
+			}
+			if err := exchange("migrations", func(conn *Conn, j int) error {
+				return conn.send(KMigrate, reqs[j])
+			}); err != nil {
+				return nil, err
+			}
+		}
+		if opt.Stagnation > 0 {
+			all := true
+			for i := range bests {
+				if bests[i].SinceImprove < opt.Stagnation {
+					all = false
+					break
+				}
+			}
+			if all {
+				stagnated = true
+				break
+			}
+		}
+	}
+
+	// pickBest: strictly-greater comparison keeps the earliest island on
+	// ties, matching the in-process rule.
+	bi := 0
+	for i := 1; i < k; i++ {
+		if bests[i].BestFitness() > bests[bi].BestFitness() {
+			bi = i
+		}
+	}
+	win := bests[bi]
+	return eng.Result(ga.Result[*robust.Chromosome]{
+		Best:        robust.NewChromosome(win.Best.Order, win.Best.Proc),
+		BestFitness: win.BestFitness(),
+		Generations: gen,
+		Stagnated:   stagnated,
+	})
+}

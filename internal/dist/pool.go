@@ -1,0 +1,283 @@
+package dist
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"sync"
+
+	"robsched/internal/wio"
+)
+
+// Endpoint is the coordinator's side of one worker's pipe pair. W carries
+// frames to the worker, R carries its responses. Kill, when non-nil, tears
+// the worker down abruptly (used by the pool's fault injection and by Close
+// for workers that no longer respond); Wait, when non-nil, reaps the worker
+// after its pipes close.
+type Endpoint struct {
+	W    io.WriteCloser
+	R    io.Reader
+	Kill func()
+	Wait func() error
+}
+
+// Conn is one live worker connection. A Conn is checked out of the Pool by
+// exactly one goroutine at a time; it is not safe for concurrent use.
+type Conn struct {
+	id  int
+	ep  Endpoint
+	bw  *bufio.Writer
+	r   io.Reader
+	buf []byte
+}
+
+// ID returns the worker's index in the pool (stable for telemetry labels).
+func (c *Conn) ID() int { return c.id }
+
+// send writes one JSON-payload frame and flushes it to the worker.
+func (c *Conn) send(kind byte, v any) error {
+	if err := sendJSON(c.bw, kind, v); err != nil {
+		return err
+	}
+	return c.bw.Flush()
+}
+
+// sendEmpty writes one empty frame and flushes it.
+func (c *Conn) sendEmpty(kind byte) error {
+	if err := wio.WriteFrame(c.bw, kind, nil); err != nil {
+		return err
+	}
+	return c.bw.Flush()
+}
+
+// recv reads the next frame. The payload aliases the connection's scratch
+// buffer and is valid until the next recv. A KErr frame is decoded and
+// returned as a *WorkerError; io errors (including a peer that died
+// mid-frame) pass through for the caller's death handling.
+func (c *Conn) recv() (byte, []byte, error) {
+	kind, payload, err := wio.ReadFrame(c.r, c.buf)
+	if err != nil {
+		return 0, nil, err
+	}
+	if cap(payload) > cap(c.buf) {
+		c.buf = payload[:0]
+	}
+	if kind == KErr {
+		var em ErrMsg
+		if err := parseJSON(payload, &em); err != nil {
+			return 0, nil, err
+		}
+		return 0, nil, &WorkerError{Worker: c.id, Msg: em.Error}
+	}
+	return kind, payload, nil
+}
+
+// WorkerError is a job-level failure reported by a worker over a healthy
+// connection — the job is invalid, not the worker. The coordinator returns
+// it to the caller instead of reassigning the work.
+type WorkerError struct {
+	Worker int
+	Msg    string
+}
+
+func (e *WorkerError) Error() string {
+	return fmt.Sprintf("dist: worker %d: %s", e.Worker, e.Msg)
+}
+
+// Pool hands out worker connections to coordinator goroutines. Checked-out
+// connections are exclusive; concurrent coordinator calls (e.g. the
+// experiment harness evaluating several graphs at once) share the pool and
+// block until a worker frees up. A connection reported dead via discard
+// leaves the pool permanently; when the last live worker is gone, waiting
+// and future get calls fail instead of blocking forever.
+type Pool struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	idle   []*Conn
+	all    []*Conn
+	live   int
+	closed bool
+}
+
+// NewPool wraps caller-supplied endpoints (one per worker) into a pool.
+// NewLocalPool and NewProcPool are the stock constructors; tests inject
+// sabotaged endpoints through this one.
+func NewPool(eps []Endpoint) *Pool {
+	p := &Pool{}
+	p.cond = sync.NewCond(&p.mu)
+	for i, ep := range eps {
+		c := &Conn{id: i, ep: ep, bw: bufio.NewWriterSize(ep.W, 1<<16), r: bufio.NewReaderSize(ep.R, 1<<16)}
+		p.all = append(p.all, c)
+		p.idle = append(p.idle, c)
+	}
+	p.live = len(p.all)
+	return p
+}
+
+// NewLocalPool serves n protocol workers on in-memory pipes inside this
+// process: the full wire codec and worker loop with no process boundary.
+// It backs the property tests and the -shards path in environments where
+// subprocess spawning is unavailable.
+func NewLocalPool(n int) *Pool {
+	eps := make([]Endpoint, n)
+	for i := range eps {
+		jobR, jobW := io.Pipe()
+		resR, resW := io.Pipe()
+		go func() {
+			err := ServeWorker(jobR, resW)
+			resW.CloseWithError(err)
+			jobR.CloseWithError(err)
+		}()
+		eps[i] = Endpoint{
+			W:    jobW,
+			R:    resR,
+			Kill: func() { jobW.CloseWithError(io.ErrClosedPipe); resR.CloseWithError(io.ErrClosedPipe) },
+		}
+	}
+	return NewPool(eps)
+}
+
+// NewProcPool spawns n worker subprocesses running bin args... (typically
+// the running executable with the `worker` subcommand) and connects to
+// their stdin/stdout. Worker stderr passes through to this process's
+// stderr, so a crashing worker stays visible.
+func NewProcPool(n int, bin string, args ...string) (*Pool, error) {
+	eps := make([]Endpoint, 0, n)
+	fail := func(err error) (*Pool, error) {
+		for _, ep := range eps {
+			ep.Kill()
+			if ep.Wait != nil {
+				_ = ep.Wait()
+			}
+		}
+		return nil, err
+	}
+	for i := 0; i < n; i++ {
+		cmd := exec.Command(bin, args...)
+		cmd.Stderr = os.Stderr
+		stdin, err := cmd.StdinPipe()
+		if err != nil {
+			return fail(fmt.Errorf("dist: worker %d stdin: %w", i, err))
+		}
+		stdout, err := cmd.StdoutPipe()
+		if err != nil {
+			return fail(fmt.Errorf("dist: worker %d stdout: %w", i, err))
+		}
+		if err := cmd.Start(); err != nil {
+			return fail(fmt.Errorf("dist: spawning worker %d: %w", i, err))
+		}
+		eps = append(eps, Endpoint{
+			W:    stdin,
+			R:    stdout,
+			Kill: func() { _ = cmd.Process.Kill() },
+			Wait: cmd.Wait,
+		})
+	}
+	return NewPool(eps), nil
+}
+
+// Size returns the pool's initial worker count (the scatter width), not the
+// current live count.
+func (p *Pool) Size() int { return len(p.all) }
+
+// Live returns the number of workers not yet reported dead.
+func (p *Pool) Live() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.live
+}
+
+// get checks out an idle worker, blocking while all live workers are busy.
+// It fails once the pool is closed or every worker has died.
+func (p *Pool) get() (*Conn, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for {
+		if p.closed {
+			return nil, fmt.Errorf("dist: pool is closed")
+		}
+		// FIFO checkout spreads jobs across workers instead of re-hammering
+		// the most recently returned one.
+		if len(p.idle) > 0 {
+			c := p.idle[0]
+			p.idle = append(p.idle[:0], p.idle[1:]...)
+			return c, nil
+		}
+		if p.live == 0 {
+			return nil, fmt.Errorf("dist: no live workers")
+		}
+		p.cond.Wait()
+	}
+}
+
+// put returns a healthy worker to the pool.
+func (p *Pool) put(c *Conn) {
+	p.mu.Lock()
+	p.idle = append(p.idle, c)
+	p.mu.Unlock()
+	p.cond.Signal()
+}
+
+// discard removes a dead or misbehaving worker permanently, closing its
+// endpoint and waking waiters so they can fail over or error out.
+func (p *Pool) discard(c *Conn) {
+	if c.ep.Kill != nil {
+		c.ep.Kill()
+	}
+	_ = c.ep.W.Close()
+	if c.ep.Wait != nil {
+		_ = c.ep.Wait()
+	}
+	p.mu.Lock()
+	p.live--
+	p.mu.Unlock()
+	p.cond.Broadcast()
+}
+
+// KillWorker abruptly severs worker i's connection without any protocol
+// shutdown — the fault-injection hook behind the worker-death tests (and
+// usable against live runs: the next coordinator call on that worker fails
+// and triggers reassignment). The worker is not removed from the pool here;
+// the coordinator discards it when a call fails.
+func (p *Pool) KillWorker(i int) {
+	if i < 0 || i >= len(p.all) {
+		return
+	}
+	c := p.all[i]
+	if c.ep.Kill != nil {
+		c.ep.Kill()
+	}
+}
+
+// Close shuts the pool down: every idle worker gets a KShutdown and its
+// pipes closed; workers still checked out are torn down abruptly. Safe to
+// call once all coordinator calls have returned.
+func (p *Pool) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	idle := make(map[*Conn]bool, len(p.idle))
+	for _, c := range p.idle {
+		idle[c] = true
+	}
+	p.idle = nil
+	p.mu.Unlock()
+	p.cond.Broadcast()
+	for _, c := range p.all {
+		if idle[c] {
+			_ = c.sendEmpty(KShutdown)
+			_ = c.ep.W.Close()
+		} else if c.ep.Kill != nil {
+			c.ep.Kill()
+		}
+		if c.ep.Wait != nil {
+			_ = c.ep.Wait()
+		}
+	}
+	return nil
+}

@@ -1,0 +1,226 @@
+// Package dist is a coordinator/worker runtime that scatters the repo's two
+// embarrassingly-parallel workloads across local OS processes and gathers
+// the results over pipes:
+//
+//   - realization sharding: the Monte-Carlo realizations of sim.EvaluateAll
+//     are partitioned into contiguous index ranges, one job per worker; each
+//     worker realizes its window with the coordinator-derived seed slice
+//     (sim.RealizeSeeded) and streams the raw makespan vectors back. The
+//     coordinator reassembles them in range order, so every metric —
+//     quantiles included — is bit-identical to the single-process run for
+//     any shard count.
+//
+//   - island sharding: the GA islands of robust.Solve are hosted by worker
+//     processes (ga.Island, one state machine shared with the in-process
+//     ga.RunIslands). The coordinator drives the epoch barriers and routes
+//     the ring migrants in (generation, island) order, so the trajectory —
+//     and the returned schedule — is bit-identical to the in-process island
+//     run for any worker count.
+//
+// The wire format is the length-prefixed binary frame of internal/wio:
+// control messages are JSON payloads (Go's encoding/json round-trips the
+// uint64 seeds exactly into uint64 struct fields), makespan vectors are raw
+// little-endian float64 blocks. Workers are plain `robsched worker`
+// subprocesses speaking the protocol on stdin/stdout; stderr passes through
+// for crash visibility.
+package dist
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+
+	"robsched/internal/wio"
+)
+
+// Frame kinds. The coordinator only ever sends job/control kinds; workers
+// only ever send response kinds. An unknown kind is a protocol error on
+// either side.
+const (
+	// KSimJob carries a SimJob (JSON): realize one seed window.
+	KSimJob byte = 1
+	// KSimVec carries one schedule's makespan vector for the current job as
+	// raw little-endian float64s, one frame per schedule in schedule order.
+	KSimVec byte = 2
+	// KSimDone (empty payload) terminates a KSimJob response sequence.
+	KSimDone byte = 3
+	// KErr carries an ErrMsg (JSON) in place of any normal response.
+	KErr byte = 4
+	// KIslandInit carries an IslandInit (JSON): build the engine and host
+	// the listed islands. Response: KIslandState.
+	KIslandInit byte = 5
+	// KIslandState carries an IslandStates (JSON): the hosted islands'
+	// bests in island order. Sent in response to init, epoch and migrate.
+	KIslandState byte = 6
+	// KEpoch carries an EpochReq (JSON): advance every hosted island.
+	// Response: KIslandState.
+	KEpoch byte = 7
+	// KMigrate carries a MigrateReq (JSON): replace each target island's
+	// worst individual with the routed migrant. Response: KIslandState
+	// with the post-migration bests.
+	KMigrate byte = 8
+	// KIslandFinish (empty payload) drops the hosted islands and engine.
+	// Response: KOK.
+	KIslandFinish byte = 9
+	// KOK (empty payload) acknowledges a control message.
+	KOK byte = 10
+	// KShutdown (empty payload) asks the worker to exit cleanly. No
+	// response; the worker closes its end.
+	KShutdown byte = 11
+)
+
+// SimJob asks a worker to realize one contiguous window of a Monte-Carlo
+// evaluation. The seed window plus the global base index are the entire
+// stream-derivation state: sim.RealizeSeeded(…, Seeds, Base) in the worker
+// produces exactly the makespans the coordinator's full-range run would
+// produce at [Base, Base+len(Seeds)).
+type SimJob struct {
+	// Workload is the problem instance (workers are stateless between
+	// jobs, so every job is self-contained).
+	Workload wio.WorkloadJSON `json:"workload"`
+	// Schedules are evaluated under common random numbers, like
+	// sim.EvaluateAll.
+	Schedules []wio.ScheduleJSON `json:"schedules"`
+	// Base is the window's global realization index; it carries the
+	// antithetic parity across shard boundaries.
+	Base int `json:"base"`
+	// Seeds is the window of the coordinator's seed vector.
+	Seeds []uint64 `json:"seeds"`
+	// Antithetic mirrors odd global realizations (matching the seed
+	// pairing of the coordinator's sim.SeedVector call).
+	Antithetic bool `json:"antithetic,omitempty"`
+	// BatchSize and Workers are the worker-side engine knobs; neither can
+	// change a bit of the results.
+	BatchSize int `json:"batch_size,omitempty"`
+	Workers   int `json:"workers,omitempty"`
+}
+
+// ErrMsg is a worker-side failure, shipped back in place of a response.
+type ErrMsg struct {
+	Error string `json:"error"`
+}
+
+// Genotype is a chromosome on the wire.
+type Genotype struct {
+	Order []int `json:"order"`
+	Proc  []int `json:"proc"`
+}
+
+// SolverOptions is the JSON-safe subset of robust.Options an island worker
+// needs to rebuild the engine. Everything here is deterministic
+// configuration; callbacks and telemetry stay in the coordinator process.
+type SolverOptions struct {
+	Mode        int     `json:"mode"`
+	Eps         float64 `json:"eps,omitempty"`
+	SlackMetric int     `json:"slack_metric,omitempty"`
+
+	PopSize        int     `json:"pop_size"`
+	CrossoverRate  float64 `json:"crossover_rate"`
+	MutationRate   float64 `json:"mutation_rate"`
+	MaxGenerations int     `json:"max_generations"`
+	Stagnation     int     `json:"stagnation,omitempty"`
+
+	NoHEFTSeed     bool `json:"no_heft_seed,omitempty"`
+	NoMetricsCache bool `json:"no_metrics_cache,omitempty"`
+	NoDeltaDecode  bool `json:"no_delta_decode,omitempty"`
+	// Workers bounds the decode fan-out inside the worker process.
+	Workers int `json:"workers,omitempty"`
+}
+
+// IslandSeed assigns one island (by its global ring index) to the receiving
+// worker, with the 64-bit seed of its RNG stream. The coordinator derives
+// the seeds by root.SplitSeed() in island order, so rng.New(Seed) in the
+// worker is bit-identical to the root.Split() fan-out of the in-process
+// ga.RunIslands.
+type IslandSeed struct {
+	Island int    `json:"island"`
+	Seed   uint64 `json:"seed"`
+}
+
+// IslandInit asks a worker to build the solver engine for the workload and
+// host the listed islands.
+type IslandInit struct {
+	Workload wio.WorkloadJSON `json:"workload"`
+	Opt      SolverOptions    `json:"opt"`
+	Islands  []IslandSeed     `json:"islands"`
+}
+
+// EpochReq advances every hosted island by Gens generations. StartGen is
+// the number of generations already evolved (observer numbering parity with
+// the in-process runner; dist runs carry no observer but the state machine
+// keeps the argument).
+type EpochReq struct {
+	StartGen int `json:"start_gen"`
+	Gens     int `json:"gens"`
+}
+
+// Migrant routes one ring migrant to a hosted island.
+type Migrant struct {
+	Island   int      `json:"island"`
+	Genotype Genotype `json:"genotype"`
+}
+
+// MigrateReq delivers this barrier's migrants for the worker's islands.
+type MigrateReq struct {
+	Migrants []Migrant `json:"migrants"`
+}
+
+// IslandState reports one hosted island's running best.
+type IslandState struct {
+	Island int      `json:"island"`
+	Best   Genotype `json:"best"`
+	// BestFitness is serialized as IEEE-754 bits: the ε-constraint mode
+	// can produce ±Inf fitnesses, which JSON numbers cannot carry, and
+	// the coordinator's tie-breaking must see the exact value.
+	BestFitnessBits uint64 `json:"best_fitness_bits"`
+	SinceImprove    int    `json:"since_improve"`
+}
+
+// BestFitness decodes the exact fitness value.
+func (s IslandState) BestFitness() float64 { return math.Float64frombits(s.BestFitnessBits) }
+
+// IslandStates is a worker's response to init, epoch and migrate: its
+// hosted islands in ascending island order.
+type IslandStates struct {
+	States []IslandState `json:"states"`
+}
+
+// encodeVec converts a makespan vector to raw little-endian float64 bytes.
+func encodeVec(mks []float64) []byte {
+	out := make([]byte, 8*len(mks))
+	for i, m := range mks {
+		binary.LittleEndian.PutUint64(out[8*i:], math.Float64bits(m))
+	}
+	return out
+}
+
+// decodeVecInto parses a KSimVec payload into dst, which must match its
+// length exactly.
+func decodeVecInto(dst []float64, payload []byte) error {
+	if len(payload) != 8*len(dst) {
+		return fmt.Errorf("dist: makespan vector is %d bytes, want %d", len(payload), 8*len(dst))
+	}
+	for i := range dst {
+		dst[i] = math.Float64frombits(binary.LittleEndian.Uint64(payload[8*i:]))
+	}
+	return nil
+}
+
+// sendJSON writes v as one JSON-payload frame.
+func sendJSON(w io.Writer, kind byte, v any) error {
+	payload, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("dist: encoding %T: %w", v, err)
+	}
+	return wio.WriteFrame(w, kind, payload)
+}
+
+// parseJSON decodes a JSON control payload.
+func parseJSON(payload []byte, v any) error {
+	if err := json.Unmarshal(payload, v); err != nil {
+		return fmt.Errorf("dist: decoding %T: %w", v, err)
+	}
+	return nil
+}

@@ -1,0 +1,226 @@
+package dist
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"robsched/internal/ga"
+	"robsched/internal/rng"
+	"robsched/internal/robust"
+	"robsched/internal/schedule"
+	"robsched/internal/sim"
+	"robsched/internal/wio"
+)
+
+// ServeWorker runs the worker half of the dist protocol over the (r, w)
+// pipe pair — in production, the stdin/stdout of a `robsched worker`
+// subprocess — until the coordinator closes the stream or sends KShutdown.
+//
+// Job-level failures (a malformed workload, invalid options) are reported
+// back as KErr frames and the worker keeps serving; transport failures
+// terminate the loop with an error. The worker is stateless between sim
+// jobs; island hosting holds state from KIslandInit until KIslandFinish or
+// a replacing init.
+func ServeWorker(r io.Reader, w io.Writer) error {
+	br := bufio.NewReaderSize(r, 1<<16)
+	bw := bufio.NewWriterSize(w, 1<<16)
+	var buf []byte
+	var host *islandHost
+	for {
+		kind, payload, err := wio.ReadFrame(br, buf)
+		if err == io.EOF {
+			return nil // coordinator closed between frames: clean exit
+		}
+		if err != nil {
+			return fmt.Errorf("dist: worker read: %w", err)
+		}
+		if cap(payload) > cap(buf) {
+			buf = payload[:0]
+		}
+		var jobErr error
+		switch kind {
+		case KShutdown:
+			return nil
+		case KSimJob:
+			jobErr = handleSimJob(bw, payload)
+		case KIslandInit:
+			host, jobErr = newIslandHost(payload)
+			if jobErr == nil {
+				jobErr = sendJSON(bw, KIslandState, host.states())
+			}
+		case KEpoch:
+			jobErr = host.epoch(bw, payload)
+		case KMigrate:
+			jobErr = host.migrate(bw, payload)
+		case KIslandFinish:
+			host = nil
+			jobErr = wio.WriteFrame(bw, KOK, nil)
+		default:
+			jobErr = fmt.Errorf("dist: unknown frame kind %d", kind)
+		}
+		if jobErr != nil {
+			// Report and keep serving. If even the error frame cannot be
+			// written the pipe is gone and the loop must end.
+			if err := sendJSON(bw, KErr, ErrMsg{Error: jobErr.Error()}); err != nil {
+				return err
+			}
+		}
+		if err := bw.Flush(); err != nil {
+			return err
+		}
+	}
+}
+
+// handleSimJob realizes one seed window and streams the makespan vectors
+// back: one KSimVec frame per schedule in schedule order, then KSimDone.
+// Everything is computed before the first response byte, so a failure never
+// leaves a half-written response sequence.
+func handleSimJob(w io.Writer, payload []byte) error {
+	var job SimJob
+	if err := parseJSON(payload, &job); err != nil {
+		return err
+	}
+	wl, err := job.Workload.Build()
+	if err != nil {
+		return err
+	}
+	ss := make([]*schedule.Schedule, len(job.Schedules))
+	for i, doc := range job.Schedules {
+		if ss[i], err = doc.Bind(wl); err != nil {
+			return err
+		}
+	}
+	opt := sim.Options{Antithetic: job.Antithetic, BatchSize: job.BatchSize, Workers: job.Workers}
+	mks, err := sim.RealizeSeeded(ss, opt, job.Seeds, job.Base)
+	if err != nil {
+		return err
+	}
+	for _, v := range mks {
+		if err := wio.WriteFrame(w, KSimVec, encodeVec(v)); err != nil {
+			return err
+		}
+	}
+	return wio.WriteFrame(w, KSimDone, nil)
+}
+
+// islandHost is the worker-side state of an island-sharded solve: the
+// solver engine for the workload plus the hosted ga.Island states. It is
+// the same state machine ga.RunIslands drives in-process; the coordinator
+// supplies the barrier ordering and the ring migrants.
+type islandHost struct {
+	eng     *robust.Engine
+	islands []*ga.Island[*robust.Chromosome] // ascending island index
+}
+
+func newIslandHost(payload []byte) (*islandHost, error) {
+	var init IslandInit
+	if err := parseJSON(payload, &init); err != nil {
+		return nil, err
+	}
+	if len(init.Islands) == 0 {
+		return nil, fmt.Errorf("dist: island init with no islands")
+	}
+	wl, err := init.Workload.Build()
+	if err != nil {
+		return nil, err
+	}
+	o := init.Opt
+	eng, err := robust.NewEngine(wl, robust.Options{
+		Mode:           robust.Mode(o.Mode),
+		Eps:            o.Eps,
+		SlackMetric:    robust.SlackMetric(o.SlackMetric),
+		PopSize:        o.PopSize,
+		CrossoverRate:  o.CrossoverRate,
+		MutationRate:   o.MutationRate,
+		MaxGenerations: o.MaxGenerations,
+		Stagnation:     o.Stagnation,
+		NoHEFTSeed:     o.NoHEFTSeed,
+		NoMetricsCache: o.NoMetricsCache,
+		NoDeltaDecode:  o.NoDeltaDecode,
+		Workers:        o.Workers,
+	})
+	if err != nil {
+		return nil, err
+	}
+	h := &islandHost{eng: eng}
+	seeds := append([]IslandSeed(nil), init.Islands...)
+	sort.Slice(seeds, func(i, j int) bool { return seeds[i].Island < seeds[j].Island })
+	cfg := eng.Config()
+	for _, is := range seeds {
+		st, err := ga.NewIsland(cfg, is.Island, rng.New(is.Seed))
+		if err != nil {
+			return nil, err
+		}
+		h.islands = append(h.islands, st)
+	}
+	return h, nil
+}
+
+// states snapshots every hosted island's running best in island order.
+func (h *islandHost) states() IslandStates {
+	out := IslandStates{States: make([]IslandState, 0, len(h.islands))}
+	for _, st := range h.islands {
+		b, bf := st.Best()
+		out.States = append(out.States, IslandState{
+			Island:          st.Index(),
+			Best:            Genotype{Order: b.Order, Proc: b.Proc},
+			BestFitnessBits: math.Float64bits(bf),
+			SinceImprove:    st.SinceImprove(),
+		})
+	}
+	return out
+}
+
+func (h *islandHost) find(island int) (*ga.Island[*robust.Chromosome], error) {
+	if h == nil {
+		return nil, fmt.Errorf("dist: island message before init")
+	}
+	for _, st := range h.islands {
+		if st.Index() == island {
+			return st, nil
+		}
+	}
+	return nil, fmt.Errorf("dist: island %d not hosted here", island)
+}
+
+func (h *islandHost) epoch(w io.Writer, payload []byte) error {
+	if h == nil {
+		return fmt.Errorf("dist: epoch before init")
+	}
+	var req EpochReq
+	if err := parseJSON(payload, &req); err != nil {
+		return err
+	}
+	for _, st := range h.islands {
+		if err := st.Epoch(req.StartGen, req.Gens); err != nil {
+			return err
+		}
+	}
+	return sendJSON(w, KIslandState, h.states())
+}
+
+func (h *islandHost) migrate(w io.Writer, payload []byte) error {
+	if h == nil {
+		return fmt.Errorf("dist: migrate before init")
+	}
+	var req MigrateReq
+	if err := parseJSON(payload, &req); err != nil {
+		return err
+	}
+	for _, m := range req.Migrants {
+		st, err := h.find(m.Island)
+		if err != nil {
+			return err
+		}
+		// The migrant arrives as a bare genotype; the island re-evaluates
+		// it locally. The fitness is a pure function of the genotype, so
+		// losing the sender's memoized metrics changes speed, never values.
+		if err := st.Migrate(robust.NewChromosome(m.Genotype.Order, m.Genotype.Proc)); err != nil {
+			return err
+		}
+	}
+	return sendJSON(w, KIslandState, h.states())
+}

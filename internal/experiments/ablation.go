@@ -172,7 +172,7 @@ func (c Config) AblationRiskFactor(ks []float64) ([]Series, error) {
 				}
 				schedules = append(schedules, s)
 			}
-			ms, err := sim.EvaluateAll(schedules, c.simOptions(), rng.New(c.graphSeed(u, g)^0xab4))
+			ms, err := c.evaluateAll(schedules, c.simOptions(), rng.New(c.graphSeed(u, g)^0xab4))
 			if err != nil {
 				return err
 			}
@@ -319,7 +319,7 @@ func (c Config) PolicyComparison(eps, repairThreshold float64) ([]Series, error)
 			}
 			simOpt := c.simOptions()
 			seed := c.graphSeed(u, g) ^ 0xab6
-			static, err := sim.EvaluateAll([]*schedule.Schedule{hs, res.Schedule}, simOpt, rng.New(seed))
+			static, err := c.evaluateAll([]*schedule.Schedule{hs, res.Schedule}, simOpt, rng.New(seed))
 			if err != nil {
 				return err
 			}

@@ -31,6 +31,7 @@ import (
 	"robsched/internal/platform"
 	"robsched/internal/rng"
 	"robsched/internal/robust"
+	"robsched/internal/schedule"
 	"robsched/internal/sim"
 	"robsched/internal/stats"
 )
@@ -68,6 +69,13 @@ type Config struct {
 	// counts are fixed and counter addition commutes.
 	Obs   *obs.Registry
 	Trace *obs.Tracer
+	// Sim, when non-nil, replaces sim.EvaluateAll as the Monte-Carlo
+	// evaluator every runner calls — the hook dist.Coordinator.EvaluateAll
+	// plugs into to shard realizations across worker processes. Any
+	// substitute must be bit-identical to the in-process engine (the dist
+	// coordinator is) or the tables change. It must be safe for concurrent
+	// calls: runners evaluate several graphs at once.
+	Sim func(ss []*schedule.Schedule, opt sim.Options, root *rng.Source) ([]sim.Metrics, error)
 }
 
 // Default returns a configuration that reproduces every figure's shape in
@@ -160,6 +168,15 @@ func (c Config) gaOptions() robust.Options {
 // carrying the experiment-wide telemetry sinks.
 func (c Config) simOptions() sim.Options {
 	return sim.Options{Realizations: c.Realizations, Obs: c.Obs, Trace: c.Trace}
+}
+
+// evaluateAll runs the Monte-Carlo evaluation through the configured Sim
+// hook, defaulting to the in-process engine.
+func (c Config) evaluateAll(ss []*schedule.Schedule, opt sim.Options, root *rng.Source) ([]sim.Metrics, error) {
+	if c.Sim != nil {
+		return c.Sim(ss, opt, root)
+	}
+	return sim.EvaluateAll(ss, opt, root)
 }
 
 // graphSeed derives the deterministic workload seed for graph g at

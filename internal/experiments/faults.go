@@ -18,7 +18,6 @@ import (
 	"robsched/internal/rng"
 	"robsched/internal/robust"
 	"robsched/internal/schedule"
-	"robsched/internal/sim"
 	"robsched/internal/stats"
 )
 
@@ -146,7 +145,7 @@ func (c Config) FaultResilience(fc FaultConfig) (*FaultResilienceResult, error) 
 		}
 		ss := []*schedule.Schedule{hs, sa.Schedule, ga.Schedule}
 		opt := c.simOptions()
-		noFault, err := sim.EvaluateAll(ss, opt, rng.New(c.graphSeed(0, g)^0xfa3))
+		noFault, err := c.evaluateAll(ss, opt, rng.New(c.graphSeed(0, g)^0xfa3))
 		if err != nil {
 			return err
 		}

@@ -6,7 +6,6 @@ import (
 	"robsched/internal/rng"
 	"robsched/internal/robust"
 	"robsched/internal/schedule"
-	"robsched/internal/sim"
 	"robsched/internal/stats"
 )
 
@@ -88,7 +87,7 @@ func (c Config) Sensitivity(param SensitivityParam, grid []float64, eps float64)
 			if err != nil {
 				return err
 			}
-			ms, err := sim.EvaluateAll(
+			ms, err := cfg.evaluateAll(
 				[]*schedule.Schedule{res.Schedule, res.HEFT},
 				cfg.simOptions(),
 				rng.New(cfg.graphSeed(gi+100, g)^0x5e52))

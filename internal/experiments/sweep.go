@@ -91,7 +91,7 @@ func (c Config) RunSweep() (*Sweep, error) {
 			schedules = append(schedules, res.Schedule)
 		}
 		schedules = append(schedules, heftSched)
-		ms, err := sim.EvaluateAll(schedules, c.simOptions(), rng.New(c.graphSeed(u, g)^0x7777))
+		ms, err := c.evaluateAll(schedules, c.simOptions(), rng.New(c.graphSeed(u, g)^0x7777))
 		if err != nil {
 			return err
 		}

@@ -6,7 +6,6 @@ import (
 	"robsched/internal/rng"
 	"robsched/internal/robust"
 	"robsched/internal/schedule"
-	"robsched/internal/sim"
 	"robsched/internal/stats"
 )
 
@@ -75,7 +74,7 @@ func (c Config) EvolutionTrace(mode robust.Mode) (*Trace, error) {
 				return err
 			}
 			// Evaluate every snapshot under common random numbers.
-			ms, err := sim.EvaluateAll(snapshots, c.simOptions(), rng.New(c.graphSeed(u, g)^0x5555))
+			ms, err := c.evaluateAll(snapshots, c.simOptions(), rng.New(c.graphSeed(u, g)^0x5555))
 			if err != nil {
 				return err
 			}

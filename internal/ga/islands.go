@@ -25,6 +25,141 @@ type IslandConfig[T any] struct {
 	MigrationEvery int
 }
 
+// DefaultMigrationEvery is the epoch length (generations between ring
+// migrations) when IslandConfig.MigrationEvery is zero.
+const DefaultMigrationEvery = 25
+
+// Island is one population's live state together with the stepping
+// operations of the island model: evolve an epoch, exchange a migrant,
+// report the running best. RunIslands drives a set of Islands in
+// goroutines; a distributed coordinator (internal/dist) drives the same
+// state machine across worker processes — both produce bit-identical
+// trajectories because every step is a pure function of the island's own
+// RNG stream, its population and the migrants it receives.
+type Island[T any] struct {
+	cfg Config[T]
+	idx int
+
+	pop  []T
+	fit  []float64
+	rng  *rng.Source
+	best T
+	bf   float64
+	ar   *genArena[T]
+
+	// sinceImprove counts consecutive generations without a strict best-
+	// fitness improvement, the per-island half of the global stagnation
+	// criterion (a run stops when every island has stagnated).
+	sinceImprove int
+
+	// stats buffers the epoch's GenStats for deterministic emission at the
+	// barrier (only filled when an Observer is configured).
+	stats []GenStats
+}
+
+// NewIsland initializes island idx of an island-model run: it validates the
+// configuration, builds and evaluates the initial population from r (the
+// island's own stream — RunIslands derives one per island by root.Split()
+// in island order) and records the initial best. Heuristic Seeds go to
+// island 0 only, exactly as in RunIslands; OnGeneration is rejected because
+// its cross-island ordering would depend on scheduling.
+func NewIsland[T any](c Config[T], idx int, r *rng.Source) (*Island[T], error) {
+	if c.OnGeneration != nil {
+		return nil, fmt.Errorf("ga: OnGeneration is not supported with islands")
+	}
+	if err := c.validate(); err != nil {
+		return nil, err
+	}
+	if idx != 0 {
+		c.Seeds = nil // the paper's heuristic seed goes to island 0
+	}
+	pop := c.initialPopulation(r)
+	fit, err := c.evalInto(pop, make([]float64, c.PopSize))
+	if err != nil {
+		return nil, err
+	}
+	bi := argmax(fit)
+	return &Island[T]{
+		cfg: c, idx: idx,
+		pop: pop, fit: fit, rng: r, best: pop[bi], bf: fit[bi],
+		ar: newArena[T](c.PopSize),
+	}, nil
+}
+
+// Index returns the island's position in the ring.
+func (is *Island[T]) Index() int { return is.idx }
+
+// Best returns the island's current best individual and its fitness (as
+// valued within the island's own population at its last evaluation).
+func (is *Island[T]) Best() (T, float64) { return is.best, is.bf }
+
+// SinceImprove returns the number of consecutive generations the island's
+// best fitness has not strictly improved.
+func (is *Island[T]) SinceImprove() int { return is.sinceImprove }
+
+// InitStats returns the GenStats of the initial population (generation 0).
+// Only meaningful when an Observer is configured on the base config; the
+// island-model runner emits it before the first epoch.
+func (is *Island[T]) InitStats() GenStats {
+	return is.cfg.genStats(is.idx, 0, is.pop, is.fit, opCounts{})
+}
+
+// Epoch advances the island by gens generations. startGen is the number of
+// generations already evolved (for stats numbering); when an Observer is
+// configured the per-generation stats are buffered on the island — the
+// caller emits them at its barrier in (generation, island) order so the
+// observed trajectory is independent of how epochs are scheduled.
+func (is *Island[T]) Epoch(startGen, gens int) error {
+	for e := 0; e < gens; e++ {
+		next, fit, oc, err := is.cfg.advance(is.pop, is.fit, is.best, is.ar, is.rng)
+		if err != nil {
+			return err
+		}
+		is.pop, is.fit = next, fit
+		if is.cfg.Observer != nil {
+			is.stats = append(is.stats, is.cfg.genStats(is.idx, startGen+e+1, is.pop, is.fit, oc))
+		}
+		bi := argmax(fit)
+		if fit[bi] > is.bf+1e-12 {
+			is.sinceImprove = 0
+		} else {
+			is.sinceImprove++
+		}
+		is.best, is.bf = is.pop[bi], fit[bi]
+	}
+	return nil
+}
+
+// Migrate implements the receiving half of the ring migration: the island's
+// worst individual is replaced by the migrant (the left neighbour's best)
+// and fitness is refreshed — population-independent fitnesses re-score just
+// the replaced slot via EvaluateOne, population-relative ones re-evaluate
+// the whole island. The running best is updated from the refreshed values.
+func (is *Island[T]) Migrate(migrant T) error {
+	worst := argmin(is.fit)
+	is.pop[worst] = migrant
+	if is.cfg.EvaluateOne != nil {
+		is.fit[worst] = is.cfg.EvaluateOne(migrant)
+	} else {
+		fit, err := is.cfg.evalInto(is.pop, is.fit)
+		if err != nil {
+			return err
+		}
+		is.fit = fit
+	}
+	bi := argmax(is.fit)
+	is.best, is.bf = is.pop[bi], is.fit[bi]
+	return nil
+}
+
+// takeStats drains the buffered epoch stats without freeing the backing
+// array, so the next epoch appends into the same buffer.
+func (is *Island[T]) takeStats() []GenStats {
+	out := is.stats
+	is.stats = is.stats[:0]
+	return out
+}
+
 // RunIslands evolves the islands and returns the best individual across
 // all of them, evaluated within its own island's final population.
 func RunIslands[T any](c IslandConfig[T], root *rng.Source) (Result[T], error) {
@@ -43,45 +178,33 @@ func RunIslands[T any](c IslandConfig[T], root *rng.Source) (Result[T], error) {
 	}
 	every := c.MigrationEvery
 	if every <= 0 {
-		every = 25
+		every = DefaultMigrationEvery
 	}
 
 	// Each island runs in epochs of `every` generations; between epochs
 	// the ring migration replaces each island's worst individual with its
-	// left neighbour's best. Implemented by running the engine repeatedly
-	// with seeding, which reuses all of Run's machinery (elitism,
-	// tournament, stagnation bookkeeping is reset per epoch — stagnation
-	// is therefore tracked across epochs here).
-	states := make([]*islandState[T], c.Islands)
+	// left neighbour's best. The per-island stepping lives in Island so
+	// this in-process runner and the multi-process coordinator in
+	// internal/dist share one state machine.
+	states := make([]*Island[T], c.Islands)
 	for i := range states {
-		r := root.Split()
-		cfg := c.Base
-		if i != 0 {
-			cfg.Seeds = nil // the paper's heuristic seed goes to island 0
-		}
-		pop := cfg.initialPopulation(r)
-		fit, err := cfg.evalInto(pop, make([]float64, cfg.PopSize))
+		st, err := NewIsland(c.Base, i, root.Split())
 		if err != nil {
 			return zero, err
 		}
-		bi := argmax(fit)
-		states[i] = &islandState[T]{
-			pop: pop, fit: fit, rng: r, best: pop[bi], bf: fit[bi],
-			ar: newArena[T](cfg.PopSize),
-		}
+		states[i] = st
 	}
 	// Observer: island stats are buffered per island while the goroutines
 	// run and emitted only here on the calling goroutine, in (generation,
 	// island) order — a deterministic interleaving no matter how the epochs
 	// are scheduled. Generation 0 covers the initial populations.
 	if c.Base.Observer != nil {
-		for i, st := range states {
-			c.Base.Observer.ObserveGeneration(c.Base.genStats(i, 0, st.pop, st.fit, opCounts{}))
+		for _, st := range states {
+			c.Base.Observer.ObserveGeneration(st.InitStats())
 		}
 	}
 
 	totalGens := c.Base.MaxGenerations
-	sinceImprove := make([]int, c.Islands)
 	gen := 0
 	for gen < totalGens {
 		epoch := every
@@ -92,27 +215,9 @@ func RunIslands[T any](c IslandConfig[T], root *rng.Source) (Result[T], error) {
 		errs := make([]error, c.Islands)
 		for i := range states {
 			wg.Add(1)
-			go func(st *islandState[T], idx int) {
+			go func(st *Island[T], idx int) {
 				defer wg.Done()
-				cfg := c.Base
-				for e := 0; e < epoch; e++ {
-					next, fit, oc, err := cfg.advance(st.pop, st.fit, st.best, st.ar, st.rng)
-					if err != nil {
-						errs[idx] = err
-						return
-					}
-					st.pop, st.fit = next, fit
-					if cfg.Observer != nil {
-						st.stats = append(st.stats, cfg.genStats(idx, gen+e+1, st.pop, st.fit, oc))
-					}
-					bi := argmax(fit)
-					if fit[bi] > st.bf+1e-12 {
-						sinceImprove[idx] = 0
-					} else {
-						sinceImprove[idx]++
-					}
-					st.best, st.bf = st.pop[bi], fit[bi]
-				}
+				errs[idx] = st.Epoch(gen, epoch)
 			}(states[i], i)
 		}
 		wg.Wait()
@@ -122,13 +227,14 @@ func RunIslands[T any](c IslandConfig[T], root *rng.Source) (Result[T], error) {
 			}
 		}
 		if c.Base.Observer != nil {
-			for e := 0; e < epoch; e++ {
-				for _, st := range states {
-					c.Base.Observer.ObserveGeneration(st.stats[e])
-				}
+			buffered := make([][]GenStats, len(states))
+			for i, st := range states {
+				buffered[i] = st.takeStats()
 			}
-			for _, st := range states {
-				st.stats = st.stats[:0]
+			for e := 0; e < epoch; e++ {
+				for _, stats := range buffered {
+					c.Base.Observer.ObserveGeneration(stats[e])
+				}
 			}
 		}
 		gen += epoch
@@ -137,59 +243,40 @@ func RunIslands[T any](c IslandConfig[T], root *rng.Source) (Result[T], error) {
 		if gen < totalGens {
 			bests := make([]T, c.Islands)
 			for i, st := range states {
-				bests[i] = st.best
+				bests[i], _ = st.Best()
 			}
 			for i, st := range states {
 				from := (i - 1 + c.Islands) % c.Islands
-				worst := argmin(st.fit)
-				st.pop[worst] = bests[from]
-				if c.Base.EvaluateOne != nil {
-					st.fit[worst] = c.Base.EvaluateOne(bests[from])
-				} else {
-					fit, err := c.Base.evalInto(st.pop, st.fit)
-					if err != nil {
-						return zero, err
-					}
-					st.fit = fit
+				if err := st.Migrate(bests[from]); err != nil {
+					return zero, err
 				}
-				bi := argmax(st.fit)
-				st.best, st.bf = st.pop[bi], st.fit[bi]
 			}
 		}
 		// Global stagnation: stop when every island has stagnated.
 		if c.Base.Stagnation > 0 {
 			all := true
-			for _, s := range sinceImprove {
-				if s < c.Base.Stagnation {
+			for _, st := range states {
+				if st.SinceImprove() < c.Base.Stagnation {
 					all = false
 					break
 				}
 			}
 			if all {
 				best := pickBest(states)
-				return Result[T]{Best: best.best, BestFitness: best.bf, Generations: gen, Stagnated: true}, nil
+				b, bf := best.Best()
+				return Result[T]{Best: b, BestFitness: bf, Generations: gen, Stagnated: true}, nil
 			}
 		}
 	}
 	best := pickBest(states)
-	return Result[T]{Best: best.best, BestFitness: best.bf, Generations: totalGens}, nil
+	b, bf := best.Best()
+	return Result[T]{Best: b, BestFitness: bf, Generations: totalGens}, nil
 }
 
-// islandState is one population's live state, including the generation
-// arena its epochs reuse.
-type islandState[T any] struct {
-	pop  []T
-	fit  []float64
-	rng  *rng.Source
-	best T
-	bf   float64
-	ar   *genArena[T]
-	// stats buffers the epoch's GenStats for deterministic emission at the
-	// barrier (only filled when an Observer is configured).
-	stats []GenStats
-}
-
-func pickBest[T any](states []*islandState[T]) *islandState[T] {
+// pickBest returns the island holding the globally best individual; ties
+// keep the lowest island index, the same rule a coordinator applies when
+// gathering bests over the wire.
+func pickBest[T any](states []*Island[T]) *Island[T] {
 	out := states[0]
 	for _, s := range states[1:] {
 		if s.bf > out.bf {

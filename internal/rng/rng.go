@@ -63,7 +63,18 @@ func New(seed uint64) *Source {
 // Split returns a new Source whose stream is independent of the parent's
 // subsequent output. The parent is advanced.
 func (r *Source) Split() *Source {
-	return New(r.Uint64() ^ 0xd1b54a32d192ed03)
+	return New(r.SplitSeed())
+}
+
+// SplitSeed draws and returns the seed of the child stream the next Split
+// call would create: New(r.SplitSeed()) is bit-identical to r.Split(), and
+// the parent advances the same single step either way. A coordinator uses
+// it to derive worker streams it can recreate in another process — shipping
+// the 64-bit seed over the wire instead of the generator state — while
+// keeping the derivation sequence (and everything later drawn from the
+// parent) exactly the same as an in-process Split fan-out.
+func (r *Source) SplitSeed() uint64 {
+	return r.Uint64() ^ 0xd1b54a32d192ed03
 }
 
 // Uint64 returns the next 64 uniformly distributed bits (xoshiro256++).

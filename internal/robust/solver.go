@@ -173,73 +173,13 @@ func HEFTBaseline(w *platform.Workload) (*schedule.Schedule, error) {
 // Solve runs the bi-objective GA on the workload and returns the best
 // schedule under the selected objective.
 func Solve(w *platform.Workload, opt Options, r *rng.Source) (*Result, error) {
-	if opt.PopSize == 0 && opt.MaxGenerations == 0 {
-		def := PaperOptions(opt.Mode, opt.Eps)
-		def.SlackMetric = opt.SlackMetric
-		def.NoHEFTSeed = opt.NoHEFTSeed
-		def.OnGeneration = opt.OnGeneration
-		def.Workers = opt.Workers
-		def.HEFT = opt.HEFT
-		def.Cache = opt.Cache
-		def.NoMetricsCache = opt.NoMetricsCache
-		def.NoDeltaDecode = opt.NoDeltaDecode
-		def.Islands = opt.Islands
-		def.MigrationEvery = opt.MigrationEvery
-		def.Obs = opt.Obs
-		def.Trace = opt.Trace
-		def.Observer = opt.Observer
-		opt = def
+	eng, err := NewEngine(w, opt)
+	if err != nil {
+		return nil, err
 	}
-	if opt.Mode == EpsilonConstraint && opt.Eps <= 0 {
-		return nil, fmt.Errorf("robust: epsilon-constraint mode needs Eps > 0, got %g", opt.Eps)
-	}
-	hs := opt.HEFT
-	if hs == nil {
-		var err error
-		hs, err = HEFTBaseline(w)
-		if err != nil {
-			return nil, err
-		}
-	}
-	mheft := hs.Makespan()
-
-	eval := &evaluator{w: w, opt: opt, mheft: mheft, dec: schedule.NewDecoder(w)}
-	if !opt.NoMetricsCache {
-		eval.cache = opt.Cache
-		if eval.cache == nil {
-			eval.cache = NewMetricsCache()
-		}
-	}
-	// Nil-safe: a nil registry hands out a nil (no-op) histogram.
-	eval.frontierHist = opt.Obs.Histogram("decode.delta_frontier", deltaFrontierBounds)
-	cfg := ga.Config[*Chromosome]{
-		PopSize:        opt.PopSize,
-		CrossoverRate:  opt.CrossoverRate,
-		MutationRate:   opt.MutationRate,
-		MaxGenerations: opt.MaxGenerations,
-		Stagnation:     opt.Stagnation,
-		Random:         func(r *rng.Source) *Chromosome { return Random(w, r) },
-		Crossover:      crossoverGA,
-		Mutate:         func(c *Chromosome, r *rng.Source) *Chromosome { out, _ := Mutate(w, c, r); return out },
-		Evaluate:       eval.evaluate,
-		EvaluateInto:   eval.evaluateInto,
-		Key:            (*Chromosome).Key,
-		Observer:       ga.MultiObserver(opt.Observer, telemetryObserver(opt.Obs, opt.Trace)),
-	}
-	// The two single-objective modes are population-independent, so the
-	// engine's post-elitism pass only needs the replaced slot re-scored. The
-	// ε-constraint fitness (Eqn. 8) is population-relative and keeps the
-	// full re-evaluation — which the metrics cache turns into a pure
-	// recombination over already-known metrics.
-	switch opt.Mode {
-	case MinMakespan:
-		cfg.EvaluateOne = func(c *Chromosome) float64 { return -eval.metricsOf(c).m0 }
-	case MaxSlack:
-		cfg.EvaluateOne = func(c *Chromosome) float64 { return eval.slackMet(eval.metricsOf(c)) }
-	}
-	if !opt.NoHEFTSeed {
-		cfg.Seeds = []*Chromosome{FromSchedule(hs)}
-	}
+	opt = eng.Opt
+	eval := eng.eval
+	cfg := eng.cfg
 	if opt.OnGeneration != nil {
 		on := opt.OnGeneration
 		cfg.OnGeneration = func(gen int, pop []*Chromosome, fit []float64) {
@@ -261,7 +201,6 @@ func Solve(w *platform.Workload, opt Options, r *rng.Source) (*Result, error) {
 	}
 	cachePre := eval.cache.Stats()
 	var res ga.Result[*Chromosome]
-	var err error
 	if opt.Islands > 1 {
 		res, err = ga.RunIslands(ga.IslandConfig[*Chromosome]{
 			Base:           cfg,
@@ -280,17 +219,7 @@ func Solve(w *platform.Workload, opt Options, r *rng.Source) (*Result, error) {
 	if opt.Obs != nil || opt.Trace != nil {
 		recordDeltaStats(opt.Obs, opt.Trace, eval.deltaStats())
 	}
-	s, err := res.Best.Decode(w)
-	if err != nil {
-		return nil, err
-	}
-	return &Result{
-		Schedule:    s,
-		HEFT:        hs,
-		MHEFT:       mheft,
-		Generations: res.Generations,
-		Stagnated:   res.Stagnated,
-	}, nil
+	return eng.Result(res)
 }
 
 // runCustomFitness evolves the standard chromosome with an arbitrary

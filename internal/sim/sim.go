@@ -110,8 +110,6 @@ func (o Options) Validate() error {
 	return nil
 }
 
-func (o Options) validate() error { return o.Validate() }
-
 func (o Options) workers() int {
 	w := o.Workers
 	if w == 0 {
@@ -120,13 +118,14 @@ func (o Options) workers() int {
 	return w
 }
 
-func (o Options) batch() int {
+// batch returns the kernel batch width for a run of r realizations.
+func (o Options) batch(r int) int {
 	b := o.BatchSize
 	if b == 0 {
 		b = DefaultBatchSize
 	}
-	if b > o.Realizations {
-		b = o.Realizations
+	if b > r {
+		b = r
 	}
 	return b
 }
@@ -318,6 +317,28 @@ func (sp *sampler) sampleMirroredInto(dst []float64, stride, lane int, r *rng.So
 	}
 }
 
+// SeedVector derives the per-realization RNG seed vector RealizeAll uses:
+// one root.Uint64() draw per realization, in realization order, independent
+// of any parallelism. With antithetic pairing, realizations 2k and 2k+1
+// share a seed; the odd one mirrors every uniform draw.
+//
+// The vector is the whole stream-derivation scheme: a coordinator that
+// computes it once and hands contiguous windows (with their global base
+// index, which carries the antithetic parity) to RealizeSeeded in other
+// worker processes reproduces exactly the sample set of a single-process
+// RealizeAll, shard boundaries included.
+func SeedVector(realizations int, antithetic bool, root *rng.Source) []uint64 {
+	seeds := make([]uint64, realizations)
+	for i := range seeds {
+		if antithetic && i%2 == 1 {
+			seeds[i] = seeds[i-1]
+		} else {
+			seeds[i] = root.Uint64()
+		}
+	}
+	return seeds
+}
+
 // RealizeAll is the shared Monte-Carlo engine: it runs opt.Realizations
 // sampled executions of every schedule (all of the same workload, under
 // common random numbers — each realization samples the full n×m duration
@@ -329,8 +350,32 @@ func (sp *sampler) sampleMirroredInto(dst []float64, stride, lane int, r *rng.So
 // lane's floating-point operations follow the scalar order, so the returned
 // vectors are bit-identical for every Workers and BatchSize setting.
 func RealizeAll(ss []*schedule.Schedule, opt Options, root *rng.Source) ([][]float64, error) {
-	if err := opt.validate(); err != nil {
+	if err := opt.Validate(); err != nil {
 		return nil, err
+	}
+	return RealizeSeeded(ss, opt, SeedVector(opt.Realizations, opt.Antithetic, root), 0)
+}
+
+// RealizeSeeded runs the batched Monte-Carlo engine over an explicit window
+// of the realization space: seeds[l] is the RNG seed of global realization
+// base+l (a window of the SeedVector derivation), and the returned makespans
+// are indexed [schedule][l]. opt.Realizations is ignored; the window length
+// is len(seeds). base matters only under Options.Antithetic, where the
+// global index parity selects the mirrored sampler, so windows that split an
+// antithetic pair still reproduce the exact single-process draws.
+//
+// RealizeAll is RealizeSeeded over the full vector at base 0; a scatter/
+// gather coordinator (internal/dist) runs disjoint windows in worker
+// processes and concatenates the results in base order, which is
+// bit-identical to the single-process run for any partition.
+func RealizeSeeded(ss []*schedule.Schedule, opt Options, seeds []uint64, base int) ([][]float64, error) {
+	vopt := opt
+	vopt.Realizations = len(seeds)
+	if err := vopt.Validate(); err != nil {
+		return nil, err
+	}
+	if base < 0 {
+		return nil, &OptionError{"base", float64(base), "must be >= 0"}
 	}
 	if len(ss) == 0 {
 		return nil, fmt.Errorf("sim: no schedules to evaluate")
@@ -342,19 +387,8 @@ func RealizeAll(ss []*schedule.Schedule, opt Options, root *rng.Source) ([][]flo
 		}
 	}
 	n, m := w.N(), w.M()
-	R := opt.Realizations
-	// One deterministic seed per realization, independent of parallelism.
-	// With antithetic pairing, realizations 2k and 2k+1 share a seed; the
-	// odd one mirrors every uniform draw.
-	seeds := make([]uint64, R)
-	for i := range seeds {
-		if opt.Antithetic && i%2 == 1 {
-			seeds[i] = seeds[i-1]
-		} else {
-			seeds[i] = root.Uint64()
-		}
-	}
-	B := opt.batch()
+	R := len(seeds)
+	B := opt.batch(R)
 	buildDone := opt.Trace.Scope("sim").Span("build_sampler")
 	sp := newSampler(w)
 	buildDone()
@@ -417,7 +451,10 @@ func RealizeAll(ss []*schedule.Schedule, opt Options, root *rng.Source) ([][]flo
 				for l := 0; l < b; l++ {
 					i := lo + l
 					r := rng.New(seeds[i])
-					if opt.Antithetic && i%2 == 1 {
+					// The antithetic mirror follows the global realization
+					// index, so a window starting on an odd index keeps
+					// mirroring exactly the realizations the full run would.
+					if opt.Antithetic && (base+i)%2 == 1 {
 						sp.sampleMirroredInto(durs, b, l, r, u)
 					} else {
 						sp.sampleInto(durs, b, l, r, u)

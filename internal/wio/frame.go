@@ -1,0 +1,102 @@
+// Frame codec: the length-prefixed binary envelope the dist coordinator and
+// its worker processes exchange over pipes. A frame is
+//
+//	magic   2 bytes  'r' 'b'
+//	version 1 byte   frameVersion
+//	kind    1 byte   opaque to this package; internal/dist defines the values
+//	length  4 bytes  little-endian payload size
+//	payload length bytes
+//
+// The header is fixed-size and the payload length is bounded, so a reader
+// can never be tricked into an unbounded allocation by a corrupt stream —
+// the property FuzzReadFrame locks down. Payload contents are the caller's
+// business: dist uses JSON for control messages and raw little-endian
+// float64 blocks for makespan vectors.
+package wio
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+const (
+	frameMagic0  = 'r'
+	frameMagic1  = 'b'
+	frameVersion = 1
+	frameHeader  = 8
+
+	// MaxFramePayload caps a single frame's payload (64 MiB). A realization
+	// vector of a million samples is 8 MB; control messages are far smaller.
+	// Anything larger indicates a corrupt or hostile stream.
+	MaxFramePayload = 64 << 20
+)
+
+// FrameError reports a malformed frame header. It distinguishes protocol
+// corruption from plain I/O failures (which pass through unwrapped).
+type FrameError struct{ Reason string }
+
+func (e *FrameError) Error() string { return "wio: bad frame: " + e.Reason }
+
+// WriteFrame writes one frame. It returns an error if the payload exceeds
+// MaxFramePayload or the writer fails; partial writes leave the stream
+// unusable, so callers treat any error as fatal to the connection.
+func WriteFrame(w io.Writer, kind byte, payload []byte) error {
+	if len(payload) > MaxFramePayload {
+		return &FrameError{fmt.Sprintf("payload %d exceeds %d bytes", len(payload), MaxFramePayload)}
+	}
+	var hdr [frameHeader]byte
+	hdr[0], hdr[1], hdr[2], hdr[3] = frameMagic0, frameMagic1, frameVersion, kind
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if len(payload) > 0 {
+		if _, err := w.Write(payload); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadFrame reads one frame, reusing buf for the payload when it is large
+// enough (pass nil to always allocate). A clean EOF before any header byte
+// surfaces as io.EOF — the peer closed between frames; a header with the
+// wrong magic, version or an oversized length returns a *FrameError, and a
+// stream that ends mid-frame returns io.ErrUnexpectedEOF.
+func ReadFrame(r io.Reader, buf []byte) (kind byte, payload []byte, err error) {
+	var hdr [frameHeader]byte
+	if _, err := io.ReadFull(r, hdr[:1]); err != nil {
+		return 0, nil, err // io.EOF here means "no more frames"
+	}
+	if _, err := io.ReadFull(r, hdr[1:]); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return 0, nil, err
+	}
+	if hdr[0] != frameMagic0 || hdr[1] != frameMagic1 {
+		return 0, nil, &FrameError{fmt.Sprintf("magic %#02x%02x", hdr[0], hdr[1])}
+	}
+	if hdr[2] != frameVersion {
+		return 0, nil, &FrameError{fmt.Sprintf("version %d (want %d)", hdr[2], frameVersion)}
+	}
+	n := binary.LittleEndian.Uint32(hdr[4:])
+	if n > MaxFramePayload {
+		return 0, nil, &FrameError{fmt.Sprintf("payload %d exceeds %d bytes", n, MaxFramePayload)}
+	}
+	if int(n) <= cap(buf) {
+		payload = buf[:n]
+	} else {
+		payload = make([]byte, n)
+	}
+	if n > 0 {
+		if _, err := io.ReadFull(r, payload); err != nil {
+			if err == io.EOF {
+				err = io.ErrUnexpectedEOF
+			}
+			return 0, nil, err
+		}
+	}
+	return hdr[3], payload, nil
+}

@@ -1,0 +1,99 @@
+package wio
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	payloads := [][]byte{
+		nil,
+		{},
+		{0},
+		[]byte("hello"),
+		bytes.Repeat([]byte{0xAB}, 1<<16),
+	}
+	var buf bytes.Buffer
+	for kind, p := range payloads {
+		if err := WriteFrame(&buf, byte(kind), p); err != nil {
+			t.Fatalf("write kind %d: %v", kind, err)
+		}
+	}
+	scratch := make([]byte, 16)
+	for kind, want := range payloads {
+		k, got, err := ReadFrame(&buf, scratch)
+		if err != nil {
+			t.Fatalf("read kind %d: %v", kind, err)
+		}
+		if int(k) != kind {
+			t.Fatalf("kind %d read back as %d", kind, k)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("kind %d payload mismatch: %d bytes, want %d", kind, len(got), len(want))
+		}
+	}
+	if _, _, err := ReadFrame(&buf, nil); err != io.EOF {
+		t.Fatalf("drained stream returned %v, want io.EOF", err)
+	}
+}
+
+func TestFrameReusesBuffer(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, 7, []byte("abc")); err != nil {
+		t.Fatal(err)
+	}
+	scratch := make([]byte, 8)
+	_, payload, err := ReadFrame(&buf, scratch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &payload[0] != &scratch[0] {
+		t.Error("payload not served from the caller's buffer")
+	}
+}
+
+func TestFrameRejectsOversizedWrite(t *testing.T) {
+	// Don't allocate 64 MiB: an io.Writer is never reached because the
+	// length check fires first, so a huge zero-length-backed slice works.
+	big := make([]byte, MaxFramePayload+1)
+	var fe *FrameError
+	if err := WriteFrame(io.Discard, 1, big); !errors.As(err, &fe) {
+		t.Fatalf("oversized payload accepted: %v", err)
+	}
+}
+
+func TestFrameReadErrors(t *testing.T) {
+	mk := func(b []byte) io.Reader { return bytes.NewReader(b) }
+	cases := []struct {
+		name    string
+		in      []byte
+		isFrame bool // expect *FrameError (vs io error)
+	}{
+		{"bad magic", []byte{'x', 'y', 1, 0, 0, 0, 0, 0}, true},
+		{"bad version", []byte{'r', 'b', 9, 0, 0, 0, 0, 0}, true},
+		{"oversized length", []byte{'r', 'b', 1, 0, 0xFF, 0xFF, 0xFF, 0xFF}, true},
+		{"truncated header", []byte{'r', 'b', 1}, false},
+		{"truncated payload", []byte{'r', 'b', 1, 0, 4, 0, 0, 0, 'a'}, false},
+	}
+	for _, tc := range cases {
+		_, _, err := ReadFrame(mk(tc.in), nil)
+		if err == nil {
+			t.Errorf("%s: accepted", tc.name)
+			continue
+		}
+		var fe *FrameError
+		if got := errors.As(err, &fe); got != tc.isFrame {
+			t.Errorf("%s: error %v (FrameError=%v, want %v)", tc.name, err, got, tc.isFrame)
+		}
+	}
+	// Truncations must be io.ErrUnexpectedEOF, not a silent io.EOF, so a
+	// reader loop can tell "peer closed cleanly" from "died mid-frame".
+	if _, _, err := ReadFrame(mk([]byte{'r', 'b', 1}), nil); err != io.ErrUnexpectedEOF {
+		t.Errorf("truncated header: %v, want io.ErrUnexpectedEOF", err)
+	}
+	if _, _, err := ReadFrame(mk(nil), nil); err != io.EOF {
+		t.Errorf("empty stream: %v, want io.EOF", err)
+	}
+}

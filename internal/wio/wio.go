@@ -37,9 +37,12 @@ type EdgeJSON struct {
 	Data float64 `json:"data"`
 }
 
-// WriteWorkload serializes w as indented JSON.
-func WriteWorkload(out io.Writer, w *platform.Workload) error {
-	n, m := w.N(), w.M()
+// NewWorkloadJSON converts a live workload to its document form. Build is
+// the inverse; the round trip reconstructs an identical workload, which is
+// what lets a dist coordinator ship a problem instance to worker processes
+// over the wire with bit-identical downstream results.
+func NewWorkloadJSON(w *platform.Workload) WorkloadJSON {
+	n := w.N()
 	doc := WorkloadJSON{Tasks: n}
 	for _, e := range w.G.Edges() {
 		doc.Edges = append(doc.Edges, EdgeJSON{e.From, e.To, e.Data})
@@ -51,10 +54,14 @@ func WriteWorkload(out io.Writer, w *platform.Workload) error {
 		doc.BCET[i] = append([]float64(nil), w.BCET.Row(i)...)
 		doc.UL[i] = append([]float64(nil), w.UL.Row(i)...)
 	}
-	_ = m
+	return doc
+}
+
+// WriteWorkload serializes w as indented JSON.
+func WriteWorkload(out io.Writer, w *platform.Workload) error {
 	enc := json.NewEncoder(out)
 	enc.SetIndent("", "  ")
-	return enc.Encode(doc)
+	return enc.Encode(NewWorkloadJSON(w))
 }
 
 // ratesOf reconstructs the system's rate matrix.
@@ -149,8 +156,9 @@ type ScheduleJSON struct {
 	AvgSlack  float64 `json:"avg_slack,omitempty"`
 }
 
-// WriteSchedule serializes s as indented JSON.
-func WriteSchedule(out io.Writer, s *schedule.Schedule) error {
+// NewScheduleJSON converts a live schedule to its document form, headline
+// numbers included. Bind is the inverse.
+func NewScheduleJSON(s *schedule.Schedule) ScheduleJSON {
 	doc := ScheduleJSON{
 		Proc:     s.ProcAssignment(),
 		Makespan: s.Makespan(),
@@ -159,9 +167,25 @@ func WriteSchedule(out io.Writer, s *schedule.Schedule) error {
 	for p := 0; p < s.Workload().M(); p++ {
 		doc.ProcOrder = append(doc.ProcOrder, s.ProcOrder(p))
 	}
+	return doc
+}
+
+// WriteSchedule serializes s as indented JSON.
+func WriteSchedule(out io.Writer, s *schedule.Schedule) error {
 	enc := json.NewEncoder(out)
 	enc.SetIndent("", "  ")
-	return enc.Encode(doc)
+	return enc.Encode(NewScheduleJSON(s))
+}
+
+// Bind validates the document against the workload and returns the live
+// schedule. The headline fields (makespan, slack) are informational and
+// ignored; the schedule recomputes them.
+func (doc ScheduleJSON) Bind(w *platform.Workload) (*schedule.Schedule, error) {
+	s, err := schedule.New(w, doc.Proc, doc.ProcOrder)
+	if err != nil {
+		return nil, fmt.Errorf("wio: %w", err)
+	}
+	return s, nil
 }
 
 // ReadSchedule parses a schedule document and binds it to the workload,
@@ -173,9 +197,5 @@ func ReadSchedule(in io.Reader, w *platform.Workload) (*schedule.Schedule, error
 	if err := dec.Decode(&doc); err != nil {
 		return nil, fmt.Errorf("wio: decoding schedule: %w", err)
 	}
-	s, err := schedule.New(w, doc.Proc, doc.ProcOrder)
-	if err != nil {
-		return nil, fmt.Errorf("wio: %w", err)
-	}
-	return s, nil
+	return doc.Bind(w)
 }
