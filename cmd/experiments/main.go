@@ -64,6 +64,8 @@ func run() error {
 		mProcs       = flag.Int("m", 0, "override: processors")
 		workers      = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
 		shards       = flag.Int("shards", 0, "shard Monte-Carlo evaluation over this many worker processes (0 = in-process); results are bit-identical")
+		workerTO     = flag.Duration("worker-timeout", 0, "with -shards: liveness deadline per worker exchange — a silent worker is declared dead and its range reassigned; also arms worker respawn (0 disables)")
+		chaosSeed    = flag.Uint64("chaos", 0, "with -shards: inject seeded transport faults between coordinator and workers as a self-test; results stay bit-identical (0 disables; requires -worker-timeout)")
 		csvDir       = flag.String("csv", "", "also write figN.csv files into this directory (plus a manifest.json run record)")
 		svgDir       = flag.String("svg", "", "also write figN.svg line charts into this directory")
 		obsPath      = flag.String("obs", "", "enable observability: write a JSONL trace to this file and print a telemetry summary")
@@ -131,12 +133,23 @@ func run() error {
 		if err != nil {
 			return fmt.Errorf("locating executable for workers: %w", err)
 		}
-		pool, err := dist.NewProcPool(*shards, exe, "worker")
+		spawn := dist.ProcEndpoint(exe, "worker")
+		if *chaosSeed != 0 {
+			if *workerTO <= 0 {
+				return fmt.Errorf("-chaos requires -worker-timeout: a stalled link is only unmasked by a deadline")
+			}
+			spawn = dist.ChaosSpawner(dist.DefaultChaos(*chaosSeed), spawn)
+		}
+		pool, err := dist.NewSpawnPool(*shards, spawn)
 		if err != nil {
 			return err
 		}
 		defer pool.Close()
-		coord := &dist.Coordinator{Pool: pool, Obs: reg, Trace: tracer}
+		pool.Obs = reg
+		if *workerTO > 0 {
+			pool.Respawn(spawn, 2**shards)
+		}
+		coord := &dist.Coordinator{Pool: pool, Obs: reg, Trace: tracer, Timeout: *workerTO}
 		cfg.Sim = coord.EvaluateAll
 	}
 

@@ -97,6 +97,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 		svgPath      = fs.String("svg", "", "write an SVG Gantt chart (with slack windows) to this file")
 		workers      = fs.Int("workers", 0, "worker goroutines for population decoding and Monte-Carlo batches (0 = all cores)")
 		shards       = fs.Int("shards", 0, "scatter work over this many `robsched worker` subprocesses (0 = in-process); shards Monte-Carlo realizations, and the GA islands when -islands > 1")
+		workerTO     = fs.Duration("worker-timeout", 0, "with -shards: liveness deadline per worker exchange — a worker silent this long (no frame, no heartbeat) is declared dead and its work reassigned; also arms worker respawn (0 disables)")
+		chaosSeed    = fs.Uint64("chaos", 0, "with -shards: inject seeded transport faults (stalls, drops, corruption, duplicate frames) between coordinator and workers as a self-test; results stay bit-identical (0 disables; requires -worker-timeout)")
 		islands      = fs.Int("islands", 1, "GA island populations with ring migration (1 = the paper's single population)")
 		obsPath      = fs.String("obs", "", "enable observability: write a JSONL trace to this file and print a telemetry summary")
 		pprofAddr    = fs.String("pprof", "", "serve net/http/pprof, expvar and /debug/obs on this address (e.g. localhost:6060)")
@@ -147,12 +149,25 @@ func run(args []string, stdout, stderr io.Writer) error {
 		if err != nil {
 			return fmt.Errorf("locating worker binary: %w", err)
 		}
-		pool, err := dist.NewProcPool(*shards, exe, "worker")
+		spawn := dist.ProcEndpoint(exe, "worker")
+		if *chaosSeed != 0 {
+			if *workerTO <= 0 {
+				return fmt.Errorf("-chaos requires -worker-timeout: a stalled link is only unmasked by a deadline")
+			}
+			spawn = dist.ChaosSpawner(dist.DefaultChaos(*chaosSeed), spawn)
+		}
+		pool, err := dist.NewSpawnPool(*shards, spawn)
 		if err != nil {
 			return err
 		}
 		defer pool.Close()
-		coord = &dist.Coordinator{Pool: pool, Obs: reg, Trace: tracer}
+		pool.Obs = reg
+		if *workerTO > 0 {
+			// With liveness armed, dead workers are worth replacing: budget a
+			// couple of respawns per shard before degrading in-process.
+			pool.Respawn(spawn, 2**shards)
+		}
+		coord = &dist.Coordinator{Pool: pool, Obs: reg, Trace: tracer, Timeout: *workerTO}
 	}
 	evalAll := func(ss []*schedule.Schedule, opt sim.Options, root *rng.Source) ([]sim.Metrics, error) {
 		if coord != nil {

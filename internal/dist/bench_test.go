@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"os"
 	"testing"
+	"time"
 
 	"robsched/internal/rng"
 	"robsched/internal/robust"
@@ -56,6 +57,19 @@ func BenchmarkDistEvaluateAll(b *testing.B) {
 			}
 		})
 	}
+	// The hardened lane arms liveness (frame deadlines, job budgets, worker
+	// heartbeats) on a fault-free run: its gap to shards=4 is the price of
+	// the failure detector when nothing fails.
+	b.Run("shards=4/hardened", func(b *testing.B) {
+		pool := benchProcPool(b, 4)
+		coord := &Coordinator{Pool: pool, Timeout: 5 * time.Second}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := coord.EvaluateAll(ss, opt, rng.New(7)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkDistSolveIslands measures an island-GA solve hosted on worker
@@ -78,6 +92,18 @@ func BenchmarkDistSolveIslands(b *testing.B) {
 	b.Run("sharded", func(b *testing.B) {
 		pool := benchProcPool(b, 4)
 		coord := &Coordinator{Pool: pool}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := coord.Solve(w, opt, rng.New(11)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	// Liveness + epoch checkpointing armed on a fault-free solve: measures
+	// the standing cost of heartbeats, deadlines and checkpoint rounds.
+	b.Run("sharded/hardened", func(b *testing.B) {
+		pool := benchProcPool(b, 4)
+		coord := &Coordinator{Pool: pool, Timeout: 5 * time.Second}
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			if _, err := coord.Solve(w, opt, rng.New(11)); err != nil {

@@ -1,0 +1,252 @@
+package dist
+
+import (
+	"io"
+	"math"
+	"sync/atomic"
+	"time"
+
+	"robsched/internal/fault"
+	"robsched/internal/rng"
+	"robsched/internal/wio"
+)
+
+// ChaosPlan injects seeded, reproducible transport faults between the
+// coordinator and a worker. It deliberately reuses the fault-scenario
+// vocabulary the simulator applies to processors: each wrapped connection
+// draws one fault.Scenario over a two-"processor" platform — processor 0 is
+// the coordinator→worker link direction, processor 1 the worker→coordinator
+// direction — so the same samplers (fault.Model, fault.Fixed) that break
+// simulated machines also break the runtime's own transport. A permanent
+// failure drops the connection; an outage swallows the frames that cross it
+// (a stall, from the peer's point of view); a slowdown stretches transfer
+// time. On top of the timeline, each frame independently risks bit
+// corruption, truncation and duplication.
+//
+// Every injection is a deterministic function of (Seed, worker id), so a
+// failing chaos run replays exactly. The wrapper frames the byte stream, so
+// it injects at frame granularity — the unit at which the protocol can
+// detect damage. Chaos without Coordinator.Timeout armed can stall a call
+// forever by construction (an outage is a silent stall); always set a
+// timeout when wrapping endpoints.
+type ChaosPlan struct {
+	// Seed fixes every random draw of the plan. Worker ids are mixed in so
+	// each connection sees a distinct but reproducible timeline.
+	Seed uint64
+	// Link samples the per-connection fault timeline. nil means no
+	// timeline faults (only the per-frame Corrupt/Truncate/Duplicate).
+	Link fault.Sampler
+	// Horizon is the scenario horizon in simulated link-seconds; 0 means 60.
+	Horizon float64
+	// Rate converts frame bytes to link-seconds of transfer work;
+	// 0 means 1 MiB/s. One link-second of delay costs one wall-clock
+	// millisecond, keeping chaos tests fast while preserving ordering.
+	Rate float64
+	// Corrupt, Truncate and Duplicate are independent per-frame
+	// probabilities: flip one random bit of the encoded frame; cut the
+	// frame short and drop the connection (a torn write never leaves the
+	// stream consistent); write the frame twice.
+	Corrupt   float64
+	Truncate  float64
+	Duplicate float64
+}
+
+const chaosTick = time.Millisecond // wall-clock cost of one link-second
+
+// DefaultChaos is the moderately hostile plan behind the CLIs' -chaos flag:
+// every injection kind at rates that bite a real run several times without
+// drowning it. It is a self-test — the run must still produce bit-identical
+// results, visibly recovering in the telemetry counters.
+func DefaultChaos(seed uint64) ChaosPlan {
+	return ChaosPlan{
+		Seed:      seed,
+		Corrupt:   0.02,
+		Truncate:  0.02,
+		Duplicate: 0.1,
+		Link:      fault.Model{MTBF: 2, OutageEvery: 0.5, OutageMean: 0.05},
+	}
+}
+
+// ChaosSpawner wraps a spawner so every worker it produces — initial pool
+// members and respawned replacements alike — gets the plan's fault timeline
+// spliced into its transport, each with a distinct reproducible stream.
+func ChaosSpawner(pl ChaosPlan, spawn func() (Endpoint, error)) func() (Endpoint, error) {
+	var n atomic.Int64
+	return func() (Endpoint, error) {
+		ep, err := spawn()
+		if err != nil {
+			return ep, err
+		}
+		return pl.Wrap(ep, int(n.Add(1))-1), nil
+	}
+}
+
+// chaosLink is one direction of a wrapped connection.
+type chaosLink struct {
+	pl    ChaosPlan
+	sc    *fault.Scenario
+	p     int // scenario "processor": 0 coord→worker, 1 worker→coord
+	r     *rng.Source
+	t     float64 // link clock, seconds
+	src   io.Reader
+	dst   io.Writer
+	close func(err error) // tears down both ends of this direction
+}
+
+// Wrap returns ep with the chaos plan's fault timeline spliced into both
+// directions of its byte stream. The worker id seeds the per-connection
+// randomness; wrapping the same endpoint with the same (Seed, worker)
+// replays the same injections.
+func (pl ChaosPlan) Wrap(ep Endpoint, worker int) Endpoint {
+	if pl.Horizon <= 0 {
+		pl.Horizon = 60
+	}
+	if pl.Rate <= 0 {
+		pl.Rate = 1 << 20
+	}
+	base := rng.New(pl.Seed ^ (0x9e3779b97f4a7c15 * uint64(worker+1)))
+	sc := fault.None()
+	if pl.Link != nil {
+		if s, err := pl.Link.Scenario(2, pl.Horizon, base); err == nil {
+			sc = s
+		}
+	}
+
+	// coordinator→worker: the caller writes into outW; the pump relays
+	// frames from outR to the real endpoint.
+	outR, outW := io.Pipe()
+	// worker→coordinator: the pump relays frames from the real endpoint
+	// into inW; the caller reads from inR.
+	inR, inW := io.Pipe()
+
+	out := &chaosLink{
+		pl: pl, sc: &sc, p: 0, r: rng.New(base.SplitSeed()),
+		src: outR, dst: ep.W,
+		close: func(err error) {
+			outR.CloseWithError(err)
+			_ = ep.W.Close()
+		},
+	}
+	in := &chaosLink{
+		pl: pl, sc: &sc, p: 1, r: rng.New(base.SplitSeed()),
+		src: ep.R, dst: inW,
+		close: func(err error) { inW.CloseWithError(err) },
+	}
+	go out.pump()
+	go in.pump()
+
+	return Endpoint{
+		W: outW,
+		R: inR,
+		Kill: func() {
+			outW.CloseWithError(io.ErrClosedPipe)
+			inR.CloseWithError(io.ErrClosedPipe)
+			if ep.Kill != nil {
+				ep.Kill()
+			}
+		},
+		Wait: ep.Wait,
+	}
+}
+
+// pump relays frames from src to dst, applying the link's timeline and the
+// per-frame injections. It exits — closing its direction — when the link
+// permanently fails, a truncation tears the stream, or either side of the
+// relay errors out.
+func (l *chaosLink) pump() {
+	var buf []byte
+	for {
+		kind, payload, err := wio.ReadFrame(l.src, buf)
+		if err != nil {
+			l.close(err)
+			return
+		}
+		if cap(payload) > cap(buf) {
+			buf = payload[:cap(payload)]
+		}
+		raw, err := wio.AppendFrame(nil, kind, payload)
+		if err != nil {
+			l.close(err)
+			return
+		}
+		if !l.deliver(raw) {
+			return
+		}
+	}
+}
+
+// deliver pushes one encoded frame through the fault timeline and the
+// injection dice. It reports false when the connection is gone.
+func (l *chaosLink) deliver(raw []byte) bool {
+	// Timeline: a dead link drops the connection; an outage swallows the
+	// frame (pure stall — the peer sees nothing until its deadline fires);
+	// otherwise the transfer takes scenario time, slowdowns included.
+	if !l.sc.Alive(l.p, l.t) {
+		l.close(io.ErrClosedPipe)
+		return false
+	}
+	start := l.sc.NextStart(l.p, l.t)
+	if start > l.t {
+		l.sleep(start - l.t)
+		l.t = start
+	}
+	work := float64(len(raw)) / l.pl.Rate
+	finish, killed, killTime := l.sc.Run(l.p, l.t, work)
+	if killed {
+		// The frame was crossing the link when the outage (or failure)
+		// hit: it is lost. The link survives a transient outage; a
+		// permanent failure (NextStart +Inf) drops the connection.
+		l.sleep(killTime - l.t)
+		next := l.sc.NextStart(l.p, killTime)
+		if math.IsInf(next, 1) {
+			l.close(io.ErrClosedPipe)
+			return false
+		}
+		l.t = next
+		return true
+	}
+	l.sleep(finish - l.t)
+	l.t = finish
+
+	// Injections, each an independent Bernoulli draw per frame. Draw all
+	// three unconditionally so the random stream consumed per frame is
+	// fixed and injections stay reproducible under composition.
+	corrupt := l.r.Float64() < l.pl.Corrupt
+	truncate := l.r.Float64() < l.pl.Truncate
+	duplicate := l.r.Float64() < l.pl.Duplicate
+	if corrupt {
+		bit := l.r.Intn(len(raw) * 8)
+		raw[bit/8] ^= 1 << (bit % 8)
+	}
+	if truncate {
+		n := l.r.Intn(len(raw)) // always short of a full frame
+		_, _ = l.dst.Write(raw[:n])
+		l.close(io.ErrUnexpectedEOF)
+		return false
+	}
+	writes := 1
+	if duplicate {
+		writes = 2
+	}
+	for i := 0; i < writes; i++ {
+		if _, err := l.dst.Write(raw); err != nil {
+			l.close(err)
+			return false
+		}
+	}
+	return true
+}
+
+// sleep converts link-seconds to wall-clock at chaosTick per second,
+// capped so a pathological scenario cannot freeze a test for minutes —
+// the cap only delays the inevitable deadline, never reorders frames.
+func (l *chaosLink) sleep(dt float64) {
+	if dt <= 0 {
+		return
+	}
+	d := time.Duration(dt * float64(chaosTick))
+	if d > 2*time.Second {
+		d = 2 * time.Second
+	}
+	time.Sleep(d)
+}

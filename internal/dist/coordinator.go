@@ -1,8 +1,11 @@
 package dist
 
 import (
+	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"robsched/internal/ga"
 	"robsched/internal/obs"
@@ -18,16 +21,87 @@ import (
 // All fields may be shared across concurrent calls; Obs and Trace are
 // optional (nil disables telemetry). Per-worker counters are published as
 // dist.worker<id>.* so a skewed or dying worker is visible in a snapshot.
+//
+// Timeout, when positive, arms the liveness machinery: every frame exchange
+// with a worker must produce a frame (a response or a heartbeat — workers
+// are asked to pulse at Timeout/4 while computing) within Timeout, and every
+// whole job exchange must finish within a budget derived from its cost
+// estimate, or the worker is declared dead, killed, and its work reassigned.
+// Timeout 0 (the default) disables deadlines and heartbeats entirely: the
+// fault-free fast path pays nothing for the machinery.
 type Coordinator struct {
 	Pool  *Pool
 	Obs   *obs.Registry
 	Trace *obs.Tracer
+
+	// Timeout is the per-frame liveness deadline; see the type comment.
+	Timeout time.Duration
+	// NoCheckpoint disables the per-barrier island checkpoints (and with
+	// them, mid-solve recovery): a worker death then aborts the solve after
+	// the pool's own bookkeeping. Ablation and benchmarking knob.
+	NoCheckpoint bool
+
+	// seq numbers every request that expects an attributable response, so a
+	// transport that duplicates or replays frames can never pass a stale
+	// response off as the current one.
+	seq atomic.Uint64
 }
 
 // counter bumps both the aggregate and the per-worker form of a counter.
 func (c *Coordinator) counter(name string, worker int) {
 	c.Obs.Counter("dist." + name).Inc()
 	c.Obs.Counter(fmt.Sprintf("dist.worker%d.%s", worker, name)).Inc()
+}
+
+// noteDeath records a dead worker, distinguishing deadline expiries (the
+// heartbeat the coordinator was owed never came) from transport failures.
+func (c *Coordinator) noteDeath(worker int, err error) {
+	if errors.Is(err, ErrDeadline) {
+		c.counter("heartbeat_misses", worker)
+	}
+	c.counter("worker_deaths", worker)
+}
+
+// heartbeatMillis is the pulse interval requested from workers: a quarter
+// of the frame deadline, so a healthy-but-busy worker always lands several
+// pulses per deadline window. 0 when liveness is off.
+func (c *Coordinator) heartbeatMillis() int {
+	if c.Timeout <= 0 {
+		return 0
+	}
+	ms := int(c.Timeout / 4 / time.Millisecond)
+	if ms < 1 {
+		ms = 1
+	}
+	return ms
+}
+
+// jobBudget bounds a whole job exchange from a per-job cost estimate in
+// work units (realizations×schedules for sim windows, generations×popsize
+// for epochs): one frame deadline per 1000 units on top of the base, capped
+// at 64 deadlines. Heartbeats bound the gap between frames; the budget
+// bounds the total, so a worker stuck in a loop that still pulses is
+// eventually declared dead too.
+func (c *Coordinator) jobBudget(units float64) time.Duration {
+	if c.Timeout <= 0 {
+		return 0
+	}
+	mult := 1 + units/1000
+	if mult > 64 {
+		mult = 64
+	}
+	return time.Duration(float64(c.Timeout) * mult)
+}
+
+// transient reports whether an exchange failure means "this worker is
+// unusable, reassign the work" (I/O errors, deadlines, protocol garbage) as
+// opposed to a remote job-level error over a healthy connection.
+func transient(err error) bool {
+	var we *WorkerError
+	if errors.As(err, &we) {
+		return !we.Remote
+	}
+	return false
 }
 
 // shardRange is one contiguous realization window.
@@ -62,10 +136,10 @@ func partition(r, n int) []shardRange {
 // stream advance) is computed exactly as the single-process run computes it
 // and the concatenation preserves realization order.
 //
-// A worker that dies mid-range is discarded and its window reassigned to a
-// live worker; with no live workers left the window is realized in-process.
-// Either way the window's seeds and base are unchanged, so the results are
-// too.
+// A worker that dies (or, with Timeout armed, stalls) mid-range is
+// discarded and its window reassigned to a live worker; with no live
+// workers left the window is realized in-process. Either way the window's
+// seeds and base are unchanged, so the results are too.
 func (c *Coordinator) RealizeAll(ss []*schedule.Schedule, opt sim.Options, root *rng.Source) ([][]float64, error) {
 	if err := opt.Validate(); err != nil {
 		return nil, err
@@ -102,13 +176,14 @@ func (c *Coordinator) RealizeAll(ss []*schedule.Schedule, opt sim.Options, root 
 		go func(si int, sh shardRange) {
 			defer wg.Done()
 			job := SimJob{
-				Workload:   wlDoc,
-				Schedules:  sDocs,
-				Base:       sh.base,
-				Seeds:      seeds[sh.base : sh.base+sh.width],
-				Antithetic: opt.Antithetic,
-				BatchSize:  opt.BatchSize,
-				Workers:    opt.Workers,
+				Workload:        wlDoc,
+				Schedules:       sDocs,
+				Base:            sh.base,
+				Seeds:           seeds[sh.base : sh.base+sh.width],
+				Antithetic:      opt.Antithetic,
+				BatchSize:       opt.BatchSize,
+				Workers:         opt.Workers,
+				HeartbeatMillis: c.heartbeatMillis(),
 			}
 			mks, err := c.runSimJob(job, ss, opt)
 			if err != nil {
@@ -130,27 +205,30 @@ func (c *Coordinator) RealizeAll(ss []*schedule.Schedule, opt sim.Options, root 
 }
 
 // runSimJob executes one window: check a worker out, ship the job, stream
-// the vectors back. A transport failure discards the worker and retries on
-// another; once the pool is exhausted the window falls back to an in-process
-// sim.RealizeSeeded, which produces the identical vectors by construction.
+// the vectors back. A transport failure (or deadline expiry) discards the
+// worker and retries on another; once the pool is exhausted the window
+// falls back to an in-process sim.RealizeSeeded, which produces the
+// identical vectors by construction.
 func (c *Coordinator) runSimJob(job SimJob, ss []*schedule.Schedule, opt sim.Options) ([][]float64, error) {
 	for {
 		conn, err := c.Pool.get()
 		if err != nil {
 			break // pool closed or every worker dead: compute locally
 		}
+		job.Seq = c.seq.Add(1)
+		conn.arm(c.Timeout, c.jobBudget(float64(len(job.Seeds)*len(ss))))
 		mks, err := dispatchSim(conn, job, len(ss))
 		if err == nil {
 			c.counter("sim_jobs", conn.id)
 			c.Pool.put(conn)
 			return mks, nil
 		}
-		if we, ok := err.(*WorkerError); ok {
+		if !transient(err) {
 			// The job itself is bad; the worker is fine.
 			c.Pool.put(conn)
-			return nil, we
+			return nil, err
 		}
-		c.counter("worker_deaths", conn.id)
+		c.noteDeath(conn.id, err)
 		c.Pool.discard(conn)
 	}
 	c.Obs.Counter("dist.inline_ranges").Inc()
@@ -158,10 +236,28 @@ func (c *Coordinator) runSimJob(job SimJob, ss []*schedule.Schedule, opt sim.Opt
 	return sim.RealizeSeeded(ss, wOpt, job.Seeds, job.Base)
 }
 
-// dispatchSim runs the KSimJob exchange on one connection.
+// dispatchSim runs the KSimJob exchange on one connection: the job frame
+// out; the sequence-echoing KAck, one vector per schedule and KSimDone
+// back. Protocol violations — including an ack for a different job, the
+// fingerprint of a duplicated or replayed frame — are worker-fatal
+// *WorkerErrors.
 func dispatchSim(conn *Conn, job SimJob, schedules int) ([][]float64, error) {
 	if err := conn.send(KSimJob, job); err != nil {
 		return nil, err
+	}
+	kind, payload, err := conn.recv()
+	if err != nil {
+		return nil, err
+	}
+	if kind != KAck {
+		return nil, conn.werr(kind, fmt.Errorf("dist: frame kind %d, want job ack", kind))
+	}
+	var ack Ack
+	if err := parseJSON(payload, &ack); err != nil {
+		return nil, conn.werr(KAck, err)
+	}
+	if ack.Seq != job.Seq {
+		return nil, conn.werr(KAck, fmt.Errorf("dist: job ack for seq %d, want %d", ack.Seq, job.Seq))
 	}
 	out := make([][]float64, schedules)
 	for j := 0; j < schedules; j++ {
@@ -170,19 +266,19 @@ func dispatchSim(conn *Conn, job SimJob, schedules int) ([][]float64, error) {
 			return nil, err
 		}
 		if kind != KSimVec {
-			return nil, fmt.Errorf("dist: frame kind %d, want sim vector", kind)
+			return nil, conn.werr(kind, fmt.Errorf("dist: frame kind %d, want sim vector", kind))
 		}
 		out[j] = make([]float64, len(job.Seeds))
-		if err := decodeVecInto(out[j], payload); err != nil {
-			return nil, err
+		if err := decodeVecInto(out[j], j, payload); err != nil {
+			return nil, conn.werr(KSimVec, err)
 		}
 	}
-	kind, _, err := conn.recv()
+	kind, _, err = conn.recv()
 	if err != nil {
 		return nil, err
 	}
 	if kind != KSimDone {
-		return nil, fmt.Errorf("dist: frame kind %d, want sim done", kind)
+		return nil, conn.werr(kind, fmt.Errorf("dist: frame kind %d, want sim done", kind))
 	}
 	return out, nil
 }
@@ -202,6 +298,52 @@ func (c *Coordinator) EvaluateAll(ss []*schedule.Schedule, opt sim.Options, root
 	return out, nil
 }
 
+// islandOp is one barrier operation of an island solve, recorded since the
+// last checkpoint so a recovered host can replay its way back to the
+// current round. Exactly one field is set. Migrants hold the full ring's
+// routing for that barrier — the genotypes as they were at the barrier, not
+// references into mutable state — so a replay is a pure function of
+// (checkpoint, oplog).
+type islandOp struct {
+	epoch    *EpochReq
+	migrants []Migrant
+}
+
+// solveHost is one island-hosting slot of a solve: a remote worker
+// connection, or — after graceful degradation — an in-process islandHost
+// built on the coordinator's own engine.
+type solveHost struct {
+	conn    *Conn
+	local   *islandHost
+	islands []int
+}
+
+func (h *solveHost) owns(island int) bool {
+	for _, i := range h.islands {
+		if i == island {
+			return true
+		}
+	}
+	return false
+}
+
+// solveRun is the mutable state of one island-sharded Solve: the per-island
+// seeds and latest checkpoints (together, the recovery baseline), the op
+// log since the last checkpoint, and the current best states folded from
+// host responses.
+type solveRun struct {
+	c     *Coordinator
+	eng   *robust.Engine
+	wlDoc wio.WorkloadJSON
+	sopt  SolverOptions
+	k     int
+	seeds []uint64
+	ckpts []*IslandCheckpoint
+	oplog []islandOp
+	bests []IslandState
+	hosts []*solveHost
+}
+
 // Solve is the island-sharded form of robust.Solve: the GA islands are
 // hosted by worker processes (round-robin when there are more islands than
 // workers) and the coordinator drives the epoch barriers, routes the ring
@@ -210,13 +352,22 @@ func (c *Coordinator) EvaluateAll(ss []*schedule.Schedule, opt sim.Options, root
 // so the trajectory and the returned schedule are bit-identical for any
 // worker count.
 //
+// Unless NoCheckpoint is set, the coordinator pulls a full state checkpoint
+// of every island (population, fitnesses, best, stagnation counter, rng
+// stream position) at each barrier. A worker that dies mid-run is then no
+// longer fatal: its islands are restored from their last checkpoints onto a
+// fresh worker (respawned by the pool when armed) or a surviving one, the
+// barrier ops since the checkpoint are replayed, and the trajectory
+// continues bit-identically — the GA step is a pure function of the
+// checkpointed state. With the pool exhausted the islands fold into the
+// coordinator process itself (graceful degradation) and the solve still
+// completes, still bit-identically.
+//
 // Telemetry (Options.Obs/Trace/Observer) and OnGeneration stay in the
 // coordinator process and are not forwarded to workers; Solve rejects the
-// hooks that would require cross-process streaming. Worker death during an
-// island run is an error: unlike a stateless realization window, an
-// island's population cannot be reconstructed without replaying it.
-// Concurrent Solve calls sharing one pool are not supported (each checks
-// out several workers for its whole run and could deadlock another).
+// hooks that would require cross-process streaming. Concurrent Solve calls
+// sharing one pool are not supported (each checks out several workers for
+// its whole run and could deadlock another).
 func (c *Coordinator) Solve(w *platform.Workload, opt robust.Options, root *rng.Source) (*robust.Result, error) {
 	eng, err := robust.NewEngine(w, opt)
 	if err != nil {
@@ -243,107 +394,50 @@ func (c *Coordinator) Solve(w *platform.Workload, opt robust.Options, root *rng.
 	for i := range seeds {
 		seeds[i] = root.SplitSeed()
 	}
+	s := &solveRun{
+		c:     c,
+		eng:   eng,
+		wlDoc: wio.NewWorkloadJSON(w),
+		sopt: SolverOptions{
+			Mode:           int(opt.Mode),
+			Eps:            opt.Eps,
+			SlackMetric:    int(opt.SlackMetric),
+			PopSize:        opt.PopSize,
+			CrossoverRate:  opt.CrossoverRate,
+			MutationRate:   opt.MutationRate,
+			MaxGenerations: opt.MaxGenerations,
+			Stagnation:     opt.Stagnation,
+			NoHEFTSeed:     opt.NoHEFTSeed,
+			NoMetricsCache: opt.NoMetricsCache,
+			NoDeltaDecode:  opt.NoDeltaDecode,
+			Workers:        opt.Workers,
+		},
+		k:     k,
+		seeds: seeds,
+		ckpts: make([]*IslandCheckpoint, k),
+		bests: make([]IslandState, k),
+	}
+
 	nw := c.Pool.Size()
 	if nw > k {
 		nw = k
 	}
-	conns := make([]*Conn, 0, nw)
-	release := func() {
-		for _, conn := range conns {
-			if err := conn.sendEmpty(KIslandFinish); err == nil {
-				if kind, _, err := conn.recv(); err == nil && kind == KOK {
-					c.Pool.put(conn)
-					continue
-				}
-			}
-			c.counter("worker_deaths", conn.id)
-			c.Pool.discard(conn)
-		}
+	if nw < 1 {
+		nw = 1 // empty pool: one host, folded in-process immediately
 	}
-	defer release()
-	for len(conns) < nw {
-		conn, err := c.Pool.get()
-		if err != nil {
-			return nil, err
-		}
-		conns = append(conns, conn)
-	}
-
-	// Round-robin hosting: worker j hosts islands {i : i mod nw == j}.
-	owner := func(island int) *Conn { return conns[island%nw] }
-	inits := make([]IslandInit, nw)
-	wlDoc := wio.NewWorkloadJSON(w)
-	sopt := SolverOptions{
-		Mode:           int(opt.Mode),
-		Eps:            opt.Eps,
-		SlackMetric:    int(opt.SlackMetric),
-		PopSize:        opt.PopSize,
-		CrossoverRate:  opt.CrossoverRate,
-		MutationRate:   opt.MutationRate,
-		MaxGenerations: opt.MaxGenerations,
-		Stagnation:     opt.Stagnation,
-		NoHEFTSeed:     opt.NoHEFTSeed,
-		NoMetricsCache: opt.NoMetricsCache,
-		NoDeltaDecode:  opt.NoDeltaDecode,
-		Workers:        opt.Workers,
-	}
-	for j := range inits {
-		inits[j] = IslandInit{Workload: wlDoc, Opt: sopt}
+	// Round-robin hosting: host j owns islands {i : i mod nw == j}.
+	for j := 0; j < nw; j++ {
+		s.hosts = append(s.hosts, &solveHost{})
 	}
 	for i := 0; i < k; i++ {
-		j := i % nw
-		inits[j].Islands = append(inits[j].Islands, IslandSeed{Island: i, Seed: seeds[i]})
+		h := s.hosts[i%nw]
+		h.islands = append(h.islands, i)
 	}
-
-	bests := make([]IslandState, k)
-	// exchange runs one request/response round against every worker in
-	// parallel and folds the returned island states into bests.
-	exchange := func(round string, req func(conn *Conn, j int) error) error {
-		errs := make([]error, nw)
-		var wg sync.WaitGroup
-		for j, conn := range conns {
-			wg.Add(1)
-			go func(j int, conn *Conn) {
-				defer wg.Done()
-				errs[j] = func() error {
-					if err := req(conn, j); err != nil {
-						return err
-					}
-					kind, payload, err := conn.recv()
-					if err != nil {
-						return err
-					}
-					if kind != KIslandState {
-						return fmt.Errorf("dist: frame kind %d, want island state", kind)
-					}
-					var states IslandStates
-					if err := parseJSON(payload, &states); err != nil {
-						return err
-					}
-					for _, st := range states.States {
-						if st.Island < 0 || st.Island >= k || owner(st.Island) != conn {
-							return fmt.Errorf("dist: worker %d reported foreign island %d", conn.id, st.Island)
-						}
-						bests[st.Island] = st
-					}
-					c.counter(round, conn.id)
-					return nil
-				}()
-			}(j, conn)
+	defer s.release()
+	for _, h := range s.hosts {
+		if err := s.attach(h); err != nil {
+			return nil, err
 		}
-		wg.Wait()
-		for _, err := range errs {
-			if err != nil {
-				return fmt.Errorf("dist: island %s failed: %w", round, err)
-			}
-		}
-		return nil
-	}
-
-	if err := exchange("island_inits", func(conn *Conn, j int) error {
-		return conn.send(KIslandInit, inits[j])
-	}); err != nil {
-		return nil, err
 	}
 
 	every := opt.MigrationEvery
@@ -358,10 +452,7 @@ func (c *Coordinator) Solve(w *platform.Workload, opt robust.Options, root *rng.
 		if gen+epoch > totalGens {
 			epoch = totalGens - gen
 		}
-		req := EpochReq{StartGen: gen, Gens: epoch}
-		if err := exchange("epochs", func(conn *Conn, j int) error {
-			return conn.send(KEpoch, req)
-		}); err != nil {
+		if err := s.runOp(islandOp{epoch: &EpochReq{StartGen: gen, Gens: epoch}}); err != nil {
 			return nil, err
 		}
 		gen += epoch
@@ -369,22 +460,22 @@ func (c *Coordinator) Solve(w *platform.Workload, opt robust.Options, root *rng.
 			// Ring migration, snapshot first: island i receives the
 			// pre-migration best of island i-1, exactly like the in-process
 			// barrier.
-			reqs := make([]MigrateReq, nw)
+			migrants := make([]Migrant, 0, k)
 			for i := 0; i < k; i++ {
 				from := (i - 1 + k) % k
-				j := i % nw
-				reqs[j].Migrants = append(reqs[j].Migrants, Migrant{Island: i, Genotype: bests[from].Best})
+				migrants = append(migrants, Migrant{Island: i, Genotype: s.bests[from].Best})
 			}
-			if err := exchange("migrations", func(conn *Conn, j int) error {
-				return conn.send(KMigrate, reqs[j])
-			}); err != nil {
+			if err := s.runOp(islandOp{migrants: migrants}); err != nil {
 				return nil, err
 			}
 		}
+		if err := s.checkpointRound(); err != nil {
+			return nil, err
+		}
 		if opt.Stagnation > 0 {
 			all := true
-			for i := range bests {
-				if bests[i].SinceImprove < opt.Stagnation {
+			for i := range s.bests {
+				if s.bests[i].SinceImprove < opt.Stagnation {
 					all = false
 					break
 				}
@@ -400,15 +491,331 @@ func (c *Coordinator) Solve(w *platform.Workload, opt robust.Options, root *rng.
 	// ties, matching the in-process rule.
 	bi := 0
 	for i := 1; i < k; i++ {
-		if bests[i].BestFitness() > bests[bi].BestFitness() {
+		if s.bests[i].BestFitness() > s.bests[bi].BestFitness() {
 			bi = i
 		}
 	}
-	win := bests[bi]
+	win := s.bests[bi]
 	return eng.Result(ga.Result[*robust.Chromosome]{
 		Best:        robust.NewChromosome(win.Best.Order, win.Best.Proc),
 		BestFitness: win.BestFitness(),
 		Generations: gen,
 		Stagnated:   stagnated,
 	})
+}
+
+// initFor builds the (re)init message for a host: every owned island with
+// its seed and, when one exists, its latest checkpoint to restore from.
+func (s *solveRun) initFor(h *solveHost) IslandInit {
+	init := IslandInit{
+		Workload:        s.wlDoc,
+		Opt:             s.sopt,
+		Seq:             s.c.seq.Add(1),
+		HeartbeatMillis: s.c.heartbeatMillis(),
+	}
+	for _, i := range h.islands {
+		init.Islands = append(init.Islands, IslandSeed{Island: i, Seed: s.seeds[i], Restore: s.ckpts[i]})
+	}
+	return init
+}
+
+// attach brings a host online for the first time: a pool worker when one is
+// available, the in-process fallback otherwise. Transport failures recover
+// via recoverHost (which re-inits), so attach only fails on genuine errors.
+func (s *solveRun) attach(h *solveHost) error {
+	for {
+		conn, err := s.c.Pool.tryGet()
+		if err != nil {
+			return s.foldLocal(h)
+		}
+		if err := s.initRemote(conn, h); err != nil {
+			if !transient(err) {
+				return err
+			}
+			s.c.noteDeath(conn.id, err)
+			s.c.Pool.discard(conn)
+			continue
+		}
+		h.conn = conn
+		s.c.counter("island_inits", conn.id)
+		return nil
+	}
+}
+
+// initRemote runs the init exchange and replays the oplog on a candidate
+// connection, folding the resulting states. On success the host's islands
+// are fully caught up to the current round.
+func (s *solveRun) initRemote(conn *Conn, h *solveHost) error {
+	init := s.initFor(h)
+	conn.arm(s.c.Timeout, s.c.jobBudget(float64(s.sopt.PopSize*len(h.islands))))
+	if err := conn.send(KIslandInit, init); err != nil {
+		return err
+	}
+	if err := s.foldStates(h, conn, init.Seq); err != nil {
+		return err
+	}
+	for _, op := range s.oplog {
+		if err := s.remoteOp(conn, h, op); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// remoteOp runs one barrier op on a remote host and folds its states.
+func (s *solveRun) remoteOp(conn *Conn, h *solveHost, op islandOp) error {
+	seq := s.c.seq.Add(1)
+	if op.epoch != nil {
+		req := *op.epoch
+		req.Seq = seq
+		conn.arm(s.c.Timeout, s.c.jobBudget(float64(req.Gens*s.sopt.PopSize*len(h.islands))))
+		if err := conn.send(KEpoch, req); err != nil {
+			return err
+		}
+	} else {
+		req := MigrateReq{Seq: seq}
+		for _, m := range op.migrants {
+			if h.owns(m.Island) {
+				req.Migrants = append(req.Migrants, m)
+			}
+		}
+		conn.arm(s.c.Timeout, s.c.jobBudget(float64(s.sopt.PopSize*len(h.islands))))
+		if err := conn.send(KMigrate, req); err != nil {
+			return err
+		}
+	}
+	return s.foldStates(h, conn, seq)
+}
+
+// localOp runs one barrier op on an in-process host and folds its states.
+func (s *solveRun) localOp(h *solveHost, op islandOp) error {
+	if op.epoch != nil {
+		if err := h.local.runEpoch(*op.epoch); err != nil {
+			return err
+		}
+	} else {
+		req := MigrateReq{}
+		for _, m := range op.migrants {
+			if h.owns(m.Island) {
+				req.Migrants = append(req.Migrants, m)
+			}
+		}
+		if err := h.local.runMigrate(req); err != nil {
+			return err
+		}
+	}
+	s.foldLocalStates(h)
+	return nil
+}
+
+// foldStates receives one KIslandState response, verifies its sequence and
+// island ownership, and folds the states into bests.
+func (s *solveRun) foldStates(h *solveHost, conn *Conn, seq uint64) error {
+	kind, payload, err := conn.recv()
+	if err != nil {
+		return err
+	}
+	if kind != KIslandState {
+		return conn.werr(kind, fmt.Errorf("dist: frame kind %d, want island state", kind))
+	}
+	var states IslandStates
+	if err := parseJSON(payload, &states); err != nil {
+		return conn.werr(KIslandState, err)
+	}
+	if states.Seq != seq {
+		return conn.werr(KIslandState, fmt.Errorf("dist: island state for seq %d, want %d", states.Seq, seq))
+	}
+	for _, st := range states.States {
+		if st.Island < 0 || st.Island >= s.k || !h.owns(st.Island) {
+			return conn.werr(KIslandState, fmt.Errorf("dist: worker %d reported foreign island %d", conn.id, st.Island))
+		}
+		s.bests[st.Island] = st
+	}
+	return nil
+}
+
+func (s *solveRun) foldLocalStates(h *solveHost) {
+	for _, st := range h.local.states().States {
+		s.bests[st.Island] = st
+	}
+}
+
+// runOp appends one barrier op to the oplog and executes it on every host
+// in parallel. A host whose exchange fails in transport is recovered —
+// restored from checkpoints and replayed through the oplog, which includes
+// this op — before the round completes, so callers observe only success or
+// a genuine error.
+func (s *solveRun) runOp(op islandOp) error {
+	s.oplog = append(s.oplog, op)
+	name := "epochs"
+	if op.epoch == nil {
+		name = "migrations"
+	}
+	return s.eachHost(name, func(h *solveHost) error {
+		if h.local != nil {
+			return s.localOp(h, op)
+		}
+		return s.remoteOp(h.conn, h, op)
+	}, false)
+}
+
+// eachHost runs fn on every host in parallel; hosts that fail in transport
+// are recovered. retry re-runs fn on the recovered host (for rounds whose
+// effect is not part of the oplog replay, i.e. checkpoints).
+func (s *solveRun) eachHost(name string, fn func(h *solveHost) error, retry bool) error {
+	errs := make([]error, len(s.hosts))
+	var wg sync.WaitGroup
+	for j, h := range s.hosts {
+		wg.Add(1)
+		go func(j int, h *solveHost) {
+			defer wg.Done()
+			errs[j] = fn(h)
+			if errs[j] == nil && h.conn != nil {
+				s.c.counter(name, h.conn.id)
+			}
+		}(j, h)
+	}
+	wg.Wait()
+	for j, err := range errs {
+		for err != nil {
+			if !transient(err) {
+				return fmt.Errorf("dist: island %s failed: %w", name, err)
+			}
+			if rerr := s.recoverHost(s.hosts[j], err); rerr != nil {
+				return rerr
+			}
+			err = nil
+			if retry {
+				err = fn(s.hosts[j])
+			}
+		}
+	}
+	return nil
+}
+
+// recoverHost replaces a dead remote host: restore its islands from their
+// latest checkpoints (or fresh seeds when none was taken yet) on a fresh
+// worker — respawned by the pool when armed — and replay the barrier ops
+// since the checkpoint. With the pool exhausted the islands fold into the
+// coordinator process instead. Either way the host ends bit-identically
+// caught up with the no-fault trajectory.
+func (s *solveRun) recoverHost(h *solveHost, cause error) error {
+	if h.conn == nil {
+		// The in-process host cannot fail in transport; a transient-shaped
+		// error from it is a bug surfaced as a genuine failure.
+		return fmt.Errorf("dist: in-process island host failed: %w", cause)
+	}
+	s.c.noteDeath(h.conn.id, cause)
+	s.c.Pool.discard(h.conn)
+	h.conn = nil
+	if err := s.attach(h); err != nil {
+		return err
+	}
+	s.c.Obs.Counter("dist.recoveries").Inc()
+	return nil
+}
+
+// foldLocal degrades a host into the coordinator process: its islands are
+// rebuilt on the coordinator's own engine from their latest checkpoints and
+// replayed through the oplog. From here on the host computes in-process —
+// slower, never wrong.
+func (s *solveRun) foldLocal(h *solveHost) error {
+	init := s.initFor(h)
+	local, err := hostIslands(s.eng, init.Islands)
+	if err != nil {
+		return err
+	}
+	h.conn = nil
+	h.local = local
+	s.foldLocalStates(h)
+	for _, op := range s.oplog {
+		if err := s.localOp(h, op); err != nil {
+			return err
+		}
+	}
+	s.c.Obs.Counter("dist.degraded_solves").Inc()
+	return nil
+}
+
+// checkpointRound pulls a fresh checkpoint of every island, and only once
+// every host has delivered one does it commit: the per-island baselines
+// advance and the oplog resets. A host dying mid-round is recovered (to the
+// *old* baseline plus replay) and asked again, so the invariant — baseline
+// plus oplog always reproduces the current state — holds at every instant.
+func (s *solveRun) checkpointRound() error {
+	if s.c.NoCheckpoint {
+		return nil
+	}
+	fresh := make([]*IslandCheckpoint, s.k)
+	var mu sync.Mutex
+	err := s.eachHost("checkpoint_rounds", func(h *solveHost) error {
+		var cks IslandCheckpoints
+		if h.local != nil {
+			cks = h.local.checkpoints()
+		} else {
+			seq := s.c.seq.Add(1)
+			h.conn.arm(s.c.Timeout, s.c.jobBudget(float64(s.sopt.PopSize*len(h.islands))))
+			if err := h.conn.send(KCheckpoint, CheckpointReq{Seq: seq}); err != nil {
+				return err
+			}
+			kind, payload, err := h.conn.recv()
+			if err != nil {
+				return err
+			}
+			if kind != KCheckpointState {
+				return h.conn.werr(kind, fmt.Errorf("dist: frame kind %d, want checkpoint state", kind))
+			}
+			if err := parseJSON(payload, &cks); err != nil {
+				return h.conn.werr(KCheckpointState, err)
+			}
+			if cks.Seq != seq {
+				return h.conn.werr(KCheckpointState, fmt.Errorf("dist: checkpoint for seq %d, want %d", cks.Seq, seq))
+			}
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		for ci := range cks.Checkpoints {
+			ck := &cks.Checkpoints[ci]
+			if ck.Island < 0 || ck.Island >= s.k || !h.owns(ck.Island) {
+				return fmt.Errorf("dist: checkpoint for foreign island %d", ck.Island)
+			}
+			fresh[ck.Island] = ck
+		}
+		return nil
+	}, true)
+	if err != nil {
+		return err
+	}
+	for i, ck := range fresh {
+		if ck == nil {
+			return fmt.Errorf("dist: checkpoint round missed island %d", i)
+		}
+		s.ckpts[i] = ck
+	}
+	s.oplog = s.oplog[:0]
+	s.c.Obs.Counter("dist.checkpoints").Add(int64(s.k))
+	return nil
+}
+
+// release winds the hosts down: remote workers get KIslandFinish and return
+// to the pool (or are discarded when they no longer answer); in-process
+// hosts are simply dropped.
+func (s *solveRun) release() {
+	for _, h := range s.hosts {
+		if h.conn == nil {
+			h.local = nil
+			continue
+		}
+		conn := h.conn
+		h.conn = nil
+		conn.arm(s.c.Timeout, 0)
+		if err := conn.sendEmpty(KIslandFinish); err == nil {
+			if kind, _, err := conn.recv(); err == nil && kind == KOK {
+				s.c.Pool.put(conn)
+				continue
+			}
+		}
+		s.c.counter("worker_deaths", conn.id)
+		s.c.Pool.discard(conn)
+	}
 }

@@ -1,0 +1,264 @@
+package dist
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+	"time"
+
+	"robsched/internal/obs"
+	"robsched/internal/rng"
+	"robsched/internal/sim"
+	"robsched/internal/wio"
+)
+
+// stallEndpoint builds a worker that swallows every frame and never answers —
+// a hung process, not a dead one. Only a deadline can unmask it.
+func stallEndpoint() Endpoint {
+	jobR, jobW := io.Pipe()
+	resR, resW := io.Pipe()
+	go func() {
+		for {
+			if _, _, err := wio.ReadFrame(jobR, nil); err != nil {
+				resW.CloseWithError(err)
+				return
+			}
+		}
+	}()
+	return Endpoint{
+		W:    jobW,
+		R:    resR,
+		Kill: func() { jobW.CloseWithError(io.ErrClosedPipe); resR.CloseWithError(io.ErrClosedPipe) },
+	}
+}
+
+// TestStalledWorkerDeadline: without a timeout a stalled worker would hang
+// RealizeAll forever; with one armed the coordinator declares it dead,
+// counts the missed heartbeat, reassigns the window and still produces
+// bit-identical metrics.
+func TestStalledWorkerDeadline(t *testing.T) {
+	w := testWorkload(t, 7, 20, 3, 3)
+	ss := testSchedules(t, w)
+	opt := sim.Options{Realizations: 60, Workers: 1}
+	want, err := sim.EvaluateAll(ss, opt, rng.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := NewPool([]Endpoint{stallEndpoint(), liveEndpoint()})
+	defer pool.Close()
+	reg := obs.NewRegistry()
+	pool.Obs = reg
+	coord := &Coordinator{Pool: pool, Obs: reg, Timeout: 150 * time.Millisecond}
+	done := make(chan struct{})
+	var got []sim.Metrics
+	var evalErr error
+	go func() {
+		got, evalErr = coord.EvaluateAll(ss, opt, rng.New(9))
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(20 * time.Second):
+		t.Fatal("EvaluateAll hung on a stalled worker despite the deadline")
+	}
+	if evalErr != nil {
+		t.Fatal(evalErr)
+	}
+	for j := range ss {
+		if !metricsBitEqual(got[j], want[j]) {
+			t.Errorf("schedule %d: metrics differ after stalled-worker reassignment", j)
+		}
+	}
+	if n := reg.Counter("dist.heartbeat_misses").Value(); n == 0 {
+		t.Error("expected a heartbeat miss for the stalled worker")
+	}
+	if n := reg.Counter("dist.worker_deaths").Value(); n == 0 {
+		t.Error("expected the stalled worker to be declared dead")
+	}
+}
+
+// scriptedEndpoint runs fn against the coordinator side of a pipe pair:
+// fn reads job frames from r and writes response frames to w.
+func scriptedEndpoint(fn func(r io.Reader, w *io.PipeWriter)) Endpoint {
+	jobR, jobW := io.Pipe()
+	resR, resW := io.Pipe()
+	go fn(jobR, resW)
+	return Endpoint{
+		W:    jobW,
+		R:    resR,
+		Kill: func() { jobW.CloseWithError(io.ErrClosedPipe); resR.CloseWithError(io.ErrClosedPipe) },
+	}
+}
+
+// TestHeartbeatExtendsDeadline: a worker that takes far longer than the
+// frame deadline but pulses heartbeats stays alive; the identical worker
+// without pulses is declared dead. This pins down exactly what a heartbeat
+// buys: it re-arms the per-frame deadline, nothing more.
+func TestHeartbeatExtendsDeadline(t *testing.T) {
+	respond := func(w *io.PipeWriter, job SimJob) {
+		bw := bufio.NewWriter(w)
+		_ = sendJSON(bw, KAck, Ack{Seq: job.Seq})
+		_ = wio.WriteFrame(bw, KSimVec, encodeVec(0, make([]float64, len(job.Seeds))))
+		_ = wio.WriteFrame(bw, KSimDone, nil)
+		_ = bw.Flush()
+	}
+	slowWorker := func(pulse bool) func(r io.Reader, w *io.PipeWriter) {
+		return func(r io.Reader, w *io.PipeWriter) {
+			_, payload, err := wio.ReadFrame(r, nil)
+			if err != nil {
+				w.CloseWithError(err)
+				return
+			}
+			var job SimJob
+			if err := parseJSON(payload, &job); err != nil {
+				w.CloseWithError(err)
+				return
+			}
+			for i := 0; i < 10; i++ { // 300ms of "compute", 3x the deadline
+				time.Sleep(30 * time.Millisecond)
+				if pulse {
+					if err := wio.WriteFrame(w, KHeartbeat, nil); err != nil {
+						return
+					}
+				}
+			}
+			respond(w, job)
+			for { // drain further frames (e.g. Close's KShutdown) until torn down
+				if _, _, err := wio.ReadFrame(r, nil); err != nil {
+					w.CloseWithError(err)
+					return
+				}
+			}
+		}
+	}
+	job := SimJob{Seq: 7, Seeds: []uint64{1, 2, 3}}
+
+	pool := NewPool([]Endpoint{scriptedEndpoint(slowWorker(true))})
+	defer pool.Close()
+	conn, err := pool.get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn.arm(100*time.Millisecond, 0)
+	if _, err := dispatchSim(conn, job, 1); err != nil {
+		t.Fatalf("heartbeating slow worker declared dead: %v", err)
+	}
+	pool.put(conn)
+
+	silent := NewPool([]Endpoint{scriptedEndpoint(slowWorker(false))})
+	defer silent.Close()
+	conn, err = silent.get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn.arm(100*time.Millisecond, 0)
+	if _, err := dispatchSim(conn, job, 1); !errors.Is(err, ErrDeadline) {
+		t.Fatalf("silent slow worker: %v, want ErrDeadline", err)
+	}
+	silent.discard(conn)
+}
+
+// TestJobBudgetBoundsHeartbeats: heartbeats re-arm the frame deadline but
+// never the whole-job budget, so a worker stuck in a loop that still pulses
+// is eventually declared dead too.
+func TestJobBudgetBoundsHeartbeats(t *testing.T) {
+	pool := NewPool([]Endpoint{scriptedEndpoint(func(r io.Reader, w *io.PipeWriter) {
+		if _, _, err := wio.ReadFrame(r, nil); err != nil {
+			w.CloseWithError(err)
+			return
+		}
+		for { // pulse forever, never respond
+			time.Sleep(20 * time.Millisecond)
+			if err := wio.WriteFrame(w, KHeartbeat, nil); err != nil {
+				return
+			}
+		}
+	})})
+	defer pool.Close()
+	conn, err := pool.get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn.arm(100*time.Millisecond, 300*time.Millisecond)
+	start := time.Now()
+	_, err = dispatchSim(conn, SimJob{Seq: 1, Seeds: []uint64{1}}, 1)
+	if !errors.Is(err, ErrDeadline) {
+		t.Fatalf("immortal heartbeater: %v, want ErrDeadline", err)
+	}
+	if d := time.Since(start); d > 2*time.Second {
+		t.Fatalf("job budget took %v to fire", d)
+	}
+	pool.discard(conn)
+}
+
+// TestWithHeartbeatPulses: the worker-side pulse generator emits heartbeat
+// frames during a long compute, and is fully reaped before it returns — no
+// pulse can ever land after (or inside) the response that follows.
+func TestWithHeartbeatPulses(t *testing.T) {
+	var buf bytes.Buffer
+	fw := &frameWriter{w: bufio.NewWriter(&buf)}
+	err := withHeartbeat(fw, 10, func() error {
+		time.Sleep(80 * time.Millisecond)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fw.write(KOK, nil); err != nil {
+		t.Fatal(err)
+	}
+	kinds := []byte{}
+	for {
+		kind, _, err := wio.ReadFrame(&buf, nil)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatalf("stream corrupted by heartbeat interleaving: %v", err)
+		}
+		kinds = append(kinds, kind)
+	}
+	if len(kinds) < 2 {
+		t.Fatalf("got %d frames, want heartbeats plus the response", len(kinds))
+	}
+	for _, k := range kinds[:len(kinds)-1] {
+		if k != KHeartbeat {
+			t.Errorf("mid-compute frame kind %d, want heartbeat", k)
+		}
+	}
+	if kinds[len(kinds)-1] != KOK {
+		t.Errorf("final frame kind %d, want the response", kinds[len(kinds)-1])
+	}
+	// millis <= 0 must not start a pulse goroutine at all.
+	buf.Reset()
+	if err := withHeartbeat(fw, 0, func() error { time.Sleep(30 * time.Millisecond); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 0 {
+		t.Error("disabled heartbeat still wrote frames")
+	}
+}
+
+// TestSolveWithTimeoutBitIdentical: arming the liveness machinery on a
+// healthy pool (heartbeats flowing, budgets armed) must not perturb the
+// trajectory — the sequence numbers and pulses are invisible to the GA.
+func TestSolveWithTimeoutBitIdentical(t *testing.T) {
+	w := testWorkload(t, 13, 20, 3, 3)
+	opt := defaultIslandOpts()
+	want, err := robustSolveRef(t, w, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := NewLocalPool(2)
+	defer pool.Close()
+	coord := &Coordinator{Pool: pool, Timeout: 2 * time.Second}
+	got, err := coord.Solve(w, opt, rng.New(31))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !schedulesEqual(got.Schedule, want.Schedule) || got.Generations != want.Generations {
+		t.Error("timeout-armed solve diverged from the in-process trajectory")
+	}
+}

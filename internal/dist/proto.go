@@ -69,6 +69,21 @@ const (
 	// KShutdown (empty payload) asks the worker to exit cleanly. No
 	// response; the worker closes its end.
 	KShutdown byte = 11
+	// KHeartbeat (empty payload) is a worker-side liveness pulse emitted
+	// while a long computation holds the response stream open. The
+	// coordinator's receive path consumes and discards it, resetting the
+	// per-frame deadline; it is never a response by itself.
+	KHeartbeat byte = 12
+	// KCheckpoint carries a CheckpointReq (JSON): serialize every hosted
+	// island's full state. Response: KCheckpointState.
+	KCheckpoint byte = 13
+	// KCheckpointState carries an IslandCheckpoints (JSON).
+	KCheckpointState byte = 14
+	// KAck carries an Ack (JSON) echoing a SimJob's sequence number before
+	// the response vectors, so a response stream can never be attributed to
+	// the wrong job (a duplicated or replayed frame shows up as a sequence
+	// mismatch instead of silently corrupting the gather).
+	KAck byte = 15
 )
 
 // SimJob asks a worker to realize one contiguous window of a Monte-Carlo
@@ -95,6 +110,23 @@ type SimJob struct {
 	// change a bit of the results.
 	BatchSize int `json:"batch_size,omitempty"`
 	Workers   int `json:"workers,omitempty"`
+	// Seq is echoed back in the response's KAck frame; 0 disables the
+	// handshake (bare protocol tests).
+	Seq uint64 `json:"seq,omitempty"`
+	// HeartbeatMillis asks the worker to emit KHeartbeat frames at this
+	// interval while computing; 0 disables heartbeats entirely (the
+	// fault-free fast path pays nothing for the feature).
+	HeartbeatMillis int `json:"heartbeat_millis,omitempty"`
+}
+
+// Ack echoes a request's sequence number ahead of its response stream.
+type Ack struct {
+	Seq uint64 `json:"seq"`
+}
+
+// CheckpointReq asks for a full state snapshot of every hosted island.
+type CheckpointReq struct {
+	Seq uint64 `json:"seq,omitempty"`
 }
 
 // ErrMsg is a worker-side failure, shipped back in place of a response.
@@ -137,6 +169,10 @@ type SolverOptions struct {
 type IslandSeed struct {
 	Island int    `json:"island"`
 	Seed   uint64 `json:"seed"`
+	// Restore, when set, resumes the island from a checkpoint instead of
+	// seeding it fresh — the recovery path after a worker death. The Seed is
+	// ignored in that case; the checkpoint carries the exact rng position.
+	Restore *IslandCheckpoint `json:"restore,omitempty"`
 }
 
 // IslandInit asks a worker to build the solver engine for the workload and
@@ -145,6 +181,10 @@ type IslandInit struct {
 	Workload wio.WorkloadJSON `json:"workload"`
 	Opt      SolverOptions    `json:"opt"`
 	Islands  []IslandSeed     `json:"islands"`
+	Seq      uint64           `json:"seq,omitempty"`
+	// HeartbeatMillis asks the worker to emit KHeartbeat frames at this
+	// interval during epoch and migration computations; 0 disables.
+	HeartbeatMillis int `json:"heartbeat_millis,omitempty"`
 }
 
 // EpochReq advances every hosted island by Gens generations. StartGen is
@@ -152,8 +192,9 @@ type IslandInit struct {
 // the in-process runner; dist runs carry no observer but the state machine
 // keeps the argument).
 type EpochReq struct {
-	StartGen int `json:"start_gen"`
-	Gens     int `json:"gens"`
+	StartGen int    `json:"start_gen"`
+	Gens     int    `json:"gens"`
+	Seq      uint64 `json:"seq,omitempty"`
 }
 
 // Migrant routes one ring migrant to a hosted island.
@@ -165,6 +206,7 @@ type Migrant struct {
 // MigrateReq delivers this barrier's migrants for the worker's islands.
 type MigrateReq struct {
 	Migrants []Migrant `json:"migrants"`
+	Seq      uint64    `json:"seq,omitempty"`
 }
 
 // IslandState reports one hosted island's running best.
@@ -182,37 +224,93 @@ type IslandState struct {
 func (s IslandState) BestFitness() float64 { return math.Float64frombits(s.BestFitnessBits) }
 
 // IslandStates is a worker's response to init, epoch and migrate: its
-// hosted islands in ascending island order.
+// hosted islands in ascending island order. Seq echoes the request's
+// sequence number, so a duplicated or stale response can never be folded
+// into the coordinator's state as if it answered the current round.
 type IslandStates struct {
 	States []IslandState `json:"states"`
+	Seq    uint64        `json:"seq,omitempty"`
 }
 
-// encodeVec converts a makespan vector to raw little-endian float64 bytes.
-func encodeVec(mks []float64) []byte {
-	out := make([]byte, 8*len(mks))
+// RNGState is an rng.State on the wire. The cached polar-method spare is
+// carried as IEEE-754 bits so the resumed stream is bit-identical (a JSON
+// number round-trip could perturb the last ulp).
+type RNGState struct {
+	S         [4]uint64 `json:"s"`
+	SpareBits uint64    `json:"spare_bits,omitempty"`
+	HasSpare  bool      `json:"has_spare,omitempty"`
+}
+
+// IslandCheckpoint is the complete resumable state of one island at an
+// epoch barrier: the full population with its fitness values (as IEEE-754
+// bits — ε-constraint fitnesses can be ±Inf), the running best, the
+// stagnation counter and the exact rng stream position. Restoring it on any
+// worker (or in-process) and replaying the barrier ops since it was taken
+// reproduces the no-fault trajectory bit for bit: the GA step is a pure
+// function of (population, fitness, best, sinceImprove, rng stream), and
+// everything else a worker memoizes (decoded schedules, metric caches) only
+// affects speed, never values.
+type IslandCheckpoint struct {
+	Island          int        `json:"island"`
+	Pop             []Genotype `json:"pop"`
+	FitBits         []uint64   `json:"fit_bits"`
+	Best            Genotype   `json:"best"`
+	BestFitnessBits uint64     `json:"best_fitness_bits"`
+	SinceImprove    int        `json:"since_improve"`
+	Rng             RNGState   `json:"rng"`
+}
+
+// IslandCheckpoints is a worker's response to KCheckpoint: every hosted
+// island's checkpoint in ascending island order.
+type IslandCheckpoints struct {
+	Checkpoints []IslandCheckpoint `json:"checkpoints"`
+	Seq         uint64             `json:"seq,omitempty"`
+}
+
+// encodeVec converts a makespan vector to a KSimVec payload: the schedule
+// index as a little-endian uint64 followed by raw little-endian float64
+// bytes. The index makes every vector frame self-identifying — a duplicated
+// or reordered frame can never be mistaken for its stream neighbour, which
+// carries the same byte width.
+func encodeVec(idx int, mks []float64) []byte {
+	out := make([]byte, 8+8*len(mks))
+	binary.LittleEndian.PutUint64(out, uint64(idx))
 	for i, m := range mks {
-		binary.LittleEndian.PutUint64(out[8*i:], math.Float64bits(m))
+		binary.LittleEndian.PutUint64(out[8+8*i:], math.Float64bits(m))
 	}
 	return out
 }
 
 // decodeVecInto parses a KSimVec payload into dst, which must match its
-// length exactly.
-func decodeVecInto(dst []float64, payload []byte) error {
-	if len(payload) != 8*len(dst) {
-		return fmt.Errorf("dist: makespan vector is %d bytes, want %d", len(payload), 8*len(dst))
+// length exactly, after checking the frame identifies as schedule wantIdx.
+func decodeVecInto(dst []float64, wantIdx int, payload []byte) error {
+	if len(payload) != 8+8*len(dst) {
+		return fmt.Errorf("dist: makespan vector is %d bytes, want %d", len(payload), 8+8*len(dst))
 	}
+	if idx := binary.LittleEndian.Uint64(payload); idx != uint64(wantIdx) {
+		return fmt.Errorf("dist: makespan vector for schedule %d, want %d", idx, wantIdx)
+	}
+	payload = payload[8:]
 	for i := range dst {
 		dst[i] = math.Float64frombits(binary.LittleEndian.Uint64(payload[8*i:]))
 	}
 	return nil
 }
 
-// sendJSON writes v as one JSON-payload frame.
-func sendJSON(w io.Writer, kind byte, v any) error {
+// marshalJSON encodes a control message body.
+func marshalJSON(v any) ([]byte, error) {
 	payload, err := json.Marshal(v)
 	if err != nil {
-		return fmt.Errorf("dist: encoding %T: %w", v, err)
+		return nil, fmt.Errorf("dist: encoding %T: %w", v, err)
+	}
+	return payload, nil
+}
+
+// sendJSON writes v as one JSON-payload frame.
+func sendJSON(w io.Writer, kind byte, v any) error {
+	payload, err := marshalJSON(v)
+	if err != nil {
+		return err
 	}
 	return wio.WriteFrame(w, kind, payload)
 }

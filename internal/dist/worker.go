@@ -6,6 +6,8 @@ import (
 	"io"
 	"math"
 	"sort"
+	"sync"
+	"time"
 
 	"robsched/internal/ga"
 	"robsched/internal/rng"
@@ -14,6 +16,66 @@ import (
 	"robsched/internal/sim"
 	"robsched/internal/wio"
 )
+
+// frameWriter serializes frame writes to the response stream. Heartbeat
+// pulses are emitted from a side goroutine while a computation runs, so
+// every write must take the whole frame (header + payload + flush) under
+// one lock — interleaving half-frames would corrupt the stream.
+type frameWriter struct {
+	mu sync.Mutex
+	w  *bufio.Writer
+}
+
+func (fw *frameWriter) write(kind byte, payload []byte) error {
+	fw.mu.Lock()
+	defer fw.mu.Unlock()
+	if err := wio.WriteFrame(fw.w, kind, payload); err != nil {
+		return err
+	}
+	return fw.w.Flush()
+}
+
+func (fw *frameWriter) sendJSON(kind byte, v any) error {
+	fw.mu.Lock()
+	defer fw.mu.Unlock()
+	if err := sendJSON(fw.w, kind, v); err != nil {
+		return err
+	}
+	return fw.w.Flush()
+}
+
+// withHeartbeat runs compute while emitting KHeartbeat frames every millis
+// milliseconds, so the coordinator's per-frame deadline sees life from a
+// worker that is busy rather than stuck. millis <= 0 runs compute directly —
+// the fault-free default costs nothing. The pulse goroutine is stopped and
+// reaped before returning, so the response that follows never races a
+// heartbeat for the stream (and a heartbeat can never land after KErr).
+func withHeartbeat(fw *frameWriter, millis int, compute func() error) error {
+	if millis <= 0 {
+		return compute()
+	}
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		t := time.NewTicker(time.Duration(millis) * time.Millisecond)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				if fw.write(KHeartbeat, nil) != nil {
+					return // pipe gone; the main loop will notice
+				}
+			}
+		}
+	}()
+	err := compute()
+	close(stop)
+	<-done
+	return err
+}
 
 // ServeWorker runs the worker half of the dist protocol over the (r, w)
 // pipe pair — in production, the stdin/stdout of a `robsched worker`
@@ -24,9 +86,14 @@ import (
 // terminate the loop with an error. The worker is stateless between sim
 // jobs; island hosting holds state from KIslandInit until KIslandFinish or
 // a replacing init.
+//
+// Island requests carry sequence numbers: a request whose Seq matches the
+// last one processed is answered from the cached response without
+// re-executing, so a transport that duplicates frames cannot advance an
+// island twice (at-most-once semantics; Seq 0 disables the check).
 func ServeWorker(r io.Reader, w io.Writer) error {
 	br := bufio.NewReaderSize(r, 1<<16)
-	bw := bufio.NewWriterSize(w, 1<<16)
+	fw := &frameWriter{w: bufio.NewWriterSize(w, 1<<16)}
 	var buf []byte
 	var host *islandHost
 	for {
@@ -45,74 +112,172 @@ func ServeWorker(r io.Reader, w io.Writer) error {
 		case KShutdown:
 			return nil
 		case KSimJob:
-			jobErr = handleSimJob(bw, payload)
+			jobErr = handleSimJob(fw, payload)
 		case KIslandInit:
 			host, jobErr = newIslandHost(payload)
 			if jobErr == nil {
-				jobErr = sendJSON(bw, KIslandState, host.states())
+				jobErr = host.reply(fw, KIslandState, host.statesSeq(host.initSeq))
 			}
 		case KEpoch:
-			jobErr = host.epoch(bw, payload)
+			jobErr = handleEpoch(fw, host, payload)
 		case KMigrate:
-			jobErr = host.migrate(bw, payload)
+			jobErr = handleMigrate(fw, host, payload)
+		case KCheckpoint:
+			jobErr = handleCheckpoint(fw, host, payload)
 		case KIslandFinish:
 			host = nil
-			jobErr = wio.WriteFrame(bw, KOK, nil)
+			jobErr = fw.write(KOK, nil)
 		default:
 			jobErr = fmt.Errorf("dist: unknown frame kind %d", kind)
 		}
 		if jobErr != nil {
 			// Report and keep serving. If even the error frame cannot be
 			// written the pipe is gone and the loop must end.
-			if err := sendJSON(bw, KErr, ErrMsg{Error: jobErr.Error()}); err != nil {
+			if err := fw.sendJSON(KErr, ErrMsg{Error: jobErr.Error()}); err != nil {
 				return err
 			}
-		}
-		if err := bw.Flush(); err != nil {
-			return err
 		}
 	}
 }
 
 // handleSimJob realizes one seed window and streams the makespan vectors
-// back: one KSimVec frame per schedule in schedule order, then KSimDone.
-// Everything is computed before the first response byte, so a failure never
-// leaves a half-written response sequence.
-func handleSimJob(w io.Writer, payload []byte) error {
+// back: a KAck echoing the job's sequence number, one KSimVec frame per
+// schedule in schedule order, then KSimDone. Everything is computed before
+// the first response byte, so a failure never leaves a half-written
+// response sequence. Heartbeats pulse during the compute when the job asks
+// for them.
+func handleSimJob(fw *frameWriter, payload []byte) error {
 	var job SimJob
 	if err := parseJSON(payload, &job); err != nil {
 		return err
 	}
-	wl, err := job.Workload.Build()
+	var mks [][]float64
+	err := withHeartbeat(fw, job.HeartbeatMillis, func() error {
+		wl, err := job.Workload.Build()
+		if err != nil {
+			return err
+		}
+		ss := make([]*schedule.Schedule, len(job.Schedules))
+		for i, doc := range job.Schedules {
+			if ss[i], err = doc.Bind(wl); err != nil {
+				return err
+			}
+		}
+		opt := sim.Options{Antithetic: job.Antithetic, BatchSize: job.BatchSize, Workers: job.Workers}
+		mks, err = sim.RealizeSeeded(ss, opt, job.Seeds, job.Base)
+		return err
+	})
 	if err != nil {
 		return err
 	}
-	ss := make([]*schedule.Schedule, len(job.Schedules))
-	for i, doc := range job.Schedules {
-		if ss[i], err = doc.Bind(wl); err != nil {
+	if err := fw.sendJSON(KAck, Ack{Seq: job.Seq}); err != nil {
+		return err
+	}
+	for j, v := range mks {
+		if err := fw.write(KSimVec, encodeVec(j, v)); err != nil {
 			return err
 		}
 	}
-	opt := sim.Options{Antithetic: job.Antithetic, BatchSize: job.BatchSize, Workers: job.Workers}
-	mks, err := sim.RealizeSeeded(ss, opt, job.Seeds, job.Base)
+	return fw.write(KSimDone, nil)
+}
+
+func handleEpoch(fw *frameWriter, host *islandHost, payload []byte) error {
+	if host == nil {
+		return fmt.Errorf("dist: epoch before init")
+	}
+	var req EpochReq
+	if err := parseJSON(payload, &req); err != nil {
+		return err
+	}
+	if host.replayCached(fw, req.Seq) {
+		return nil
+	}
+	err := withHeartbeat(fw, host.hbMillis, func() error { return host.runEpoch(req) })
 	if err != nil {
 		return err
 	}
-	for _, v := range mks {
-		if err := wio.WriteFrame(w, KSimVec, encodeVec(v)); err != nil {
-			return err
-		}
+	return host.reply(fw, KIslandState, host.statesSeq(req.Seq))
+}
+
+func handleMigrate(fw *frameWriter, host *islandHost, payload []byte) error {
+	if host == nil {
+		return fmt.Errorf("dist: migrate before init")
 	}
-	return wio.WriteFrame(w, KSimDone, nil)
+	var req MigrateReq
+	if err := parseJSON(payload, &req); err != nil {
+		return err
+	}
+	if host.replayCached(fw, req.Seq) {
+		return nil
+	}
+	if err := host.runMigrate(req); err != nil {
+		return err
+	}
+	return host.reply(fw, KIslandState, host.statesSeq(req.Seq))
+}
+
+func handleCheckpoint(fw *frameWriter, host *islandHost, payload []byte) error {
+	if host == nil {
+		return fmt.Errorf("dist: checkpoint before init")
+	}
+	var req CheckpointReq
+	if err := parseJSON(payload, &req); err != nil {
+		return err
+	}
+	if host.replayCached(fw, req.Seq) {
+		return nil
+	}
+	cks := host.checkpoints()
+	cks.Seq = req.Seq
+	return host.reply(fw, KCheckpointState, cks)
 }
 
 // islandHost is the worker-side state of an island-sharded solve: the
 // solver engine for the workload plus the hosted ga.Island states. It is
 // the same state machine ga.RunIslands drives in-process; the coordinator
-// supplies the barrier ordering and the ring migrants.
+// supplies the barrier ordering and the ring migrants. The coordinator's
+// graceful-degradation path reuses it verbatim via hostIslands when the
+// pool is exhausted.
 type islandHost struct {
-	eng     *robust.Engine
-	islands []*ga.Island[*robust.Chromosome] // ascending island index
+	eng      *robust.Engine
+	islands  []*ga.Island[*robust.Chromosome] // ascending island index
+	hbMillis int
+	initSeq  uint64
+
+	// At-most-once replay cache: the kind and encoded body of the last
+	// response, keyed by the request sequence that produced it.
+	lastSeq  uint64
+	lastKind byte
+	lastBody []byte
+}
+
+// replayCached answers a duplicated request (same non-zero Seq as the last
+// one processed) from the cached response, reporting whether it did.
+func (h *islandHost) replayCached(fw *frameWriter, seq uint64) bool {
+	if seq == 0 || seq != h.lastSeq || h.lastBody == nil {
+		return false
+	}
+	_ = fw.write(h.lastKind, h.lastBody)
+	return true
+}
+
+// reply sends a response and records it for duplicate replay.
+func (h *islandHost) reply(fw *frameWriter, kind byte, v any) error {
+	body, err := marshalJSON(v)
+	if err != nil {
+		return err
+	}
+	var seq uint64
+	switch resp := v.(type) {
+	case IslandStates:
+		seq = resp.Seq
+	case IslandCheckpoints:
+		seq = resp.Seq
+	}
+	if seq != 0 {
+		h.lastSeq, h.lastKind, h.lastBody = seq, kind, body
+	}
+	return fw.write(kind, body)
 }
 
 func newIslandHost(payload []byte) (*islandHost, error) {
@@ -145,18 +310,67 @@ func newIslandHost(payload []byte) (*islandHost, error) {
 	if err != nil {
 		return nil, err
 	}
+	h, err := hostIslands(eng, init.Islands)
+	if err != nil {
+		return nil, err
+	}
+	h.hbMillis = init.HeartbeatMillis
+	h.initSeq = init.Seq
+	return h, nil
+}
+
+// hostIslands builds the island state machines on an existing engine: fresh
+// from each seed, or resumed from a checkpoint when one is attached (the
+// recovery path). The coordinator's in-process degradation uses this
+// directly with its own engine.
+func hostIslands(eng *robust.Engine, seeds []IslandSeed) (*islandHost, error) {
 	h := &islandHost{eng: eng}
-	seeds := append([]IslandSeed(nil), init.Islands...)
-	sort.Slice(seeds, func(i, j int) bool { return seeds[i].Island < seeds[j].Island })
+	sorted := append([]IslandSeed(nil), seeds...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Island < sorted[j].Island })
 	cfg := eng.Config()
-	for _, is := range seeds {
-		st, err := ga.NewIsland(cfg, is.Island, rng.New(is.Seed))
+	for _, is := range sorted {
+		var st *ga.Island[*robust.Chromosome]
+		var err error
+		if is.Restore != nil {
+			if is.Restore.Island != is.Island {
+				return nil, fmt.Errorf("dist: checkpoint for island %d attached to island %d", is.Restore.Island, is.Island)
+			}
+			st, err = restoredIsland(cfg, is.Restore)
+		} else {
+			st, err = ga.NewIsland(cfg, is.Island, rng.New(is.Seed))
+		}
 		if err != nil {
 			return nil, err
 		}
 		h.islands = append(h.islands, st)
 	}
 	return h, nil
+}
+
+// restoredIsland rebuilds a ga.Island from its wire checkpoint.
+func restoredIsland(cfg ga.Config[*robust.Chromosome], ck *IslandCheckpoint) (*ga.Island[*robust.Chromosome], error) {
+	if len(ck.Pop) != len(ck.FitBits) {
+		return nil, fmt.Errorf("dist: checkpoint for island %d has %d genotypes, %d fitnesses", ck.Island, len(ck.Pop), len(ck.FitBits))
+	}
+	snap := ga.IslandSnapshot[*robust.Chromosome]{
+		Pop:          make([]*robust.Chromosome, len(ck.Pop)),
+		Fit:          make([]float64, len(ck.FitBits)),
+		Best:         robust.NewChromosome(ck.Best.Order, ck.Best.Proc),
+		BestFit:      math.Float64frombits(ck.BestFitnessBits),
+		SinceImprove: ck.SinceImprove,
+		Rng: rng.State{
+			S:        ck.Rng.S,
+			Spare:    math.Float64frombits(ck.Rng.SpareBits),
+			HasSpare: ck.Rng.HasSpare,
+		},
+	}
+	for i, g := range ck.Pop {
+		snap.Pop[i] = robust.NewChromosome(g.Order, g.Proc)
+	}
+	for i, b := range ck.FitBits {
+		snap.Fit[i] = math.Float64frombits(b)
+	}
+	return ga.RestoreIsland(cfg, ck.Island, snap)
 }
 
 // states snapshots every hosted island's running best in island order.
@@ -174,6 +388,46 @@ func (h *islandHost) states() IslandStates {
 	return out
 }
 
+// statesSeq is states stamped with the request sequence it answers.
+func (h *islandHost) statesSeq(seq uint64) IslandStates {
+	out := h.states()
+	out.Seq = seq
+	return out
+}
+
+// checkpoints serializes every hosted island's full resumable state, in
+// island order. Snapshot is a pure read: the rng stream does not advance,
+// so checkpointing never perturbs the trajectory.
+func (h *islandHost) checkpoints() IslandCheckpoints {
+	out := IslandCheckpoints{Checkpoints: make([]IslandCheckpoint, 0, len(h.islands))}
+	for _, st := range h.islands {
+		snap := st.Snapshot()
+		ck := IslandCheckpoint{
+			Island:          st.Index(),
+			Pop:             make([]Genotype, len(snap.Pop)),
+			FitBits:         make([]uint64, len(snap.Fit)),
+			SinceImprove:    snap.SinceImprove,
+			BestFitnessBits: math.Float64bits(snap.BestFit),
+			Rng: RNGState{
+				S:         snap.Rng.S,
+				SpareBits: math.Float64bits(snap.Rng.Spare),
+				HasSpare:  snap.Rng.HasSpare,
+			},
+		}
+		bo, bp := snap.Best.Genes()
+		ck.Best = Genotype{Order: bo, Proc: bp}
+		for i, ch := range snap.Pop {
+			o, p := ch.Genes()
+			ck.Pop[i] = Genotype{Order: o, Proc: p}
+		}
+		for i, f := range snap.Fit {
+			ck.FitBits[i] = math.Float64bits(f)
+		}
+		out.Checkpoints = append(out.Checkpoints, ck)
+	}
+	return out
+}
+
 func (h *islandHost) find(island int) (*ga.Island[*robust.Chromosome], error) {
 	if h == nil {
 		return nil, fmt.Errorf("dist: island message before init")
@@ -186,30 +440,20 @@ func (h *islandHost) find(island int) (*ga.Island[*robust.Chromosome], error) {
 	return nil, fmt.Errorf("dist: island %d not hosted here", island)
 }
 
-func (h *islandHost) epoch(w io.Writer, payload []byte) error {
-	if h == nil {
-		return fmt.Errorf("dist: epoch before init")
-	}
-	var req EpochReq
-	if err := parseJSON(payload, &req); err != nil {
-		return err
-	}
+// runEpoch advances every hosted island. Pure state transition — the
+// serving layer (or the coordinator's in-process fallback) owns the
+// response.
+func (h *islandHost) runEpoch(req EpochReq) error {
 	for _, st := range h.islands {
 		if err := st.Epoch(req.StartGen, req.Gens); err != nil {
 			return err
 		}
 	}
-	return sendJSON(w, KIslandState, h.states())
+	return nil
 }
 
-func (h *islandHost) migrate(w io.Writer, payload []byte) error {
-	if h == nil {
-		return fmt.Errorf("dist: migrate before init")
-	}
-	var req MigrateReq
-	if err := parseJSON(payload, &req); err != nil {
-		return err
-	}
+// runMigrate delivers this barrier's migrants to their target islands.
+func (h *islandHost) runMigrate(req MigrateReq) error {
 	for _, m := range req.Migrants {
 		st, err := h.find(m.Island)
 		if err != nil {
@@ -222,5 +466,5 @@ func (h *islandHost) migrate(w io.Writer, payload []byte) error {
 			return err
 		}
 	}
-	return sendJSON(w, KIslandState, h.states())
+	return nil
 }

@@ -23,6 +23,13 @@
 // values as fault-oblivious execution — the fault-aware executor in
 // internal/repair is bit-identical to the plain one under an empty
 // scenario.
+//
+// The same vocabulary doubles as the distribution runtime's chaos model:
+// internal/dist wraps each coordinator↔worker connection in a two-
+// "processor" Scenario (one per link direction), so outages become frame
+// stalls, failures become dropped connections and slowdowns become
+// stragglers on the wire — sampled by the same Model, replayable from the
+// same seeds.
 package fault
 
 import (

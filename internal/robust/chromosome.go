@@ -111,6 +111,16 @@ func (c *Chromosome) Clone() *Chromosome {
 	return out
 }
 
+// Genes returns independent copies of the genotype's order and assignment
+// strings. Serializers that outlive the chromosome — the dist runtime's
+// island checkpoints — use it instead of aliasing Order/Proc, so a frozen
+// snapshot can never observe a slice some later consumer re-wraps.
+func (c *Chromosome) Genes() (order, proc []int) {
+	order = append([]int(nil), c.Order...)
+	proc = append([]int(nil), c.Proc...)
+	return order, proc
+}
+
 // Decode builds (and memoizes) the schedule the chromosome represents.
 // Operators maintain the invariant that Order is a topological order, so the
 // trusted constructor applies; malformed genotypes (non-permutations,

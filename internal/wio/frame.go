@@ -1,30 +1,35 @@
 // Frame codec: the length-prefixed binary envelope the dist coordinator and
 // its worker processes exchange over pipes. A frame is
 //
-//	magic   2 bytes  'r' 'b'
-//	version 1 byte   frameVersion
-//	kind    1 byte   opaque to this package; internal/dist defines the values
-//	length  4 bytes  little-endian payload size
-//	payload length bytes
+//	magic    2 bytes  'r' 'b'
+//	version  1 byte   frameVersion
+//	kind     1 byte   opaque to this package; internal/dist defines the values
+//	length   4 bytes  little-endian payload size
+//	checksum 4 bytes  little-endian CRC-32 (IEEE) of kind byte then payload
+//	payload  length bytes
 //
 // The header is fixed-size and the payload length is bounded, so a reader
 // can never be tricked into an unbounded allocation by a corrupt stream —
-// the property FuzzReadFrame locks down. Payload contents are the caller's
-// business: dist uses JSON for control messages and raw little-endian
-// float64 blocks for makespan vectors.
+// the property FuzzReadFrame locks down. The checksum turns in-flight bit
+// damage anywhere in the frame into a typed *FrameError rather than a
+// silently different payload: a flipped bit in a JSON control message can
+// otherwise still parse, with a different value. Payload contents are the
+// caller's business: dist uses JSON for control messages and raw
+// little-endian float64 blocks for makespan vectors.
 package wio
 
 import (
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"io"
 )
 
 const (
 	frameMagic0  = 'r'
 	frameMagic1  = 'b'
-	frameVersion = 1
-	frameHeader  = 8
+	frameVersion = 2
+	frameHeader  = 12
 
 	// MaxFramePayload caps a single frame's payload (64 MiB). A realization
 	// vector of a million samples is 8 MB; control messages are far smaller.
@@ -32,11 +37,28 @@ const (
 	MaxFramePayload = 64 << 20
 )
 
-// FrameError reports a malformed frame header. It distinguishes protocol
-// corruption from plain I/O failures (which pass through unwrapped).
+// FrameError reports a malformed or corrupted frame. It distinguishes
+// protocol corruption from plain I/O failures (which pass through
+// unwrapped).
 type FrameError struct{ Reason string }
 
 func (e *FrameError) Error() string { return "wio: bad frame: " + e.Reason }
+
+// frameSum covers the kind byte and the payload, so damage to either —
+// including a flip that turns one valid frame kind into another — fails
+// verification.
+func frameSum(kind byte, payload []byte) uint32 {
+	sum := crc32.ChecksumIEEE([]byte{kind})
+	return crc32.Update(sum, crc32.IEEETable, payload)
+}
+
+func buildHeader(kind byte, payload []byte) [frameHeader]byte {
+	var hdr [frameHeader]byte
+	hdr[0], hdr[1], hdr[2], hdr[3] = frameMagic0, frameMagic1, frameVersion, kind
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[8:], frameSum(kind, payload))
+	return hdr
+}
 
 // WriteFrame writes one frame. It returns an error if the payload exceeds
 // MaxFramePayload or the writer fails; partial writes leave the stream
@@ -45,9 +67,7 @@ func WriteFrame(w io.Writer, kind byte, payload []byte) error {
 	if len(payload) > MaxFramePayload {
 		return &FrameError{fmt.Sprintf("payload %d exceeds %d bytes", len(payload), MaxFramePayload)}
 	}
-	var hdr [frameHeader]byte
-	hdr[0], hdr[1], hdr[2], hdr[3] = frameMagic0, frameMagic1, frameVersion, kind
-	binary.LittleEndian.PutUint32(hdr[4:], uint32(len(payload)))
+	hdr := buildHeader(kind, payload)
 	if _, err := w.Write(hdr[:]); err != nil {
 		return err
 	}
@@ -59,11 +79,26 @@ func WriteFrame(w io.Writer, kind byte, payload []byte) error {
 	return nil
 }
 
+// AppendFrame appends one encoded frame (header + payload) to dst and
+// returns the extended slice. It is the buffer-building form of WriteFrame,
+// used where a frame must exist as raw bytes before hitting the wire — the
+// dist chaos transport builds frames this way so it can truncate or flip
+// bits in the encoded form. The same payload bound applies.
+func AppendFrame(dst []byte, kind byte, payload []byte) ([]byte, error) {
+	if len(payload) > MaxFramePayload {
+		return dst, &FrameError{fmt.Sprintf("payload %d exceeds %d bytes", len(payload), MaxFramePayload)}
+	}
+	hdr := buildHeader(kind, payload)
+	dst = append(dst, hdr[:]...)
+	return append(dst, payload...), nil
+}
+
 // ReadFrame reads one frame, reusing buf for the payload when it is large
 // enough (pass nil to always allocate). A clean EOF before any header byte
 // surfaces as io.EOF — the peer closed between frames; a header with the
-// wrong magic, version or an oversized length returns a *FrameError, and a
-// stream that ends mid-frame returns io.ErrUnexpectedEOF.
+// wrong magic, version, an oversized length or a payload that fails its
+// checksum returns a *FrameError, and a stream that ends mid-frame returns
+// io.ErrUnexpectedEOF.
 func ReadFrame(r io.Reader, buf []byte) (kind byte, payload []byte, err error) {
 	var hdr [frameHeader]byte
 	if _, err := io.ReadFull(r, hdr[:1]); err != nil {
@@ -97,6 +132,9 @@ func ReadFrame(r io.Reader, buf []byte) (kind byte, payload []byte, err error) {
 			}
 			return 0, nil, err
 		}
+	}
+	if want, got := binary.LittleEndian.Uint32(hdr[8:]), frameSum(hdr[3], payload); got != want {
+		return 0, nil, &FrameError{fmt.Sprintf("checksum %#08x (want %#08x)", got, want)}
 	}
 	return hdr[3], payload, nil
 }

@@ -66,16 +66,35 @@ func TestFrameRejectsOversizedWrite(t *testing.T) {
 
 func TestFrameReadErrors(t *testing.T) {
 	mk := func(b []byte) io.Reader { return bytes.NewReader(b) }
+	// A well-formed empty frame, to corrupt field by field.
+	var good bytes.Buffer
+	if err := WriteFrame(&good, 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	hdr := good.Bytes()
+	mut := func(i int, b byte) []byte {
+		out := append([]byte(nil), hdr...)
+		out[i] = b
+		return out
+	}
+	var payloadFrame bytes.Buffer
+	if err := WriteFrame(&payloadFrame, 0, []byte("abcd")); err != nil {
+		t.Fatal(err)
+	}
+	flipped := append([]byte(nil), payloadFrame.Bytes()...)
+	flipped[len(flipped)-1] ^= 0x01 // damage the payload, keep the length
 	cases := []struct {
 		name    string
 		in      []byte
 		isFrame bool // expect *FrameError (vs io error)
 	}{
-		{"bad magic", []byte{'x', 'y', 1, 0, 0, 0, 0, 0}, true},
-		{"bad version", []byte{'r', 'b', 9, 0, 0, 0, 0, 0}, true},
-		{"oversized length", []byte{'r', 'b', 1, 0, 0xFF, 0xFF, 0xFF, 0xFF}, true},
-		{"truncated header", []byte{'r', 'b', 1}, false},
-		{"truncated payload", []byte{'r', 'b', 1, 0, 4, 0, 0, 0, 'a'}, false},
+		{"bad magic", mut(0, 'x'), true},
+		{"bad version", mut(2, 9), true},
+		{"oversized length", []byte{'r', 'b', 2, 0, 0xFF, 0xFF, 0xFF, 0xFF, 0, 0, 0, 0}, true},
+		{"bad checksum", mut(8, hdr[8]^0xFF), true},
+		{"corrupt payload", flipped, true},
+		{"truncated header", hdr[:3], false},
+		{"truncated payload", payloadFrame.Bytes()[:len(payloadFrame.Bytes())-2], false},
 	}
 	for _, tc := range cases {
 		_, _, err := ReadFrame(mk(tc.in), nil)
@@ -90,7 +109,7 @@ func TestFrameReadErrors(t *testing.T) {
 	}
 	// Truncations must be io.ErrUnexpectedEOF, not a silent io.EOF, so a
 	// reader loop can tell "peer closed cleanly" from "died mid-frame".
-	if _, _, err := ReadFrame(mk([]byte{'r', 'b', 1}), nil); err != io.ErrUnexpectedEOF {
+	if _, _, err := ReadFrame(mk(hdr[:3]), nil); err != io.ErrUnexpectedEOF {
 		t.Errorf("truncated header: %v, want io.ErrUnexpectedEOF", err)
 	}
 	if _, _, err := ReadFrame(mk(nil), nil); err != io.EOF {
