@@ -13,7 +13,11 @@
 # across workers, each against its in-process twin) goes to
 # BENCH_dist.json; worker-side parallelism is pinned to 1 there, so the
 # shard speedup reflects the processes (expect ~min(shards, cores)× on a
-# multi-core box and pure overhead on one core).
+# multi-core box and pure overhead on one core). The same file carries the
+# loopback-TCP lanes (the socket tax vs subprocess pipes — acceptance is
+# within ~10%) and the pipeline latency matrix (injected 0/1/5/20ms RTT,
+# strict depth-1 dispatch vs the RTT-derived credit window — pipelined
+# must hold ≥2× depth-1 at 5ms).
 # Run from the repo root; pass extra `go test` flags (e.g. -benchtime 10x)
 # as arguments. Re-running on the same commit replaces that commit's entry
 # in each trajectory instead of appending a duplicate.
@@ -51,7 +55,7 @@ go test -run '^$' \
   | go run ./cmd/benchjson -o BENCH_delta.json
 
 go test -run '^$' \
-    -bench 'BenchmarkDistEvaluateAll|BenchmarkDistSolveIslands' \
+    -bench 'BenchmarkDistEvaluateAll|BenchmarkDistEvaluateAllTCP|BenchmarkDistPipelineRTT|BenchmarkDistSolveIslands' \
     -benchmem "$@" ./internal/dist \
   | tee /dev/stderr \
   | go run ./cmd/benchjson -o BENCH_dist.json -note "$(nproc) cores"

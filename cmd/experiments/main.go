@@ -17,8 +17,9 @@
 //	experiments -fig 5 -csv out/         # also write out/fig5.csv
 //	experiments -fig 4 -shards 4         # Monte-Carlo over 4 worker processes
 //
-// `experiments worker` (no flags) runs the scatter/gather worker loop on
-// stdin/stdout; -shards spawns these subprocesses automatically.
+// `experiments worker` runs the scatter/gather worker loop on stdin/stdout
+// (-shards spawns these subprocesses automatically) or, with -listen, on a
+// TCP address that a coordinator reaches via -remote.
 package main
 
 import (
@@ -45,7 +46,12 @@ func main() {
 
 func run() error {
 	if len(os.Args) > 1 && os.Args[1] == "worker" {
-		return dist.ServeWorker(os.Stdin, os.Stdout)
+		wfs := flag.NewFlagSet("experiments worker", flag.ContinueOnError)
+		listen := wfs.String("listen", "", "serve the worker protocol on this TCP `address` (host:port) instead of stdin/stdout")
+		if err := wfs.Parse(os.Args[2:]); err != nil {
+			return err
+		}
+		return dist.RunWorker(*listen)
 	}
 	var (
 		fig          = flag.String("fig", "all", "figure to regenerate: 1..8 or all (empty with -ablation set)")
@@ -64,6 +70,8 @@ func run() error {
 		mProcs       = flag.Int("m", 0, "override: processors")
 		workers      = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
 		shards       = flag.Int("shards", 0, "shard Monte-Carlo evaluation over this many worker processes (0 = in-process); results are bit-identical")
+		remote       = flag.String("remote", "", "comma-separated TCP worker `addresses` (each started with `experiments worker -listen`): scatter over the network instead of local subprocesses")
+		pipeline     = flag.Int("pipeline", 0, "realization ranges in flight per worker connection; 0 derives the depth from the transport RTT, 1 restores strict request/response")
 		workerTO     = flag.Duration("worker-timeout", 0, "with -shards: liveness deadline per worker exchange — a silent worker is declared dead and its range reassigned; also arms worker respawn (0 disables)")
 		chaosSeed    = flag.Uint64("chaos", 0, "with -shards: inject seeded transport faults between coordinator and workers as a self-test; results stay bit-identical (0 disables; requires -worker-timeout)")
 		csvDir       = flag.String("csv", "", "also write figN.csv files into this directory (plus a manifest.json run record)")
@@ -128,28 +136,53 @@ func run() error {
 	if *mProcs > 0 {
 		cfg.Gen.M = *mProcs
 	}
-	if *shards > 0 {
-		exe, err := os.Executable()
-		if err != nil {
-			return fmt.Errorf("locating executable for workers: %w", err)
+	if *shards > 0 && *remote != "" {
+		return fmt.Errorf("-shards and -remote are mutually exclusive: local subprocesses or remote TCP workers, not both")
+	}
+	if *shards > 0 || *remote != "" {
+		var (
+			spawn    func() (dist.Endpoint, error)
+			nworkers int
+		)
+		if *remote != "" {
+			var addrs []string
+			for _, a := range strings.Split(*remote, ",") {
+				if a = strings.TrimSpace(a); a != "" {
+					addrs = append(addrs, a)
+				}
+			}
+			if len(addrs) == 0 {
+				return fmt.Errorf("-remote lists no worker addresses")
+			}
+			spawn = dist.TCPSpawner(addrs, 0)
+			nworkers = len(addrs)
+		} else {
+			exe, err := os.Executable()
+			if err != nil {
+				return fmt.Errorf("locating executable for workers: %w", err)
+			}
+			spawn = dist.ProcEndpoint(exe, "worker")
+			nworkers = *shards
 		}
-		spawn := dist.ProcEndpoint(exe, "worker")
 		if *chaosSeed != 0 {
 			if *workerTO <= 0 {
 				return fmt.Errorf("-chaos requires -worker-timeout: a stalled link is only unmasked by a deadline")
 			}
 			spawn = dist.ChaosSpawner(dist.DefaultChaos(*chaosSeed), spawn)
 		}
-		pool, err := dist.NewSpawnPool(*shards, spawn)
+		pool, err := dist.NewSpawnPool(nworkers, spawn)
 		if err != nil {
 			return err
 		}
 		defer pool.Close()
 		pool.Obs = reg
 		if *workerTO > 0 {
-			pool.Respawn(spawn, 2**shards)
+			pool.Respawn(spawn, 2*nworkers)
 		}
-		coord := &dist.Coordinator{Pool: pool, Obs: reg, Trace: tracer, Timeout: *workerTO}
+		coord := &dist.Coordinator{
+			Pool: pool, Obs: reg, Trace: tracer,
+			Timeout: *workerTO, PipelineDepth: *pipeline,
+		}
 		cfg.Sim = coord.EvaluateAll
 	}
 

@@ -17,10 +17,12 @@
 //	robsched -n 50 -scheduler ga -mode maxslack -out schedule.json
 //	robsched -n 100 -scheduler ga -shards 4                 # sharded Monte-Carlo
 //	robsched -n 100 -scheduler ga -shards 4 -islands 4      # sharded GA islands
+//	robsched worker -listen :9444                           # TCP worker (machine B)
+//	robsched -n 100 -scheduler ga -remote hostB:9444        # coordinator (machine A)
 //
-// `robsched worker` is the internal subcommand behind -shards: it speaks
-// the dist wire protocol on stdin/stdout and is spawned by the coordinator,
-// never run by hand.
+// `robsched worker` is the subcommand behind -shards and -remote: it speaks
+// the dist wire protocol on stdin/stdout when spawned by the coordinator,
+// or serves it on a TCP listener with -listen for cross-machine runs.
 package main
 
 import (
@@ -28,6 +30,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"robsched/internal/clark"
 	"robsched/internal/dist"
@@ -60,8 +63,16 @@ func main() {
 func run(args []string, stdout, stderr io.Writer) error {
 	if len(args) > 0 && args[0] == "worker" {
 		// The dist worker subcommand: binary frames on stdin/stdout until
-		// the coordinator closes the pipe.
-		return dist.ServeWorker(os.Stdin, os.Stdout)
+		// the coordinator closes the pipe, or — with -listen — a TCP server
+		// remote coordinators dial into (-remote). Either way SIGTERM/SIGINT
+		// drain gracefully: in-flight work answers before the process exits.
+		wfs := flag.NewFlagSet("robsched worker", flag.ContinueOnError)
+		wfs.SetOutput(stderr)
+		listen := wfs.String("listen", "", "serve the worker protocol on this TCP `address` (host:port; port 0 picks one, printed on stdout) instead of stdin/stdout")
+		if err := wfs.Parse(args[1:]); err != nil {
+			return err
+		}
+		return dist.RunWorker(*listen)
 	}
 	fs := flag.NewFlagSet("robsched", flag.ContinueOnError)
 	fs.SetOutput(stderr)
@@ -97,6 +108,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 		svgPath      = fs.String("svg", "", "write an SVG Gantt chart (with slack windows) to this file")
 		workers      = fs.Int("workers", 0, "worker goroutines for population decoding and Monte-Carlo batches (0 = all cores)")
 		shards       = fs.Int("shards", 0, "scatter work over this many `robsched worker` subprocesses (0 = in-process); shards Monte-Carlo realizations, and the GA islands when -islands > 1")
+		remote       = fs.String("remote", "", "comma-separated TCP worker `addresses` (host:port,... — each started with `robsched worker -listen`): scatter over the network instead of local subprocesses; with -worker-timeout a dead connection is redialed into the rotation")
+		pipeline     = fs.Int("pipeline", 0, "realization ranges in flight per worker connection (credit window); 0 derives the depth from the transport round-trip time, 1 restores strict request/response")
 		workerTO     = fs.Duration("worker-timeout", 0, "with -shards: liveness deadline per worker exchange — a worker silent this long (no frame, no heartbeat) is declared dead and its work reassigned; also arms worker respawn (0 disables)")
 		chaosSeed    = fs.Uint64("chaos", 0, "with -shards: inject seeded transport faults (stalls, drops, corruption, duplicate frames) between coordinator and workers as a self-test; results stay bit-identical (0 disables; requires -worker-timeout)")
 		islands      = fs.Int("islands", 1, "GA island populations with ring migration (1 = the paper's single population)")
@@ -139,24 +152,47 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return err
 	}
 
-	// -shards spawns a pool of `robsched worker` subprocesses and routes
-	// the Monte-Carlo evaluation (and, with -islands, the GA) through the
-	// dist coordinator. Results are bit-identical to the in-process path
-	// for every shard count.
+	// -shards spawns a pool of `robsched worker` subprocesses — or, with
+	// -remote, dials a pool of TCP workers — and routes the Monte-Carlo
+	// evaluation (and, with -islands, the GA) through the dist coordinator.
+	// Results are bit-identical to the in-process path for every shard and
+	// worker count.
 	var coord *dist.Coordinator
-	if *shards > 0 {
-		exe, err := os.Executable()
-		if err != nil {
-			return fmt.Errorf("locating worker binary: %w", err)
+	if *shards > 0 && *remote != "" {
+		return fmt.Errorf("-shards and -remote are mutually exclusive: local subprocesses or remote TCP workers, not both")
+	}
+	if *shards > 0 || *remote != "" {
+		var (
+			spawn    func() (dist.Endpoint, error)
+			nworkers int
+		)
+		if *remote != "" {
+			var addrs []string
+			for _, a := range strings.Split(*remote, ",") {
+				if a = strings.TrimSpace(a); a != "" {
+					addrs = append(addrs, a)
+				}
+			}
+			if len(addrs) == 0 {
+				return fmt.Errorf("-remote lists no worker addresses")
+			}
+			spawn = dist.TCPSpawner(addrs, 0)
+			nworkers = len(addrs)
+		} else {
+			exe, err := os.Executable()
+			if err != nil {
+				return fmt.Errorf("locating worker binary: %w", err)
+			}
+			spawn = dist.ProcEndpoint(exe, "worker")
+			nworkers = *shards
 		}
-		spawn := dist.ProcEndpoint(exe, "worker")
 		if *chaosSeed != 0 {
 			if *workerTO <= 0 {
 				return fmt.Errorf("-chaos requires -worker-timeout: a stalled link is only unmasked by a deadline")
 			}
 			spawn = dist.ChaosSpawner(dist.DefaultChaos(*chaosSeed), spawn)
 		}
-		pool, err := dist.NewSpawnPool(*shards, spawn)
+		pool, err := dist.NewSpawnPool(nworkers, spawn)
 		if err != nil {
 			return err
 		}
@@ -164,10 +200,14 @@ func run(args []string, stdout, stderr io.Writer) error {
 		pool.Obs = reg
 		if *workerTO > 0 {
 			// With liveness armed, dead workers are worth replacing: budget a
-			// couple of respawns per shard before degrading in-process.
-			pool.Respawn(spawn, 2**shards)
+			// couple of respawns (subprocess re-execs, or redials back into
+			// the -remote rotation) per worker before degrading in-process.
+			pool.Respawn(spawn, 2*nworkers)
 		}
-		coord = &dist.Coordinator{Pool: pool, Obs: reg, Trace: tracer, Timeout: *workerTO}
+		coord = &dist.Coordinator{
+			Pool: pool, Obs: reg, Trace: tracer,
+			Timeout: *workerTO, PipelineDepth: *pipeline,
+		}
 	}
 	evalAll := func(ss []*schedule.Schedule, opt sim.Options, root *rng.Source) ([]sim.Metrics, error) {
 		if coord != nil {

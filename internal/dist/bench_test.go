@@ -72,6 +72,88 @@ func BenchmarkDistEvaluateAll(b *testing.B) {
 	})
 }
 
+// benchTCPPool starts n in-process loopback TCP worker servers and a pool
+// dialed into them, outside the timed loop.
+func benchTCPPool(b *testing.B, n int) *Pool {
+	b.Helper()
+	addrs := make([]string, n)
+	for i := range addrs {
+		srv, err := ListenWorker("127.0.0.1:0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		go func() { _ = srv.Serve() }()
+		b.Cleanup(srv.Shutdown)
+		addrs[i] = srv.Addr()
+	}
+	pool, err := NewTCPPool(addrs, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { pool.Close() })
+	return pool
+}
+
+// BenchmarkDistEvaluateAllTCP is the loopback-TCP twin of the shards=4
+// pipes lane above: same workload, same shard count, sockets instead of
+// subprocess pipes. The gap between the two is the socket tax — the
+// acceptance bar is staying within ~10% of pipes on loopback.
+func BenchmarkDistEvaluateAllTCP(b *testing.B) {
+	w := testWorkload(b, 1, 100, 4, 4)
+	ss := testSchedules(b, w)
+	opt := sim.Options{Realizations: 1000, Workers: 1}
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("tcp=%d", workers), func(b *testing.B) {
+			pool := benchTCPPool(b, workers)
+			coord := &Coordinator{Pool: pool}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := coord.EvaluateAll(ss, opt, rng.New(7)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkDistPipelineRTT is the latency matrix behind the flow-control
+// design: scatter/gather over a single worker whose link carries an
+// injected round trip of 0/1/5/20ms, dispatched strictly (depth=1, one
+// range in flight — the pre-pipelining behavior) versus with the
+// RTT-derived credit window (depth=auto). Throughput at depth=1 collapses
+// linearly with RTT (one full round trip per range); the pipelined lanes
+// must hold roughly flat, ≥2× depth-1 at 5ms.
+func BenchmarkDistPipelineRTT(b *testing.B) {
+	w := testWorkload(b, 1, 60, 4, 4)
+	ss := testSchedules(b, w)
+	opt := sim.Options{Realizations: 512, Workers: 1}
+	for _, rtt := range []time.Duration{0, time.Millisecond, 5 * time.Millisecond, 20 * time.Millisecond} {
+		for _, depth := range []int{1, 0} {
+			name := fmt.Sprintf("rtt=%s/depth=auto", rtt)
+			if depth == 1 {
+				name = fmt.Sprintf("rtt=%s/depth=1", rtt)
+			}
+			b.Run(name, func(b *testing.B) {
+				pl := ChaosPlan{Seed: 1, Delay: rtt / 2}
+				pool := NewPool([]Endpoint{pl.Wrap(LocalEndpoint(), 0)})
+				b.Cleanup(func() { pool.Close() })
+				coord := &Coordinator{
+					Pool:          pool,
+					Timeout:       30 * time.Second,
+					PipelineDepth: depth,
+					RangeSize:     32, // 16 ranges in flight contention
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := coord.EvaluateAll(ss, opt, rng.New(7)); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkDistSolveIslands measures an island-GA solve hosted on worker
 // processes against the same run in-process, bit-identical by construction.
 func BenchmarkDistSolveIslands(b *testing.B) {

@@ -49,6 +49,17 @@ type ChaosPlan struct {
 	Corrupt   float64
 	Truncate  float64
 	Duplicate float64
+	// Delay defers every frame's delivery by a fixed wall-clock lag per
+	// direction (half an injected round trip), and DelayJitter adds a
+	// per-frame uniform draw on [0, DelayJitter). Unlike Rate — which
+	// models transfer time in scaled link-seconds — these are real time:
+	// the knob for emulating cross-machine latency on a local transport,
+	// e.g. to measure what pipelining buys at a given RTT. Delivery is
+	// overlapped, not serialized: frames queue behind the link with their
+	// own due times, so five pipelined frames cost one latency, not five.
+	// Due times are clamped monotonic, so jitter never reorders frames.
+	Delay       time.Duration
+	DelayJitter time.Duration
 }
 
 const chaosTick = time.Millisecond // wall-clock cost of one link-second
@@ -91,6 +102,22 @@ type chaosLink struct {
 	src   io.Reader
 	dst   io.Writer
 	close func(err error) // tears down both ends of this direction
+
+	// Latency queue, active only when Delay or DelayJitter is set: the
+	// pump stamps each frame with a due time and moves on, and writerLoop
+	// delivers in stamp order — so frames in flight overlap, which is what
+	// the pipelining this knob exists to measure depends on.
+	delayq  chan delayed
+	lastDue time.Time
+	ferr    error // final close cause, read by writerLoop after delayq closes
+}
+
+// delayed is one queued delivery: bytes due at a time, optionally followed
+// by tearing the direction down (a terminal item ends the queue).
+type delayed struct {
+	raw []byte
+	due time.Time
+	err error
 }
 
 // Wrap returns ep with the chaos plan's fault timeline spliced into both
@@ -132,6 +159,16 @@ func (pl ChaosPlan) Wrap(ep Endpoint, worker int) Endpoint {
 		src: ep.R, dst: inW,
 		close: func(err error) { inW.CloseWithError(err) },
 	}
+	rtt := ep.RTT
+	if pl.Delay > 0 || pl.DelayJitter > 0 {
+		// A frame crosses each direction once: the injected round trip is
+		// two one-way delays plus the mean jitter (half per direction).
+		rtt += 2*pl.Delay + pl.DelayJitter
+		out.delayq = make(chan delayed, 64)
+		in.delayq = make(chan delayed, 64)
+		go out.writerLoop()
+		go in.writerLoop()
+	}
 	go out.pump()
 	go in.pump()
 
@@ -146,6 +183,7 @@ func (pl ChaosPlan) Wrap(ep Endpoint, worker int) Endpoint {
 			}
 		},
 		Wait: ep.Wait,
+		RTT:  rtt,
 	}
 }
 
@@ -158,7 +196,7 @@ func (l *chaosLink) pump() {
 	for {
 		kind, payload, err := wio.ReadFrame(l.src, buf)
 		if err != nil {
-			l.close(err)
+			l.fail(err)
 			return
 		}
 		if cap(payload) > cap(buf) {
@@ -166,13 +204,108 @@ func (l *chaosLink) pump() {
 		}
 		raw, err := wio.AppendFrame(nil, kind, payload)
 		if err != nil {
-			l.close(err)
+			l.fail(err)
 			return
 		}
 		if !l.deliver(raw) {
 			return
 		}
 	}
+}
+
+// fail ends this direction with err — directly, or (with the latency queue
+// active) ordered behind every frame already in flight.
+func (l *chaosLink) fail(err error) {
+	if l.delayq == nil {
+		l.close(err)
+		return
+	}
+	l.ferr = err
+	close(l.delayq)
+}
+
+// emit delivers raw at due — immediately when the latency queue is off —
+// and, when err is non-nil, tears the direction down right after (the
+// terminal queue item; no further emits may follow). It reports false when
+// the direction is gone.
+func (l *chaosLink) emit(raw []byte, due time.Time, err error) bool {
+	if l.delayq != nil {
+		l.delayq <- delayed{raw: raw, due: due, err: err}
+		if err != nil {
+			close(l.delayq)
+			return false
+		}
+		return true
+	}
+	if len(raw) > 0 {
+		if _, werr := l.dst.Write(raw); werr != nil {
+			l.close(werr)
+			return false
+		}
+	}
+	if err != nil {
+		l.close(err)
+		return false
+	}
+	return true
+}
+
+// writerLoop drains the latency queue in stamp order, sleeping each item to
+// its due time. On a write failure it keeps draining (so the pump never
+// blocks on a full queue) without writing. When the queue closes the
+// direction closes with the pump's recorded cause.
+func (l *chaosLink) writerLoop() {
+	dead := false
+	for d := range l.delayq {
+		if dead {
+			continue
+		}
+		l.sleepUntil(d.due)
+		if len(d.raw) > 0 {
+			if _, err := l.dst.Write(d.raw); err != nil {
+				l.close(err)
+				dead = true
+				continue
+			}
+		}
+		if d.err != nil {
+			l.close(d.err)
+			dead = true
+		}
+	}
+	if !dead {
+		l.close(l.ferr)
+	}
+}
+
+// due stamps the next frame's delivery time: now plus the fixed delay plus
+// a uniform jitter draw, clamped monotonic so jitter never reorders the
+// stream. The jitter draw happens only when DelayJitter is set, keeping
+// the per-frame random stream of jitter-free plans unchanged.
+func (l *chaosLink) due() time.Time {
+	lag := l.pl.Delay
+	if l.pl.DelayJitter > 0 {
+		lag += time.Duration(l.r.Float64() * float64(l.pl.DelayJitter))
+	}
+	due := time.Now().Add(lag)
+	if due.Before(l.lastDue) {
+		due = l.lastDue
+	}
+	l.lastDue = due
+	return due
+}
+
+// sleepUntil waits for an item's due time, capped like sleep so a
+// pathological clock skew cannot freeze a test.
+func (l *chaosLink) sleepUntil(due time.Time) {
+	d := time.Until(due)
+	if d <= 0 {
+		return
+	}
+	if d > 2*time.Second {
+		d = 2 * time.Second
+	}
+	time.Sleep(d)
 }
 
 // deliver pushes one encoded frame through the fault timeline and the
@@ -182,7 +315,7 @@ func (l *chaosLink) deliver(raw []byte) bool {
 	// frame (pure stall — the peer sees nothing until its deadline fires);
 	// otherwise the transfer takes scenario time, slowdowns included.
 	if !l.sc.Alive(l.p, l.t) {
-		l.close(io.ErrClosedPipe)
+		l.fail(io.ErrClosedPipe)
 		return false
 	}
 	start := l.sc.NextStart(l.p, l.t)
@@ -199,7 +332,7 @@ func (l *chaosLink) deliver(raw []byte) bool {
 		l.sleep(killTime - l.t)
 		next := l.sc.NextStart(l.p, killTime)
 		if math.IsInf(next, 1) {
-			l.close(io.ErrClosedPipe)
+			l.fail(io.ErrClosedPipe)
 			return false
 		}
 		l.t = next
@@ -220,19 +353,14 @@ func (l *chaosLink) deliver(raw []byte) bool {
 	}
 	if truncate {
 		n := l.r.Intn(len(raw)) // always short of a full frame
-		_, _ = l.dst.Write(raw[:n])
-		l.close(io.ErrUnexpectedEOF)
+		return l.emit(raw[:n], l.due(), io.ErrUnexpectedEOF)
+	}
+	due := l.due() // one stamp per frame: a duplicate arrives back-to-back
+	if !l.emit(raw, due, nil) {
 		return false
 	}
-	writes := 1
 	if duplicate {
-		writes = 2
-	}
-	for i := 0; i < writes; i++ {
-		if _, err := l.dst.Write(raw); err != nil {
-			l.close(err)
-			return false
-		}
+		return l.emit(raw, due, nil)
 	}
 	return true
 }

@@ -48,6 +48,16 @@ func chaosPlans() map[string]ChaosPlan {
 			Seed: 107, Corrupt: 0.05, Truncate: 0.05, Duplicate: 0.2,
 			Link: fault.Model{MTBF: 0.3, OutageEvery: 0.1, OutageMean: 0.05},
 		},
+		// Wide-area latency: fixed per-direction lag plus jitter. Pure
+		// delay must never change results — only completion order.
+		"latency": {Seed: 108, Delay: time.Millisecond, DelayJitter: 2 * time.Millisecond},
+		// Latency under fire: the full storm riding a jittery slow link,
+		// the closest emulation of a bad cross-machine hop.
+		"latency-storm": {
+			Seed: 109, Delay: 500 * time.Microsecond, DelayJitter: time.Millisecond,
+			Corrupt: 0.05, Truncate: 0.05, Duplicate: 0.2,
+			Link: fault.Model{MTBF: 0.3, OutageEvery: 0.1, OutageMean: 0.05},
+		},
 	}
 }
 

@@ -41,6 +41,17 @@ type Coordinator struct {
 	// the pool's own bookkeeping. Ablation and benchmarking knob.
 	NoCheckpoint bool
 
+	// PipelineDepth is the credit window of the sim dispatcher: how many
+	// realization ranges are kept in flight per worker connection. 1
+	// restores strict request/response dispatch (the worker idles for a
+	// full round trip between ranges); 0 (the default) derives a depth
+	// from the transport's RTT hint — see pipelineDepth.
+	PipelineDepth int
+	// RangeSize overrides the realization-range granularity (realizations
+	// per dispatched range). 0 derives it from the workload and pool size —
+	// see rangeWidth.
+	RangeSize int
+
 	// seq numbers every request that expects an attributable response, so a
 	// transport that duplicates or replays frames can never pass a stale
 	// response off as the current one.
@@ -127,19 +138,78 @@ func partition(r, n int) []shardRange {
 	return out
 }
 
+// partitionWidth cuts total realizations into contiguous windows of the
+// given width (the last one short) in index order.
+func partitionWidth(total, width int) []shardRange {
+	if width < 1 {
+		width = 1
+	}
+	out := make([]shardRange, 0, (total+width-1)/width)
+	for base := 0; base < total; base += width {
+		w := width
+		if base+w > total {
+			w = total - base
+		}
+		out = append(out, shardRange{base, w})
+	}
+	return out
+}
+
+// rangeWidth picks the realization-range granularity: several ranges per
+// worker, so pipelines fill, a straggling range rebalances onto whichever
+// worker frees up first, and a worker death forfeits only a small window —
+// but never below a floor where per-range framing overhead would show.
+func (c *Coordinator) rangeWidth(total, workers int) int {
+	if c.RangeSize > 0 {
+		return c.RangeSize
+	}
+	w := total / (workers * 8)
+	if w < 32 {
+		w = 32
+	}
+	return w
+}
+
+// pipelineDepth sizes the per-connection credit window from the
+// transport's RTT hint — a small bandwidth-delay product: depth 2 on a
+// zero-latency transport (the worker computes one range while the next is
+// already queued behind it), plus one credit per 200µs of round trip so
+// the link pipe stays full at wide-area latencies, capped where deeper
+// queues only add memory. PipelineDepth overrides; 1 disables pipelining.
+func (c *Coordinator) pipelineDepth(rtt time.Duration) int {
+	d := c.PipelineDepth
+	if d == 0 {
+		d = 2 + int(rtt/(200*time.Microsecond))
+	}
+	if d < 1 {
+		d = 1
+	}
+	if d > 32 {
+		d = 32
+	}
+	return d
+}
+
 // RealizeAll is the scatter/gather form of sim.RealizeAll: the realization
-// range is partitioned into one contiguous window per pool worker, each
-// worker realizes its window from the coordinator-derived seed slice, and
-// the vectors are reassembled in range order. The returned makespans — and
+// range is partitioned into contiguous windows (several per pool worker —
+// see rangeWidth), the workload and schedules are bound to each worker
+// connection once via KSimSetup, and the tiny per-window KSimRange requests
+// are pipelined over every connection with a credit window sized from the
+// transport's RTT (see pipelineDepth). Result vectors commit out of
+// arrival order directly into their windows; the assembled makespans — and
 // every metric computed from them — are bit-identical to the single-process
-// sim.RealizeAll for any shard count, because the seed vector (and the root
-// stream advance) is computed exactly as the single-process run computes it
-// and the concatenation preserves realization order.
+// sim.RealizeAll for any shard count, worker count, or arrival order,
+// because the seed vector (and the root stream advance) is computed exactly
+// as the single-process run computes it, each window is realized from its
+// own (base, seeds), and window placement is by index, not by arrival.
 //
-// A worker that dies (or, with Timeout armed, stalls) mid-range is
-// discarded and its window reassigned to a live worker; with no live
-// workers left the window is realized in-process. Either way the window's
-// seeds and base are unchanged, so the results are too.
+// A worker that dies (or, with Timeout armed, stalls) mid-range forfeits
+// only its in-flight windows: they are requeued and reassigned to whichever
+// live worker frees up first; with no live workers left the leftover
+// windows are realized in-process. Either way a window's seeds and base are
+// unchanged, so the results are too — a window computed twice (the
+// false-positive death of a slow-but-alive worker) overwrites itself with
+// identical bytes.
 func (c *Coordinator) RealizeAll(ss []*schedule.Schedule, opt sim.Options, root *rng.Source) ([][]float64, error) {
 	if err := opt.Validate(); err != nil {
 		return nil, err
@@ -164,76 +234,326 @@ func (c *Coordinator) RealizeAll(ss []*schedule.Schedule, opt sim.Options, root 
 	for j := range out {
 		out[j] = make([]float64, opt.Realizations)
 	}
-	nshards := c.Pool.Size()
-	if nshards < 1 {
-		nshards = 1 // no workers: one window, realized via the inline fallback
+	nw := c.Pool.Size()
+	if nw < 1 {
+		nw = 1 // no workers: inline fallback realizes every window
 	}
-	shards := partition(opt.Realizations, nshards)
-	errs := make([]error, len(shards))
+	ranges := partitionWidth(opt.Realizations, c.rangeWidth(opt.Realizations, nw))
+	d := &simDispatch{
+		c:      c,
+		out:    out,
+		seeds:  seeds,
+		ranges: ranges,
+		setup: SimSetup{
+			ID:              c.seq.Add(1),
+			Workload:        wlDoc,
+			Schedules:       sDocs,
+			Antithetic:      opt.Antithetic,
+			BatchSize:       opt.BatchSize,
+			Workers:         opt.Workers,
+			HeartbeatMillis: c.heartbeatMillis(),
+		},
+		committed: make([]bool, len(ranges)),
+	}
+	runners := nw
+	if runners > len(ranges) {
+		runners = len(ranges)
+	}
 	var wg sync.WaitGroup
-	for si, sh := range shards {
+	for i := 0; i < runners; i++ {
+		// Deal each runner its first range up front: every checked-out
+		// connection is guaranteed to be exercised at least once, so a dead
+		// worker is always detected (and its range requeued) rather than
+		// depending on goroutine scheduling to route work its way.
+		ri, ok := d.take()
+		if !ok {
+			break
+		}
 		wg.Add(1)
-		go func(si int, sh shardRange) {
+		go func(first int) {
 			defer wg.Done()
-			job := SimJob{
-				Workload:        wlDoc,
-				Schedules:       sDocs,
-				Base:            sh.base,
-				Seeds:           seeds[sh.base : sh.base+sh.width],
-				Antithetic:      opt.Antithetic,
-				BatchSize:       opt.BatchSize,
-				Workers:         opt.Workers,
-				HeartbeatMillis: c.heartbeatMillis(),
-			}
-			mks, err := c.runSimJob(job, ss, opt)
-			if err != nil {
-				errs[si] = err
-				return
-			}
-			for j := range out {
-				copy(out[j][sh.base:sh.base+sh.width], mks[j])
-			}
-		}(si, sh)
+			d.run(first)
+		}(ri)
 	}
 	wg.Wait()
-	for _, err := range errs {
+	if d.fatalErr != nil {
+		return nil, d.fatalErr
+	}
+	// Inline drain: whatever the pool could not finish (exhausted, closed,
+	// or empty from the start) is realized in-process — identical vectors by
+	// construction.
+	wOpt := sim.Options{Antithetic: opt.Antithetic, BatchSize: opt.BatchSize, Workers: opt.Workers}
+	for ri, sh := range ranges {
+		if d.committed[ri] {
+			continue
+		}
+		c.Obs.Counter("dist.inline_ranges").Inc()
+		mks, err := sim.RealizeSeeded(ss, wOpt, seeds[sh.base:sh.base+sh.width], sh.base)
 		if err != nil {
 			return nil, err
+		}
+		for j := range out {
+			copy(out[j][sh.base:sh.base+sh.width], mks[j])
 		}
 	}
 	return out, nil
 }
 
-// runSimJob executes one window: check a worker out, ship the job, stream
-// the vectors back. A transport failure (or deadline expiry) discards the
-// worker and retries on another; once the pool is exhausted the window
-// falls back to an in-process sim.RealizeSeeded, which produces the
-// identical vectors by construction.
-func (c *Coordinator) runSimJob(job SimJob, ss []*schedule.Schedule, opt sim.Options) ([][]float64, error) {
-	for {
-		conn, err := c.Pool.get()
-		if err != nil {
-			break // pool closed or every worker dead: compute locally
-		}
-		job.Seq = c.seq.Add(1)
-		conn.arm(c.Timeout, c.jobBudget(float64(len(job.Seeds)*len(ss))))
-		mks, err := dispatchSim(conn, job, len(ss))
-		if err == nil {
-			c.counter("sim_jobs", conn.id)
-			c.Pool.put(conn)
-			return mks, nil
-		}
-		if !transient(err) {
-			// The job itself is bad; the worker is fine.
-			c.Pool.put(conn)
-			return nil, err
-		}
-		c.noteDeath(conn.id, err)
-		c.Pool.discard(conn)
+// flight is one dispatched range riding the credit window: its range index
+// and the seq its ack must echo.
+type flight struct {
+	ri  int
+	seq uint64
+}
+
+// simDispatch is the shared state of one RealizeAll fan-out: the work list
+// (ranges yet to be taken plus ranges requeued by dead workers), the commit
+// ledger, and the first fatal (non-transient) error. Every method locks;
+// the out windows themselves need no locking because a range is written
+// only by the connection currently holding it — a range is requeued only
+// after its holder's exchange failed, and rewrites are byte-identical.
+type simDispatch struct {
+	c      *Coordinator
+	out    [][]float64
+	seeds  []uint64
+	ranges []shardRange
+	setup  SimSetup
+
+	mu        sync.Mutex
+	next      int
+	requeued  []int
+	committed []bool
+	fatalErr  error
+}
+
+// take hands out the next range to dispatch — requeued ranges first (they
+// block completion), then fresh ones — or reports that no undispatched work
+// remains.
+func (d *simDispatch) take() (int, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.fatalErr != nil {
+		return 0, false
 	}
-	c.Obs.Counter("dist.inline_ranges").Inc()
-	wOpt := sim.Options{Antithetic: job.Antithetic, BatchSize: job.BatchSize, Workers: job.Workers}
-	return sim.RealizeSeeded(ss, wOpt, job.Seeds, job.Base)
+	if n := len(d.requeued); n > 0 {
+		ri := d.requeued[n-1]
+		d.requeued = d.requeued[:n-1]
+		return ri, true
+	}
+	if d.next < len(d.ranges) {
+		ri := d.next
+		d.next++
+		return ri, true
+	}
+	return 0, false
+}
+
+// giveBack returns an uncommitted in-flight range to the work list after
+// its worker died.
+func (d *simDispatch) giveBack(ri int) {
+	d.mu.Lock()
+	d.requeued = append(d.requeued, ri)
+	d.mu.Unlock()
+}
+
+// commit marks a range's vectors as delivered; false means a duplicate
+// delivery (already committed by an earlier holder) that overwrote the
+// window with identical bytes.
+func (d *simDispatch) commit(ri int) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.committed[ri] {
+		return false
+	}
+	d.committed[ri] = true
+	return true
+}
+
+// fatal records the first job-level (non-transient) error; take stops
+// issuing work once one is set.
+func (d *simDispatch) fatal(err error) {
+	d.mu.Lock()
+	if d.fatalErr == nil {
+		d.fatalErr = err
+	}
+	d.mu.Unlock()
+}
+
+func (d *simDispatch) hasWork() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.fatalErr == nil && (len(d.requeued) > 0 || d.next < len(d.ranges))
+}
+
+// run is one dispatch runner: check a worker out, pipeline ranges over it
+// until the work dries up or the connection dies, repeat. It arrives with
+// its first range pre-taken (first) and re-takes between connections, so a
+// runner never checks a worker out without work in hand. Pool exhaustion
+// (or closure) ends the runner; leftover ranges fall to the inline drain.
+func (d *simDispatch) run(first int) {
+	ri, ok := first, true
+	for ok {
+		conn, err := d.c.Pool.get()
+		if err != nil {
+			d.giveBack(ri)
+			return
+		}
+		d.runConn(conn, ri)
+		ri, ok = d.take()
+	}
+}
+
+// runConn drives one connection with a credit-based pipeline: a sender
+// goroutine takes ranges and ships them (setup first, once), acquiring a
+// credit from the bounded inflight channel before each send; this
+// goroutine is the receiver, retiring flights in send order and releasing
+// their credits. Writes coalesce in the connection's buffer and flush when
+// the window fills or the work dries up, so a round of small control
+// frames costs one syscall. A transport failure stops the sender, requeues
+// every unretired flight, and discards the connection; a remote job-level
+// error is fatal to the job but the remaining flights still drain so the
+// connection comes back clean. The caller's pre-taken range (first) is the
+// sender's first dispatch.
+func (d *simDispatch) runConn(conn *Conn, first int) {
+	depth := d.c.pipelineDepth(conn.rtt)
+	inflight := make(chan flight, depth)
+	stopSend := make(chan struct{})
+	sendDone := make(chan struct{})
+	var sendErr error
+	go func() {
+		defer close(sendDone)
+		defer close(inflight)
+		setupSent := false
+		next := first
+		for {
+			ri := next
+			if ri < 0 {
+				var ok bool
+				ri, ok = d.take()
+				if !ok {
+					break
+				}
+			}
+			next = -1
+			it := flight{ri: ri, seq: d.c.seq.Add(1)}
+			// Acquire a credit before the bytes go out. A full window is
+			// the flush point: the worker gets everything queued so far
+			// while we wait for a credit (or for the receiver to stop us).
+			select {
+			case inflight <- it:
+			default:
+				if err := conn.flush(); err != nil {
+					d.giveBack(ri)
+					sendErr = err
+					return
+				}
+				select {
+				case inflight <- it:
+				case <-stopSend:
+					d.giveBack(ri)
+					return
+				}
+			}
+			conn.armWrite(d.c.Timeout, 0)
+			if !setupSent {
+				if err := conn.sendNoFlush(KSimSetup, d.setup); err != nil {
+					sendErr = err
+					return
+				}
+				setupSent = true
+			}
+			sh := d.ranges[it.ri]
+			req := SimRange{
+				Setup: d.setup.ID,
+				Base:  sh.base,
+				Seeds: d.seeds[sh.base : sh.base+sh.width],
+				Seq:   it.seq,
+			}
+			if err := conn.sendNoFlush(KSimRange, req); err != nil {
+				sendErr = err
+				return
+			}
+		}
+		if err := conn.flush(); err != nil {
+			sendErr = err
+		}
+	}()
+	var recvErr error
+	for it := range inflight {
+		if recvErr != nil {
+			d.giveBack(it.ri)
+			continue
+		}
+		if err := d.recvRange(conn, it.ri, it.seq); err != nil {
+			if transient(err) {
+				recvErr = err
+				close(stopSend)
+				d.giveBack(it.ri)
+				continue
+			}
+			// The job itself is bad; the worker is fine. Keep draining the
+			// remaining flights so no stale response frames linger on the
+			// connection.
+			d.fatal(err)
+		}
+	}
+	<-sendDone
+	switch {
+	case recvErr != nil:
+		d.c.noteDeath(conn.id, recvErr)
+		d.c.Pool.discard(conn)
+	case sendErr != nil:
+		d.c.noteDeath(conn.id, sendErr)
+		d.c.Pool.discard(conn)
+	default:
+		d.c.Pool.put(conn)
+	}
+}
+
+// recvRange retires one flight: the seq-echoing KAck, one vector per
+// schedule decoded straight into the range's window of each output vector,
+// and KSimDone. Protocol violations — a mismatched seq, a vector for the
+// wrong schedule or of the wrong width — are worker-fatal *WorkerErrors.
+func (d *simDispatch) recvRange(conn *Conn, ri int, seq uint64) error {
+	sh := d.ranges[ri]
+	conn.armRead(d.c.Timeout, d.c.jobBudget(float64(sh.width*len(d.out))))
+	kind, payload, err := conn.recv()
+	if err != nil {
+		return err
+	}
+	if kind != KAck {
+		return conn.werr(kind, fmt.Errorf("dist: frame kind %d, want range ack", kind))
+	}
+	var ack Ack
+	if err := parseJSON(payload, &ack); err != nil {
+		return conn.werr(KAck, err)
+	}
+	if ack.Seq != seq {
+		return conn.werr(KAck, fmt.Errorf("dist: range ack for seq %d, want %d", ack.Seq, seq))
+	}
+	for j := range d.out {
+		kind, payload, err := conn.recv()
+		if err != nil {
+			return err
+		}
+		if kind != KSimVec {
+			return conn.werr(kind, fmt.Errorf("dist: frame kind %d, want sim vector", kind))
+		}
+		if err := decodeVecInto(d.out[j][sh.base:sh.base+sh.width], j, payload); err != nil {
+			return conn.werr(KSimVec, err)
+		}
+	}
+	kind, _, err = conn.recv()
+	if err != nil {
+		return err
+	}
+	if kind != KSimDone {
+		return conn.werr(kind, fmt.Errorf("dist: frame kind %d, want sim done", kind))
+	}
+	if d.commit(ri) {
+		d.c.counter("sim_ranges", conn.id)
+	}
+	return nil
 }
 
 // dispatchSim runs the KSimJob exchange on one connection: the job frame
@@ -447,12 +767,27 @@ func (c *Coordinator) Solve(w *platform.Workload, opt robust.Options, root *rng.
 	totalGens := opt.MaxGenerations
 	gen := 0
 	stagnated := false
+	// Checkpoints overlap with dispatch: instead of a dedicated round trip
+	// after each barrier, the checkpoint pull is deferred and pipelined with
+	// the next round's epoch in one flush (see runOverlappedRound). The
+	// worker answers the checkpoint from its post-barrier state — byte-
+	// identical to the eager pull — before starting the epoch, so the
+	// recovery baseline is the same and a whole round trip per round
+	// disappears. The final round's checkpoint is simply dropped: there is
+	// nothing left to recover after the solve returns.
+	pendingCkpt := false
 	for gen < totalGens {
 		epoch := every
 		if gen+epoch > totalGens {
 			epoch = totalGens - gen
 		}
-		if err := s.runOp(islandOp{epoch: &EpochReq{StartGen: gen, Gens: epoch}}); err != nil {
+		op := islandOp{epoch: &EpochReq{StartGen: gen, Gens: epoch}}
+		if pendingCkpt {
+			pendingCkpt = false
+			if err := s.runOverlappedRound(op); err != nil {
+				return nil, err
+			}
+		} else if err := s.runOp(op); err != nil {
 			return nil, err
 		}
 		gen += epoch
@@ -469,8 +804,8 @@ func (c *Coordinator) Solve(w *platform.Workload, opt robust.Options, root *rng.
 				return nil, err
 			}
 		}
-		if err := s.checkpointRound(); err != nil {
-			return nil, err
+		if !c.NoCheckpoint {
+			pendingCkpt = true
 		}
 		if opt.Stagnation > 0 {
 			all := true
@@ -793,6 +1128,104 @@ func (s *solveRun) checkpointRound() error {
 		s.ckpts[i] = ck
 	}
 	s.oplog = s.oplog[:0]
+	s.c.Obs.Counter("dist.checkpoints").Add(int64(s.k))
+	return nil
+}
+
+// runOverlappedRound runs one epoch barrier with the previous round's
+// deferred checkpoint piggybacked: KCheckpoint and KEpoch go out in a
+// single coalesced flush, the worker answers the checkpoint from its
+// post-barrier (pre-epoch) state and then runs the epoch — one round trip
+// where the eager scheme pays two. The op-log ordering makes the overlap
+// safe: the epoch op is appended before any frame goes out, so a host that
+// dies mid-round is recovered from the *old* baseline and replayed through
+// this epoch like any other op. The fresh baselines commit only when every
+// island delivered a checkpoint; a recovery mid-round leaves holes (the
+// recovered host replayed instead of answering), and the round falls back
+// to a standalone checkpointRound to advance the baseline.
+//
+// Commit is sound even when only some hosts delivered before another's
+// recovery: every delivered checkpoint is a valid pre-epoch state, and the
+// trimmed oplog (just this epoch) replays each of them to the current
+// state.
+func (s *solveRun) runOverlappedRound(op islandOp) error {
+	s.oplog = append(s.oplog, op)
+	fresh := make([]*IslandCheckpoint, s.k)
+	var mu sync.Mutex
+	fold := func(h *solveHost, cks IslandCheckpoints, conn *Conn) error {
+		mu.Lock()
+		defer mu.Unlock()
+		for ci := range cks.Checkpoints {
+			ck := &cks.Checkpoints[ci]
+			if ck.Island < 0 || ck.Island >= s.k || !h.owns(ck.Island) {
+				err := fmt.Errorf("dist: checkpoint for foreign island %d", ck.Island)
+				if conn != nil {
+					return conn.werr(KCheckpointState, err)
+				}
+				return err
+			}
+			fresh[ck.Island] = ck
+		}
+		return nil
+	}
+	err := s.eachHost("epochs", func(h *solveHost) error {
+		if h.local != nil {
+			if err := fold(h, h.local.checkpoints(), nil); err != nil {
+				return err
+			}
+			return s.localOp(h, op)
+		}
+		conn := h.conn
+		ckSeq := s.c.seq.Add(1)
+		req := *op.epoch
+		req.Seq = s.c.seq.Add(1)
+		conn.armWrite(s.c.Timeout, 0)
+		if err := conn.sendNoFlush(KCheckpoint, CheckpointReq{Seq: ckSeq}); err != nil {
+			return err
+		}
+		if err := conn.sendNoFlush(KEpoch, req); err != nil {
+			return err
+		}
+		if err := conn.flush(); err != nil {
+			return err
+		}
+		conn.armRead(s.c.Timeout,
+			s.c.jobBudget(float64(s.sopt.PopSize*len(h.islands)))+
+				s.c.jobBudget(float64(req.Gens*s.sopt.PopSize*len(h.islands))))
+		kind, payload, err := conn.recv()
+		if err != nil {
+			return err
+		}
+		if kind != KCheckpointState {
+			return conn.werr(kind, fmt.Errorf("dist: frame kind %d, want checkpoint state", kind))
+		}
+		var cks IslandCheckpoints
+		if err := parseJSON(payload, &cks); err != nil {
+			return conn.werr(KCheckpointState, err)
+		}
+		if cks.Seq != ckSeq {
+			return conn.werr(KCheckpointState, fmt.Errorf("dist: checkpoint for seq %d, want %d", cks.Seq, ckSeq))
+		}
+		if err := fold(h, cks, conn); err != nil {
+			return err
+		}
+		return s.foldStates(h, conn, req.Seq)
+	}, false)
+	if err != nil {
+		return err
+	}
+	for _, ck := range fresh {
+		if ck == nil {
+			// A recovery interleaved with this round: the recovered host
+			// replayed from the old baseline instead of answering the
+			// piggybacked pull. Re-establish the invariant eagerly.
+			return s.checkpointRound()
+		}
+	}
+	for _, ck := range fresh {
+		s.ckpts[ck.Island] = ck
+	}
+	s.oplog = append(s.oplog[:0], op)
 	s.c.Obs.Counter("dist.checkpoints").Add(int64(s.k))
 	return nil
 }

@@ -18,13 +18,14 @@ import (
 	"robsched/internal/wio"
 )
 
-// TestMain doubles as the worker executable for the proc-pool tests: when
-// the re-exec marker is set, the test binary speaks the worker protocol on
-// stdin/stdout instead of running tests — the same shape as the production
-// `robsched worker` subcommand.
+// TestMain doubles as the worker executable for the proc-pool and TCP
+// tests: when the re-exec marker is set, the test binary runs the full
+// production worker entry point — the protocol on stdin/stdout, or a TCP
+// server when the listen marker names an address — signal handling and
+// graceful drain included, the same shape as `robsched worker`.
 func TestMain(m *testing.M) {
 	if os.Getenv("ROBSCHED_DIST_TEST_WORKER") == "1" {
-		if err := ServeWorker(os.Stdin, os.Stdout); err != nil {
+		if err := RunWorker(os.Getenv("ROBSCHED_DIST_TEST_LISTEN")); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

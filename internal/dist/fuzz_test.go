@@ -17,14 +17,17 @@ func FuzzControlMessage(f *testing.F) {
 	f.Add([]byte(`{"migrants":[{"island":1,"genotype":{"order":[2,0,1],"proc":[1,0,1]}}],"seq":3}`))
 	f.Add([]byte(`{"states":[{"island":0,"best_fitness_bits":4638387860618067575}]}`))
 	f.Add([]byte(`{"checkpoints":[{"island":2,"since_improve":5}],"seq":9}`))
-	f.Add([]byte(`{"error":"dist: island 7 not hosted here"}`))
+	f.Add([]byte(`{"error":"dist: island 7 not hosted here","code":"setup"}`))
+	f.Add([]byte(`{"id":3,"workload":{"n":3,"m":2},"schedules":[],"batch_size":8}`))
+	f.Add([]byte(`{"setup":3,"base":64,"seeds":[9,8,7],"seq":12}`))
 	f.Add([]byte(`[1,2,3]`))
 	f.Add([]byte(`"not an object"`))
 	f.Add([]byte{0xFF, 0xFE, 0x00})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		targets := []any{
-			&SimJob{}, &Ack{}, &IslandInit{}, &EpochReq{}, &MigrateReq{},
-			&IslandStates{}, &CheckpointReq{}, &IslandCheckpoints{}, &ErrMsg{},
+			&SimJob{}, &SimSetup{}, &SimRange{}, &Ack{}, &IslandInit{},
+			&EpochReq{}, &MigrateReq{}, &IslandStates{}, &CheckpointReq{},
+			&IslandCheckpoints{}, &ErrMsg{},
 		}
 		for _, v := range targets {
 			if err := parseJSON(data, v); err != nil {

@@ -31,80 +31,108 @@ var (
 	ErrPoolClosed = errors.New("dist: pool is closed")
 )
 
-// Endpoint is the coordinator's side of one worker's pipe pair. W carries
-// frames to the worker, R carries its responses. Kill, when non-nil, tears
-// the worker down abruptly (used by the pool's fault injection, deadline
-// enforcement and by Close for workers that no longer respond); Wait, when
-// non-nil, reaps the worker after its pipes close.
+// Endpoint is the coordinator's side of one worker's transport. W carries
+// frames to the worker, R carries its responses — a pipe pair for local
+// workers, the two halves of one net.Conn for TCP workers. Kill, when
+// non-nil, tears the worker down abruptly (used by the pool's fault
+// injection, deadline enforcement and by Close for workers that no longer
+// respond); Wait, when non-nil, reaps the worker after its transport
+// closes. RTT, when positive, is the transport's measured (or injected)
+// round-trip hint; the coordinator's flow control sizes its per-worker
+// pipeline window from it.
 type Endpoint struct {
 	W    io.WriteCloser
 	R    io.Reader
 	Kill func()
 	Wait func() error
+	RTT  time.Duration
 }
 
-// deadliner matches pipe ends that enforce deadlines natively (*os.File over
-// OS pipes, as ProcEndpoint produces). When both ends of an endpoint support
-// it, withDeadline arms the kernel poller instead of spawning a watchdog
-// goroutine per operation — the hardened fault-free path then costs two
-// timer updates per frame instead of a goroutine, a channel and two
-// scheduler handoffs.
-type deadliner interface {
-	SetDeadline(t time.Time) error
+// readDeadliner and writeDeadliner match transport ends that enforce
+// deadlines natively per direction (*os.File over OS pipes, net.Conn over
+// TCP). When an end supports its direction, withDeadline arms the kernel
+// poller instead of spawning a watchdog goroutine per operation — the
+// hardened fault-free path then costs one timer update per frame instead
+// of a goroutine, a channel and two scheduler handoffs. The directions are
+// armed independently, so a sender goroutine and a receiver goroutine can
+// run deadlines on one connection concurrently.
+type readDeadliner interface {
+	SetReadDeadline(t time.Time) error
+}
+type writeDeadliner interface {
+	SetWriteDeadline(t time.Time) error
+}
+
+// connSide is the liveness state of one direction of a connection. timeout
+// bounds the wall-clock of each frame operation; jobDeadline bounds the
+// whole in-flight exchange (heartbeats re-arm the former, never the
+// latter, so a worker stuck in a loop that still pulses is eventually
+// declared dead). Both zero by default: the fault-free path takes the
+// direct call with no goroutine or timer. set is the native per-direction
+// deadline hook, nil when the transport lacks one (in-memory pipes) or a
+// call ever failed.
+type connSide struct {
+	timeout     time.Duration
+	jobDeadline time.Time
+	set         func(time.Time) error
+}
+
+func (s *connSide) arm(frame, budget time.Duration) {
+	s.timeout = frame
+	if budget > 0 {
+		s.jobDeadline = time.Now().Add(budget)
+	} else {
+		s.jobDeadline = time.Time{}
+	}
 }
 
 // Conn is one live worker connection. A Conn is checked out of the Pool by
-// exactly one goroutine at a time; it is not safe for concurrent use.
+// exactly one goroutine at a time. Within that checkout, at most one
+// goroutine may write (send/sendNoFlush/flush, guarded by ws) while one
+// other reads (recv, guarded by rs) — the split the pipelined dispatcher
+// relies on; no further concurrency is supported.
 type Conn struct {
 	id  int
 	ep  Endpoint
 	bw  *bufio.Writer
-	r   io.Reader
-	buf []byte
+	fr  *wio.FrameReader
+	rtt time.Duration
 
-	// wd/rd are the endpoint's native deadline hooks, nil when either end
-	// lacks them (in-memory pipes) or a SetDeadline call ever failed.
-	wd, rd deadliner
+	// rs/ws are the read-side and write-side liveness states.
+	rs, ws connSide
 
 	p    *Pool // owning pool (telemetry + accounting)
 	dead bool  // set under p.mu by discard; a dead conn is never re-idled
-
-	// Liveness, armed by the coordinator after checkout. timeout bounds the
-	// wall-clock of each frame operation; jobDeadline bounds the whole
-	// in-flight exchange (heartbeats reset the former, never the latter, so
-	// a worker stuck in a loop that still pulses is eventually declared
-	// dead). Both zero by default: the fault-free path takes the direct
-	// call with no goroutine or timer.
-	timeout     time.Duration
-	jobDeadline time.Time
 }
 
 // ID returns the worker's index in the pool (stable for telemetry labels).
 func (c *Conn) ID() int { return c.id }
 
-// arm configures liveness for the next exchange: frame is the per-frame
-// deadline, budget the whole-exchange bound (either 0 disables that check).
+// arm configures liveness for the next exchange on both directions: frame
+// is the per-frame deadline, budget the whole-exchange bound (either 0
+// disables that check).
 func (c *Conn) arm(frame, budget time.Duration) {
-	c.timeout = frame
-	if budget > 0 {
-		c.jobDeadline = time.Now().Add(budget)
-	} else {
-		c.jobDeadline = time.Time{}
-	}
+	c.rs.arm(frame, budget)
+	c.ws.arm(frame, budget)
 }
 
-// withDeadline runs one pipe operation under the connection's liveness
-// bounds. Endpoints whose pipes enforce deadlines natively (subprocess
-// workers: OS pipes are pollable) take the cheap path — arm the kernel
-// poller, run, disarm. In-memory pipes carry no SetDeadline, so expiry is
-// enforced the only way that cannot leak: kill the endpoint (closing its
-// pipes), which unblocks the pending read or write, then reap the
-// operation goroutine. Either way an expired operation leaves the worker
-// dead, never half-trusted.
-func (c *Conn) withDeadline(op func() error) error {
-	wait := c.timeout
-	if !c.jobDeadline.IsZero() {
-		rem := time.Until(c.jobDeadline)
+// armRead and armWrite configure one direction's liveness independently —
+// the pipelined dispatcher budgets its sender and receiver separately.
+func (c *Conn) armRead(frame, budget time.Duration)  { c.rs.arm(frame, budget) }
+func (c *Conn) armWrite(frame, budget time.Duration) { c.ws.arm(frame, budget) }
+
+// withDeadline runs one transport operation under side s's liveness
+// bounds. Transports that enforce deadlines natively (subprocess workers:
+// OS pipes are pollable; TCP sockets) take the cheap path — arm the kernel
+// poller for that direction, run, disarm. In-memory pipes carry no
+// SetDeadline, so expiry is enforced the only way that cannot leak: kill
+// the endpoint (closing its pipes), which unblocks the pending read or
+// write, then reap the operation goroutine. Either way an expired
+// operation leaves the worker dead, never half-trusted.
+func (c *Conn) withDeadline(s *connSide, op func() error) error {
+	wait := s.timeout
+	if !s.jobDeadline.IsZero() {
+		rem := time.Until(s.jobDeadline)
 		if rem <= 0 {
 			if c.ep.Kill != nil {
 				c.ep.Kill()
@@ -118,12 +146,10 @@ func (c *Conn) withDeadline(op func() error) error {
 	if wait <= 0 {
 		return op()
 	}
-	if c.wd != nil {
-		dl := time.Now().Add(wait)
-		if c.wd.SetDeadline(dl) == nil && c.rd.SetDeadline(dl) == nil {
+	if s.set != nil {
+		if s.set(time.Now().Add(wait)) == nil {
 			err := op()
-			_ = c.wd.SetDeadline(time.Time{})
-			_ = c.rd.SetDeadline(time.Time{})
+			_ = s.set(time.Time{})
 			if err != nil && errors.Is(err, os.ErrDeadlineExceeded) {
 				if c.ep.Kill != nil {
 					c.ep.Kill()
@@ -133,7 +159,7 @@ func (c *Conn) withDeadline(op func() error) error {
 			return err
 		}
 		// Native deadlines refused (non-pollable fd): fall back for good.
-		c.wd, c.rd = nil, nil
+		s.set = nil
 	}
 	done := make(chan error, 1)
 	go func() { done <- op() }()
@@ -167,7 +193,7 @@ func (c *Conn) werr(frame byte, err error) error {
 
 // send writes one JSON-payload frame and flushes it to the worker.
 func (c *Conn) send(kind byte, v any) error {
-	return c.werr(kind, c.withDeadline(func() error {
+	return c.werr(kind, c.withDeadline(&c.ws, func() error {
 		if err := sendJSON(c.bw, kind, v); err != nil {
 			return err
 		}
@@ -175,9 +201,25 @@ func (c *Conn) send(kind byte, v any) error {
 	}))
 }
 
+// sendNoFlush queues one JSON-payload frame into the write buffer without
+// flushing — the write-coalescing path: a dispatch round batches several
+// control frames and ends with one flush, one syscall, one packet.
+func (c *Conn) sendNoFlush(kind byte, v any) error {
+	return c.werr(kind, c.withDeadline(&c.ws, func() error {
+		return sendJSON(c.bw, kind, v)
+	}))
+}
+
+// flush pushes the queued frames to the transport.
+func (c *Conn) flush() error {
+	return c.werr(0, c.withDeadline(&c.ws, func() error {
+		return c.bw.Flush()
+	}))
+}
+
 // sendEmpty writes one empty frame and flushes it.
 func (c *Conn) sendEmpty(kind byte) error {
-	return c.werr(kind, c.withDeadline(func() error {
+	return c.werr(kind, c.withDeadline(&c.ws, func() error {
 		if err := wio.WriteFrame(c.bw, kind, nil); err != nil {
 			return err
 		}
@@ -186,26 +228,26 @@ func (c *Conn) sendEmpty(kind byte) error {
 }
 
 // recv reads the next non-heartbeat frame. The payload aliases the
-// connection's scratch buffer and is valid until the next recv. KHeartbeat
-// frames are consumed silently, each one re-arming the per-frame deadline —
-// a computing worker that pulses stays alive; a stuck one times out. A KErr
-// frame is decoded into a *WorkerError with Remote set (the job failed, the
-// worker is healthy); transport failures come back as *WorkerError wrapping
-// the I/O cause.
+// connection's frame reader buffer and is valid until the next recv.
+// KHeartbeat frames are consumed silently, each one re-arming the
+// per-frame deadline — a computing worker that pulses stays alive; a stuck
+// one times out. A KErr frame is decoded into a *WorkerError with Remote
+// set (the job failed, the worker is healthy) — except one coded "setup",
+// which means a pipelined range outran its lost setup frame: that is a
+// transport casualty (Remote false), so the dispatcher reassigns the range
+// instead of failing the job. Transport failures come back as *WorkerError
+// wrapping the I/O cause.
 func (c *Conn) recv() (byte, []byte, error) {
 	for {
 		var kind byte
 		var payload []byte
-		err := c.withDeadline(func() error {
+		err := c.withDeadline(&c.rs, func() error {
 			var e error
-			kind, payload, e = wio.ReadFrame(c.r, c.buf)
+			kind, payload, e = c.fr.Read()
 			return e
 		})
 		if err != nil {
 			return 0, nil, c.werr(kind, err)
-		}
-		if cap(payload) > cap(c.buf) {
-			c.buf = payload[:0]
 		}
 		if kind == KHeartbeat {
 			if c.p != nil {
@@ -218,7 +260,7 @@ func (c *Conn) recv() (byte, []byte, error) {
 			if err := parseJSON(payload, &em); err != nil {
 				return 0, nil, c.werr(KErr, err)
 			}
-			return 0, nil, &WorkerError{Worker: c.id, Frame: KErr, Remote: true, Err: errors.New(em.Error)}
+			return 0, nil, &WorkerError{Worker: c.id, Frame: KErr, Remote: em.Code != ErrCodeSetup, Err: errors.New(em.Error)}
 		}
 		return kind, payload, nil
 	}
@@ -294,11 +336,19 @@ func NewPool(eps []Endpoint) *Pool {
 // addConnLocked wraps an endpoint into a new live idle connection. The
 // caller must hold mu (or be the constructor, before the pool is shared).
 func (p *Pool) addConnLocked(ep Endpoint) *Conn {
-	c := &Conn{id: len(p.all), ep: ep, bw: bufio.NewWriterSize(ep.W, 1<<16), r: bufio.NewReaderSize(ep.R, 1<<16), p: p}
-	if wd, ok := ep.W.(deadliner); ok {
-		if rd, ok := ep.R.(deadliner); ok {
-			c.wd, c.rd = wd, rd
-		}
+	c := &Conn{
+		id:  len(p.all),
+		ep:  ep,
+		bw:  bufio.NewWriterSize(ep.W, 1<<16),
+		fr:  wio.NewFrameReader(bufio.NewReaderSize(ep.R, 1<<16)),
+		rtt: ep.RTT,
+		p:   p,
+	}
+	if wd, ok := ep.W.(writeDeadliner); ok {
+		c.ws.set = wd.SetWriteDeadline
+	}
+	if rd, ok := ep.R.(readDeadliner); ok {
+		c.rs.set = rd.SetReadDeadline
 	}
 	p.all = append(p.all, c)
 	p.idle = append(p.idle, c)
@@ -526,8 +576,8 @@ func (p *Pool) put(c *Conn) {
 		p.mu.Unlock()
 		return
 	}
-	c.timeout = 0
-	c.jobDeadline = time.Time{}
+	c.rs.arm(0, 0)
+	c.ws.arm(0, 0)
 	p.idle = append(p.idle, c)
 	p.mu.Unlock()
 	p.cond.Signal()

@@ -84,6 +84,16 @@ const (
 	// the wrong job (a duplicated or replayed frame shows up as a sequence
 	// mismatch instead of silently corrupting the gather).
 	KAck byte = 15
+	// KSimSetup carries a SimSetup (JSON): bind the workload and schedules
+	// once per connection, so the pipelined KSimRange requests that follow
+	// stay tiny (a seed window instead of a full problem document). No
+	// direct response — a failed setup surfaces as KErr when the first
+	// range references it.
+	KSimSetup byte = 16
+	// KSimRange carries a SimRange (JSON): realize one seed window against
+	// the connection's current setup. Response: KAck, one KSimVec per
+	// schedule, KSimDone — the same stream shape as KSimJob.
+	KSimRange byte = 17
 )
 
 // SimJob asks a worker to realize one contiguous window of a Monte-Carlo
@@ -132,6 +142,43 @@ type CheckpointReq struct {
 // ErrMsg is a worker-side failure, shipped back in place of a response.
 type ErrMsg struct {
 	Error string `json:"error"`
+	// Code classifies machine-actionable failures. "setup" means a
+	// KSimRange referenced a setup the worker does not hold — the setup
+	// frame was lost in transit (or the worker is a fresh respawn) — which
+	// the coordinator treats as transient: discard the connection and
+	// reassign the range, rather than failing the job.
+	Code string `json:"code,omitempty"`
+}
+
+// ErrCodeSetup is the ErrMsg.Code for a range whose setup is missing.
+const ErrCodeSetup = "setup"
+
+// SimSetup binds a Monte-Carlo evaluation's static state — the workload,
+// the schedule set under common random numbers, and the engine knobs — to a
+// worker connection, so each subsequent SimRange ships only its seed
+// window. ID is coordinator-unique; a range echoing a different ID is
+// answered with a KErr coded "setup" (see ErrMsg.Code).
+type SimSetup struct {
+	ID        uint64             `json:"id"`
+	Workload  wio.WorkloadJSON   `json:"workload"`
+	Schedules []wio.ScheduleJSON `json:"schedules"`
+	// Antithetic, BatchSize and Workers mirror the SimJob fields: parity
+	// comes from each range's global Base, knobs never change result bits.
+	Antithetic bool `json:"antithetic,omitempty"`
+	BatchSize  int  `json:"batch_size,omitempty"`
+	Workers    int  `json:"workers,omitempty"`
+	// HeartbeatMillis asks the worker to pulse while computing each range.
+	HeartbeatMillis int `json:"heartbeat_millis,omitempty"`
+}
+
+// SimRange asks for one contiguous window of the setup's evaluation:
+// sim.RealizeSeeded(…, Seeds, Base) against the bound schedules. Seq is
+// echoed in the response's KAck, ordering the pipelined response streams.
+type SimRange struct {
+	Setup uint64   `json:"setup"`
+	Base  int      `json:"base"`
+	Seeds []uint64 `json:"seeds"`
+	Seq   uint64   `json:"seq,omitempty"`
 }
 
 // Genotype is a chromosome on the wire.

@@ -2,6 +2,7 @@ package dist
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -39,6 +40,20 @@ func (fw *frameWriter) sendJSON(kind byte, v any) error {
 	fw.mu.Lock()
 	defer fw.mu.Unlock()
 	if err := sendJSON(fw.w, kind, v); err != nil {
+		return err
+	}
+	return fw.w.Flush()
+}
+
+// batch runs fn against the locked write buffer and flushes once at the
+// end — the write-coalescing path: a whole response sequence (ack, vector
+// frames, done marker) leaves in one flush, one syscall, one packet train,
+// instead of a flush per frame. A mid-batch error can only come from the
+// underlying writer failing, at which point the stream is dead anyway.
+func (fw *frameWriter) batch(fn func(w *bufio.Writer) error) error {
+	fw.mu.Lock()
+	defer fw.mu.Unlock()
+	if err := fn(fw.w); err != nil {
 		return err
 	}
 	return fw.w.Flush()
@@ -92,20 +107,56 @@ func withHeartbeat(fw *frameWriter, millis int, compute func() error) error {
 // re-executing, so a transport that duplicates frames cannot advance an
 // island twice (at-most-once semantics; Seq 0 disables the check).
 func ServeWorker(r io.Reader, w io.Writer) error {
+	return serveWorker(r, w, nil, nil)
+}
+
+// drained reports whether the drain channel (nil when graceful shutdown is
+// not wired) has fired.
+func drained(drain <-chan struct{}) bool {
+	if drain == nil {
+		return false
+	}
+	select {
+	case <-drain:
+		return true
+	default:
+		return false
+	}
+}
+
+// serveWorker is the serve loop behind ServeWorker and the graceful-stop
+// transports. When drain is non-nil and fires, interrupt is invoked once to
+// unblock the pending between-requests read (closing the transport's read
+// direction or arming an immediate read deadline — writes must survive, so
+// the in-flight operation still answers and flushes); the loop then exits
+// cleanly instead of treating the unblocked read's error as a failure.
+func serveWorker(r io.Reader, w io.Writer, drain <-chan struct{}, interrupt func()) error {
 	br := bufio.NewReaderSize(r, 1<<16)
 	fw := &frameWriter{w: bufio.NewWriterSize(w, 1<<16)}
-	var buf []byte
+	fr := wio.NewFrameReader(br)
 	var host *islandHost
+	var setup *simState
+	if drain != nil && interrupt != nil {
+		done := make(chan struct{})
+		defer close(done)
+		go func() {
+			select {
+			case <-drain:
+				interrupt()
+			case <-done:
+			}
+		}()
+	}
 	for {
-		kind, payload, err := wio.ReadFrame(br, buf)
+		kind, payload, err := fr.Read()
 		if err == io.EOF {
 			return nil // coordinator closed between frames: clean exit
 		}
 		if err != nil {
+			if drained(drain) {
+				return nil // graceful stop unblocked the idle read
+			}
 			return fmt.Errorf("dist: worker read: %w", err)
-		}
-		if cap(payload) > cap(buf) {
-			buf = payload[:0]
 		}
 		var jobErr error
 		switch kind {
@@ -113,6 +164,10 @@ func ServeWorker(r io.Reader, w io.Writer) error {
 			return nil
 		case KSimJob:
 			jobErr = handleSimJob(fw, payload)
+		case KSimSetup:
+			setup, jobErr = newSimState(payload)
+		case KSimRange:
+			jobErr = handleSimRange(fw, setup, payload)
 		case KIslandInit:
 			host, jobErr = newIslandHost(payload)
 			if jobErr == nil {
@@ -133,9 +188,17 @@ func ServeWorker(r io.Reader, w io.Writer) error {
 		if jobErr != nil {
 			// Report and keep serving. If even the error frame cannot be
 			// written the pipe is gone and the loop must end.
-			if err := fw.sendJSON(KErr, ErrMsg{Error: jobErr.Error()}); err != nil {
+			em := ErrMsg{Error: jobErr.Error()}
+			var se *setupError
+			if errors.As(jobErr, &se) {
+				em.Code = ErrCodeSetup
+			}
+			if err := fw.sendJSON(KErr, em); err != nil {
 				return err
 			}
+		}
+		if drained(drain) {
+			return nil // graceful stop: the in-flight op answered; exit
 		}
 	}
 }
@@ -179,6 +242,85 @@ func handleSimJob(fw *frameWriter, payload []byte) error {
 		}
 	}
 	return fw.write(KSimDone, nil)
+}
+
+// simState is the per-connection sim setup bound by KSimSetup: the decoded
+// workload and schedules every subsequent KSimRange realizes against.
+type simState struct {
+	id       uint64
+	ss       []*schedule.Schedule
+	opt      sim.Options
+	hbMillis int
+}
+
+// setupError marks a range that referenced a setup this worker does not
+// hold — the setup frame was lost in transit. Reported back with
+// ErrMsg.Code "setup" so the coordinator reassigns rather than aborts.
+type setupError struct{ id uint64 }
+
+func (e *setupError) Error() string {
+	return fmt.Sprintf("dist: no setup %d bound to this connection", e.id)
+}
+
+// newSimState decodes and binds a KSimSetup. No response frame: the setup
+// is validated here, and a bad one surfaces as the KErr this handler's
+// error becomes — which the coordinator receives in place of the first
+// range's ack.
+func newSimState(payload []byte) (*simState, error) {
+	var su SimSetup
+	if err := parseJSON(payload, &su); err != nil {
+		return nil, err
+	}
+	wl, err := su.Workload.Build()
+	if err != nil {
+		return nil, err
+	}
+	ss := make([]*schedule.Schedule, len(su.Schedules))
+	for i, doc := range su.Schedules {
+		if ss[i], err = doc.Bind(wl); err != nil {
+			return nil, err
+		}
+	}
+	return &simState{
+		id:       su.ID,
+		ss:       ss,
+		opt:      sim.Options{Antithetic: su.Antithetic, BatchSize: su.BatchSize, Workers: su.Workers},
+		hbMillis: su.HeartbeatMillis,
+	}, nil
+}
+
+// handleSimRange realizes one pipelined seed window against the bound
+// setup and streams the response — KAck, one KSimVec per schedule, KSimDone
+// — in a single coalesced flush. Everything is computed before the first
+// response byte, so a failure never leaves a half-written sequence.
+func handleSimRange(fw *frameWriter, setup *simState, payload []byte) error {
+	var req SimRange
+	if err := parseJSON(payload, &req); err != nil {
+		return err
+	}
+	if setup == nil || setup.id != req.Setup {
+		return &setupError{req.Setup}
+	}
+	var mks [][]float64
+	err := withHeartbeat(fw, setup.hbMillis, func() error {
+		var err error
+		mks, err = sim.RealizeSeeded(setup.ss, setup.opt, req.Seeds, req.Base)
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	return fw.batch(func(w *bufio.Writer) error {
+		if err := sendJSON(w, KAck, Ack{Seq: req.Seq}); err != nil {
+			return err
+		}
+		for j, v := range mks {
+			if err := wio.WriteFrame(w, KSimVec, encodeVec(j, v)); err != nil {
+				return err
+			}
+		}
+		return wio.WriteFrame(w, KSimDone, nil)
+	})
 }
 
 func handleEpoch(fw *frameWriter, host *islandHost, payload []byte) error {

@@ -48,8 +48,12 @@ func (e *FrameError) Error() string { return "wio: bad frame: " + e.Reason }
 // including a flip that turns one valid frame kind into another — fails
 // verification.
 func frameSum(kind byte, payload []byte) uint32 {
-	sum := crc32.ChecksumIEEE([]byte{kind})
-	return crc32.Update(sum, crc32.IEEETable, payload)
+	// One manual table step folds the kind byte in without building a
+	// single-byte slice (which escapes): crc32.Update(0, tab, []byte{kind})
+	// written out as the reflected-CRC recurrence.
+	crc := ^uint32(0)
+	crc = crc32.IEEETable[byte(crc)^kind] ^ (crc >> 8)
+	return crc32.Update(^crc, crc32.IEEETable, payload)
 }
 
 func buildHeader(kind byte, payload []byte) [frameHeader]byte {
@@ -93,6 +97,49 @@ func AppendFrame(dst []byte, kind byte, payload []byte) ([]byte, error) {
 	return append(dst, payload...), nil
 }
 
+// readHeader reads and validates one frame header into hdr (caller-supplied
+// so a long-lived reader pays no per-frame allocation for it), returning the
+// kind, the payload length and the expected checksum. A clean EOF before any
+// header byte surfaces as io.EOF — the peer closed between frames.
+func readHeader(r io.Reader, hdr *[frameHeader]byte) (kind byte, n uint32, sum uint32, err error) {
+	if _, err := io.ReadFull(r, hdr[:1]); err != nil {
+		return 0, 0, 0, err // io.EOF here means "no more frames"
+	}
+	if _, err := io.ReadFull(r, hdr[1:]); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return 0, 0, 0, err
+	}
+	if hdr[0] != frameMagic0 || hdr[1] != frameMagic1 {
+		return 0, 0, 0, &FrameError{fmt.Sprintf("magic %#02x%02x", hdr[0], hdr[1])}
+	}
+	if hdr[2] != frameVersion {
+		return 0, 0, 0, &FrameError{fmt.Sprintf("version %d (want %d)", hdr[2], frameVersion)}
+	}
+	n = binary.LittleEndian.Uint32(hdr[4:])
+	if n > MaxFramePayload {
+		return 0, 0, 0, &FrameError{fmt.Sprintf("payload %d exceeds %d bytes", n, MaxFramePayload)}
+	}
+	return hdr[3], n, binary.LittleEndian.Uint32(hdr[8:]), nil
+}
+
+// readPayload fills payload from r and verifies the frame checksum.
+func readPayload(r io.Reader, kind byte, payload []byte, sum uint32) error {
+	if len(payload) > 0 {
+		if _, err := io.ReadFull(r, payload); err != nil {
+			if err == io.EOF {
+				err = io.ErrUnexpectedEOF
+			}
+			return err
+		}
+	}
+	if got := frameSum(kind, payload); got != sum {
+		return &FrameError{fmt.Sprintf("checksum %#08x (want %#08x)", got, sum)}
+	}
+	return nil
+}
+
 // ReadFrame reads one frame, reusing buf for the payload when it is large
 // enough (pass nil to always allocate). A clean EOF before any header byte
 // surfaces as io.EOF — the peer closed between frames; a header with the
@@ -101,40 +148,60 @@ func AppendFrame(dst []byte, kind byte, payload []byte) ([]byte, error) {
 // io.ErrUnexpectedEOF.
 func ReadFrame(r io.Reader, buf []byte) (kind byte, payload []byte, err error) {
 	var hdr [frameHeader]byte
-	if _, err := io.ReadFull(r, hdr[:1]); err != nil {
-		return 0, nil, err // io.EOF here means "no more frames"
-	}
-	if _, err := io.ReadFull(r, hdr[1:]); err != nil {
-		if err == io.EOF {
-			err = io.ErrUnexpectedEOF
-		}
+	kind, n, sum, err := readHeader(r, &hdr)
+	if err != nil {
 		return 0, nil, err
-	}
-	if hdr[0] != frameMagic0 || hdr[1] != frameMagic1 {
-		return 0, nil, &FrameError{fmt.Sprintf("magic %#02x%02x", hdr[0], hdr[1])}
-	}
-	if hdr[2] != frameVersion {
-		return 0, nil, &FrameError{fmt.Sprintf("version %d (want %d)", hdr[2], frameVersion)}
-	}
-	n := binary.LittleEndian.Uint32(hdr[4:])
-	if n > MaxFramePayload {
-		return 0, nil, &FrameError{fmt.Sprintf("payload %d exceeds %d bytes", n, MaxFramePayload)}
 	}
 	if int(n) <= cap(buf) {
 		payload = buf[:n]
 	} else {
 		payload = make([]byte, n)
 	}
-	if n > 0 {
-		if _, err := io.ReadFull(r, payload); err != nil {
-			if err == io.EOF {
-				err = io.ErrUnexpectedEOF
-			}
-			return 0, nil, err
+	if err := readPayload(r, kind, payload, sum); err != nil {
+		return 0, nil, err
+	}
+	return kind, payload, nil
+}
+
+// FrameReader reads frames from one stream, owning a payload buffer that is
+// reused across calls and grown geometrically — the steady state of a long
+// vector stream reads every frame with zero allocations, where bare
+// ReadFrame calls with an exact-fit buffer reallocate on every size
+// increase. The returned payload aliases the internal buffer and is valid
+// only until the next Read.
+type FrameReader struct {
+	r   io.Reader
+	buf []byte
+	hdr [frameHeader]byte
+}
+
+// NewFrameReader wraps r. Callers wanting buffered I/O should pass a
+// *bufio.Reader; FrameReader only manages the payload buffer.
+func NewFrameReader(r io.Reader) *FrameReader { return &FrameReader{r: r} }
+
+// Read reads one frame with ReadFrame's exact error contract. The payload
+// is valid until the next Read.
+func (fr *FrameReader) Read() (kind byte, payload []byte, err error) {
+	kind, n, sum, err := readHeader(fr.r, &fr.hdr)
+	if err != nil {
+		return 0, nil, err
+	}
+	if int(n) > cap(fr.buf) {
+		newCap := 2 * cap(fr.buf)
+		if newCap < int(n) {
+			newCap = int(n)
 		}
+		if newCap < 512 {
+			newCap = 512
+		}
+		if newCap > MaxFramePayload {
+			newCap = MaxFramePayload
+		}
+		fr.buf = make([]byte, newCap)
 	}
-	if want, got := binary.LittleEndian.Uint32(hdr[8:]), frameSum(hdr[3], payload); got != want {
-		return 0, nil, &FrameError{fmt.Sprintf("checksum %#08x (want %#08x)", got, want)}
+	payload = fr.buf[:n]
+	if err := readPayload(fr.r, kind, payload, sum); err != nil {
+		return 0, nil, err
 	}
-	return hdr[3], payload, nil
+	return kind, payload, nil
 }

@@ -116,3 +116,98 @@ func TestFrameReadErrors(t *testing.T) {
 		t.Errorf("empty stream: %v, want io.EOF", err)
 	}
 }
+
+// TestFrameReaderRoundTrip: FrameReader returns the same frames and errors
+// as bare ReadFrame, growing its buffer across mixed payload sizes, with
+// the payload aliasing the internal buffer between calls.
+func TestFrameReaderRoundTrip(t *testing.T) {
+	payloads := [][]byte{
+		nil,
+		[]byte("hello"),
+		bytes.Repeat([]byte{0xCD}, 1<<12),
+		[]byte("small again"),
+		bytes.Repeat([]byte{0x11}, 1<<14),
+	}
+	var buf bytes.Buffer
+	for kind, p := range payloads {
+		if err := WriteFrame(&buf, byte(kind), p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fr := NewFrameReader(&buf)
+	for kind, want := range payloads {
+		k, got, err := fr.Read()
+		if err != nil {
+			t.Fatalf("frame %d: %v", kind, err)
+		}
+		if int(k) != kind || !bytes.Equal(got, want) {
+			t.Fatalf("frame %d: kind %d, %d bytes (want %d)", kind, k, len(got), len(want))
+		}
+	}
+	if _, _, err := fr.Read(); err != io.EOF {
+		t.Fatalf("drained stream returned %v, want io.EOF", err)
+	}
+	// Error contract matches ReadFrame's.
+	bad := []byte{'x', 'b', 2, 0, 0, 0, 0, 0, 0, 0, 0, 0}
+	var fe *FrameError
+	if _, _, err := NewFrameReader(bytes.NewReader(bad)).Read(); !errors.As(err, &fe) {
+		t.Fatalf("bad magic returned %v, want *FrameError", err)
+	}
+}
+
+// TestFrameReaderSteadyStateAllocs pins the hot-path property the dist
+// vector stream depends on: once the buffer has grown to the stream's frame
+// size, reading a frame allocates nothing.
+func TestFrameReaderSteadyStateAllocs(t *testing.T) {
+	var one bytes.Buffer
+	if err := WriteFrame(&one, 2, bytes.Repeat([]byte{0x3F}, 4096)); err != nil {
+		t.Fatal(err)
+	}
+	raw := one.Bytes()
+	r := bytes.NewReader(raw)
+	fr := NewFrameReader(r)
+	if _, _, err := fr.Read(); err != nil { // warm the buffer
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		r.Reset(raw)
+		if _, _, err := fr.Read(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 0 {
+		t.Errorf("steady-state Read allocates %.1f objects/frame, want 0", allocs)
+	}
+}
+
+// BenchmarkReadFrame contrasts the per-call allocation of bare ReadFrame
+// (nil buffer: one payload allocation per frame) with FrameReader's reused
+// buffer (zero steady-state allocations). Run with -benchmem.
+func BenchmarkReadFrame(b *testing.B) {
+	var one bytes.Buffer
+	if err := WriteFrame(&one, 2, bytes.Repeat([]byte{0x3F}, 8+8*1024)); err != nil {
+		b.Fatal(err)
+	}
+	raw := one.Bytes()
+	b.Run("alloc", func(b *testing.B) {
+		r := bytes.NewReader(raw)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			r.Reset(raw)
+			if _, _, err := ReadFrame(r, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("reader", func(b *testing.B) {
+		r := bytes.NewReader(raw)
+		fr := NewFrameReader(r)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			r.Reset(raw)
+			if _, _, err := fr.Read(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
