@@ -17,7 +17,10 @@
 # loopback-TCP lanes (the socket tax vs subprocess pipes — acceptance is
 # within ~10%) and the pipeline latency matrix (injected 0/1/5/20ms RTT,
 # strict depth-1 dispatch vs the RTT-derived credit window — pipelined
-# must hold ≥2× depth-1 at 5ms).
+# must hold ≥2× depth-1 at 5ms). The scenario matrix (paper-scale
+# Monte-Carlo evaluation for every workload family × duration model —
+# workflow shapes and the general sampling path priced next to the
+# random-uniform lane BENCH_sim tracks) goes to BENCH_scenarios.json.
 # Run from the repo root; pass extra `go test` flags (e.g. -benchtime 10x)
 # as arguments. Re-running on the same commit replaces that commit's entry
 # in each trajectory instead of appending a duplicate.
@@ -59,3 +62,9 @@ go test -run '^$' \
     -benchmem "$@" ./internal/dist \
   | tee /dev/stderr \
   | go run ./cmd/benchjson -o BENCH_dist.json -note "$(nproc) cores"
+
+go test -run '^$' \
+    -bench 'BenchmarkScenarioEvaluateAll' \
+    -benchmem "$@" ./internal/scenario \
+  | tee /dev/stderr \
+  | go run ./cmd/benchjson -o BENCH_scenarios.json

@@ -1,13 +1,14 @@
 // Command dagen generates workload instances: random layered DAGs with the
-// paper's parameters, or structured graphs (Gaussian elimination, FFT,
-// fork-join, stencil), written as JSON workloads and optionally as
-// Graphviz DOT.
+// paper's parameters, structured graphs (Gaussian elimination, FFT,
+// fork-join, stencil), or scientific-workflow shapes (Montage, Epigenomics,
+// CyberShake), written as JSON workloads and optionally as Graphviz DOT.
 //
 // Examples:
 //
 //	dagen -n 100 -m 8 -ul 4 -out w.json
 //	dagen -kind gauss -k 6 -m 4 -out gauss.json -dot gauss.dot
 //	dagen -kind fft -stages 4 -m 8 -out fft.json
+//	dagen -shape montage -width 8 -m 4 -out montage.json
 package main
 
 import (
@@ -15,6 +16,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
 
 	"robsched/internal/dag"
 	"robsched/internal/gen"
@@ -47,7 +49,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		meanUL = fs.Float64("ul", 2.0, "mean uncertainty level")
 		cc     = fs.Float64("cc", 20, "average computation cost")
 		ccr    = fs.Float64("ccr", 0.1, "communication-to-computation ratio")
-		shape  = fs.Float64("shape", 1.0, "graph shape α (random kind)")
+		shape  = fs.String("shape", "1.0", "graph shape α (random kind), or a workflow family: montage, epigenomics, cybershake (uses -width)")
 		vtask  = fs.Float64("vtask", 0.5, "task heterogeneity COV")
 		vmach  = fs.Float64("vmach", 0.5, "machine heterogeneity COV")
 		outP   = fs.String("out", "", "output workload JSON path (stdout when empty)")
@@ -58,46 +60,66 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 
 	r := rng.New(*seed)
-	var (
-		g   *dag.Graph
-		err error
-	)
 	p := gen.PaperParams()
 	p.N, p.M = *n, *m
-	p.MeanUL, p.CC, p.CCR, p.Shape = *meanUL, *cc, *ccr, *shape
+	p.MeanUL, p.CC, p.CCR = *meanUL, *cc, *ccr
 	p.VTask, p.VMach = *vtask, *vmach
-	commData := *cc * *ccr // uniform edge data for structured graphs
-	switch *kind {
-	case "random":
-		g, err = gen.RandomGraph(p, r)
-	case "gauss":
-		g, err = gen.GaussianElimination(*k, commData)
-	case "fft":
-		g, err = gen.FFT(*stages, commData)
-	case "forkjoin":
-		g, err = gen.ForkJoin(*width, *stages, commData)
-	case "stencil":
-		g, err = gen.Stencil(*width, *depth, commData)
-	case "outtree":
-		g, err = gen.OutTree(*n, *width, commData, r)
-	case "intree":
-		g, err = gen.InTree(*n, *width, commData, r)
-	case "seriesparallel":
-		g, err = gen.SeriesParallel(*n, commData, r)
-	case "paper-example":
-		g = gen.PaperExampleGraph(commData)
-	default:
-		return fmt.Errorf("unknown -kind %q", *kind)
-	}
-	if err != nil {
-		return err
-	}
 
-	bcet := gen.ExecMatrix(g.N(), *m, *cc, *vtask, *vmach, r)
-	ul := gen.ULMatrix(g.N(), *m, *meanUL, p.V1, p.V2, r)
-	w, err := platform.NewWorkload(g, platform.UniformSystem(*m, p.Rate), bcet, ul)
-	if err != nil {
-		return err
+	var (
+		w        *platform.Workload
+		g        *dag.Graph
+		err      error
+		kindName = *kind
+	)
+	if alpha, ferr := strconv.ParseFloat(*shape, 64); ferr == nil {
+		p.Shape = alpha // numeric -shape is the random kind's α, as before
+	} else if *kind != "random" {
+		return fmt.Errorf("-shape %q names a workflow family and conflicts with -kind %q", *shape, *kind)
+	} else {
+		// A non-numeric -shape selects a scientific-workflow family, which
+		// builds the whole workload (graph, edge data and cost matrices
+		// follow the family's per-stage profiles) at parallel width -width.
+		w, _, err = gen.WorkflowByName(*shape, *width, p, r)
+		if err != nil {
+			return err
+		}
+		g = w.G
+		kindName = *shape
+	}
+	if w == nil {
+		commData := *cc * *ccr // uniform edge data for structured graphs
+		switch *kind {
+		case "random":
+			g, err = gen.RandomGraph(p, r)
+		case "gauss":
+			g, err = gen.GaussianElimination(*k, commData)
+		case "fft":
+			g, err = gen.FFT(*stages, commData)
+		case "forkjoin":
+			g, err = gen.ForkJoin(*width, *stages, commData)
+		case "stencil":
+			g, err = gen.Stencil(*width, *depth, commData)
+		case "outtree":
+			g, err = gen.OutTree(*n, *width, commData, r)
+		case "intree":
+			g, err = gen.InTree(*n, *width, commData, r)
+		case "seriesparallel":
+			g, err = gen.SeriesParallel(*n, commData, r)
+		case "paper-example":
+			g = gen.PaperExampleGraph(commData)
+		default:
+			return fmt.Errorf("unknown -kind %q", *kind)
+		}
+		if err != nil {
+			return err
+		}
+
+		bcet := gen.ExecMatrix(g.N(), *m, *cc, *vtask, *vmach, r)
+		ul := gen.ULMatrix(g.N(), *m, *meanUL, p.V1, p.V2, r)
+		w, err = platform.NewWorkload(g, platform.UniformSystem(*m, p.Rate), bcet, ul)
+		if err != nil {
+			return err
+		}
 	}
 
 	out := stdout
@@ -114,10 +136,10 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	if *outP != "" {
 		fmt.Fprintf(stderr, "dagen: %s workload with %d tasks, %d edges, %d processors -> %s\n",
-			*kind, g.N(), g.EdgeCount(), *m, *outP)
+			kindName, g.N(), g.EdgeCount(), *m, *outP)
 	}
 	if *dotP != "" {
-		if err := os.WriteFile(*dotP, []byte(g.Dot(*kind)), 0o644); err != nil {
+		if err := os.WriteFile(*dotP, []byte(g.Dot(kindName)), 0o644); err != nil {
 			return err
 		}
 	}

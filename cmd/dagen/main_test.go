@@ -23,6 +23,9 @@ func TestGoldenWorkloads(t *testing.T) {
 	}{
 		{"random", []string{"-kind", "random", "-n", "15", "-m", "3", "-seed", "3"}},
 		{"gauss", []string{"-kind", "gauss", "-k", "4", "-m", "3", "-seed", "7"}},
+		{"montage", []string{"-shape", "montage", "-width", "4", "-m", "3", "-seed", "9"}},
+		{"epigenomics", []string{"-shape", "epigenomics", "-width", "4", "-m", "3", "-seed", "9"}},
+		{"cybershake", []string{"-shape", "cybershake", "-width", "5", "-m", "3", "-seed", "9"}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -112,5 +115,24 @@ func TestDagenBadKind(t *testing.T) {
 	}
 	if want := fmt.Sprintf("unknown -kind %q", "nope"); err.Error() != want {
 		t.Errorf("error %q, want %q", err, want)
+	}
+}
+
+// TestDagenShapeFlag covers the overloaded -shape: numeric values remain the
+// random kind's α, workflow family names build the family, anything else
+// (or a family combined with a structured -kind) is rejected.
+func TestDagenShapeFlag(t *testing.T) {
+	var out, errb bytes.Buffer
+	if err := run([]string{"-n", "12", "-m", "2", "-shape", "0.5", "-seed", "2"}, &out, &errb); err != nil {
+		t.Fatalf("numeric -shape rejected: %v", err)
+	}
+	if _, err := wio.ReadWorkload(bytes.NewReader(out.Bytes())); err != nil {
+		t.Fatalf("numeric -shape output does not parse: %v", err)
+	}
+	if err := run([]string{"-shape", "pegasus"}, &out, &errb); err == nil {
+		t.Error("unknown workflow family accepted")
+	}
+	if err := run([]string{"-kind", "gauss", "-shape", "montage"}, &out, &errb); err == nil {
+		t.Error("workflow -shape with structured -kind accepted")
 	}
 }

@@ -16,6 +16,8 @@
 //	experiments -fig all -scale paper    # the published scale (hours!)
 //	experiments -fig 5 -csv out/         # also write out/fig5.csv
 //	experiments -fig 4 -shards 4         # Monte-Carlo over 4 worker processes
+//	experiments -fig 4 -scenario montage-lognormal   # workflow shape + heavy tails
+//	experiments -corrgap -scenario epigenomics       # correlated-load robustness gap
 //
 // `experiments worker` runs the scatter/gather worker loop on stdin/stdout
 // (-shards spawns these subprocesses automatically) or, with -listen, on a
@@ -34,6 +36,7 @@ import (
 	"robsched/internal/experiments"
 	"robsched/internal/obs"
 	"robsched/internal/robust"
+	"robsched/internal/scenario"
 	"robsched/internal/viz"
 )
 
@@ -58,6 +61,8 @@ func run() error {
 		ablation     = flag.String("ablation", "", "ablation to run instead/in addition: seed, slackmetric, risk, policies, or all")
 		sensitivity  = flag.String("sensitivity", "", "sensitivity sweep to run: ccr, shape, procs")
 		faultExp     = flag.Bool("faults", false, "run the slack-vs-fault-resilience experiment")
+		corrGap      = flag.Bool("corrgap", false, "run the correlated-load robustness-gap experiment: the same schedules under independent vs shared per-processor load at equal marginal variance")
+		scenName     = flag.String("scenario", "", "named scenario `family[-model]` (montage-lognormal, cybershake-pareto, random-correlated, ...; see internal/scenario): workload family and duration model for every runner (empty = the paper's path)")
 		mtbf         = flag.Float64("mtbf", 2.0, "fault experiment: MTBF per processor in multiples of the HEFT makespan")
 		retries      = flag.Int("retries", 2, "fault experiment: max retries per killed task")
 		drop         = flag.Float64("drop", 4.0, "fault experiment: drop non-critical tasks starting past this multiple of M0 (0 disables)")
@@ -136,6 +141,13 @@ func run() error {
 	if *mProcs > 0 {
 		cfg.Gen.M = *mProcs
 	}
+	if *scenName != "" {
+		sc, err := scenario.Lookup(*scenName)
+		if err != nil {
+			return err
+		}
+		cfg.Scenario = &sc
+	}
 	if *shards > 0 && *remote != "" {
 		return fmt.Errorf("-shards and -remote are mutually exclusive: local subprocesses or remote TCP workers, not both")
 	}
@@ -188,7 +200,7 @@ func run() error {
 
 	want := map[string]bool{}
 	switch {
-	case *fig == "all" && (*ablation != "" || *sensitivity != "" || *faultExp):
+	case *fig == "all" && (*ablation != "" || *sensitivity != "" || *faultExp || *corrGap):
 		// -ablation alone runs only the ablations unless figures are also
 		// requested explicitly.
 	case *fig == "all":
@@ -397,6 +409,19 @@ func run() error {
 		}
 		fmt.Print(res.String())
 		fmt.Println()
+	}
+	if *corrGap {
+		fmt.Fprintf(os.Stderr, "experiments: running correlated-load gap experiment (%d graphs)...\n", cfg.Graphs)
+		res, err := cfg.CorrelationGap(experiments.DefaultCorrGapConfig())
+		if err != nil {
+			return err
+		}
+		fmt.Print(res.String())
+		fmt.Println()
+		title := fmt.Sprintf("Correlated vs independent load — mean relative tardiness (family %s)", res.Family)
+		if err := emit("corrgap", title, "loadCOV", res.Series()); err != nil {
+			return err
+		}
 	}
 	if *csvDir != "" {
 		// Every CSV-producing run leaves its provenance next to the data:

@@ -14,6 +14,7 @@
 //
 //	robsched -n 100 -m 8 -ul 4 -scheduler ga -eps 1.4
 //	robsched -workload w.json -scheduler heft -gantt
+//	robsched -scenario montage-lognormal -n 100 -m 8 -scheduler ga
 //	robsched -n 50 -scheduler ga -mode maxslack -out schedule.json
 //	robsched -n 100 -scheduler ga -shards 4                 # sharded Monte-Carlo
 //	robsched -n 100 -scheduler ga -shards 4 -islands 4      # sharded GA islands
@@ -42,6 +43,7 @@ import (
 	"robsched/internal/repair"
 	"robsched/internal/rng"
 	"robsched/internal/robust"
+	"robsched/internal/scenario"
 	"robsched/internal/schedule"
 	"robsched/internal/sim"
 	"robsched/internal/stoch"
@@ -85,6 +87,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		cc           = fs.Float64("cc", 20, "average computation cost")
 		ccr          = fs.Float64("ccr", 0.1, "communication-to-computation ratio")
 		shape        = fs.Float64("shape", 1.0, "graph shape parameter α")
+		scenName     = fs.String("scenario", "", "named scenario `family[-model]` (montage-lognormal, cybershake-pareto, random-correlated, ...; see internal/scenario): selects the workload family and the Monte-Carlo duration model (empty = the paper's path)")
 		scheduler    = fs.String("scheduler", "ga", "scheduler: heft, heft-noins, risk-heft, cpop, peft, minmin, maxmin, random, ga, weighted, anneal")
 		risk         = fs.Float64("risk", 1.0, "risk factor k of risk-heft (durations E[c]+k·σ)")
 		weight       = fs.Float64("weight", 0.5, "makespan weight of the weighted-sum scheduler")
@@ -147,7 +150,21 @@ func run(args []string, stdout, stderr io.Writer) error {
 		fmt.Fprintf(stderr, "pprof serving on http://%s/debug/pprof/\n", addr)
 	}
 
-	w, err := loadOrGenerate(*workloadPath, *n, *m, *seed, *meanUL, *cc, *ccr, *shape)
+	// -scenario swaps both ends of the pipeline: the workload family the
+	// generator builds and the duration model the Monte-Carlo evaluation
+	// samples from. Empty leaves the paper's path bit-identical.
+	var scen *scenario.Scenario
+	if *scenName != "" {
+		if *workloadPath != "" {
+			return fmt.Errorf("-scenario generates the workload and conflicts with -workload")
+		}
+		sc, err := scenario.Lookup(*scenName)
+		if err != nil {
+			return err
+		}
+		scen = &sc
+	}
+	w, err := loadOrGenerate(*workloadPath, *n, *m, *seed, *meanUL, *cc, *ccr, *shape, scen)
 	if err != nil {
 		return err
 	}
@@ -315,15 +332,21 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return err
 	}
 
-	ms, err := evalAll([]*schedule.Schedule{s, baseline},
-		sim.Options{Realizations: *realizations, Deadline: *deadline, Workers: *workers, Obs: reg, Trace: tracer},
-		rng.New(*seed^0xbeef))
+	simOpt := sim.Options{Realizations: *realizations, Deadline: *deadline, Workers: *workers, Obs: reg, Trace: tracer}
+	if scen != nil {
+		simOpt = scen.Apply(simOpt)
+	}
+	ms, err := evalAll([]*schedule.Schedule{s, baseline}, simOpt, rng.New(*seed^0xbeef))
 	if err != nil {
 		return err
 	}
 	if !*quiet {
 		fmt.Fprintf(stdout, "workload: %d tasks, %d processors, %d edges, CCR %.3g\n",
 			w.N(), w.M(), w.G.EdgeCount(), w.CCR())
+		if scen != nil {
+			fmt.Fprintf(stdout, "scenario: %s (family %s, durations %s)\n",
+				scen.Name, scen.Family, scen.Model)
+		}
 		fmt.Fprintf(stdout, "\n%-22s %12s %12s\n", "", *scheduler, "heft")
 		row := func(name string, a, b float64) {
 			fmt.Fprintf(stdout, "%-22s %12.4g %12.4g\n", name, a, b)
@@ -476,7 +499,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	return nil
 }
 
-func loadOrGenerate(path string, n, m int, seed uint64, ul, cc, ccr, shape float64) (*platform.Workload, error) {
+func loadOrGenerate(path string, n, m int, seed uint64, ul, cc, ccr, shape float64, scen *scenario.Scenario) (*platform.Workload, error) {
 	if path != "" {
 		f, err := os.Open(path)
 		if err != nil {
@@ -488,5 +511,8 @@ func loadOrGenerate(path string, n, m int, seed uint64, ul, cc, ccr, shape float
 	p := gen.PaperParams()
 	p.N, p.M = n, m
 	p.MeanUL, p.CC, p.CCR, p.Shape = ul, cc, ccr, shape
+	if scen != nil {
+		return scen.Workload(p, rng.New(seed))
+	}
 	return gen.Random(p, rng.New(seed))
 }

@@ -148,6 +148,39 @@ func TestTraceMatchesRun(t *testing.T) {
 	}
 }
 
+// TestGoldenScenarioRun pins the complete stdout of a -scenario run — a
+// workflow-shaped workload under a heavy-tailed duration model — against
+// testdata/scenario_run.golden. Refresh with: go test ./cmd/robsched -update
+func TestGoldenScenarioRun(t *testing.T) {
+	args := []string{
+		"-scenario", "montage-lognormal", "-n", "40", "-m", "3", "-seed", "5",
+		"-scheduler", "ga", "-generations", "30", "-pop", "12", "-stagnation", "0",
+		"-realizations", "200", "-workers", "1",
+	}
+	var out, errb bytes.Buffer
+	if err := run(args, &out, &errb); err != nil {
+		t.Fatalf("run: %v\nstderr:\n%s", err, errb.String())
+	}
+	got := out.String()
+	if !strings.Contains(got, "scenario: montage-lognormal (family montage, durations lognormal)") {
+		t.Errorf("stdout does not announce the scenario:\n%s", got)
+	}
+	golden := filepath.Join("testdata", "scenario_run.golden")
+	if *update {
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create)", err)
+	}
+	if got != string(want) {
+		t.Errorf("output differs from %s (refresh with -update):\n--- got ---\n%s\n--- want ---\n%s",
+			golden, got, want)
+	}
+}
+
 // TestRunBadFlags pins that errors surface through the run seam instead of
 // exiting the process.
 func TestRunBadFlags(t *testing.T) {
@@ -157,5 +190,11 @@ func TestRunBadFlags(t *testing.T) {
 	}
 	if err := run([]string{"-definitely-not-a-flag"}, &out, &errb); err == nil {
 		t.Error("unknown flag accepted")
+	}
+	if err := run([]string{"-scenario", "nope-uniform"}, &out, &errb); err == nil {
+		t.Error("unknown scenario accepted")
+	}
+	if err := run([]string{"-scenario", "montage", "-workload", "w.json"}, &out, &errb); err == nil {
+		t.Error("-scenario with -workload accepted")
 	}
 }

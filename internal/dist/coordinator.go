@@ -251,6 +251,10 @@ func (c *Coordinator) RealizeAll(ss []*schedule.Schedule, opt sim.Options, root 
 			Antithetic:      opt.Antithetic,
 			BatchSize:       opt.BatchSize,
 			Workers:         opt.Workers,
+			Model:           opt.Model,
+			Corr:            opt.Corr,
+			LoadCOV:         opt.LoadCOV,
+			ParetoShape:     opt.ParetoShape,
 			HeartbeatMillis: c.heartbeatMillis(),
 		},
 		committed: make([]bool, len(ranges)),
@@ -282,7 +286,10 @@ func (c *Coordinator) RealizeAll(ss []*schedule.Schedule, opt sim.Options, root 
 	// Inline drain: whatever the pool could not finish (exhausted, closed,
 	// or empty from the start) is realized in-process — identical vectors by
 	// construction.
-	wOpt := sim.Options{Antithetic: opt.Antithetic, BatchSize: opt.BatchSize, Workers: opt.Workers}
+	wOpt := sim.Options{
+		Antithetic: opt.Antithetic, BatchSize: opt.BatchSize, Workers: opt.Workers,
+		Model: opt.Model, Corr: opt.Corr, LoadCOV: opt.LoadCOV, ParetoShape: opt.ParetoShape,
+	}
 	for ri, sh := range ranges {
 		if d.committed[ri] {
 			continue

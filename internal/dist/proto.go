@@ -32,6 +32,7 @@ import (
 	"io"
 	"math"
 
+	"robsched/internal/sim"
 	"robsched/internal/wio"
 )
 
@@ -120,6 +121,14 @@ type SimJob struct {
 	// change a bit of the results.
 	BatchSize int `json:"batch_size,omitempty"`
 	Workers   int `json:"workers,omitempty"`
+	// Model, Corr, LoadCOV and ParetoShape select the scenario layer's
+	// duration model (sim.Options fields of the same names). All four are
+	// omitted at their zero values, so the default uniform-independent wire
+	// encoding is byte-identical to the pre-scenario protocol.
+	Model       sim.DurationModel `json:"model,omitempty"`
+	Corr        sim.Correlation   `json:"corr,omitempty"`
+	LoadCOV     float64           `json:"load_cov,omitempty"`
+	ParetoShape float64           `json:"pareto_shape,omitempty"`
 	// Seq is echoed back in the response's KAck frame; 0 disables the
 	// handshake (bare protocol tests).
 	Seq uint64 `json:"seq,omitempty"`
@@ -167,6 +176,12 @@ type SimSetup struct {
 	Antithetic bool `json:"antithetic,omitempty"`
 	BatchSize  int  `json:"batch_size,omitempty"`
 	Workers    int  `json:"workers,omitempty"`
+	// Model, Corr, LoadCOV and ParetoShape mirror the SimJob fields; zero
+	// values are omitted, keeping the default wire encoding unchanged.
+	Model       sim.DurationModel `json:"model,omitempty"`
+	Corr        sim.Correlation   `json:"corr,omitempty"`
+	LoadCOV     float64           `json:"load_cov,omitempty"`
+	ParetoShape float64           `json:"pareto_shape,omitempty"`
 	// HeartbeatMillis asks the worker to pulse while computing each range.
 	HeartbeatMillis int `json:"heartbeat_millis,omitempty"`
 }

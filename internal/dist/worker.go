@@ -226,7 +226,10 @@ func handleSimJob(fw *frameWriter, payload []byte) error {
 				return err
 			}
 		}
-		opt := sim.Options{Antithetic: job.Antithetic, BatchSize: job.BatchSize, Workers: job.Workers}
+		opt := sim.Options{
+			Antithetic: job.Antithetic, BatchSize: job.BatchSize, Workers: job.Workers,
+			Model: job.Model, Corr: job.Corr, LoadCOV: job.LoadCOV, ParetoShape: job.ParetoShape,
+		}
 		mks, err = sim.RealizeSeeded(ss, opt, job.Seeds, job.Base)
 		return err
 	})
@@ -282,9 +285,12 @@ func newSimState(payload []byte) (*simState, error) {
 		}
 	}
 	return &simState{
-		id:       su.ID,
-		ss:       ss,
-		opt:      sim.Options{Antithetic: su.Antithetic, BatchSize: su.BatchSize, Workers: su.Workers},
+		id: su.ID,
+		ss: ss,
+		opt: sim.Options{
+			Antithetic: su.Antithetic, BatchSize: su.BatchSize, Workers: su.Workers,
+			Model: su.Model, Corr: su.Corr, LoadCOV: su.LoadCOV, ParetoShape: su.ParetoShape,
+		},
 		hbMillis: su.HeartbeatMillis,
 	}, nil
 }

@@ -1,0 +1,149 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"robsched/internal/scenario"
+)
+
+// tinyCorrGapConfig shrinks the correlation-gap experiment to seconds.
+func tinyCorrGapConfig(t *testing.T) (Config, CorrGapConfig) {
+	t.Helper()
+	c := Default()
+	c.Graphs = 3
+	c.Realizations = 400
+	c.Gen.N = 30
+	c.GA.PopSize = 8
+	c.GA.MaxGenerations = 20
+	gc := CorrGapConfig{LoadCOVs: []float64{0.2, 0.5}}
+	return c, gc
+}
+
+func TestCorrelationGap(t *testing.T) {
+	c, gc := tinyCorrGapConfig(t)
+	res, err := c.CorrelationGap(gc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != len(gc.LoadCOVs) {
+		t.Fatalf("got %d rows, want %d", len(res.Rows), len(gc.LoadCOVs))
+	}
+	if res.Family != "random" {
+		t.Fatalf("family %q, want random", res.Family)
+	}
+	for _, row := range res.Rows {
+		for name, v := range map[string]float64{
+			"gaTardIndep":  row.GaTardIndep,
+			"gaTardShared": row.GaTardShared,
+			"gaP95Indep":   row.GaP95Indep,
+			"gaP95Shared":  row.GaP95Shared,
+			"heftP95":      row.HeftP95Indep,
+		} {
+			if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+				t.Fatalf("loadCOV=%g: %s = %g", row.LoadCOV, name, v)
+			}
+		}
+		// The headline regression: at equal marginal variance, correlated
+		// load strictly degrades tail behavior relative to independent noise.
+		if !(row.GaP95Shared > row.GaP95Indep) {
+			t.Errorf("loadCOV=%g: GA P95 shared %g !> indep %g",
+				row.LoadCOV, row.GaP95Shared, row.GaP95Indep)
+		}
+		if !(row.HeftP95Shared > row.HeftP95Indep) {
+			t.Errorf("loadCOV=%g: HEFT P95 shared %g !> indep %g",
+				row.LoadCOV, row.HeftP95Shared, row.HeftP95Indep)
+		}
+	}
+	// The gap must widen with the load COV (more shared variance, worse tail).
+	if !(res.Rows[1].GaP95Shared-res.Rows[1].GaP95Indep >
+		res.Rows[0].GaP95Shared-res.Rows[0].GaP95Indep) {
+		t.Errorf("correlation gap did not widen with load COV: %+v", res.Rows)
+	}
+
+	out := res.String()
+	for _, want := range []string{"loadCOV", "gaTardShr", "random"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table missing %q:\n%s", want, out)
+		}
+	}
+	if got := res.Series(); len(got) != 4 {
+		t.Fatalf("series count %d, want 4", len(got))
+	}
+
+	again, err := c.CorrelationGap(gc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.String() != out {
+		t.Fatal("correlation-gap experiment not reproducible")
+	}
+}
+
+func TestCorrelationGapScenarioFamily(t *testing.T) {
+	c, gc := tinyCorrGapConfig(t)
+	c.Graphs = 2
+	c.Realizations = 120
+	gc.LoadCOVs = []float64{0.4}
+	s, err := scenario.Lookup("montage")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Scenario = &s
+	res, err := c.CorrelationGap(gc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Family != "montage" {
+		t.Fatalf("family %q, want montage", res.Family)
+	}
+	if !(res.Rows[0].GaP95Shared > res.Rows[0].GaP95Indep) {
+		t.Errorf("montage: GA P95 shared %g !> indep %g",
+			res.Rows[0].GaP95Shared, res.Rows[0].GaP95Indep)
+	}
+}
+
+func TestCorrelationGapValidation(t *testing.T) {
+	c, gc := tinyCorrGapConfig(t)
+	gc.LoadCOVs = []float64{0.2, -1}
+	if _, err := c.CorrelationGap(gc); err == nil {
+		t.Error("negative LoadCOV accepted")
+	}
+	bad := c
+	bad.Graphs = 0
+	if _, err := bad.CorrelationGap(CorrGapConfig{}); err == nil {
+		t.Error("Graphs=0 accepted")
+	}
+}
+
+// TestScenarioConfigWiring pins the Config.Scenario plumbing: the workload
+// router swaps in the family generator, the sim overlay reaches simOptions,
+// and the manifest records the scenario name (and omits it by default).
+func TestScenarioConfigWiring(t *testing.T) {
+	c := Default()
+	if m := c.Manifest(nil); m.Config.Scenario != "" {
+		t.Errorf("default manifest carries scenario %q", m.Config.Scenario)
+	}
+	s, err := scenario.Lookup("epigenomics-lognormal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Scenario = &s
+	if m := c.Manifest(nil); m.Config.Scenario != "epigenomics-lognormal" {
+		t.Errorf("manifest scenario %q", m.Config.Scenario)
+	}
+	opt := c.simOptions()
+	if opt.Model.String() != "lognormal" {
+		t.Errorf("simOptions model %v, want lognormal", opt.Model)
+	}
+	w, err := c.workload(0, 0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Epigenomics emits 3W+4 tasks for derived width W — never more than
+	// the configured budget and structurally not a layered-random count.
+	if w.N() > c.Gen.N || (w.N()-4)%3 != 0 {
+		t.Errorf("scenario workload has %d tasks (budget %d)", w.N(), c.Gen.N)
+	}
+}

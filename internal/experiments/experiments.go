@@ -31,6 +31,7 @@ import (
 	"robsched/internal/platform"
 	"robsched/internal/rng"
 	"robsched/internal/robust"
+	"robsched/internal/scenario"
 	"robsched/internal/schedule"
 	"robsched/internal/sim"
 	"robsched/internal/stats"
@@ -76,6 +77,12 @@ type Config struct {
 	// coordinator is) or the tables change. It must be safe for concurrent
 	// calls: runners evaluate several graphs at once.
 	Sim func(ss []*schedule.Schedule, opt sim.Options, root *rng.Source) ([]sim.Metrics, error)
+	// Scenario, when non-nil, selects the workload family every runner
+	// generates (layered-random or a workflow shape) and the duration model
+	// every Monte-Carlo evaluation samples from (uniform, heavy-tailed,
+	// correlated — the -scenario flag of the CLIs). Nil is the paper's
+	// path, bit-identical to a config that never heard of scenarios.
+	Scenario *scenario.Scenario
 }
 
 // Default returns a configuration that reproduces every figure's shape in
@@ -165,9 +172,14 @@ func (c Config) gaOptions() robust.Options {
 }
 
 // simOptions returns the Monte-Carlo options every runner evaluates with,
-// carrying the experiment-wide telemetry sinks.
+// carrying the experiment-wide telemetry sinks and, when a scenario is
+// configured, its duration-model overlay.
 func (c Config) simOptions() sim.Options {
-	return sim.Options{Realizations: c.Realizations, Obs: c.Obs, Trace: c.Trace}
+	opt := sim.Options{Realizations: c.Realizations, Obs: c.Obs, Trace: c.Trace}
+	if c.Scenario != nil {
+		opt = c.Scenario.Apply(opt)
+	}
+	return opt
 }
 
 // evaluateAll runs the Monte-Carlo evaluation through the configured Sim
@@ -185,11 +197,17 @@ func (c Config) graphSeed(u, g int) uint64 {
 	return c.Seed ^ (uint64(u+1) * 0x9e3779b97f4a7c15) ^ (uint64(g+1) * 0xc2b2ae3d27d4eb4f)
 }
 
-// workload builds the g-th workload at the given mean uncertainty level.
+// workload builds the g-th workload at the given mean uncertainty level,
+// routed through the configured scenario's family generator (nil and the
+// "random" family both mean gen.Random, same draws, bit for bit).
 func (c Config) workload(u, g int, ul float64) (*platform.Workload, error) {
 	p := c.Gen
 	p.MeanUL = ul
-	return gen.Random(p, rng.New(c.graphSeed(u, g)))
+	r := rng.New(c.graphSeed(u, g))
+	if c.Scenario != nil {
+		return c.Scenario.Workload(p, r)
+	}
+	return gen.Random(p, r)
 }
 
 // Series is one named curve: aligned X and Y vectors.

@@ -49,6 +49,9 @@ type ManifestConfig struct {
 	Stagnation     int       `json:"stagnation"`
 	TraceEvery     int       `json:"trace_every"`
 	Workers        int       `json:"workers"`
+	// Scenario is the named scenario family ("montage-lognormal", ...);
+	// empty for the paper's default path.
+	Scenario string `json:"scenario,omitempty"`
 }
 
 // Manifest assembles the run manifest for this configuration. The registry
@@ -75,6 +78,9 @@ func (c Config) Manifest(reg *obs.Registry) Manifest {
 			TraceEvery:     c.TraceEvery,
 			Workers:        c.Workers,
 		},
+	}
+	if c.Scenario != nil {
+		m.Config.Scenario = c.Scenario.Name
 	}
 	if reg != nil {
 		snap := reg.Snapshot()

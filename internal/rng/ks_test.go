@@ -203,6 +203,128 @@ func TestKSGammaMeanCOV(t *testing.T) {
 	})
 }
 
+// TestKSLogNormal pins the inverse-CDF lognormal sampler against the
+// analytic CDF Φ((ln x − mu)/sigma) across both a narrow and a heavy-tailed
+// parameterization.
+func TestKSLogNormal(t *testing.T) {
+	cases := []struct {
+		mu, sigma float64
+		seed      uint64
+	}{
+		{0, 0.25, 112},
+		{1.5, 1.0, 113},
+	}
+	for _, tc := range cases {
+		r := New(tc.seed)
+		sample := make([]float64, ksN)
+		for i := range sample {
+			sample[i] = r.LogNormal(tc.mu, tc.sigma)
+		}
+		mu, sigma := tc.mu, tc.sigma
+		checkKS(t, "LogNormal", sample, func(x float64) float64 {
+			if x <= 0 {
+				return 0
+			}
+			return normalCDF(mu, sigma, math.Log(x))
+		})
+	}
+}
+
+// TestKSLogNormalMeanCOV pins the (mean, cov) parameterization by checking
+// the sample against the CDF derived from sigma² = ln(1+cov²),
+// mu = ln(mean) − sigma²/2, and the sample mean against the requested mean.
+func TestKSLogNormalMeanCOV(t *testing.T) {
+	const mean, cov = 1.0, 0.3
+	r := New(114)
+	sample := make([]float64, ksN)
+	sum := 0.0
+	for i := range sample {
+		sample[i] = r.LogNormalMeanCOV(mean, cov)
+		sum += sample[i]
+	}
+	sigma := math.Sqrt(math.Log(1 + cov*cov))
+	mu := math.Log(mean) - sigma*sigma/2
+	checkKS(t, "LogNormalMeanCOV(1,0.3)", sample, func(x float64) float64 {
+		if x <= 0 {
+			return 0
+		}
+		return normalCDF(mu, sigma, math.Log(x))
+	})
+	if got := sum / ksN; math.Abs(got-mean) > 4*cov/math.Sqrt(ksN) {
+		t.Errorf("sample mean %.5f deviates from requested mean %g", got, mean)
+	}
+}
+
+// TestKSBoundedPareto pins the truncated Pareto sampler against
+// F(x) = (1 − (lo/x)^α) / (1 − (lo/hi)^α) for a heavy tail (α < 2, infinite
+// variance untruncated) and a moderate one.
+func TestKSBoundedPareto(t *testing.T) {
+	cases := []struct {
+		lo, hi, alpha float64
+		seed          uint64
+	}{
+		{1, 100, 1.5, 115},
+		{2, 20, 3.0, 116},
+	}
+	for _, tc := range cases {
+		r := New(tc.seed)
+		sample := make([]float64, ksN)
+		for i := range sample {
+			x := r.BoundedPareto(tc.lo, tc.hi, tc.alpha)
+			if x < tc.lo || x > tc.hi {
+				t.Fatalf("BoundedPareto(%g,%g,%g) = %g outside bounds", tc.lo, tc.hi, tc.alpha, x)
+			}
+			sample[i] = x
+		}
+		lo, hi, alpha := tc.lo, tc.hi, tc.alpha
+		norm := 1 - math.Pow(lo/hi, alpha)
+		checkKS(t, "BoundedPareto", sample, func(x float64) float64 {
+			switch {
+			case x < lo:
+				return 0
+			case x > hi:
+				return 1
+			default:
+				return (1 - math.Pow(lo/x, alpha)) / norm
+			}
+		})
+	}
+}
+
+// TestQuantileMirrorExact pins the antithetic-mirror contract the SoA sampler
+// relies on: for every uniform draw u = k/2^53, the value 1−u is exactly
+// representable, so Quantile(1−u) is the exact antithetic partner of
+// Quantile(u) — bit-identical whether computed by the sampler or the mirror.
+func TestQuantileMirrorExact(t *testing.T) {
+	r := New(117)
+	for i := 0; i < 1000; i++ {
+		u := r.Float64()
+		if 1-(1-u) != u {
+			t.Fatalf("1-u not exactly representable for u=%x", math.Float64bits(u))
+		}
+		if a, b := LogNormalQuantile(0.5, 0.8, u), LogNormalQuantile(0.5, 0.8, u); a != b {
+			t.Fatalf("LogNormalQuantile not deterministic at u=%g: %g != %g", u, a, b)
+		}
+		if a, b := BoundedParetoQuantile(1, 50, 1.5, u), BoundedParetoQuantile(1, 50, 1.5, u); a != b {
+			t.Fatalf("BoundedParetoQuantile not deterministic at u=%g: %g != %g", u, a, b)
+		}
+	}
+	// Edge cases: u = 0 must not yield 0 (lognormal) or escape [lo, hi]
+	// (Pareto), and the mirror at u = 1 must stay finite.
+	if v := LogNormalQuantile(0, 1, 0); v <= 0 || math.IsInf(v, 0) {
+		t.Errorf("LogNormalQuantile(0,1,0) = %g, want finite positive", v)
+	}
+	if v := LogNormalQuantile(0, 1, 1-0x1p-53); math.IsInf(v, 0) || v <= 0 {
+		t.Errorf("LogNormalQuantile at max u = %g, want finite positive", v)
+	}
+	if v := BoundedParetoQuantile(1, 50, 1.5, 0); v != 1 {
+		t.Errorf("BoundedParetoQuantile at u=0 = %g, want lo", v)
+	}
+	if v := BoundedParetoQuantile(1, 50, 1.5, 1); math.Abs(v-50) > 1e-9 {
+		t.Errorf("BoundedParetoQuantile at u=1 = %g, want hi", v)
+	}
+}
+
 // TestIncompleteGammaReference sanity-checks the test's own CDF helper
 // against closed forms: P(1,x) = 1-e^-x and P(1/2, x) = erf(√x).
 func TestIncompleteGammaReference(t *testing.T) {

@@ -296,3 +296,63 @@ func (r *Source) GammaMeanCOV(mean, cov float64) float64 {
 	}
 	return r.Gamma(1/(cov*cov), mean*cov*cov)
 }
+
+// LogNormalQuantile returns the lognormal quantile (inverse CDF) at u for the
+// distribution of exp(N(mu, sigma²)). It is a pure function of (mu, sigma, u)
+// so that the Monte-Carlo SoA sampler and the antithetic mirror can evaluate
+// the same variate at u and 1−u with bit-identical floating-point op order
+// (every Float64 output k/2^53 makes 1−u exactly representable). u must lie
+// in [0, 1); u == 0 is clamped to the smallest positive draw so the mirror at
+// u = 1 never produces +Inf.
+func LogNormalQuantile(mu, sigma, u float64) float64 {
+	if u <= 0 {
+		u = 0x1p-53
+	}
+	return math.Exp(mu + sigma*(math.Sqrt2*math.Erfinv(2*u-1)))
+}
+
+// BoundedParetoQuantile returns the quantile (inverse CDF) at u of the Pareto
+// distribution with tail index alpha truncated to [lo, hi]:
+//
+//	F(x) = (1 − (lo/x)^α) / (1 − (lo/hi)^α),  lo ≤ x ≤ hi.
+//
+// Like LogNormalQuantile it is a pure function so sampler and mirror share
+// one op order. Both endpoints are finite: u=0 → lo, u→1 → hi.
+func BoundedParetoQuantile(lo, hi, alpha, u float64) float64 {
+	ratio := math.Pow(lo/hi, alpha)
+	return lo / math.Pow(1-u*(1-ratio), 1/alpha)
+}
+
+// LogNormal returns a lognormal variate exp(N(mu, sigma²)) by inverse-CDF
+// transform of a single uniform draw. Exactly one Float64 is consumed per
+// call — unlike Norm's polar method, the draw count is fixed, which is what
+// the lane-batched realization sampler requires to stay bit-identical across
+// worker counts.
+func (r *Source) LogNormal(mu, sigma float64) float64 {
+	if sigma < 0 {
+		panic(fmt.Sprintf("rng: LogNormal called with sigma=%g", sigma))
+	}
+	return LogNormalQuantile(mu, sigma, r.Float64())
+}
+
+// LogNormalMeanCOV returns a lognormal variate parameterized by its mean and
+// coefficient of variation: sigma² = ln(1+COV²), mu = ln(mean) − sigma²/2.
+// The correlated-load duration model uses this with mean 1 to perturb whole
+// processors per realization without shifting expected durations.
+func (r *Source) LogNormalMeanCOV(mean, cov float64) float64 {
+	if mean <= 0 || cov < 0 {
+		panic(fmt.Sprintf("rng: LogNormalMeanCOV called with mean=%g cov=%g", mean, cov))
+	}
+	sigma2 := math.Log(1 + cov*cov)
+	return r.LogNormal(math.Log(mean)-sigma2/2, math.Sqrt(sigma2))
+}
+
+// BoundedPareto returns a Pareto(alpha) variate truncated to [lo, hi] by
+// inverse-CDF transform of a single uniform draw (fixed draw count, like
+// LogNormal).
+func (r *Source) BoundedPareto(lo, hi, alpha float64) float64 {
+	if !(lo > 0) || hi < lo || alpha <= 0 {
+		panic(fmt.Sprintf("rng: BoundedPareto called with lo=%g hi=%g alpha=%g", lo, hi, alpha))
+	}
+	return BoundedParetoQuantile(lo, hi, alpha, r.Float64())
+}

@@ -40,6 +40,106 @@ import (
 // one cache line, which measures fastest for the paper-scale workloads.
 const DefaultBatchSize = 8
 
+// DurationModel selects the per-(task, processor) duration distribution.
+// The zero value is the paper's uniform model, and selecting it (with
+// CorrNone) keeps the original sampling path bit-identical.
+type DurationModel uint8
+
+const (
+	// ModelUniform is the paper's c_ij ~ U(b_ij, (2·UL_ij−1)·b_ij).
+	ModelUniform DurationModel = iota
+	// ModelLognormal matches the uniform model's mean and variance per
+	// (task, processor) pair but draws from a lognormal — the service-time
+	// distribution observed on real shared clusters, with a right tail the
+	// uniform model cannot produce.
+	ModelLognormal
+	// ModelBoundedPareto keeps the uniform model's support [b, (2·UL−1)·b]
+	// but distributes mass as a truncated Pareto with tail index
+	// Options.ParetoShape — most draws near the best case, rare draws near
+	// the worst, the classic heavy-tail stress for slack-based robustness.
+	ModelBoundedPareto
+
+	numDurationModels
+)
+
+// String returns the registry name of the model ("uniform", "lognormal",
+// "pareto").
+func (m DurationModel) String() string {
+	switch m {
+	case ModelUniform:
+		return "uniform"
+	case ModelLognormal:
+		return "lognormal"
+	case ModelBoundedPareto:
+		return "pareto"
+	}
+	return fmt.Sprintf("DurationModel(%d)", uint8(m))
+}
+
+// ParseDurationModel is the inverse of DurationModel.String, used by the
+// -scenario CLI plumbing.
+func ParseDurationModel(s string) (DurationModel, error) {
+	switch s {
+	case "uniform":
+		return ModelUniform, nil
+	case "lognormal":
+		return ModelLognormal, nil
+	case "pareto":
+		return ModelBoundedPareto, nil
+	}
+	return 0, fmt.Errorf("sim: unknown duration model %q (want uniform|lognormal|pareto)", s)
+}
+
+// Correlation selects the cross-task dependence structure of one
+// realization's duration matrix. The zero value (independent entries) is
+// the paper's assumption.
+type Correlation uint8
+
+const (
+	// CorrNone draws every matrix entry independently (the paper's model).
+	CorrNone Correlation = iota
+	// CorrShared multiplies all durations on a processor by one shared
+	// mean-1 lognormal load factor per realization (COV Options.LoadCOV):
+	// a busy processor is busy for every task it runs, which is the
+	// correlation the paper's independence assumption hides.
+	CorrShared
+	// CorrIndep multiplies every matrix entry by its own independent mean-1
+	// lognormal factor with the same COV as CorrShared. Each entry's
+	// marginal distribution is identical to CorrShared's — only the
+	// cross-task dependence differs — so the pair isolates the effect of
+	// correlation at equal marginal variance.
+	CorrIndep
+
+	numCorrelations
+)
+
+// String returns the registry name of the correlation mode ("none",
+// "shared", "indep").
+func (c Correlation) String() string {
+	switch c {
+	case CorrNone:
+		return "none"
+	case CorrShared:
+		return "shared"
+	case CorrIndep:
+		return "indep"
+	}
+	return fmt.Sprintf("Correlation(%d)", uint8(c))
+}
+
+// ParseCorrelation is the inverse of Correlation.String.
+func ParseCorrelation(s string) (Correlation, error) {
+	switch s {
+	case "none":
+		return CorrNone, nil
+	case "shared":
+		return CorrShared, nil
+	case "indep":
+		return CorrIndep, nil
+	}
+	return 0, fmt.Errorf("sim: unknown correlation mode %q (want none|shared|indep)", s)
+}
+
 // Options configures a Monte-Carlo evaluation.
 type Options struct {
 	// Realizations is the number of sampled executions (paper: 1000).
@@ -61,6 +161,20 @@ type Options struct {
 	// sweep; 0 means DefaultBatchSize. Any width yields bit-identical
 	// results — this is purely a throughput knob.
 	BatchSize int
+
+	// Model selects the duration distribution. The zero value is the
+	// paper's uniform model; combined with CorrNone it runs the original
+	// sampling path bit-identically.
+	Model DurationModel
+	// Corr selects the cross-task correlation structure of each sampled
+	// duration matrix. Non-CorrNone modes require LoadCOV > 0.
+	Corr Correlation
+	// LoadCOV is the coefficient of variation of the mean-1 lognormal load
+	// factor applied by CorrShared/CorrIndep. Ignored under CorrNone.
+	LoadCOV float64
+	// ParetoShape is the tail index α of ModelBoundedPareto (smaller is
+	// heavier; 1.5 is a typical heavy tail). Ignored by the other models.
+	ParetoShape float64
 
 	// Obs, if non-nil, receives engine telemetry: the deterministic
 	// counters sim.realize_calls / sim.realizations / sim.schedules /
@@ -106,6 +220,24 @@ func (o Options) Validate() error {
 	}
 	if math.IsNaN(o.Deadline) || math.IsInf(o.Deadline, 0) {
 		return &OptionError{"Deadline", o.Deadline, "must be finite"}
+	}
+	if o.Model >= numDurationModels {
+		return &OptionError{"Model", float64(o.Model), "is not a known duration model"}
+	}
+	if o.Corr >= numCorrelations {
+		return &OptionError{"Corr", float64(o.Corr), "is not a known correlation mode"}
+	}
+	if math.IsNaN(o.LoadCOV) || math.IsInf(o.LoadCOV, 0) || o.LoadCOV < 0 {
+		return &OptionError{"LoadCOV", o.LoadCOV, "must be finite and >= 0"}
+	}
+	if o.Corr != CorrNone && o.LoadCOV == 0 {
+		return &OptionError{"LoadCOV", o.LoadCOV, "must be > 0 when Corr is set"}
+	}
+	if math.IsNaN(o.ParetoShape) || math.IsInf(o.ParetoShape, 0) || o.ParetoShape < 0 {
+		return &OptionError{"ParetoShape", o.ParetoShape, "must be finite and >= 0"}
+	}
+	if o.Model == ModelBoundedPareto && o.ParetoShape == 0 {
+		return &OptionError{"ParetoShape", o.ParetoShape, "must be > 0 for the bounded-Pareto model"}
 	}
 	return nil
 }
@@ -252,15 +384,45 @@ type sampler struct {
 	lo    []float64 // b_ij (row-major n×m)
 	width []float64 // hi − b, hi = (2·UL−1)·b
 	sum   []float64 // b + hi, the antithetic mirror constant
-	draws int       // non-degenerate pairs == uniforms consumed per realization
+	draws int       // non-degenerate pairs == duration uniforms per realization
+
+	// Model extension. The legacy fields above fully describe the uniform
+	// model; the general path (any non-default Model/Corr) additionally
+	// uses the tables below. mu/sigma are the lognormal parameters matched
+	// per pair to the uniform model's mean and variance; alpha is the
+	// bounded-Pareto tail index over the same support [lo, lo+width].
+	model     DurationModel
+	corr      Correlation
+	mu, sigma []float64
+	alpha     float64
+	// Mean-1 lognormal load-factor parameters: sigma² = ln(1+LoadCOV²),
+	// mu = −sigma²/2.
+	loadMu, loadSigma float64
+	loadDraws         int // uniforms consumed for load factors per realization
+	m                 int // processors (column count of the row-major tables)
 }
 
-func newSampler(w *platform.Workload) sampler {
+// general reports whether this sampler needs the generalized path; false
+// means the original uniform code runs, bit-identical to the pre-model
+// engine.
+func (sp *sampler) general() bool {
+	return sp.model != ModelUniform || sp.corr != CorrNone
+}
+
+// scratch returns the per-realization uniform block length the worker must
+// provide: load-factor draws first, then one draw per non-degenerate pair.
+func (sp *sampler) scratch() int { return sp.loadDraws + sp.draws }
+
+func newSampler(w *platform.Workload, opt Options) sampler {
 	n, m := w.N(), w.M()
 	sp := sampler{
 		lo:    make([]float64, n*m),
 		width: make([]float64, n*m),
 		sum:   make([]float64, n*m),
+		model: opt.Model,
+		corr:  opt.Corr,
+		alpha: opt.ParetoShape,
+		m:     m,
 	}
 	for t := 0; t < n; t++ {
 		for p := 0; p < m; p++ {
@@ -273,6 +435,33 @@ func newSampler(w *platform.Workload) sampler {
 			if hi > b {
 				sp.draws++
 			}
+		}
+	}
+	if opt.Model == ModelLognormal {
+		// Match the uniform model's first two moments per pair:
+		// mean μ = (b+hi)/2, variance v = (hi−b)²/12, then
+		// sigma² = ln(1+v/μ²), mu = ln μ − sigma²/2.
+		sp.mu = make([]float64, n*m)
+		sp.sigma = make([]float64, n*m)
+		for k := range sp.lo {
+			if sp.width[k] <= 0 {
+				continue
+			}
+			mean := sp.sum[k] / 2
+			v := sp.width[k] * sp.width[k] / 12
+			s2 := math.Log(1 + v/(mean*mean))
+			sp.mu[k] = math.Log(mean) - s2/2
+			sp.sigma[k] = math.Sqrt(s2)
+		}
+	}
+	if opt.Corr != CorrNone {
+		s2 := math.Log(1 + opt.LoadCOV*opt.LoadCOV)
+		sp.loadMu = -s2 / 2
+		sp.loadSigma = math.Sqrt(s2)
+		if opt.Corr == CorrShared {
+			sp.loadDraws = m
+		} else {
+			sp.loadDraws = n * m
 		}
 	}
 	return sp
@@ -314,6 +503,63 @@ func (sp *sampler) sampleMirroredInto(dst []float64, stride, lane int, r *rng.So
 		}
 		dst[k*stride+lane] = sp.sum[k] - (sp.lo[k] + w*u[j])
 		j++
+	}
+}
+
+// sampleGeneralInto is the model-extension sampling path: any duration model
+// combined with any correlation mode, normal or antithetic-mirrored. One
+// realization consumes sp.scratch() uniforms as a single rng.Float64s block —
+// load-factor draws first, then one draw per non-degenerate pair — so the
+// draw schedule is a pure function of the workload shape and the realization
+// seed, independent of worker count, batch width and shard boundaries.
+//
+// The antithetic mirror is uniform across every model: the mirrored
+// realization evaluates the identical transforms at 1−u for every uniform in
+// the block. Float64 outputs are dyadic rationals k/2^53, so 1−u is exactly
+// representable and the mirror is exact — no rounding asymmetry between a
+// realization and its antithetic partner. (The legacy uniform-only path keeps
+// its historical midpoint-reflection expression instead; the two paths never
+// mix, since this one only runs for non-default Model/Corr.)
+//
+// load is caller scratch of length sp.m, used only under CorrShared.
+func (sp *sampler) sampleGeneralInto(dst []float64, stride, lane int, r *rng.Source, u, load []float64, mirrored bool) {
+	u = u[:sp.scratch()]
+	r.Float64s(u)
+	if mirrored {
+		for i := range u {
+			u[i] = 1 - u[i]
+		}
+	}
+	if sp.corr == CorrShared {
+		for p := 0; p < sp.m; p++ {
+			load[p] = rng.LogNormalQuantile(sp.loadMu, sp.loadSigma, u[p])
+		}
+	}
+	j := sp.loadDraws
+	for k, w := range sp.width {
+		v := sp.lo[k]
+		if w > 0 {
+			uu := u[j]
+			j++
+			switch sp.model {
+			case ModelUniform:
+				v = sp.lo[k] + w*uu
+			case ModelLognormal:
+				v = rng.LogNormalQuantile(sp.mu[k], sp.sigma[k], uu)
+			case ModelBoundedPareto:
+				v = rng.BoundedParetoQuantile(sp.lo[k], sp.lo[k]+w, sp.alpha, uu)
+			}
+		}
+		// The load factor multiplies every entry on the processor —
+		// degenerate (deterministic) pairs included: a loaded processor
+		// slows all of its tasks.
+		switch sp.corr {
+		case CorrShared:
+			v *= load[k%sp.m]
+		case CorrIndep:
+			v *= rng.LogNormalQuantile(sp.loadMu, sp.loadSigma, u[k])
+		}
+		dst[k*stride+lane] = v
 	}
 }
 
@@ -390,7 +636,7 @@ func RealizeSeeded(ss []*schedule.Schedule, opt Options, seeds []uint64, base in
 	R := len(seeds)
 	B := opt.batch(R)
 	buildDone := opt.Trace.Scope("sim").Span("build_sampler")
-	sp := newSampler(w)
+	sp := newSampler(w, opt)
 	buildDone()
 	mks := make([][]float64, len(ss))
 	arena := make([]float64, len(ss)*R)
@@ -434,7 +680,8 @@ func RealizeSeeded(ss []*schedule.Schedule, opt Options, seeds []uint64, base in
 			st := make([]float64, B)
 			finish := make([]float64, n*B)
 			out := make([]float64, B)
-			u := make([]float64, sp.draws) // one realization's uniform block
+			u := make([]float64, sp.scratch()) // one realization's uniform block
+			load := make([]float64, m)         // CorrShared per-processor factors
 			claimed := 0
 			defer func() { claims.Observe(float64(claimed)) }()
 			for {
@@ -454,9 +701,13 @@ func RealizeSeeded(ss []*schedule.Schedule, opt Options, seeds []uint64, base in
 					// The antithetic mirror follows the global realization
 					// index, so a window starting on an odd index keeps
 					// mirroring exactly the realizations the full run would.
-					if opt.Antithetic && (base+i)%2 == 1 {
+					mirror := opt.Antithetic && (base+i)%2 == 1
+					switch {
+					case sp.general():
+						sp.sampleGeneralInto(durs, b, l, r, u, load, mirror)
+					case mirror:
 						sp.sampleMirroredInto(durs, b, l, r, u)
-					} else {
+					default:
 						sp.sampleInto(durs, b, l, r, u)
 					}
 				}
